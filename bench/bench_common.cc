@@ -1,0 +1,91 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace rvar {
+namespace bench {
+
+sim::SuiteConfig DefaultSuiteConfig() {
+  sim::SuiteConfig config;
+  config.num_groups = 150;
+  config.d1_days = 20.0;
+  config.d2_days = 15.0;
+  config.d3_days = 5.0;
+  config.d1_support = 20;
+  config.d2_support = 3;
+  config.d3_support = 3;
+  config.workload.min_period_seconds = 900.0;
+  config.workload.max_period_seconds = 6.0 * 3600.0;
+  config.seed = 20230407;  // the paper's arXiv date
+  return config;
+}
+
+core::PredictorConfig DefaultPredictorConfig(core::Normalization norm) {
+  core::PredictorConfig config;
+  config.shape.normalization = norm;
+  config.shape.num_clusters = 8;
+  config.shape.min_support = 20;
+  config.shape.kmeans.num_restarts = 16;
+  config.gbdt.num_rounds = 50;
+  config.gbdt.feature_fraction = 0.7;
+  config.gbdt.max_leaves = 31;
+  return config;
+}
+
+sim::StudySuite BuildSuiteOrDie() {
+  const auto start = std::chrono::steady_clock::now();
+  auto suite = sim::BuildStudySuite(DefaultSuiteConfig());
+  RVAR_CHECK(suite.ok()) << suite.status().ToString();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf(
+      "[setup] simulated %zu + %zu + %zu runs (D1/D2/D3) in %.1fs\n",
+      suite->d1.telemetry.NumRuns(), suite->d2.telemetry.NumRuns(),
+      suite->d3.telemetry.NumRuns(), secs);
+  return std::move(*suite);
+}
+
+std::unique_ptr<core::VariationPredictor> TrainPredictorOrDie(
+    const sim::StudySuite& suite, core::Normalization norm) {
+  const auto start = std::chrono::steady_clock::now();
+  auto predictor =
+      core::VariationPredictor::Train(suite, DefaultPredictorConfig(norm));
+  RVAR_CHECK(predictor.ok()) << predictor.status().ToString();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::printf("[setup] trained %s-normalization predictor in %.1fs\n",
+              core::NormalizationName(norm), secs);
+  return std::move(*predictor);
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+std::string Sparkline(const std::vector<double>& pmf, int width) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  const size_t n = pmf.size();
+  const size_t w = std::min<size_t>(static_cast<size_t>(width), n);
+  // Aggregate bins into `w` columns, then scale by the max column.
+  std::vector<double> cols(w, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    cols[i * w / n] += pmf[i];
+  }
+  double mx = 0.0;
+  for (double c : cols) mx = std::max(mx, c);
+  std::string out;
+  for (double c : cols) {
+    const int level =
+        mx > 0.0 ? static_cast<int>(7.999 * c / mx) : 0;
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace rvar

@@ -1,0 +1,43 @@
+// Copyright 2026 The rvar Authors.
+//
+// Shared setup for the paper-reproduction bench binaries: a standard
+// simulated study suite (scaled-down Table 1 datasets) and standard
+// predictor configurations, so every table/figure binary measures the same
+// workload.
+
+#ifndef RVAR_BENCH_BENCH_COMMON_H_
+#define RVAR_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "core/predictor.h"
+#include "sim/datasets.h"
+
+namespace rvar {
+namespace bench {
+
+/// The standard bench workload: 150 recurring groups over 20+8+3 simulated
+/// days (the paper's 6mo/15d/5d at laptop scale).
+sim::SuiteConfig DefaultSuiteConfig();
+
+/// Standard predictor training configuration for a normalization.
+core::PredictorConfig DefaultPredictorConfig(core::Normalization norm);
+
+/// Builds the standard suite, printing progress to stdout.
+sim::StudySuite BuildSuiteOrDie();
+
+/// Trains the standard predictor on `suite`.
+std::unique_ptr<core::VariationPredictor> TrainPredictorOrDie(
+    const sim::StudySuite& suite, core::Normalization norm);
+
+/// Prints a section header.
+void PrintHeader(const std::string& title);
+
+/// A 1-line ASCII sparkline of a PMF (downsampled to `width` columns).
+std::string Sparkline(const std::vector<double>& pmf, int width = 60);
+
+}  // namespace bench
+}  // namespace rvar
+
+#endif  // RVAR_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,61 @@
+// Reproduces Figure 1: runtimes of recurring jobs submitted at different
+// frequencies, some with stable runtimes and some with sporadic,
+// non-regular slowdowns.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stats/descriptive.h"
+
+int main() {
+  using namespace rvar;
+  sim::StudySuite suite = bench::BuildSuiteOrDie();
+  bench::PrintHeader("Figure 1: Recurring jobs with runtime variation");
+
+  // Pick 4 groups spanning the stability spectrum: rank D1 groups by
+  // p95/median of runtime and take representatives.
+  struct Candidate {
+    int gid;
+    double median;
+    double tail_ratio;
+    int support;
+  };
+  std::vector<Candidate> candidates;
+  for (int gid : suite.d1.telemetry.GroupsWithSupport(30)) {
+    std::vector<double> runtimes = suite.d1.telemetry.GroupRuntimes(gid);
+    std::sort(runtimes.begin(), runtimes.end());
+    const double median = QuantileSorted(runtimes, 0.5);
+    candidates.push_back({gid, median,
+                          QuantileSorted(runtimes, 0.95) / median,
+                          static_cast<int>(runtimes.size())});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.tail_ratio < b.tail_ratio;
+            });
+  std::vector<Candidate> picks;
+  for (double q : {0.05, 0.4, 0.75, 0.98}) {
+    picks.push_back(
+        candidates[static_cast<size_t>(q * (candidates.size() - 1))]);
+  }
+
+  for (const Candidate& c : picks) {
+    std::vector<double> runtimes = suite.d1.telemetry.GroupRuntimes(c.gid);
+    std::printf(
+        "\njob_group_%d: %d runs, median %.0fs, p95/median %.2fx\n  ",
+        c.gid, c.support, c.median, c.tail_ratio);
+    // Series of normalized runtimes as a character strip: '.' near median,
+    // 'o' mild slowdown, 'X' severe.
+    const size_t stride = std::max<size_t>(1, runtimes.size() / 72);
+    for (size_t i = 0; i < runtimes.size(); i += stride) {
+      const double r = runtimes[i] / c.median;
+      std::printf("%c", r > 3.0 ? 'X' : (r > 1.5 ? 'o' : '.'));
+    }
+    std::printf("\n  ('.' <1.5x median, 'o' 1.5-3x, 'X' >3x)\n");
+  }
+  std::printf(
+      "\n(paper: some recurring jobs have stable runtimes, others show\n"
+      " occasional slowdowns with non-regular patterns.)\n");
+  return 0;
+}

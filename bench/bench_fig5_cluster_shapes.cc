@@ -1,0 +1,55 @@
+// Reproduces Figure 5: the typical distributions of normalized runtime —
+// 8 canonical shapes for Ratio-normalization and 8 for Delta-normalization,
+// discovered by clustering smoothed group PMFs from D1.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "core/shape_library.h"
+
+namespace {
+
+void PrintLibrary(const rvar::core::ShapeLibrary& lib) {
+  using namespace rvar;
+  const BinGrid& grid = lib.grid();
+  std::printf("grid [%g, %g], %d bins, inertia %.4f\n", grid.lo(),
+              grid.hi(), grid.num_bins(), lib.inertia());
+  for (int c = 0; c < lib.num_clusters(); ++c) {
+    const core::ShapeStats& s = lib.stats(c);
+    std::printf("C%d |%s| groups=%d\n", c,
+                bench::Sparkline(lib.shape(c)).c_str(), s.num_groups);
+  }
+  std::printf("   %-60s\n",
+              lib.normalization() == core::Normalization::kRatio
+                  ? "0x        (runtime / median)                       10x"
+                  : "-900s     (runtime - median)                     +900s");
+}
+
+}  // namespace
+
+int main() {
+  using namespace rvar;
+  sim::StudySuite suite = bench::BuildSuiteOrDie();
+  core::GroupMedians medians =
+      core::GroupMedians::FromTelemetry(suite.d1.telemetry);
+
+  for (core::Normalization norm :
+       {core::Normalization::kRatio, core::Normalization::kDelta}) {
+    core::ShapeLibraryConfig config;
+    config.normalization = norm;
+    config.num_clusters = 8;
+    config.min_support = 20;
+    config.kmeans.num_restarts = 8;
+    auto lib = core::ShapeLibrary::Build(suite.d1.telemetry, medians, config);
+    RVAR_CHECK(lib.ok()) << lib.status().ToString();
+    bench::PrintHeader(
+        StrCat("Figure 5: typical distributions (",
+               core::NormalizationName(norm), "-normalization)"));
+    PrintLibrary(*lib);
+  }
+  std::printf(
+      "\n(paper: 8 shapes per normalization; some bimodal, with different\n"
+      " variances and outlier masses.)\n");
+  return 0;
+}

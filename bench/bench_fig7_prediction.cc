@@ -1,0 +1,38 @@
+// Reproduces Figure 7: (a) the confusion matrix of the shape predictor on
+// the test dataset D3 with overall accuracy, and (b) accuracy bucketed by
+// the number of historic occurrences of the job group, for both
+// normalizations.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/strings.h"
+#include "core/report.h"
+
+int main() {
+  using namespace rvar;
+  sim::StudySuite suite = bench::BuildSuiteOrDie();
+
+  for (core::Normalization norm :
+       {core::Normalization::kRatio, core::Normalization::kDelta}) {
+    auto predictor = bench::TrainPredictorOrDie(suite, norm);
+    auto eval = predictor->Evaluate(suite.d3.telemetry);
+    RVAR_CHECK(eval.ok()) << eval.status().ToString();
+
+    bench::PrintHeader(StrCat("Figure 7a: confusion matrix (",
+                              core::NormalizationName(norm),
+                              "-normalization)"));
+    std::printf("overall accuracy: %s\n\n",
+                FormatPercent(eval->accuracy).c_str());
+    std::printf("%s", eval->confusion.ToString().c_str());
+
+    bench::PrintHeader(StrCat("Figure 7b: accuracy vs historic occurrences (",
+                              core::NormalizationName(norm),
+                              "-normalization)"));
+    std::printf("%s", core::RenderSupportBuckets(*eval).c_str());
+  }
+  std::printf(
+      "\n(paper: >96%% accuracy for both normalizations; accuracy grows\n"
+      " with the number of historic occurrences.)\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Figure 8: distribution-reconstruction quality of the proposed
+// 2-step classifier vs a Griffon-style random-forest regression baseline,
+// compared by QQ-plot mean absolute error and Kolmogorov-Smirnov distance
+// on the test dataset D3.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/report.h"
+
+int main() {
+  using namespace rvar;
+  sim::StudySuite suite = bench::BuildSuiteOrDie();
+  auto predictor =
+      bench::TrainPredictorOrDie(suite, core::Normalization::kRatio);
+
+  ml::ForestConfig forest;
+  forest.num_trees = 60;
+  auto baseline = core::RegressionBaseline::Train(suite, *predictor, forest);
+  RVAR_CHECK(baseline.ok()) << baseline.status().ToString();
+
+  Rng rng(99);
+  auto cmp = core::CompareReconstruction(suite.d3.telemetry, *predictor,
+                                         **baseline, &rng);
+  RVAR_CHECK(cmp.ok()) << cmp.status().ToString();
+
+  bench::PrintHeader("Figure 8: QQ comparison vs regression baseline");
+  std::printf("%s\n", core::RenderReconstruction(*cmp).c_str());
+
+  // The QQ series itself (downsampled): actual vs predicted quantiles of
+  // the Ratio-normalized runtime distribution.
+  std::printf("%-6s %-10s %-18s %-18s\n", "q", "actual", "regression",
+              "proposed");
+  for (size_t i = 4; i < cmp->proposed_qq.size(); i += 10) {
+    std::printf("%-6.2f %-10.3f %-18.3f %-18.3f\n", cmp->proposed_qq[i].q,
+                cmp->proposed_qq[i].actual,
+                cmp->regression_qq[i].predicted,
+                cmp->proposed_qq[i].predicted);
+  }
+  std::printf(
+      "\n(paper: the classification approach tracks the actual quantiles\n"
+      " better, especially at high percentiles (outliers); KS distance\n"
+      " reduced by 9.2%%.)\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Performance microbenchmarks (google-benchmark) of the library's hot
+// kernels: PMF building/smoothing, posterior likelihoods, k-means, GBDT
+// training and prediction, TreeSHAP, and simulated job execution.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/assigner.h"
+#include "core/shape_library.h"
+#include "ml/gbdt.h"
+#include "ml/kmeans.h"
+#include "ml/shap.h"
+#include "sim/scheduler.h"
+#include "stats/histogram.h"
+
+namespace {
+
+using namespace rvar;
+
+std::vector<double> RandomValues(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = rng.LogNormal(0.0, 0.8);
+  return xs;
+}
+
+void BM_HistogramBuild(benchmark::State& state) {
+  const auto xs = RandomValues(static_cast<size_t>(state.range(0)), 1);
+  const BinGrid grid = *BinGrid::Make(0.0, 10.0, 200);
+  for (auto _ : state) {
+    Histogram h = Histogram::FromValues(grid, xs);
+    benchmark::DoNotOptimize(h.total_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramBuild)->Arg(1000)->Arg(100000);
+
+void BM_SmoothPmf(benchmark::State& state) {
+  const auto xs = RandomValues(10000, 2);
+  const BinGrid grid = *BinGrid::Make(0.0, 10.0, 200);
+  const auto pmf = Histogram::FromValues(grid, xs).Probabilities();
+  for (auto _ : state) {
+    auto smoothed = SmoothPmf(pmf, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(smoothed.data());
+  }
+}
+BENCHMARK(BM_SmoothPmf)->Arg(2)->Arg(8);
+
+void BM_KMeansPmfs(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::vector<double>> points;
+  const BinGrid grid = *BinGrid::Make(0.0, 10.0, 200);
+  for (int g = 0; g < state.range(0); ++g) {
+    std::vector<double> xs;
+    const double mode = rng.Uniform(0.8, 3.0);
+    for (int i = 0; i < 50; ++i) xs.push_back(rng.Normal(mode, 0.2));
+    points.push_back(
+        SmoothPmf(Histogram::FromValues(grid, xs).Probabilities(), 2));
+  }
+  ml::KMeansConfig config;
+  config.k = 8;
+  config.num_restarts = 1;
+  for (auto _ : state) {
+    auto model = ml::KMeans(points, config);
+    benchmark::DoNotOptimize(model->inertia);
+  }
+}
+BENCHMARK(BM_KMeansPmfs)->Arg(100)->Arg(400);
+
+ml::Dataset MakeTabular(int rows, int features, int classes, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset d;
+  for (int i = 0; i < rows; ++i) {
+    std::vector<double> row(static_cast<size_t>(features));
+    for (double& v : row) v = rng.Normal(0.0, 1.0);
+    const double score = row[0] + 0.5 * row[1];
+    d.y.push_back(score > 0.5 ? 2 : (score > -0.5 ? 1 : 0) % classes);
+    d.x.push_back(std::move(row));
+  }
+  return d;
+}
+
+void BM_GbdtTrain(benchmark::State& state) {
+  const ml::Dataset d =
+      MakeTabular(static_cast<int>(state.range(0)), 30, 3, 4);
+  for (auto _ : state) {
+    ml::GbdtClassifier model({.num_rounds = 10});
+    benchmark::DoNotOptimize(model.Fit(d).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GbdtTrain)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  const ml::Dataset d = MakeTabular(3000, 30, 3, 5);
+  ml::GbdtClassifier model({.num_rounds = 30});
+  benchmark::DoNotOptimize(model.Fit(d).ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto proba = model.PredictProba(d.x[i++ % d.NumRows()]);
+    benchmark::DoNotOptimize(proba.data());
+  }
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_TreeShap(benchmark::State& state) {
+  const ml::Dataset d = MakeTabular(3000, 30, 3, 6);
+  ml::GbdtClassifier model({.num_rounds = 20});
+  benchmark::DoNotOptimize(model.Fit(d).ok());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto shap = ml::ShapForGbdt(model, d.x[i++ % d.NumRows()], 30);
+    benchmark::DoNotOptimize(shap.ok());
+  }
+  state.SetLabel("exact TreeSHAP, 3 classes x 20 rounds");
+}
+BENCHMARK(BM_TreeShap)->Unit(benchmark::kMillisecond);
+
+void BM_PosteriorAssign(benchmark::State& state) {
+  // Shape library over synthetic telemetry.
+  sim::TelemetryStore store;
+  core::GroupMedians medians;
+  Rng rng(7);
+  for (int g = 0; g < 40; ++g) {
+    const double median = rng.Uniform(50.0, 500.0);
+    for (int i = 0; i < 40; ++i) {
+      sim::JobRun run;
+      run.group_id = g;
+      run.runtime_seconds =
+          median * std::max(0.1, rng.Normal(1.0, 0.1 + 0.05 * (g % 4)));
+      store.Add(run);
+    }
+    medians.Set(g, median);
+  }
+  core::ShapeLibraryConfig config;
+  config.num_clusters = 8;
+  config.min_support = 20;
+  config.kmeans.num_restarts = 2;
+  auto lib = core::ShapeLibrary::Build(store, medians, config);
+  core::PosteriorAssigner assigner(&*lib);
+  const auto obs = RandomValues(30, 8);
+  for (auto _ : state) {
+    auto cluster = assigner.Assign(obs);
+    benchmark::DoNotOptimize(cluster.ok());
+  }
+}
+BENCHMARK(BM_PosteriorAssign);
+
+void BM_SchedulerExecute(benchmark::State& state) {
+  sim::ClusterConfig cc;
+  auto cluster = sim::Cluster::Make(sim::SkuCatalog::Default(), cc);
+  sim::TokenScheduler scheduler(&*cluster, {});
+  Rng rng(9);
+  sim::JobGroupSpec group;
+  group.group_id = 0;
+  group.plan = sim::GeneratePlan({}, &rng);
+  group.allocated_tokens = 50;
+  sim::JobInstanceSpec inst;
+  inst.input_gb = 100.0;
+  inst.submit_time = 3600.0;
+  Rng exec_rng(10);
+  for (auto _ : state) {
+    auto run = scheduler.Execute(group, inst, &exec_rng);
+    benchmark::DoNotOptimize(run.ok());
+  }
+}
+BENCHMARK(BM_SchedulerExecute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Quickstart: simulate a workload, learn canonical runtime-distribution
+// shapes, train the 2-step variation predictor, and predict the runtime
+// distribution of new job runs.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "core/predictor.h"
+#include "core/report.h"
+#include "sim/datasets.h"
+
+using namespace rvar;
+
+int main() {
+  // 1. Simulate a study: a cluster, 80 recurring job groups, and three
+  //    dataset slices (D1 history, D2 train, D3 test).
+  sim::SuiteConfig suite_config;
+  suite_config.num_groups = 80;
+  suite_config.d1_days = 14.0;
+  suite_config.d2_days = 8.0;
+  suite_config.d3_days = 2.0;
+  suite_config.seed = 7;
+  auto suite = sim::BuildStudySuite(suite_config);
+  if (!suite.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 suite.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("simulated %zu historic runs across %zu job groups\n",
+              suite->d1.telemetry.NumRuns(), suite->groups.size());
+
+  // 2. Train the 2-step predictor: shapes from D1, classifier from D2.
+  core::PredictorConfig config;
+  config.shape.num_clusters = 8;
+  config.shape.min_support = 20;
+  auto predictor = core::VariationPredictor::Train(*suite, config);
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 predictor.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. The canonical shapes (Table 2 statistics).
+  std::printf("\ncanonical runtime-distribution shapes:\n%s",
+              core::RenderShapeStats((*predictor)->shapes()).c_str());
+
+  // 4. Predict the shape of fresh runs from the test slice and read off
+  //    distributional answers a point estimate cannot give.
+  const sim::JobRun& run = suite->d3.telemetry.run(0);
+  auto shape = (*predictor)->PredictShape(run);
+  if (!shape.ok()) return 1;
+  const core::ShapeStats& stats = (*predictor)->shapes().stats(*shape);
+  auto median = (*predictor)->medians().Of(run.group_id);
+  std::printf(
+      "\njob_group_%d (historic median %.0fs) -> predicted shape C%d:\n"
+      "  P(runtime >= 10x median) = %.2f%%\n"
+      "  95th percentile of runtime/median = %.2f\n"
+      "  25-75th percentile gap = %.2f\n",
+      run.group_id, median.ValueOr(0.0), *shape,
+      100.0 * stats.outlier_probability, stats.p95, stats.iqr);
+
+  // 5. Evaluate on the whole test slice (Figure 7).
+  auto eval = (*predictor)->Evaluate(suite->d3.telemetry);
+  if (eval.ok()) {
+    std::printf("\ntest accuracy over %s\n",
+                FormatCount(static_cast<int64_t>(
+                    suite->d3.telemetry.NumRuns()))
+                    .c_str());
+    std::printf("  shape prediction accuracy: %s\n",
+                FormatPercent(eval->accuracy).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// What-if planner: a capacity engineer evaluates operational changes
+// before rolling them out — disabling spare tokens for SLO-critical jobs,
+// or migrating a workload from old to new machine generations — by
+// re-running the trained shape predictor on counterfactual features
+// (Section 7 of the paper).
+//
+// Build & run:  ./build/examples/whatif_planner
+
+#include <cstdio>
+
+#include "core/report.h"
+#include "core/whatif.h"
+#include "sim/datasets.h"
+
+using namespace rvar;
+
+int main() {
+  sim::SuiteConfig suite_config;
+  suite_config.num_groups = 120;
+  suite_config.d1_days = 14.0;
+  suite_config.d2_days = 8.0;
+  suite_config.d3_days = 3.0;
+  suite_config.seed = 33;
+  auto suite = sim::BuildStudySuite(suite_config);
+  if (!suite.ok()) return 1;
+
+  core::PredictorConfig config;
+  config.shape.min_support = 20;
+  config.gbdt.feature_fraction = 0.7;
+  auto predictor = core::VariationPredictor::Train(*suite, config);
+  if (!predictor.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 predictor.status().ToString().c_str());
+    return 1;
+  }
+  core::WhatIfEngine engine(predictor->get());
+
+  struct Plan {
+    const char* title;
+    core::FeatureTransform transform;
+  };
+  const Plan plans[] = {
+      {"disable spare tokens fleet-wide",
+       core::WhatIfEngine::DisableSpareTokens()},
+      {"migrate Gen3.5 vertices to Gen5.2",
+       core::WhatIfEngine::ShiftSkuVertices("Gen3.5", "Gen5.2")},
+      {"perfectly balanced machine load",
+       core::WhatIfEngine::EqualizeLoad()},
+  };
+
+  for (const Plan& plan : plans) {
+    auto result = engine.Run(suite->d3.telemetry, plan.title, plan.transform);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", plan.title,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("\n%s\n",
+                core::RenderScenario(*result, (*predictor)->shapes())
+                    .c_str());
+  }
+
+  // A custom, user-authored scenario: cut every allocation in half.
+  auto halve = [](const core::Featurizer& featurizer,
+                  std::vector<double>* x) {
+    const int idx = featurizer.IndexOf("allocated_tokens");
+    if (idx >= 0) (*x)[static_cast<size_t>(idx)] *= 0.5;
+  };
+  auto result =
+      engine.Run(suite->d3.telemetry, "halve all token allocations", halve);
+  if (result.ok()) {
+    std::printf("\n%s\n",
+                core::RenderScenario(*result, (*predictor)->shapes())
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Copyright 2026 The rvar Authors.
+//
+// RVAR_CHECK: fatal assertions for programmer errors (invariant violations,
+// out-of-contract calls). These are distinct from Status, which reports
+// recoverable, data-dependent failures. Checks are always on.
+
+#ifndef RVAR_COMMON_CHECK_H_
+#define RVAR_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace rvar {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "RVAR_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rvar
+
+#define RVAR_CHECK(condition)                                       \
+  while (!(condition))                                              \
+  ::rvar::internal::CheckFailureStream(#condition, __FILE__, __LINE__)
+
+#define RVAR_CHECK_EQ(a, b) RVAR_CHECK((a) == (b))
+#define RVAR_CHECK_NE(a, b) RVAR_CHECK((a) != (b))
+#define RVAR_CHECK_LT(a, b) RVAR_CHECK((a) < (b))
+#define RVAR_CHECK_LE(a, b) RVAR_CHECK((a) <= (b))
+#define RVAR_CHECK_GT(a, b) RVAR_CHECK((a) > (b))
+#define RVAR_CHECK_GE(a, b) RVAR_CHECK((a) >= (b))
+
+#endif  // RVAR_COMMON_CHECK_H_

@@ -1,0 +1,36 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+namespace rvar {
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) buffer_ += ',';
+    buffer_ += EscapeCell(cells[i]);
+  }
+  buffer_ += '\n';
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << buffer_;
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace rvar

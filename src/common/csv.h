@@ -1,0 +1,37 @@
+// Copyright 2026 The rvar Authors.
+//
+// Minimal CSV writing for exporting experiment data (e.g. so figures can be
+// re-plotted externally). Quoting handles commas/quotes/newlines.
+
+#ifndef RVAR_COMMON_CSV_H_
+#define RVAR_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rvar {
+
+/// \brief Row-at-a-time CSV serializer.
+class CsvWriter {
+ public:
+  /// Appends one row; cells are quoted as needed.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// The CSV document accumulated so far.
+  const std::string& contents() const { return buffer_; }
+
+  /// Writes the accumulated document to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+  /// Escapes one CSV cell (exposed for tests).
+  static std::string EscapeCell(const std::string& cell);
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace rvar
+
+#endif  // RVAR_COMMON_CSV_H_

@@ -1,0 +1,40 @@
+// Copyright 2026 The rvar Authors.
+//
+// Stable hashing used for job plan signatures (the paper computes a hash
+// recursively over the compiled operator DAG to identify recurring jobs).
+// These hashes must be stable across runs and platforms, so we use FNV-1a
+// rather than std::hash.
+
+#ifndef RVAR_COMMON_HASH_H_
+#define RVAR_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rvar {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xCBF29CE484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// FNV-1a over a byte string, continuing from `seed`.
+inline uint64_t Fnv1a(std::string_view bytes, uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mixes a 64-bit value into a running hash (order-sensitive).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace rvar
+
+#endif  // RVAR_COMMON_HASH_H_

@@ -1,0 +1,91 @@
+// Copyright 2026 The rvar Authors.
+//
+// Result<T>: a value-or-Status union, the companion of Status for functions
+// that produce a value on success (Arrow's arrow::Result idiom).
+
+#ifndef RVAR_COMMON_RESULT_H_
+#define RVAR_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace rvar {
+
+/// \brief Holds either a successfully computed T or the Status describing
+/// why it could not be computed.
+///
+/// Accessing the value of an errored Result is a programmer error and aborts
+/// via RVAR_CHECK. Typical use:
+///
+///   Result<Histogram> r = BuildHistogram(...);
+///   if (!r.ok()) return r.status();
+///   const Histogram& h = *r;
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK Status (failure). Constructing from an OK
+  /// status is a programmer error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    RVAR_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the status: OK() if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    RVAR_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    RVAR_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    RVAR_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` if errored.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace rvar
+
+/// Assigns the unwrapped value of a Result-returning expression to `lhs`, or
+/// propagates its error Status. Only usable in Status/Result functions.
+/// Variadic so `lhs` types containing commas (e.g. std::map<K, V>) work.
+#define RVAR_ASSIGN_OR_RETURN(lhs, ...)            \
+  RVAR_ASSIGN_OR_RETURN_IMPL_(                     \
+      RVAR_CONCAT_(_rvar_result_, __LINE__), lhs, __VA_ARGS__)
+
+#define RVAR_CONCAT_INNER_(a, b) a##b
+#define RVAR_CONCAT_(a, b) RVAR_CONCAT_INNER_(a, b)
+#define RVAR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, ...) \
+  auto tmp = (__VA_ARGS__);                        \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // RVAR_COMMON_RESULT_H_

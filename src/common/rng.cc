@@ -1,0 +1,184 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace rvar {
+namespace {
+
+// splitmix64: seeds the xoshiro state from a single 64-bit seed.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Split() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  RVAR_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  RVAR_CHECK_LE(lo, hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::Normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  u2 = Uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double rate) {
+  RVAR_CHECK_GT(rate, 0.0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  RVAR_CHECK_GT(xm, 0.0);
+  RVAR_CHECK_GT(alpha, 0.0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return xm * std::pow(u, -1.0 / alpha);
+}
+
+double Rng::Gamma(double shape, double scale) {
+  RVAR_CHECK_GT(shape, 0.0);
+  RVAR_CHECK_GT(scale, 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and correct (Marsaglia-Tsang trick).
+    const double u = std::max(Uniform(), 1e-300);
+    return Gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (u > 1e-300 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+int64_t Rng::Poisson(double mean) {
+  RVAR_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product method.
+    const double limit = std::exp(-mean);
+    int64_t k = 0;
+    double prod = Uniform();
+    while (prod > limit) {
+      ++k;
+      prod *= Uniform();
+    }
+    return k;
+  }
+  // Normal approximation for large means, clamped at zero.
+  const double v = Normal(mean, std::sqrt(mean));
+  return v < 0.0 ? 0 : static_cast<int64_t>(v + 0.5);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  RVAR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    RVAR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  RVAR_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace rvar

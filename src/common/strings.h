@@ -1,0 +1,45 @@
+// Copyright 2026 The rvar Authors.
+//
+// Small string helpers used across the library (formatting numbers for
+// reports, joining/splitting, concatenation).
+
+#ifndef RVAR_COMMON_STRINGS_H_
+#define RVAR_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rvar {
+
+/// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  ((void)(os << args), ...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+/// Formats a fraction in [0,1] as a percentage, e.g. 0.1523 -> "15.23%".
+std::string FormatPercent(double fraction, int digits = 2);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatCount(int64_t v);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace rvar
+
+#endif  // RVAR_COMMON_STRINGS_H_

@@ -1,0 +1,52 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+namespace rvar {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+  rows_.clear();
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<size_t> widths(ncols, 0);
+  auto account = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& r : rows_) account(r);
+
+  auto render_row = [&](const std::vector<std::string>& r) {
+    std::string line;
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string();
+      line += cell;
+      if (i + 1 < ncols) {
+        line.append(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t i = 0; i < ncols; ++i) total += widths[i] + (i + 1 < ncols ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& r : rows_) out += render_row(r);
+  return out;
+}
+
+}  // namespace rvar

@@ -1,0 +1,37 @@
+// Copyright 2026 The rvar Authors.
+//
+// TextTable: fixed-width text tables for the benchmark harness, so each
+// bench binary can print paper-style rows (Table 1, Table 2, scenario
+// migration matrices, ...) in a readable, diffable format.
+
+#ifndef RVAR_COMMON_TABLE_H_
+#define RVAR_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rvar {
+
+/// \brief Accumulates rows of string cells and renders them with aligned
+/// columns. The first added row is treated as the header.
+class TextTable {
+ public:
+  /// Sets the header row; resets any prior content.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rvar
+
+#endif  // RVAR_COMMON_TABLE_H_

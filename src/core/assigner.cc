@@ -1,0 +1,77 @@
+#include "core/assigner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace core {
+
+PosteriorAssigner::PosteriorAssigner(const ShapeLibrary* library,
+                                     double pmf_floor)
+    : library_(library) {
+  RVAR_CHECK(library != nullptr);
+  RVAR_CHECK_GT(pmf_floor, 0.0);
+  const int k = library->num_clusters();
+  const int bins = library->grid().num_bins();
+  log_pmf_.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    std::vector<double> floored = library->shape(c);
+    double mass = 0.0;
+    for (double& v : floored) {
+      v = std::max(v, pmf_floor);
+      mass += v;
+    }
+    std::vector<double>& lp = log_pmf_[static_cast<size_t>(c)];
+    lp.resize(static_cast<size_t>(bins));
+    for (int h = 0; h < bins; ++h) {
+      lp[static_cast<size_t>(h)] =
+          std::log(floored[static_cast<size_t>(h)] / mass);
+    }
+  }
+}
+
+Result<std::vector<ClusterLikelihood>> PosteriorAssigner::LogLikelihoods(
+    const std::vector<double>& normalized_runtimes) const {
+  if (normalized_runtimes.empty()) {
+    return Status::InvalidArgument(
+        "cannot compute likelihoods for zero observations");
+  }
+  // Bin counts n_h of the observations (Equation 8).
+  const BinGrid& grid = library_->grid();
+  std::vector<int64_t> counts(static_cast<size_t>(grid.num_bins()), 0);
+  for (double x : normalized_runtimes) {
+    counts[static_cast<size_t>(grid.BinIndex(x))]++;
+  }
+  std::vector<ClusterLikelihood> out;
+  out.reserve(log_pmf_.size());
+  for (size_t c = 0; c < log_pmf_.size(); ++c) {
+    double ll = 0.0;
+    for (size_t h = 0; h < counts.size(); ++h) {
+      if (counts[h] > 0) {
+        ll += static_cast<double>(counts[h]) * log_pmf_[c][h];
+      }
+    }
+    out.push_back({static_cast<int>(c), ll});
+  }
+  return out;
+}
+
+Result<int> PosteriorAssigner::Assign(
+    const std::vector<double>& normalized_runtimes,
+    ClusterLikelihood* best) const {
+  RVAR_ASSIGN_OR_RETURN(std::vector<ClusterLikelihood> lls,
+                        LogLikelihoods(normalized_runtimes));
+  size_t best_idx = 0;
+  for (size_t c = 1; c < lls.size(); ++c) {
+    if (lls[c].log_likelihood > lls[best_idx].log_likelihood) {
+      best_idx = c;
+    }
+  }
+  if (best != nullptr) *best = lls[best_idx];
+  return lls[best_idx].cluster;
+}
+
+}  // namespace core
+}  // namespace rvar

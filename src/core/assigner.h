@@ -1,0 +1,57 @@
+// Copyright 2026 The rvar Authors.
+//
+// Posterior-likelihood cluster membership (Section 5.2, Equations 1-9):
+// given N normalized runtime observations of a job group, the posterior
+// log-likelihood of cluster i is (up to a constant) the dot product of the
+// observation PMF with the log of the cluster PMF:
+//   log p(z_i | x_1..x_N) ~ sum_h phi_h log(theta_h^i)
+// scaled by N when working with raw counts. The assigner labels a group
+// with the most likely shape — this is how training/test labels are made.
+
+#ifndef RVAR_CORE_ASSIGNER_H_
+#define RVAR_CORE_ASSIGNER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/shape_library.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief One cluster's likelihood score.
+struct ClusterLikelihood {
+  int cluster = 0;
+  double log_likelihood = 0.0;
+};
+
+/// \brief Assigns observation sets to canonical shapes by posterior
+/// likelihood.
+class PosteriorAssigner {
+ public:
+  /// \param library must outlive the assigner.
+  /// \param pmf_floor probability floor applied to cluster PMF bins before
+  ///        taking logs, so unobserved bins don't yield -inf.
+  explicit PosteriorAssigner(const ShapeLibrary* library,
+                             double pmf_floor = 1e-6);
+
+  /// Log-likelihood per cluster (Equation 3: sum_n log theta_{h(x_n)});
+  /// fails on empty observations.
+  Result<std::vector<ClusterLikelihood>> LogLikelihoods(
+      const std::vector<double>& normalized_runtimes) const;
+
+  /// Most likely cluster; ties break to the smaller id. If `best` is
+  /// non-null, receives the winning entry.
+  Result<int> Assign(const std::vector<double>& normalized_runtimes,
+                     ClusterLikelihood* best = nullptr) const;
+
+ private:
+  const ShapeLibrary* library_;
+  /// log of floored+renormalized cluster PMFs, [cluster][bin].
+  std::vector<std::vector<double>> log_pmf_;
+};
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_ASSIGNER_H_

@@ -1,0 +1,92 @@
+#include "core/baseline.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace core {
+
+Result<std::unique_ptr<RegressionBaseline>> RegressionBaseline::Train(
+    const sim::StudySuite& suite, const VariationPredictor& predictor,
+    ml::ForestConfig config) {
+  auto baseline =
+      std::unique_ptr<RegressionBaseline>(new RegressionBaseline());
+  baseline->featurizer_ = &predictor.featurizer();
+  RVAR_ASSIGN_OR_RETURN(
+      ml::Dataset train,
+      baseline->featurizer_->BuildRegressionDataset(suite.d2.telemetry));
+  if (train.NumRows() == 0) {
+    return Status::FailedPrecondition("no training rows for baseline");
+  }
+  // Log targets: runtimes span orders of magnitude.
+  for (double& t : train.target) t = std::log(std::max(t, 1e-3));
+  baseline->forest_ =
+      std::make_unique<ml::RandomForestRegressor>(config);
+  RVAR_RETURN_NOT_OK(baseline->forest_->Fit(train));
+  return baseline;
+}
+
+Result<double> RegressionBaseline::PredictRuntime(
+    const sim::JobRun& run) const {
+  RVAR_ASSIGN_OR_RETURN(std::vector<double> x,
+                        featurizer_->FeaturesFor(run));
+  return std::exp(forest_->Predict(x));
+}
+
+double ReconstructionComparison::KsReductionPercent() const {
+  if (regression_ks <= 0.0) return 0.0;
+  return 100.0 * (regression_ks - proposed_ks) / regression_ks;
+}
+
+Result<ReconstructionComparison> CompareReconstruction(
+    const sim::TelemetryStore& test_slice,
+    const VariationPredictor& predictor, const RegressionBaseline& baseline,
+    Rng* rng, int num_quantiles) {
+  RVAR_CHECK(rng != nullptr);
+  const Normalization norm =
+      predictor.shapes().normalization();
+  std::vector<double> actual, from_regression, from_proposed;
+  for (const sim::JobRun& run : test_slice.runs()) {
+    if (!predictor.medians().Has(run.group_id)) continue;
+    RVAR_ASSIGN_OR_RETURN(double median,
+                          predictor.medians().Of(run.group_id));
+    if (norm == Normalization::kRatio && median <= 0.0) continue;
+
+    actual.push_back(
+        NormalizeRuntime(norm, run.runtime_seconds, median));
+
+    RVAR_ASSIGN_OR_RETURN(double predicted_runtime,
+                          baseline.PredictRuntime(run));
+    from_regression.push_back(
+        NormalizeRuntime(norm, predicted_runtime, median));
+
+    RVAR_ASSIGN_OR_RETURN(int shape, predictor.PredictShape(run));
+    const std::vector<double> draw =
+        predictor.SampleNormalized(shape, 1, rng);
+    // A zero-mass shape cannot be sampled; fall back to the median point.
+    from_proposed.push_back(draw.empty() ? (norm == Normalization::kRatio
+                                                ? 1.0
+                                                : 0.0)
+                                         : draw[0]);
+  }
+  if (actual.empty()) {
+    return Status::FailedPrecondition(
+        "no test runs with known historic medians");
+  }
+
+  ReconstructionComparison cmp;
+  cmp.num_runs = static_cast<int>(actual.size());
+  cmp.regression_qq = QqSeries(actual, from_regression, num_quantiles);
+  cmp.proposed_qq = QqSeries(actual, from_proposed, num_quantiles);
+  cmp.regression_qq_mae =
+      QqMeanAbsoluteError(actual, from_regression, num_quantiles);
+  cmp.proposed_qq_mae =
+      QqMeanAbsoluteError(actual, from_proposed, num_quantiles);
+  cmp.regression_ks = KsDistance(actual, from_regression);
+  cmp.proposed_ks = KsDistance(actual, from_proposed);
+  return cmp;
+}
+
+}  // namespace core
+}  // namespace rvar

@@ -1,0 +1,69 @@
+// Copyright 2026 The rvar Authors.
+//
+// The comparison baseline of Section 5 / Figure 8: a Griffon-style [65]
+// random-forest *regression* model extended with the same optimizer and
+// near-real-time machine-status features, predicting job runtime directly.
+// Both methods then reconstruct the distribution of normalized runtimes on
+// the test set; the paper compares them by QQ-plot MAE and KS distance.
+
+#ifndef RVAR_CORE_BASELINE_H_
+#define RVAR_CORE_BASELINE_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "core/predictor.h"
+#include "ml/forest.h"
+#include "stats/distance.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief Griffon-extended runtime regressor.
+class RegressionBaseline {
+ public:
+  /// Trains a random-forest regressor on D2 runs (features from the
+  /// predictor's featurizer, targets = log runtime).
+  static Result<std::unique_ptr<RegressionBaseline>> Train(
+      const sim::StudySuite& suite, const VariationPredictor& predictor,
+      ml::ForestConfig config);
+
+  /// Predicted runtime (seconds) for one run's features.
+  Result<double> PredictRuntime(const sim::JobRun& run) const;
+
+ private:
+  RegressionBaseline() = default;
+  const Featurizer* featurizer_ = nullptr;  // owned by the predictor
+  std::unique_ptr<ml::RandomForestRegressor> forest_;
+};
+
+/// \brief Figure 8's comparison: how well each method reconstructs the
+/// test set's normalized-runtime distribution.
+struct ReconstructionComparison {
+  double regression_qq_mae = 0.0;
+  double proposed_qq_mae = 0.0;
+  double regression_ks = 0.0;
+  double proposed_ks = 0.0;
+  /// QQ series (actual vs predicted quantiles) for both methods.
+  std::vector<QqPoint> regression_qq;
+  std::vector<QqPoint> proposed_qq;
+  int num_runs = 0;
+
+  /// Relative KS reduction of the proposed method (paper: 9.2%).
+  double KsReductionPercent() const;
+};
+
+/// Reconstructs the normalized-runtime distribution of `test_slice` with
+/// (a) the regression baseline (predicted runtime, normalized by the
+/// historic median) and (b) the proposed 2-step method (one draw from the
+/// predicted shape per run), and compares both against the actual
+/// distribution.
+Result<ReconstructionComparison> CompareReconstruction(
+    const sim::TelemetryStore& test_slice,
+    const VariationPredictor& predictor, const RegressionBaseline& baseline,
+    Rng* rng, int num_quantiles = 99);
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_BASELINE_H_

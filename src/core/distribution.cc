@@ -1,0 +1,91 @@
+#include "core/distribution.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace core {
+
+RuntimeDistribution::RuntimeDistribution(const BinGrid& grid,
+                                         std::vector<double> pmf,
+                                         Normalization norm, int cluster,
+                                         double median)
+    : grid_(grid),
+      pmf_(std::move(pmf)),
+      norm_(norm),
+      cluster_(cluster),
+      median_seconds_(median) {}
+
+Result<RuntimeDistribution> RuntimeDistribution::Make(
+    const ShapeLibrary& library, int cluster, double median_seconds) {
+  if (cluster < 0 || cluster >= library.num_clusters()) {
+    return Status::OutOfRange(StrCat("cluster ", cluster, " outside [0,",
+                                     library.num_clusters(), ")"));
+  }
+  if (library.normalization() == Normalization::kRatio &&
+      median_seconds <= 0.0) {
+    return Status::InvalidArgument(
+        "Ratio normalization needs a positive median");
+  }
+  std::vector<double> pmf = library.shape(cluster);
+  const double mass = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+  if (mass <= 0.0) {
+    return Status::FailedPrecondition(
+        StrCat("shape ", cluster, " has zero mass"));
+  }
+  for (double& v : pmf) v /= mass;
+  return RuntimeDistribution(library.grid(), std::move(pmf),
+                             library.normalization(), cluster,
+                             median_seconds);
+}
+
+double RuntimeDistribution::Denormalize(double normalized) const {
+  return norm_ == Normalization::kRatio
+             ? normalized * median_seconds_
+             : normalized + median_seconds_;
+}
+
+double RuntimeDistribution::Normalize(double t_seconds) const {
+  return NormalizeRuntime(norm_, t_seconds, median_seconds_);
+}
+
+double RuntimeDistribution::QuantileSeconds(double q) const {
+  return Denormalize(PmfQuantile(grid_, pmf_, q));
+}
+
+double RuntimeDistribution::ExceedanceProbability(double t_seconds) const {
+  const double x = Normalize(t_seconds);
+  if (x <= grid_.lo()) return 1.0;
+  double tail = 0.0;
+  const int from = grid_.BinIndex(x);
+  for (int b = from; b < grid_.num_bins(); ++b) {
+    tail += pmf_[static_cast<size_t>(b)];
+  }
+  // Within-bin linear correction for the partial first bin.
+  if (from < grid_.num_bins() - 1) {
+    const double left = grid_.lo() + grid_.bin_width() * from;
+    const double frac =
+        std::clamp((x - left) / grid_.bin_width(), 0.0, 1.0);
+    tail -= frac * pmf_[static_cast<size_t>(from)];
+  }
+  return std::clamp(tail, 0.0, 1.0);
+}
+
+double RuntimeDistribution::OutlierProbability() const {
+  return pmf_.back();
+}
+
+double RuntimeDistribution::MeanSeconds() const {
+  return Denormalize(PmfMean(grid_, pmf_));
+}
+
+std::vector<double> RuntimeDistribution::Sample(int n, Rng* rng) const {
+  std::vector<double> xs = SamplePmf(grid_, pmf_, n, rng);
+  for (double& x : xs) x = Denormalize(x);
+  return xs;
+}
+
+}  // namespace core
+}  // namespace rvar

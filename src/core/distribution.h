@@ -1,0 +1,76 @@
+// Copyright 2026 The rvar Authors.
+//
+// RuntimeDistribution: the user-facing answer object. A predicted shape is
+// a distribution over *normalized* runtime; combined with the group's
+// historic median it becomes a distribution over runtime in seconds, from
+// which SLO questions are answered directly (exceedance probabilities,
+// quantiles, sampling) — the "rich information regarding variation" the
+// paper argues users need (Section 2).
+
+#ifndef RVAR_CORE_DISTRIBUTION_H_
+#define RVAR_CORE_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/shape_library.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief A runtime distribution in seconds, backed by a canonical shape
+/// PMF and a historic median.
+class RuntimeDistribution {
+ public:
+  /// Binds shape `cluster` of `library` to a group's historic median.
+  /// Fails on an unknown cluster, a non-positive median under Ratio
+  /// normalization, or an empty (zero-mass) shape.
+  static Result<RuntimeDistribution> Make(const ShapeLibrary& library,
+                                          int cluster,
+                                          double median_seconds);
+
+  int cluster() const { return cluster_; }
+  double median_seconds() const { return median_seconds_; }
+
+  /// Quantile q of runtime, in seconds.
+  double QuantileSeconds(double q) const;
+
+  /// P(runtime >= t). Values beyond the grid's clip resolve to the
+  /// outlier bin's mass (t above the denormalized grid maximum yields the
+  /// mass at the clip, i.e. an upper bound becomes the outlier bin).
+  double ExceedanceProbability(double t_seconds) const;
+
+  /// The paper's outlier probability: P(normalized >= 10x median /
+  /// >= +900 s), i.e. the clipped upper bin's mass plus anything at the
+  /// threshold.
+  double OutlierProbability() const;
+
+  /// Mean runtime implied by the shape, in seconds.
+  double MeanSeconds() const;
+
+  /// Draws `n` runtimes in seconds.
+  std::vector<double> Sample(int n, Rng* rng) const;
+
+  /// Converts a normalized value to seconds under this distribution's
+  /// normalization and median.
+  double Denormalize(double normalized) const;
+
+  /// Converts seconds to the normalized domain.
+  double Normalize(double t_seconds) const;
+
+ private:
+  RuntimeDistribution(const BinGrid& grid, std::vector<double> pmf,
+                      Normalization norm, int cluster, double median);
+
+  BinGrid grid_;
+  std::vector<double> pmf_;
+  Normalization norm_;
+  int cluster_;
+  double median_seconds_;
+};
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_DISTRIBUTION_H_

@@ -1,0 +1,111 @@
+#include "core/explainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "ml/feature_select.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace core {
+
+Explainer::Explainer(const VariationPredictor* predictor)
+    : predictor_(predictor) {
+  RVAR_CHECK(predictor != nullptr);
+}
+
+Result<RunExplanation> Explainer::Explain(const sim::JobRun& run) const {
+  RVAR_ASSIGN_OR_RETURN(std::vector<double> full,
+                        predictor_->featurizer().FeaturesFor(run));
+  // Project onto the model's kept features for TreeSHAP, then scatter the
+  // attributions back onto the full feature list.
+  const std::vector<size_t>& kept = predictor_->kept_features();
+  std::vector<double> projected;
+  projected.reserve(kept.size());
+  for (size_t f : kept) projected.push_back(full[f]);
+
+  RVAR_ASSIGN_OR_RETURN(
+      ml::ShapExplanation shap,
+      ml::ShapForGbdt(predictor_->model(), projected, kept.size()));
+
+  RunExplanation out;
+  out.group_id = run.group_id;
+  out.feature_values = std::move(full);
+  const size_t num_full = predictor_->featurizer().FeatureNames().size();
+  out.phi.assign(shap.phi.size(), std::vector<double>(num_full, 0.0));
+  for (size_t k = 0; k < shap.phi.size(); ++k) {
+    for (size_t i = 0; i < kept.size(); ++i) {
+      out.phi[k][kept[i]] = shap.phi[k][i];
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RunExplanation>> Explainer::ExplainSlice(
+    const sim::TelemetryStore& slice, int max_runs) const {
+  if (max_runs <= 0) {
+    return Status::InvalidArgument("max_runs must be positive");
+  }
+  std::vector<RunExplanation> out;
+  const size_t n = slice.NumRuns();
+  if (n == 0) return out;
+  const size_t stride = std::max<size_t>(1, n / static_cast<size_t>(max_runs));
+  for (size_t i = 0; i < n && out.size() < static_cast<size_t>(max_runs);
+       i += stride) {
+    RVAR_ASSIGN_OR_RETURN(RunExplanation e, Explain(slice.run(i)));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<std::vector<FeatureShapSummary>> Explainer::SummarizeForShape(
+    const std::vector<RunExplanation>& explanations, int k) const {
+  if (explanations.empty()) {
+    return Status::InvalidArgument("no explanations to summarize");
+  }
+  const std::vector<std::string>& names =
+      predictor_->featurizer().FeatureNames();
+  if (k < 0 || static_cast<size_t>(k) >= explanations[0].phi.size()) {
+    return Status::OutOfRange(StrCat("shape ", k, " out of range"));
+  }
+
+  std::vector<FeatureShapSummary> summaries;
+  for (size_t f = 0; f < names.size(); ++f) {
+    FeatureShapSummary s;
+    s.feature = names[f];
+    std::vector<double> values, shaps;
+    for (const RunExplanation& e : explanations) {
+      values.push_back(e.feature_values[f]);
+      const double phi = e.phi[static_cast<size_t>(k)][f];
+      shaps.push_back(phi);
+      s.mean_abs_shap += std::fabs(phi);
+    }
+    s.mean_abs_shap /= static_cast<double>(explanations.size());
+    s.value_shap_correlation = ml::PearsonCorrelation(values, shaps);
+
+    // Tercile means: SHAP among low-value vs high-value runs.
+    std::vector<size_t> order(values.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    const size_t tercile = std::max<size_t>(1, order.size() / 3);
+    double low = 0.0, high = 0.0;
+    for (size_t i = 0; i < tercile; ++i) {
+      low += shaps[order[i]];
+      high += shaps[order[order.size() - 1 - i]];
+    }
+    s.mean_shap_low_value = low / static_cast<double>(tercile);
+    s.mean_shap_high_value = high / static_cast<double>(tercile);
+    summaries.push_back(std::move(s));
+  }
+  std::stable_sort(summaries.begin(), summaries.end(),
+                   [](const FeatureShapSummary& a,
+                      const FeatureShapSummary& b) {
+                     return a.mean_abs_shap > b.mean_abs_shap;
+                   });
+  return summaries;
+}
+
+}  // namespace core
+}  // namespace rvar

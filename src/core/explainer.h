@@ -1,0 +1,66 @@
+// Copyright 2026 The rvar Authors.
+//
+// Model explanation (Section 6): Shapley values of the trained shape
+// predictor, aggregated into the Figure 9 views — per-feature SHAP value
+// distributions for a target shape, and the feature-value-vs-SHAP trend
+// (e.g. "jobs with large input reads push toward Cluster 6").
+
+#ifndef RVAR_CORE_EXPLAINER_H_
+#define RVAR_CORE_EXPLAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/predictor.h"
+#include "ml/shap.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief SHAP values of one run, mapped back to full feature names.
+struct RunExplanation {
+  int group_id = 0;
+  /// phi[k][f] in raw-score space, f indexes the FULL feature list
+  /// (dropped features get 0).
+  std::vector<std::vector<double>> phi;
+  std::vector<double> feature_values;  ///< full feature vector
+};
+
+/// \brief Feature-level summary for one target shape.
+struct FeatureShapSummary {
+  std::string feature;
+  double mean_abs_shap = 0.0;
+  /// Pearson correlation between the feature's value and its SHAP value
+  /// for the target shape — the direction of Figure 9's trend.
+  double value_shap_correlation = 0.0;
+  /// Mean SHAP among runs in the lowest / highest feature-value terciles.
+  double mean_shap_low_value = 0.0;
+  double mean_shap_high_value = 0.0;
+};
+
+/// \brief Computes and aggregates SHAP explanations of a trained predictor.
+class Explainer {
+ public:
+  /// \param predictor must outlive the explainer.
+  explicit Explainer(const VariationPredictor* predictor);
+
+  /// Exact TreeSHAP for one run (raw-score space, per shape).
+  Result<RunExplanation> Explain(const sim::JobRun& run) const;
+
+  /// Explains up to `max_runs` runs of a slice (uniform stride sampling).
+  Result<std::vector<RunExplanation>> ExplainSlice(
+      const sim::TelemetryStore& slice, int max_runs) const;
+
+  /// Per-feature summaries for shape `k`, sorted by mean |SHAP| descending.
+  Result<std::vector<FeatureShapSummary>> SummarizeForShape(
+      const std::vector<RunExplanation>& explanations, int k) const;
+
+ private:
+  const VariationPredictor* predictor_;
+};
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_EXPLAINER_H_

@@ -1,0 +1,204 @@
+#include "core/featurizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace core {
+
+Featurizer::Featurizer(const std::vector<sim::JobGroupSpec>* groups,
+                       const sim::SkuCatalog* catalog)
+    : groups_(groups), catalog_(catalog) {
+  RVAR_CHECK(groups != nullptr && catalog != nullptr);
+  // Intrinsic plan features.
+  names_ = {"log_est_cardinality", "log_est_cost", "num_stages",
+            "total_cost_factor", "num_operators"};
+  for (int op = 0; op < sim::kNumOperatorTypes; ++op) {
+    names_.push_back(StrCat(
+        "op_", sim::OperatorTypeName(static_cast<sim::OperatorType>(op))));
+  }
+  // Historic group aggregates.
+  for (const char* n :
+       {"hist_input_gb_mean", "hist_input_gb_std", "hist_temp_gb_mean",
+        "hist_vertices_mean", "hist_max_tokens_mean", "hist_max_tokens_std",
+        "hist_avg_tokens_mean", "hist_spare_tokens_mean",
+        "hist_runtime_median"}) {
+    names_.push_back(n);
+  }
+  for (size_t s = 0; s < catalog_->NumSkus(); ++s) {
+    names_.push_back(StrCat("hist_sku_frac_", catalog_->sku(s).name));
+  }
+  // Allocation.
+  names_.push_back("allocated_tokens");
+  // Environment at submit.
+  for (size_t s = 0; s < catalog_->NumSkus(); ++s) {
+    names_.push_back(StrCat("sku_util_", catalog_->sku(s).name));
+  }
+  for (const char* n : {"cpu_util_mean", "cpu_util_std",
+                        "cluster_baseline_util", "spare_availability",
+                        "tod_sin", "tod_cos"}) {
+    names_.push_back(n);
+  }
+  for (size_t i = 0; i < names_.size(); ++i) {
+    name_index_[names_[i]] = static_cast<int>(i);
+  }
+}
+
+void Featurizer::SetHistory(const sim::TelemetryStore& history) {
+  history_.clear();
+  const size_t num_skus = catalog_->NumSkus();
+  for (int gid : history.GroupIds()) {
+    GroupHistory h;
+    RunningStats input, max_tokens;
+    double temp = 0.0, vertices = 0.0, avg_tokens = 0.0, spare = 0.0;
+    std::vector<double> sku_frac(num_skus, 0.0);
+    const std::vector<size_t>& idx = history.RunsOfGroup(gid);
+    for (size_t i : idx) {
+      const sim::JobRun& run = history.run(i);
+      input.Add(run.input_gb);
+      max_tokens.Add(static_cast<double>(run.max_tokens_used));
+      temp += run.temp_data_gb;
+      vertices += run.total_vertices;
+      avg_tokens += run.avg_tokens_used;
+      spare += run.avg_spare_tokens;
+      for (size_t s = 0; s < num_skus && s < run.sku_vertex_fraction.size();
+           ++s) {
+        sku_frac[s] += run.sku_vertex_fraction[s];
+      }
+    }
+    // Historic runtime scale. Shape statistics of the historic runtimes
+    // (COV, tail ratios) are deliberately NOT features: they are proxies
+    // of the label itself and would break the counterfactual consistency
+    // of the Section 7 what-if transforms.
+    h.runtime_median = Median(history.GroupRuntimes(gid));
+    const double n = static_cast<double>(idx.size());
+    h.support = static_cast<int>(idx.size());
+    h.input_mean = input.mean();
+    h.input_std = input.stddev();
+    h.temp_mean = temp / n;
+    h.vertices_mean = vertices / n;
+    h.max_tokens_mean = max_tokens.mean();
+    h.max_tokens_std = max_tokens.stddev();
+    h.avg_tokens_mean = avg_tokens / n;
+    h.spare_tokens_mean = spare / n;
+    for (double& f : sku_frac) f /= n;
+    h.sku_frac = std::move(sku_frac);
+    history_[gid] = std::move(h);
+  }
+}
+
+Featurizer::GroupHistory Featurizer::HistoryFor(
+    const sim::JobRun& run) const {
+  const auto it = history_.find(run.group_id);
+  if (it != history_.end()) return it->second;
+  // Cold start: the run's own telemetry stands in for group history.
+  GroupHistory h;
+  h.support = 0;
+  h.input_mean = run.input_gb;
+  h.input_std = 0.0;
+  h.temp_mean = run.temp_data_gb;
+  h.vertices_mean = run.total_vertices;
+  h.max_tokens_mean = run.max_tokens_used;
+  h.max_tokens_std = 0.0;
+  h.avg_tokens_mean = run.avg_tokens_used;
+  h.spare_tokens_mean = run.avg_spare_tokens;
+  h.runtime_median = run.runtime_seconds;
+  h.sku_frac = run.sku_vertex_fraction;
+  h.sku_frac.resize(catalog_->NumSkus(), 0.0);
+  return h;
+}
+
+int Featurizer::IndexOf(const std::string& name) const {
+  const auto it = name_index_.find(name);
+  return it == name_index_.end() ? -1 : it->second;
+}
+
+Result<std::vector<double>> Featurizer::FeaturesFor(
+    const sim::JobRun& run) const {
+  if (run.group_id < 0 ||
+      static_cast<size_t>(run.group_id) >= groups_->size()) {
+    return Status::OutOfRange(
+        StrCat("run references unknown group ", run.group_id));
+  }
+  const sim::JobGroupSpec& group =
+      (*groups_)[static_cast<size_t>(run.group_id)];
+  const GroupHistory h = HistoryFor(run);
+  const size_t num_skus = catalog_->NumSkus();
+
+  std::vector<double> x;
+  x.reserve(names_.size());
+  // Intrinsic.
+  x.push_back(std::log(std::max(group.plan.estimated_cardinality, 1.0)));
+  x.push_back(std::log(std::max(group.plan.estimated_cost, 1.0)));
+  x.push_back(group.plan.num_stages);
+  x.push_back(group.plan.TotalCostFactor());
+  x.push_back(static_cast<double>(group.plan.nodes.size()));
+  for (int count : group.plan.OperatorCounts()) {
+    x.push_back(count);
+  }
+  // Historic aggregates.
+  x.push_back(h.input_mean);
+  x.push_back(h.input_std);
+  x.push_back(h.temp_mean);
+  x.push_back(h.vertices_mean);
+  x.push_back(h.max_tokens_mean);
+  x.push_back(h.max_tokens_std);
+  x.push_back(h.avg_tokens_mean);
+  x.push_back(h.spare_tokens_mean);
+  x.push_back(h.runtime_median);
+  for (size_t s = 0; s < num_skus; ++s) {
+    x.push_back(s < h.sku_frac.size() ? h.sku_frac[s] : 0.0);
+  }
+  // Allocation.
+  x.push_back(run.allocated_tokens);
+  // Environment at submit.
+  for (size_t s = 0; s < num_skus; ++s) {
+    x.push_back(s < run.sku_cpu_util.size() ? run.sku_cpu_util[s] : 0.0);
+  }
+  x.push_back(run.cpu_util_mean);
+  x.push_back(run.cpu_util_std);
+  x.push_back(run.cluster_baseline_util);
+  x.push_back(run.spare_availability);
+  const double day_frac =
+      std::fmod(run.submit_time, 86400.0) / 86400.0;
+  x.push_back(std::sin(2.0 * M_PI * day_frac));
+  x.push_back(std::cos(2.0 * M_PI * day_frac));
+
+  RVAR_CHECK_EQ(x.size(), names_.size());
+  return x;
+}
+
+Result<ml::Dataset> Featurizer::BuildDataset(
+    const sim::TelemetryStore& slice,
+    const std::unordered_map<int, int>& group_labels) const {
+  ml::Dataset d;
+  d.feature_names = names_;
+  for (const sim::JobRun& run : slice.runs()) {
+    const auto it = group_labels.find(run.group_id);
+    if (it == group_labels.end()) continue;
+    RVAR_ASSIGN_OR_RETURN(std::vector<double> x, FeaturesFor(run));
+    d.x.push_back(std::move(x));
+    d.y.push_back(it->second);
+  }
+  RVAR_RETURN_NOT_OK(d.Validate());
+  return d;
+}
+
+Result<ml::Dataset> Featurizer::BuildRegressionDataset(
+    const sim::TelemetryStore& slice) const {
+  ml::Dataset d;
+  d.feature_names = names_;
+  for (const sim::JobRun& run : slice.runs()) {
+    RVAR_ASSIGN_OR_RETURN(std::vector<double> x, FeaturesFor(run));
+    d.x.push_back(std::move(x));
+    d.target.push_back(run.runtime_seconds);
+  }
+  RVAR_RETURN_NOT_OK(d.Validate());
+  return d;
+}
+
+}  // namespace core
+}  // namespace rvar

@@ -1,0 +1,75 @@
+#include "core/normalization.h"
+
+#include "common/strings.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace core {
+
+const char* NormalizationName(Normalization norm) {
+  return norm == Normalization::kRatio ? "Ratio" : "Delta";
+}
+
+double NormalizeRuntime(Normalization norm, double runtime_seconds,
+                        double median_seconds) {
+  if (norm == Normalization::kRatio) {
+    RVAR_CHECK_GT(median_seconds, 0.0);
+    return runtime_seconds / median_seconds;
+  }
+  return runtime_seconds - median_seconds;
+}
+
+BinGrid CanonicalGrid(Normalization norm, int num_bins) {
+  auto grid = norm == Normalization::kRatio
+                  ? BinGrid::Make(0.0, 10.0, num_bins)
+                  : BinGrid::Make(-900.0, 900.0, num_bins);
+  return *grid;  // canonical ranges are always valid
+}
+
+double OutlierThreshold(Normalization norm) {
+  return norm == Normalization::kRatio ? 10.0 : 900.0;
+}
+
+GroupMedians GroupMedians::FromTelemetry(
+    const sim::TelemetryStore& reference) {
+  GroupMedians medians;
+  for (int gid : reference.GroupIds()) {
+    medians.medians_[gid] = Median(reference.GroupRuntimes(gid));
+  }
+  return medians;
+}
+
+bool GroupMedians::Has(int group_id) const {
+  return medians_.count(group_id) > 0;
+}
+
+Result<double> GroupMedians::Of(int group_id) const {
+  const auto it = medians_.find(group_id);
+  if (it == medians_.end()) {
+    return Status::NotFound(
+        StrCat("no historic median for group ", group_id));
+  }
+  return it->second;
+}
+
+void GroupMedians::Set(int group_id, double median_seconds) {
+  medians_[group_id] = median_seconds;
+}
+
+Result<std::vector<double>> NormalizedGroupRuntimes(
+    const sim::TelemetryStore& store, int group_id,
+    const GroupMedians& medians, Normalization norm) {
+  RVAR_ASSIGN_OR_RETURN(double median, medians.Of(group_id));
+  if (norm == Normalization::kRatio && median <= 0.0) {
+    return Status::FailedPrecondition(
+        StrCat("group ", group_id, " has non-positive median ", median));
+  }
+  std::vector<double> out;
+  for (double runtime : store.GroupRuntimes(group_id)) {
+    out.push_back(NormalizeRuntime(norm, runtime, median));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rvar

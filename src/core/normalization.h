@@ -1,0 +1,73 @@
+// Copyright 2026 The rvar Authors.
+//
+// Runtime normalization (Definition 4.1): Ratio-normalization divides a
+// runtime by the group's historic median; Delta-normalization subtracts it.
+// Both are computed against medians from a *historic* reference store (the
+// paper uses D1), and each has a canonical bin grid with outlier-merging
+// edge bins ([0,10] for Ratio, [-900, 900] seconds for Delta, 200 bins).
+
+#ifndef RVAR_CORE_NORMALIZATION_H_
+#define RVAR_CORE_NORMALIZATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/telemetry.h"
+#include "stats/histogram.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief Which normalization transforms runtimes (Definition 4.1).
+enum class Normalization {
+  kRatio,  ///< runtime / median
+  kDelta,  ///< runtime - median, seconds
+};
+
+const char* NormalizationName(Normalization norm);
+
+/// Normalized value of one runtime given the group's historic median.
+/// The median must be positive for Ratio.
+double NormalizeRuntime(Normalization norm, double runtime_seconds,
+                        double median_seconds);
+
+/// The paper's bin grid for a normalization: Ratio [0, 10], Delta
+/// [-900, 900] s, both with `num_bins` bins and clipped outlier edge bins.
+BinGrid CanonicalGrid(Normalization norm, int num_bins = 200);
+
+/// Values at/above the grid's upper clip are the paper's "outliers"
+/// (>= 10x or >= 900 s slower than median).
+double OutlierThreshold(Normalization norm);
+
+/// \brief Per-group historic median runtimes.
+class GroupMedians {
+ public:
+  /// Medians of every group in `reference` (any support).
+  static GroupMedians FromTelemetry(const sim::TelemetryStore& reference);
+
+  /// Whether a median is known for the group.
+  bool Has(int group_id) const;
+
+  /// The group's median; fails if unknown.
+  Result<double> Of(int group_id) const;
+
+  void Set(int group_id, double median_seconds);
+
+  size_t size() const { return medians_.size(); }
+
+ private:
+  std::unordered_map<int, double> medians_;
+};
+
+/// Normalized runtimes of one group's runs in `store`, using `medians` as
+/// the historic reference. Fails if the group's median is unknown (or
+/// non-positive for Ratio).
+Result<std::vector<double>> NormalizedGroupRuntimes(
+    const sim::TelemetryStore& store, int group_id,
+    const GroupMedians& medians, Normalization norm);
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_NORMALIZATION_H_

@@ -1,0 +1,90 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace core {
+
+OnlineShapeTracker::OnlineShapeTracker(const ShapeLibrary* library,
+                                       double decay, double pmf_floor)
+    : library_(library), decay_(decay) {
+  const int k = library->num_clusters();
+  const int bins = library->grid().num_bins();
+  log_pmf_.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    std::vector<double> floored = library->shape(c);
+    double mass = 0.0;
+    for (double& v : floored) {
+      v = std::max(v, pmf_floor);
+      mass += v;
+    }
+    auto& lp = log_pmf_[static_cast<size_t>(c)];
+    lp.resize(static_cast<size_t>(bins));
+    for (int h = 0; h < bins; ++h) {
+      lp[static_cast<size_t>(h)] =
+          std::log(floored[static_cast<size_t>(h)] / mass);
+    }
+  }
+  ll_.assign(static_cast<size_t>(k), 0.0);
+}
+
+Result<OnlineShapeTracker> OnlineShapeTracker::Make(
+    const ShapeLibrary* library, double decay, double pmf_floor) {
+  if (library == nullptr) {
+    return Status::InvalidArgument("null shape library");
+  }
+  if (decay <= 0.0 || decay > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("decay must be in (0,1], got ", decay));
+  }
+  if (pmf_floor <= 0.0) {
+    return Status::InvalidArgument("pmf_floor must be positive");
+  }
+  return OnlineShapeTracker(library, decay, pmf_floor);
+}
+
+void OnlineShapeTracker::Observe(double normalized_runtime) {
+  const int bin = library_->grid().BinIndex(normalized_runtime);
+  for (size_t c = 0; c < ll_.size(); ++c) {
+    ll_[c] = decay_ * ll_[c] + log_pmf_[c][static_cast<size_t>(bin)];
+  }
+  ++count_;
+}
+
+int OnlineShapeTracker::MostLikely() const {
+  if (count_ == 0) return -1;
+  return static_cast<int>(
+      std::max_element(ll_.begin(), ll_.end()) - ll_.begin());
+}
+
+std::vector<double> OnlineShapeTracker::Posterior() const {
+  std::vector<double> p(ll_.size(), 1.0 / static_cast<double>(ll_.size()));
+  if (count_ == 0) return p;
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double v : ll_) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (size_t c = 0; c < ll_.size(); ++c) {
+    p[c] = std::exp(ll_[c] - mx);
+    sum += p[c];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+double OnlineShapeTracker::ProbabilityOf(int cluster) const {
+  RVAR_CHECK(cluster >= 0 &&
+             static_cast<size_t>(cluster) < ll_.size());
+  return Posterior()[static_cast<size_t>(cluster)];
+}
+
+void OnlineShapeTracker::Reset() {
+  std::fill(ll_.begin(), ll_.end(), 0.0);
+  count_ = 0;
+}
+
+}  // namespace core
+}  // namespace rvar

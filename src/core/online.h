@@ -1,0 +1,73 @@
+// Copyright 2026 The rvar Authors.
+//
+// Online (incremental) shape tracking. The posterior log-likelihood of
+// Section 5.2 factorizes over observations, so a group's cluster
+// membership can be maintained as a running sum — one bin lookup per new
+// run — which turns the assigner into a streaming drift detector: as soon
+// as recent runs stop looking like the group's historic shape, the
+// posterior flips.
+
+#ifndef RVAR_CORE_ONLINE_H_
+#define RVAR_CORE_ONLINE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/assigner.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief Streaming posterior over canonical shapes for one job group.
+///
+/// Maintains per-cluster log-likelihood sums with optional exponential
+/// decay, so old observations fade and the tracker follows the *current*
+/// behavior of the group.
+class OnlineShapeTracker {
+ public:
+  /// \param library must outlive the tracker.
+  /// \param decay per-observation multiplier on past log-likelihood mass
+  ///        in (0, 1]; 1 = never forget, 0.99 ≈ a ~100-run memory.
+  /// \param pmf_floor probability floor before taking logs.
+  static Result<OnlineShapeTracker> Make(const ShapeLibrary* library,
+                                         double decay = 1.0,
+                                         double pmf_floor = 1e-6);
+
+  /// Incorporates one normalized runtime observation.
+  void Observe(double normalized_runtime);
+
+  /// Number of observations incorporated (undiscounted count).
+  int64_t count() const { return count_; }
+
+  /// Most likely cluster so far; -1 before any observation.
+  int MostLikely() const;
+
+  /// Posterior probabilities over clusters (uniform prior). Uniform
+  /// before any observation.
+  std::vector<double> Posterior() const;
+
+  /// log-likelihood sums per cluster (the discounted Eq. 3 sums).
+  const std::vector<double>& log_likelihood() const { return ll_; }
+
+  /// Posterior probability that the group is still in `cluster` — a
+  /// drift score: low values mean recent runs look like another shape.
+  double ProbabilityOf(int cluster) const;
+
+  /// Forgets everything.
+  void Reset();
+
+ private:
+  OnlineShapeTracker(const ShapeLibrary* library, double decay,
+                     double pmf_floor);
+
+  const ShapeLibrary* library_;
+  double decay_;
+  std::vector<std::vector<double>> log_pmf_;  ///< [cluster][bin]
+  std::vector<double> ll_;
+  int64_t count_ = 0;
+};
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_ONLINE_H_

@@ -1,0 +1,220 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "ml/feature_select.h"
+
+namespace rvar {
+namespace core {
+
+Result<std::unique_ptr<VariationPredictor>> VariationPredictor::Train(
+    const sim::StudySuite& suite, PredictorConfig config) {
+  auto predictor = std::unique_ptr<VariationPredictor>(
+      new VariationPredictor());
+  predictor->config_ = config;
+  predictor->groups_ = suite.groups;
+  predictor->catalog_ = suite.cluster->catalog();
+
+  // Step 0: historic medians and shape library from D1.
+  predictor->medians_ =
+      GroupMedians::FromTelemetry(suite.d1.telemetry);
+  RVAR_ASSIGN_OR_RETURN(
+      ShapeLibrary shapes,
+      ShapeLibrary::Build(suite.d1.telemetry, predictor->medians_,
+                          config.shape));
+  predictor->shapes_ = std::make_unique<ShapeLibrary>(std::move(shapes));
+  predictor->assigner_ = std::make_unique<PosteriorAssigner>(
+      predictor->shapes_.get(), config.pmf_floor);
+
+  // Step 1: label D2 groups by posterior likelihood.
+  using GroupLabels = std::unordered_map<int, int>;
+  RVAR_ASSIGN_OR_RETURN(
+      GroupLabels labels,
+      predictor->LabelGroups(suite.d2.telemetry, config.min_label_support));
+  std::set<int> distinct;
+  for (const auto& [gid, label] : labels) distinct.insert(label);
+  if (distinct.size() < 2) {
+    return Status::FailedPrecondition(
+        StrCat("training labels collapse to ", distinct.size(),
+               " distinct shapes"));
+  }
+
+  // Step 2: features from compile/submit-time information, with history
+  // taken from D1.
+  predictor->featurizer_ = std::make_unique<Featurizer>(
+      &predictor->groups_, &predictor->catalog_);
+  predictor->featurizer_->SetHistory(suite.d1.telemetry);
+  for (int gid : suite.d1.telemetry.GroupIds()) {
+    predictor->history_support_[gid] = suite.d1.telemetry.Support(gid);
+  }
+  RVAR_ASSIGN_OR_RETURN(
+      ml::Dataset train,
+      predictor->featurizer_->BuildDataset(suite.d2.telemetry, labels));
+  if (train.NumRows() == 0) {
+    return Status::FailedPrecondition("no labeled training rows");
+  }
+
+  // Force the label space to cover all shapes (GBDT sizes its output by
+  // max label + 1; the paper's label space is the K shapes).
+  const int num_shapes = predictor->shapes_->num_clusters();
+
+  // Optional importance-guided correlation filtering.
+  predictor->kept_.resize(train.NumFeatures());
+  for (size_t f = 0; f < train.NumFeatures(); ++f) {
+    predictor->kept_[f] = f;
+  }
+  if (config.apply_feature_selection) {
+    ml::GbdtConfig probe_config = config.gbdt;
+    probe_config.num_rounds = std::min(config.gbdt.num_rounds, 15);
+    ml::GbdtClassifier probe(probe_config);
+    RVAR_RETURN_NOT_OK(probe.Fit(train));
+    RVAR_ASSIGN_OR_RETURN(
+        ml::FeatureSelection selection,
+        ml::SelectUncorrelatedFeatures(train, probe.feature_importance(),
+                                       config.max_abs_correlation));
+    std::sort(selection.kept.begin(), selection.kept.end());
+    predictor->kept_ = std::move(selection.kept);
+    train = ml::ProjectFeatures(train, predictor->kept_);
+  }
+
+  // Pad the training set with the class range: GBDT must know all K
+  // classes even if a shape is missing from D2 labels. We add no fake rows;
+  // instead we validate the labels fit in [0, K).
+  for (int label : train.y) {
+    if (label < 0 || label >= num_shapes) {
+      return Status::Internal(StrCat("label ", label, " outside shape range"));
+    }
+  }
+
+  predictor->model_ = std::make_unique<ml::GbdtClassifier>(config.gbdt);
+  RVAR_RETURN_NOT_OK(predictor->model_->Fit(train));
+  return predictor;
+}
+
+std::vector<double> VariationPredictor::FullFeatureImportance() const {
+  const std::vector<double>& kept_imp = model_->feature_importance();
+  std::vector<double> full(featurizer_->FeatureNames().size(), 0.0);
+  for (size_t i = 0; i < kept_.size() && i < kept_imp.size(); ++i) {
+    full[kept_[i]] = kept_imp[i];
+  }
+  return full;
+}
+
+Result<std::unordered_map<int, int>> VariationPredictor::LabelGroups(
+    const sim::TelemetryStore& slice, int min_support) const {
+  std::unordered_map<int, int> labels;
+  for (int gid : slice.GroupsWithSupport(min_support)) {
+    if (!medians_.Has(gid)) continue;  // no historic median -> skip
+    auto normalized = NormalizedGroupRuntimes(
+        slice, gid, medians_, config_.shape.normalization);
+    if (!normalized.ok()) continue;
+    RVAR_ASSIGN_OR_RETURN(int label, assigner_->Assign(*normalized));
+    labels[gid] = label;
+  }
+  return labels;
+}
+
+Result<int> VariationPredictor::PredictShape(const sim::JobRun& run) const {
+  RVAR_ASSIGN_OR_RETURN(std::vector<double> x,
+                        featurizer_->FeaturesFor(run));
+  return PredictFromFeatures(x);
+}
+
+Result<std::vector<double>> VariationPredictor::PredictProbaFromFeatures(
+    const std::vector<double>& full_features) const {
+  if (full_features.size() != featurizer_->FeatureNames().size()) {
+    return Status::InvalidArgument(
+        StrCat("expected ", featurizer_->FeatureNames().size(),
+               " features, got ", full_features.size()));
+  }
+  std::vector<double> projected;
+  projected.reserve(kept_.size());
+  for (size_t f : kept_) projected.push_back(full_features[f]);
+  return model_->PredictProba(projected);
+}
+
+Result<int> VariationPredictor::PredictFromFeatures(
+    const std::vector<double>& full_features) const {
+  RVAR_ASSIGN_OR_RETURN(std::vector<double> proba,
+                        PredictProbaFromFeatures(full_features));
+  int best = 0;
+  for (size_t k = 1; k < proba.size(); ++k) {
+    if (proba[k] > proba[static_cast<size_t>(best)]) {
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+Result<PredictorEvaluation> VariationPredictor::Evaluate(
+    const sim::TelemetryStore& test_slice) const {
+  using GroupLabels = std::unordered_map<int, int>;
+  RVAR_ASSIGN_OR_RETURN(
+      GroupLabels truth,
+      LabelGroups(test_slice, config_.min_label_support));
+  if (truth.empty()) {
+    return Status::FailedPrecondition("no labelable groups in test slice");
+  }
+
+  std::vector<int> y_true, y_pred;
+  struct PerGroup {
+    int support = 0;
+    int runs = 0;
+    int hits = 0;
+  };
+  std::unordered_map<int, PerGroup> per_group;
+  for (const sim::JobRun& run : test_slice.runs()) {
+    const auto it = truth.find(run.group_id);
+    if (it == truth.end()) continue;
+    RVAR_ASSIGN_OR_RETURN(int predicted, PredictShape(run));
+    y_true.push_back(it->second);
+    y_pred.push_back(predicted);
+    PerGroup& pg = per_group[run.group_id];
+    pg.support = HistorySupport(run.group_id);
+    pg.runs++;
+    pg.hits += (predicted == it->second);
+  }
+
+  PredictorEvaluation eval;
+  RVAR_ASSIGN_OR_RETURN(eval.accuracy, ml::Accuracy(y_true, y_pred));
+  RVAR_ASSIGN_OR_RETURN(
+      eval.confusion,
+      ml::BuildConfusionMatrix(y_true, y_pred, shapes_->num_clusters()));
+
+  // Figure 7b buckets by historic occurrences.
+  const std::vector<std::pair<int, int>> buckets = {
+      {1, 5}, {6, 10}, {11, 15}, {16, 50}, {51, 200}, {201, 1 << 30}};
+  for (const auto& [lo, hi] : buckets) {
+    PredictorEvaluation::SupportBucket b;
+    b.lo = lo;
+    b.hi = hi;
+    int hits = 0;
+    for (const auto& [gid, pg] : per_group) {
+      if (pg.support >= lo && pg.support <= hi) {
+        b.num_groups++;
+        b.num_runs += pg.runs;
+        hits += pg.hits;
+      }
+    }
+    b.accuracy = b.num_runs > 0
+                     ? static_cast<double>(hits) / b.num_runs
+                     : 0.0;
+    eval.by_support.push_back(b);
+  }
+  return eval;
+}
+
+std::vector<double> VariationPredictor::SampleNormalized(int cluster, int n,
+                                                         Rng* rng) const {
+  return SamplePmf(shapes_->grid(), shapes_->shape(cluster), n, rng);
+}
+
+int VariationPredictor::HistorySupport(int group_id) const {
+  const auto it = history_support_.find(group_id);
+  return it == history_support_.end() ? 0 : it->second;
+}
+
+}  // namespace core
+}  // namespace rvar

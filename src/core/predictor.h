@@ -1,0 +1,124 @@
+// Copyright 2026 The rvar Authors.
+//
+// The paper's 2-step variation predictor (Section 5): (1) canonical shapes
+// are discovered on the historic dataset and every job group is labeled
+// with its most-likely shape via posterior likelihood; (2) a multiclass
+// GBDT learns to predict the shape from compile/submit-time features.
+// Includes the evaluation protocol of Figure 7 (confusion matrix, accuracy
+// vs. historic occurrences).
+
+#ifndef RVAR_CORE_PREDICTOR_H_
+#define RVAR_CORE_PREDICTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/assigner.h"
+#include "core/featurizer.h"
+#include "core/shape_library.h"
+#include "ml/gbdt.h"
+#include "ml/metrics.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief End-to-end training knobs.
+struct PredictorConfig {
+  ShapeLibraryConfig shape;
+  ml::GbdtConfig gbdt;
+  /// Drop highly correlated features before fitting (the paper's
+  /// importance-guided passive-aggressive selection).
+  bool apply_feature_selection = true;
+  double max_abs_correlation = 0.98;
+  /// Groups need this many observations in a slice to receive a label.
+  int min_label_support = 3;
+  /// Probability floor for posterior likelihoods.
+  double pmf_floor = 1e-6;
+};
+
+/// \brief Figure 7's evaluation artifacts.
+struct PredictorEvaluation {
+  double accuracy = 0.0;
+  ml::ConfusionMatrix confusion;
+  /// Accuracy bucketed by the group's number of historic occurrences.
+  struct SupportBucket {
+    int lo = 0, hi = 0;  ///< inclusive occurrence range
+    int num_groups = 0;
+    int num_runs = 0;
+    double accuracy = 0.0;
+  };
+  std::vector<SupportBucket> by_support;
+};
+
+/// \brief The trained 2-step model.
+class VariationPredictor {
+ public:
+  /// Trains on a study suite: shapes from D1, labels and classifier from
+  /// D2. Fails if D1 lacks qualifying groups or D2 yields fewer than two
+  /// distinct labels.
+  static Result<std::unique_ptr<VariationPredictor>> Train(
+      const sim::StudySuite& suite, PredictorConfig config);
+
+  const PredictorConfig& config() const { return config_; }
+  const ShapeLibrary& shapes() const { return *shapes_; }
+  const Featurizer& featurizer() const { return *featurizer_; }
+  const PosteriorAssigner& assigner() const { return *assigner_; }
+  const ml::GbdtClassifier& model() const { return *model_; }
+  const GroupMedians& medians() const { return medians_; }
+
+  /// Feature indices (into the featurizer's full vector) kept after
+  /// selection; identity when selection is disabled.
+  const std::vector<size_t>& kept_features() const { return kept_; }
+
+  /// Importance of each *full* feature (zero for dropped ones).
+  std::vector<double> FullFeatureImportance() const;
+
+  /// Labels every group of `slice` with >= min_support runs by posterior
+  /// likelihood (the ground-truth protocol).
+  Result<std::unordered_map<int, int>> LabelGroups(
+      const sim::TelemetryStore& slice, int min_support) const;
+
+  /// Predicted shape for one run.
+  Result<int> PredictShape(const sim::JobRun& run) const;
+
+  /// Predicted shape probabilities from a FULL feature vector (the
+  /// featurizer's layout; projection happens internally).
+  Result<std::vector<double>> PredictProbaFromFeatures(
+      const std::vector<double>& full_features) const;
+
+  /// Predicted shape from a FULL feature vector.
+  Result<int> PredictFromFeatures(
+      const std::vector<double>& full_features) const;
+
+  /// Figure 7 evaluation on a test slice.
+  Result<PredictorEvaluation> Evaluate(
+      const sim::TelemetryStore& test_slice) const;
+
+  /// Draws `n` normalized-runtime samples from a shape's PMF.
+  std::vector<double> SampleNormalized(int cluster, int n, Rng* rng) const;
+
+  /// Number of historic runs backing a group in the training history.
+  int HistorySupport(int group_id) const;
+
+ private:
+  VariationPredictor() = default;
+
+  PredictorConfig config_;
+  // Owned copies so the featurizer's pointers stay valid.
+  std::vector<sim::JobGroupSpec> groups_;
+  sim::SkuCatalog catalog_;
+  GroupMedians medians_;
+  std::unique_ptr<ShapeLibrary> shapes_;
+  std::unique_ptr<PosteriorAssigner> assigner_;
+  std::unique_ptr<Featurizer> featurizer_;
+  std::unique_ptr<ml::GbdtClassifier> model_;
+  std::vector<size_t> kept_;
+  std::unordered_map<int, int> history_support_;
+};
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_PREDICTOR_H_

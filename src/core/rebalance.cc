@@ -1,0 +1,150 @@
+#include "core/rebalance.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace core {
+
+RebalanceModel::RebalanceModel(sim::SkuCatalog catalog,
+                               std::vector<double> load,
+                               double total_token_seconds)
+    : catalog_(std::move(catalog)),
+      load_(std::move(load)),
+      total_token_seconds_(total_token_seconds) {}
+
+Result<RebalanceModel> RebalanceModel::Estimate(
+    const sim::TelemetryStore& window, const sim::SkuCatalog& catalog,
+    double window_seconds) {
+  if (window.NumRuns() == 0) {
+    return Status::InvalidArgument("empty telemetry window");
+  }
+  if (window_seconds <= 0.0) {
+    return Status::InvalidArgument("window_seconds must be positive");
+  }
+  const size_t num_skus = catalog.NumSkus();
+  std::vector<double> token_seconds(num_skus, 0.0);
+  double total = 0.0;
+  for (const sim::JobRun& run : window.runs()) {
+    if (run.sku_vertex_fraction.size() != num_skus) {
+      return Status::InvalidArgument(
+          "telemetry SKU dimensions do not match the catalog");
+    }
+    const double ts = run.avg_tokens_used * run.runtime_seconds;
+    total += ts;
+    for (size_t s = 0; s < num_skus; ++s) {
+      token_seconds[s] += ts * run.sku_vertex_fraction[s];
+    }
+  }
+  // Capacity share: token-seconds against tokens*window per SKU.
+  std::vector<double> load(num_skus, 0.0);
+  for (size_t s = 0; s < num_skus; ++s) {
+    const double capacity =
+        static_cast<double>(catalog.sku(s).machine_count) *
+        catalog.sku(s).tokens_per_machine * window_seconds;
+    load[s] = capacity > 0.0 ? token_seconds[s] / capacity : 0.0;
+  }
+  return RebalanceModel(catalog, std::move(load), total);
+}
+
+double RebalanceModel::SkuLoad(int sku_index) const {
+  RVAR_CHECK(sku_index >= 0 &&
+             static_cast<size_t>(sku_index) < load_.size());
+  return load_[static_cast<size_t>(sku_index)];
+}
+
+Result<std::vector<double>> RebalanceModel::UtilizationShift(
+    int from_sku, int to_sku, double fraction) const {
+  const int n = static_cast<int>(load_.size());
+  if (from_sku < 0 || from_sku >= n || to_sku < 0 || to_sku >= n) {
+    return Status::OutOfRange("SKU index outside the catalog");
+  }
+  if (from_sku == to_sku) {
+    return Status::InvalidArgument("from_sku == to_sku");
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("fraction must be in [0,1], got ", fraction));
+  }
+  // Moved work, in capacity units of each side. Work executes faster on
+  // faster SKUs, so the destination absorbs the token-seconds scaled by
+  // the speed ratio.
+  const double moved_share =
+      fraction * load_[static_cast<size_t>(from_sku)];
+  const double from_capacity =
+      static_cast<double>(catalog_.sku(static_cast<size_t>(from_sku))
+                              .machine_count) *
+      catalog_.sku(static_cast<size_t>(from_sku)).tokens_per_machine;
+  const double to_capacity =
+      static_cast<double>(catalog_.sku(static_cast<size_t>(to_sku))
+                              .machine_count) *
+      catalog_.sku(static_cast<size_t>(to_sku)).tokens_per_machine;
+  const double speed_ratio =
+      catalog_.sku(static_cast<size_t>(from_sku)).speed /
+      catalog_.sku(static_cast<size_t>(to_sku)).speed;
+
+  std::vector<double> delta(load_.size(), 0.0);
+  delta[static_cast<size_t>(from_sku)] = -moved_share;
+  delta[static_cast<size_t>(to_sku)] =
+      moved_share * (from_capacity / std::max(to_capacity, 1e-9)) *
+      speed_ratio;
+  return delta;
+}
+
+Result<FeatureTransform> RebalanceModel::DynamicSkuShift(
+    const std::string& from_sku, const std::string& to_sku) const {
+  const int from = catalog_.IndexOf(from_sku);
+  const int to = catalog_.IndexOf(to_sku);
+  if (from < 0 || to < 0) {
+    return Status::NotFound(
+        StrCat("unknown SKU in shift ", from_sku, " -> ", to_sku));
+  }
+  // The whole observed share of from_sku migrates (fraction 1.0), which
+  // matches the paper's "shifting all the vertices" scenario.
+  RVAR_ASSIGN_OR_RETURN(std::vector<double> delta,
+                        UtilizationShift(from, to, 1.0));
+  // Precompute the per-SKU feature names once.
+  std::vector<std::string> util_names;
+  for (size_t s = 0; s < catalog_.NumSkus(); ++s) {
+    util_names.push_back(StrCat("sku_util_", catalog_.sku(s).name));
+  }
+  const std::string from_frac = StrCat("hist_sku_frac_", from_sku);
+  const std::string to_frac = StrCat("hist_sku_frac_", to_sku);
+  const std::string from_util = StrCat("sku_util_", from_sku);
+  const std::string to_util = StrCat("sku_util_", to_sku);
+
+  return FeatureTransform(
+      [delta, util_names, from_frac, to_frac, from_util, to_util](
+          const Featurizer& featurizer, std::vector<double>* x) {
+        auto get = [&](const std::string& name) {
+          const int idx = featurizer.IndexOf(name);
+          return idx >= 0 ? (*x)[static_cast<size_t>(idx)] : 0.0;
+        };
+        auto add = [&](const std::string& name, double v) {
+          const int idx = featurizer.IndexOf(name);
+          if (idx >= 0) (*x)[static_cast<size_t>(idx)] += v;
+        };
+        auto set = [&](const std::string& name, double v) {
+          const int idx = featurizer.IndexOf(name);
+          if (idx >= 0) (*x)[static_cast<size_t>(idx)] = v;
+        };
+        // 1. The job's own vertices move.
+        const double moved = get(from_frac);
+        set(from_frac, 0.0);
+        add(to_frac, moved);
+        // 2. Cluster-level utilizations shift per the rebalance model.
+        for (size_t s = 0; s < util_names.size(); ++s) {
+          add(util_names[s], delta[s]);
+        }
+        // 3. The job's machines now are the destination SKU's, at its
+        //    post-rebalance utilization.
+        const double util_from = get(from_util);
+        const double util_to = get(to_util);  // already shifted above
+        const double util_mean = get("cpu_util_mean");
+        set("cpu_util_mean", util_mean + moved * (util_to - util_from));
+      });
+}
+
+}  // namespace core
+}  // namespace rvar

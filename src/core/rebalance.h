@@ -1,0 +1,76 @@
+// Copyright 2026 The rvar Authors.
+//
+// KEA-style workload rebalancing model — the integration the paper names
+// as the missing piece of Scenario 2 (Section 7.2): "our model doesn't
+// capture the compounding of changes due to workload re-balancing, such
+// as the changes of CPU utilization levels. Models that can predict the
+// utilization levels given different workload distributions can be easily
+// integrated, such as in KEA."
+//
+// The model estimates each SKU's job-driven load from telemetry
+// (token-seconds per SKU over the observation window against the SKU's
+// token capacity) and predicts how per-SKU utilizations shift when a
+// fraction of the workload migrates between SKUs. Combined with the
+// what-if engine it yields a *dynamic* SKU-shift transform that also
+// moves the destination's (and source's) utilization.
+
+#ifndef RVAR_CORE_REBALANCE_H_
+#define RVAR_CORE_REBALANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/whatif.h"
+#include "sim/cluster.h"
+#include "sim/telemetry.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief Per-SKU load accounting and utilization-shift prediction.
+class RebalanceModel {
+ public:
+  /// Estimates per-SKU job-driven load from a telemetry window: each
+  /// run's token-seconds are attributed to SKUs by its vertex fractions
+  /// and divided by the SKU's token capacity and the window length.
+  /// Fails on an empty window.
+  static Result<RebalanceModel> Estimate(const sim::TelemetryStore& window,
+                                         const sim::SkuCatalog& catalog,
+                                         double window_seconds);
+
+  /// Job-driven utilization share of SKU `s` (fraction of its capacity
+  /// occupied by the observed workload).
+  double SkuLoad(int sku_index) const;
+
+  /// Predicted change of each SKU's utilization if `fraction` of the
+  /// total observed workload moves from `from_sku` to `to_sku`
+  /// (capacity-normalized: the destination absorbs the moved
+  /// token-seconds against its own capacity). Entries are deltas to add
+  /// to current utilizations.
+  Result<std::vector<double>> UtilizationShift(int from_sku, int to_sku,
+                                               double fraction) const;
+
+  /// A Section 7.2 transform with the rebalancing feedback: moves the
+  /// vertex fractions from `from_sku` to `to_sku` AND updates every
+  /// `sku_util_*` feature (and the job's own `cpu_util_mean`) with the
+  /// predicted utilization shift of moving that workload share.
+  Result<FeatureTransform> DynamicSkuShift(const std::string& from_sku,
+                                           const std::string& to_sku) const;
+
+  const sim::SkuCatalog& catalog() const { return catalog_; }
+
+ private:
+  RebalanceModel(sim::SkuCatalog catalog, std::vector<double> load,
+                 double total_token_seconds);
+
+  sim::SkuCatalog catalog_;
+  /// Per-SKU job-driven capacity share in [0, inf).
+  std::vector<double> load_;
+  double total_token_seconds_;
+};
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_REBALANCE_H_

@@ -1,0 +1,99 @@
+#include "core/report.h"
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace rvar {
+namespace core {
+
+std::string RenderDatasetSummary(const sim::StudySuite& suite) {
+  TextTable table;
+  table.SetHeader(
+      {"Dataset", "Interval", "Job Groups", "Job Instances", "Support"});
+  for (const sim::DatasetSlice* slice :
+       {&suite.d1, &suite.d2, &suite.d3}) {
+    table.AddRow({slice->name,
+                  StrCat(FormatDouble(slice->interval_days, 1), " days"),
+                  FormatCount(slice->NumQualifyingGroups()),
+                  FormatCount(slice->NumQualifyingInstances()),
+                  StrCat(slice->min_support)});
+  }
+  return table.ToString();
+}
+
+std::string RenderShapeStats(const ShapeLibrary& library) {
+  const bool ratio =
+      library.normalization() == Normalization::kRatio;
+  const char* unit = ratio ? "" : " (s)";
+  TextTable table;
+  table.SetHeader({"cid", "outlier (%)", StrCat("25-75th", unit),
+                   StrCat("95th", unit), StrCat("std", unit), "groups",
+                   "samples"});
+  for (int c = 0; c < library.num_clusters(); ++c) {
+    const ShapeStats& s = library.stats(c);
+    const int digits = ratio ? 2 : 0;
+    table.AddRow({StrCat(c),
+                  FormatDouble(100.0 * s.outlier_probability, 2),
+                  FormatDouble(s.iqr, digits), FormatDouble(s.p95, digits),
+                  FormatDouble(s.stddev, digits), StrCat(s.num_groups),
+                  FormatCount(s.num_samples)});
+  }
+  return table.ToString();
+}
+
+std::string RenderSupportBuckets(const PredictorEvaluation& eval) {
+  TextTable table;
+  table.SetHeader({"occurrences", "groups", "runs", "accuracy"});
+  for (const auto& b : eval.by_support) {
+    if (b.num_runs == 0) continue;
+    const std::string range = b.hi >= (1 << 29)
+                                  ? StrCat(b.lo, "+")
+                                  : StrCat(b.lo, "-", b.hi);
+    table.AddRow({range, StrCat(b.num_groups), FormatCount(b.num_runs),
+                  FormatPercent(b.accuracy)});
+  }
+  return table.ToString();
+}
+
+std::string RenderReconstruction(const ReconstructionComparison& cmp) {
+  TextTable table;
+  table.SetHeader({"method", "QQ-MAE", "KS distance"});
+  table.AddRow({"regression (Griffon-ext)",
+                FormatDouble(cmp.regression_qq_mae, 4),
+                FormatDouble(cmp.regression_ks, 4)});
+  table.AddRow({"proposed (2-step)", FormatDouble(cmp.proposed_qq_mae, 4),
+                FormatDouble(cmp.proposed_ks, 4)});
+  std::string out = table.ToString();
+  out += StrCat("KS distance reduction: ",
+                FormatDouble(cmp.KsReductionPercent(), 1), "% over ",
+                cmp.num_runs, " runs\n");
+  return out;
+}
+
+std::string RenderScenario(const ScenarioResult& result,
+                           const ShapeLibrary& library, int max_rows) {
+  std::string out =
+      StrCat("Scenario: ", result.name, " — ", result.num_changed, "/",
+             result.num_runs, " runs change shape (",
+             FormatPercent(result.ChangedFraction()), ")\n");
+  TextTable table;
+  table.SetHeader({"from", "to", "runs", "% of source", "% of all",
+                   "IQR from->to", "outlier%% from->to"});
+  int rows = 0;
+  for (const Migration& m : result.top_migrations) {
+    if (rows++ >= max_rows) break;
+    const ShapeStats& sf = library.stats(m.from);
+    const ShapeStats& st = library.stats(m.to);
+    table.AddRow(
+        {StrCat("C", m.from), StrCat("C", m.to), FormatCount(m.count),
+         FormatPercent(m.fraction_of_from), FormatPercent(m.fraction_of_total),
+         StrCat(FormatDouble(sf.iqr, 2), " -> ", FormatDouble(st.iqr, 2)),
+         StrCat(FormatDouble(100.0 * sf.outlier_probability, 2), " -> ",
+                FormatDouble(100.0 * st.outlier_probability, 2))});
+  }
+  out += table.ToString();
+  return out;
+}
+
+}  // namespace core
+}  // namespace rvar

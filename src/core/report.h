@@ -1,0 +1,40 @@
+// Copyright 2026 The rvar Authors.
+//
+// Report formatting: renders the library's analysis artifacts as the
+// paper-style text tables the bench harness prints (Table 1, Table 2,
+// Figure 7 confusion matrix / accuracy buckets, scenario migrations).
+
+#ifndef RVAR_CORE_REPORT_H_
+#define RVAR_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/baseline.h"
+#include "core/predictor.h"
+#include "core/shape_library.h"
+#include "core/whatif.h"
+#include "sim/datasets.h"
+
+namespace rvar {
+namespace core {
+
+/// Table 1-style dataset summary (interval, groups, instances, support).
+std::string RenderDatasetSummary(const sim::StudySuite& suite);
+
+/// Table 2-style per-cluster statistics for one shape library.
+std::string RenderShapeStats(const ShapeLibrary& library);
+
+/// Figure 7b-style accuracy-by-occurrences table.
+std::string RenderSupportBuckets(const PredictorEvaluation& eval);
+
+/// Figure 8-style method comparison.
+std::string RenderReconstruction(const ReconstructionComparison& cmp);
+
+/// Section 7-style scenario migration summary (top `max_rows` moves).
+std::string RenderScenario(const ScenarioResult& result,
+                           const ShapeLibrary& library, int max_rows = 5);
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_REPORT_H_

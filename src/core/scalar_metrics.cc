@@ -1,0 +1,99 @@
+#include "core/scalar_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "ml/feature_select.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace core {
+
+double StalagmiteAnalysis::DiagonalShare() const {
+  return total_runs > 0
+             ? static_cast<double>(diagonal_runs) / total_runs
+             : 0.0;
+}
+
+double StalagmiteAnalysis::StalagmiteShare() const {
+  return total_runs > 0
+             ? static_cast<double>(stalagmite_runs) / total_runs
+             : 0.0;
+}
+
+Result<StalagmiteAnalysis> AnalyzeStalagmite(
+    const sim::TelemetryStore& slice, const GroupMedians& medians,
+    double diagonal_limit, double stalagmite_limit) {
+  if (!(1.0 < diagonal_limit && diagonal_limit < stalagmite_limit)) {
+    return Status::InvalidArgument(
+        "need 1 < diagonal_limit < stalagmite_limit");
+  }
+  StalagmiteAnalysis out;
+  std::vector<double> log_median, log_runtime;
+  for (const sim::JobRun& run : slice.runs()) {
+    if (!medians.Has(run.group_id)) continue;
+    const double median = *medians.Of(run.group_id);
+    if (median <= 0.0 || run.runtime_seconds <= 0.0) continue;
+    const double ratio = run.runtime_seconds / median;
+    ++out.total_runs;
+    if (ratio < diagonal_limit) {
+      ++out.diagonal_runs;
+    } else if (ratio < stalagmite_limit) {
+      ++out.mild_runs;
+    } else {
+      ++out.stalagmite_runs;
+    }
+    log_median.push_back(std::log(median));
+    log_runtime.push_back(std::log(run.runtime_seconds));
+  }
+  if (out.total_runs == 0) {
+    return Status::FailedPrecondition(
+        "no runs with known historic medians");
+  }
+  out.log_correlation = ml::PearsonCorrelation(log_median, log_runtime);
+  return out;
+}
+
+Result<CovStability> AnalyzeCovStability(
+    const sim::TelemetryStore& historic, const sim::TelemetryStore& recent,
+    int min_support,
+    std::vector<std::pair<double, double>> bucket_edges) {
+  std::vector<double> cov_hist, cov_new;
+  for (int gid : recent.GroupsWithSupport(min_support)) {
+    if (historic.Support(gid) < min_support) continue;
+    cov_hist.push_back(
+        CoefficientOfVariation(historic.GroupRuntimes(gid)));
+    cov_new.push_back(CoefficientOfVariation(recent.GroupRuntimes(gid)));
+  }
+  if (cov_hist.size() < 2) {
+    return Status::FailedPrecondition(
+        StrCat("only ", cov_hist.size(),
+               " groups meet the support threshold in both windows"));
+  }
+  CovStability out;
+  out.num_groups = static_cast<int>(cov_hist.size());
+  out.correlation = ml::PearsonCorrelation(cov_hist, cov_new);
+  for (const auto& [lo, hi] : bucket_edges) {
+    std::vector<double> in_bucket;
+    for (size_t i = 0; i < cov_hist.size(); ++i) {
+      if (cov_hist[i] >= lo && cov_hist[i] < hi) {
+        in_bucket.push_back(cov_new[i]);
+      }
+    }
+    if (in_bucket.empty()) continue;
+    std::sort(in_bucket.begin(), in_bucket.end());
+    CovStability::Bucket b;
+    b.lo = lo;
+    b.hi = hi;
+    b.num_groups = static_cast<int>(in_bucket.size());
+    b.new_cov_p10 = QuantileSorted(in_bucket, 0.1);
+    b.new_cov_median = QuantileSorted(in_bucket, 0.5);
+    b.new_cov_p90 = QuantileSorted(in_bucket, 0.9);
+    out.buckets.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace rvar

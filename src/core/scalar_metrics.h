@@ -1,0 +1,68 @@
+// Copyright 2026 The rvar Authors.
+//
+// Scalar-metric diagnostics (Section 4.1): the analyses behind Figure 4
+// showing why medians and COV cannot characterize runtime variation — a
+// rare "stalagmite" of slow runs the median cannot anticipate, and the
+// instability of COV between observation windows.
+
+#ifndef RVAR_CORE_SCALAR_METRICS_H_
+#define RVAR_CORE_SCALAR_METRICS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/normalization.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief Figure 4a: how instance runtimes relate to the historic median.
+struct StalagmiteAnalysis {
+  int64_t total_runs = 0;
+  int64_t diagonal_runs = 0;    ///< runtime < diagonal_limit x median
+  int64_t mild_runs = 0;        ///< in [diagonal_limit, stalagmite_limit)
+  int64_t stalagmite_runs = 0;  ///< >= stalagmite_limit x median
+  /// Pearson correlation of log(median) vs log(runtime).
+  double log_correlation = 0.0;
+
+  double DiagonalShare() const;
+  double StalagmiteShare() const;
+};
+
+/// Classifies every run of `slice` whose group has a median in `medians`.
+/// Thresholds are multiples of the historic median. Fails if no run
+/// qualifies or thresholds are not 1 < diagonal < stalagmite.
+Result<StalagmiteAnalysis> AnalyzeStalagmite(
+    const sim::TelemetryStore& slice, const GroupMedians& medians,
+    double diagonal_limit = 1.5, double stalagmite_limit = 3.0);
+
+/// \brief Figure 4b: stability of COV between two observation windows.
+struct CovStability {
+  int num_groups = 0;
+  /// Pearson correlation between historic and new COV across groups.
+  double correlation = 0.0;
+  /// Per-bucket dispersion: groups whose historic COV fell in
+  /// [bucket_lo, bucket_hi) and the spread of their newly observed COV.
+  struct Bucket {
+    double lo = 0.0, hi = 0.0;
+    int num_groups = 0;
+    double new_cov_p10 = 0.0;
+    double new_cov_median = 0.0;
+    double new_cov_p90 = 0.0;
+  };
+  std::vector<Bucket> buckets;
+};
+
+/// Compares per-group COV between `historic` and `recent` windows over
+/// groups with at least `min_support` runs in each. Fails if fewer than
+/// two groups qualify.
+Result<CovStability> AnalyzeCovStability(
+    const sim::TelemetryStore& historic, const sim::TelemetryStore& recent,
+    int min_support = 3,
+    std::vector<std::pair<double, double>> bucket_edges = {
+        {0.0, 0.1}, {0.1, 0.3}, {0.3, 0.7}, {0.7, 1e9}});
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_SCALAR_METRICS_H_

@@ -1,0 +1,151 @@
+#include "core/shape_library.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace core {
+
+Result<ShapeLibrary> ShapeLibrary::Build(
+    const sim::TelemetryStore& reference, const GroupMedians& medians,
+    const ShapeLibraryConfig& config) {
+  if (config.num_clusters < 1) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (config.num_bins < 2) {
+    return Status::InvalidArgument("num_bins must be >= 2");
+  }
+  if (config.min_support < 1) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  if (config.smoothing_radius < 0) {
+    return Status::InvalidArgument("smoothing_radius must be >= 0");
+  }
+
+  ShapeLibrary lib;
+  lib.config_ = config;
+  lib.grid_ = CanonicalGrid(config.normalization, config.num_bins);
+
+  // One smoothed PMF per qualifying group.
+  const std::vector<int> groups =
+      reference.GroupsWithSupport(config.min_support);
+  if (static_cast<int>(groups.size()) < config.num_clusters) {
+    return Status::FailedPrecondition(
+        StrCat("only ", groups.size(), " groups with support >= ",
+               config.min_support, " but ", config.num_clusters,
+               " clusters requested"));
+  }
+  std::vector<std::vector<double>> pmfs;
+  std::vector<std::vector<double>> raw;  // unclipped normalized runtimes
+  pmfs.reserve(groups.size());
+  for (int gid : groups) {
+    RVAR_ASSIGN_OR_RETURN(
+        std::vector<double> normalized,
+        NormalizedGroupRuntimes(reference, gid, medians,
+                                config.normalization));
+    pmfs.push_back(lib.ObservationPmf(normalized));
+    raw.push_back(std::move(normalized));
+  }
+
+  // Cluster the PMFs.
+  ml::KMeansConfig kconfig = config.kmeans;
+  kconfig.k = config.num_clusters;
+  RVAR_ASSIGN_OR_RETURN(ml::KMeansModel model, ml::KMeans(pmfs, kconfig));
+  lib.inertia_ = model.inertia;
+
+  // Pool raw samples per cluster; compute Table 2 stats.
+  const int k = config.num_clusters;
+  std::vector<std::vector<double>> pooled(static_cast<size_t>(k));
+  std::vector<int> group_count(static_cast<size_t>(k), 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const size_t c = static_cast<size_t>(model.assignments[g]);
+    pooled[c].insert(pooled[c].end(), raw[g].begin(), raw[g].end());
+    group_count[c]++;
+  }
+
+  struct Entry {
+    std::vector<double> pmf;
+    ShapeStats stats;
+  };
+  std::vector<Entry> entries(static_cast<size_t>(k));
+  const double outlier_at = OutlierThreshold(config.normalization);
+  for (int c = 0; c < k; ++c) {
+    Entry& e = entries[static_cast<size_t>(c)];
+    // Renormalize the centroid (k-means means of PMFs already ~sum to 1).
+    e.pmf = model.centroids[static_cast<size_t>(c)];
+    double mass = std::accumulate(e.pmf.begin(), e.pmf.end(), 0.0);
+    if (mass > 0.0) {
+      for (double& v : e.pmf) v /= mass;
+    }
+    std::vector<double>& samples = pooled[static_cast<size_t>(c)];
+    e.stats.num_samples = static_cast<int64_t>(samples.size());
+    e.stats.num_groups = group_count[static_cast<size_t>(c)];
+    if (!samples.empty()) {
+      int64_t outliers = 0;
+      for (double v : samples) outliers += (v >= outlier_at);
+      e.stats.outlier_probability =
+          static_cast<double>(outliers) / static_cast<double>(samples.size());
+      std::sort(samples.begin(), samples.end());
+      e.stats.iqr = QuantileSorted(samples, 0.75) -
+                    QuantileSorted(samples, 0.25);
+      e.stats.p95 = QuantileSorted(samples, 0.95);
+      e.stats.stddev = StdDev(samples);
+    }
+  }
+
+  // Rank clusters by increasing 25-75th gap (the paper's ordering).
+  std::vector<int> order(static_cast<size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return entries[static_cast<size_t>(a)].stats.iqr <
+           entries[static_cast<size_t>(b)].stats.iqr;
+  });
+  std::vector<int> relabel(static_cast<size_t>(k));
+  for (int new_id = 0; new_id < k; ++new_id) {
+    relabel[static_cast<size_t>(order[static_cast<size_t>(new_id)])] = new_id;
+  }
+
+  lib.shapes_.resize(static_cast<size_t>(k));
+  lib.stats_.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    const int new_id = relabel[static_cast<size_t>(c)];
+    lib.shapes_[static_cast<size_t>(new_id)] =
+        std::move(entries[static_cast<size_t>(c)].pmf);
+    lib.stats_[static_cast<size_t>(new_id)] =
+        entries[static_cast<size_t>(c)].stats;
+  }
+  lib.reference_groups_ = groups;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    lib.reference_assignment_[groups[g]] =
+        relabel[static_cast<size_t>(model.assignments[g])];
+  }
+  return lib;
+}
+
+const std::vector<double>& ShapeLibrary::shape(int k) const {
+  RVAR_CHECK(k >= 0 && static_cast<size_t>(k) < shapes_.size());
+  return shapes_[static_cast<size_t>(k)];
+}
+
+const ShapeStats& ShapeLibrary::stats(int k) const {
+  RVAR_CHECK(k >= 0 && static_cast<size_t>(k) < stats_.size());
+  return stats_[static_cast<size_t>(k)];
+}
+
+int ShapeLibrary::ReferenceAssignment(int group_id) const {
+  const auto it = reference_assignment_.find(group_id);
+  return it == reference_assignment_.end() ? -1 : it->second;
+}
+
+std::vector<double> ShapeLibrary::ObservationPmf(
+    const std::vector<double>& normalized_runtimes) const {
+  const Histogram hist =
+      Histogram::FromValues(grid_, normalized_runtimes);
+  return SmoothPmf(hist.Probabilities(), config_.smoothing_radius);
+}
+
+}  // namespace core
+}  // namespace rvar

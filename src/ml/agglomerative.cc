@@ -1,0 +1,119 @@
+#include "ml/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "stats/distance.h"
+
+namespace rvar {
+namespace ml {
+
+std::vector<int> AgglomerativeModel::ClusterSizes() const {
+  std::vector<int> sizes(static_cast<size_t>(num_clusters), 0);
+  for (int a : assignments) sizes[static_cast<size_t>(a)]++;
+  return sizes;
+}
+
+double AgglomerativeModel::LargestClusterFraction() const {
+  if (assignments.empty()) return 0.0;
+  const std::vector<int> sizes = ClusterSizes();
+  const int largest = *std::max_element(sizes.begin(), sizes.end());
+  return static_cast<double>(largest) /
+         static_cast<double>(assignments.size());
+}
+
+Result<AgglomerativeModel> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& points, int num_clusters,
+    Linkage linkage) {
+  const size_t n = points.size();
+  if (n == 0) {
+    return Status::InvalidArgument("agglomerative clustering on empty input");
+  }
+  if (num_clusters < 1 || static_cast<size_t>(num_clusters) > n) {
+    return Status::InvalidArgument(
+        StrCat("num_clusters=", num_clusters, " invalid for ", n, " points"));
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+
+  // Pairwise distance matrix between active clusters; merged clusters are
+  // deactivated and their row updated by the Lance-Williams rule.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      dist[i][j] = dist[j][i] = L2(points[i], points[j]);
+    }
+  }
+  std::vector<bool> active(n, true);
+  std::vector<double> size(n, 1.0);
+  // cluster_of[i]: which active cluster row point i currently belongs to.
+  std::vector<size_t> cluster_of(n);
+  std::iota(cluster_of.begin(), cluster_of.end(), 0);
+
+  size_t active_count = n;
+  while (active_count > static_cast<size_t>(num_clusters)) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0, bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (dist[i][j] < best) {
+          best = dist[i][j];
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    // Merge bj into bi; update bi's distances per linkage.
+    for (size_t m = 0; m < n; ++m) {
+      if (!active[m] || m == bi || m == bj) continue;
+      double d = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          d = std::min(dist[bi][m], dist[bj][m]);
+          break;
+        case Linkage::kComplete:
+          d = std::max(dist[bi][m], dist[bj][m]);
+          break;
+        case Linkage::kAverage:
+          d = (size[bi] * dist[bi][m] + size[bj] * dist[bj][m]) /
+              (size[bi] + size[bj]);
+          break;
+      }
+      dist[bi][m] = dist[m][bi] = d;
+    }
+    size[bi] += size[bj];
+    active[bj] = false;
+    for (size_t p = 0; p < n; ++p) {
+      if (cluster_of[p] == bj) cluster_of[p] = bi;
+    }
+    --active_count;
+  }
+
+  // Compact active rows to ids [0, num_clusters).
+  std::vector<int> remap(n, -1);
+  int next_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (active[i]) remap[i] = next_id++;
+  }
+  AgglomerativeModel model;
+  model.num_clusters = num_clusters;
+  model.assignments.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    model.assignments[p] = remap[cluster_of[p]];
+  }
+  return model;
+}
+
+}  // namespace ml
+}  // namespace rvar

@@ -1,0 +1,46 @@
+// Copyright 2026 The rvar Authors.
+//
+// Agglomerative (bottom-up hierarchical) clustering with single, complete,
+// and average linkage. The paper evaluates it against k-means for clustering
+// runtime-distribution PMFs and rejects it for producing imbalanced clusters
+// (Section 4.2); we implement it to reproduce that comparison.
+
+#ifndef RVAR_ML_AGGLOMERATIVE_H_
+#define RVAR_ML_AGGLOMERATIVE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace rvar {
+namespace ml {
+
+enum class Linkage {
+  kSingle,    ///< min pairwise distance
+  kComplete,  ///< max pairwise distance
+  kAverage,   ///< mean pairwise distance (UPGMA)
+};
+
+/// \brief Result of cutting the dendrogram at `num_clusters`.
+struct AgglomerativeModel {
+  std::vector<int> assignments;  ///< cluster id per input point, in [0, k)
+  int num_clusters = 0;
+
+  std::vector<int> ClusterSizes() const;
+
+  /// Largest cluster's share of all points — the imbalance statistic the
+  /// paper cites (">90% of the data in one cluster").
+  double LargestClusterFraction() const;
+};
+
+/// Clusters `points` down to `num_clusters` using Lance-Williams updates.
+/// O(n^2) memory and O(n^3) worst-case time; intended for the thousands of
+/// job-group PMFs this study works with, not millions of raw rows.
+Result<AgglomerativeModel> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& points, int num_clusters,
+    Linkage linkage);
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_AGGLOMERATIVE_H_

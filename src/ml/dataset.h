@@ -1,0 +1,95 @@
+// Copyright 2026 The rvar Authors.
+//
+// Tabular datasets for the ML substrate: a row-major feature matrix with
+// either integer class labels (classification) or real targets (regression),
+// plus quantile-based feature binning shared by the tree learners
+// (histogram-based split finding, the LightGBM approach).
+
+#ifndef RVAR_ML_DATASET_H_
+#define RVAR_ML_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace rvar {
+namespace ml {
+
+/// \brief A tabular learning problem.
+///
+/// `x` is row-major: x[i][f] is feature f of row i. Exactly one of `y`
+/// (class labels in [0, num_classes)) or `target` (regression) should be
+/// populated for supervised learners; both may be empty for clustering.
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  std::vector<double> target;
+
+  size_t NumRows() const { return x.size(); }
+  size_t NumFeatures() const { return x.empty() ? 0 : x[0].size(); }
+
+  /// Number of distinct classes implied by labels (max label + 1); 0 if no
+  /// labels.
+  int NumClasses() const;
+
+  /// Checks rectangularity and label/target consistency.
+  Status Validate() const;
+
+  /// Rows selected by `idx`, in order (labels/targets follow).
+  Dataset Subset(const std::vector<size_t>& idx) const;
+
+  /// One feature column as a vector.
+  std::vector<double> Column(size_t f) const;
+};
+
+/// \brief Deterministic train/test split by shuffled row indices.
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+};
+Result<SplitDataset> TrainTestSplit(const Dataset& d, double test_fraction,
+                                    Rng* rng);
+
+/// \brief Maps continuous feature values to small integer bins using
+/// per-feature quantile edges, so tree learners can find splits by scanning
+/// histograms instead of sorting.
+///
+/// Bin b of feature f covers (edge[b-1], edge[b]]; values above the last
+/// edge fall in the last bin. The numeric threshold reported for a split
+/// "bin <= b" is UpperEdge(f, b).
+class FeatureBinner {
+ public:
+  /// Computes at most `max_bins` bins per feature from the data. max_bins
+  /// must be in [2, 256].
+  static Result<FeatureBinner> Fit(const Dataset& d, int max_bins);
+
+  size_t NumFeatures() const { return edges_.size(); }
+
+  /// Number of bins actually used for feature f (<= max_bins; small for
+  /// low-cardinality features).
+  int NumBins(size_t f) const;
+
+  /// Bin index of value v for feature f.
+  uint8_t Bin(size_t f, double v) const;
+
+  /// The numeric value separating bin b from bin b+1 of feature f.
+  double UpperEdge(size_t f, int b) const;
+
+  /// Bins an entire dataset, column-major: result[f][row].
+  std::vector<std::vector<uint8_t>> BinColumns(const Dataset& d) const;
+
+ private:
+  FeatureBinner() = default;
+  // edges_[f] holds ascending bin upper edges; bin count = edges.size() + 1.
+  std::vector<std::vector<double>> edges_;
+};
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_DATASET_H_

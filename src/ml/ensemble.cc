@@ -1,0 +1,54 @@
+#include "ml/ensemble.h"
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace ml {
+
+void VotingClassifier::AddModel(std::unique_ptr<Classifier> model,
+                                double weight) {
+  RVAR_CHECK(model != nullptr);
+  RVAR_CHECK_GT(weight, 0.0);
+  models_.push_back(std::move(model));
+  weights_.push_back(weight);
+}
+
+Status VotingClassifier::Fit(const Dataset& d) {
+  if (models_.empty()) {
+    return Status::FailedPrecondition("VotingClassifier has no base models");
+  }
+  for (size_t m = 0; m < models_.size(); ++m) {
+    Status st = models_[m]->Fit(d);
+    if (!st.ok()) {
+      return Status(st.code(),
+                    StrCat("base model ", m, ": ", st.message()));
+    }
+  }
+  num_classes_ = models_[0]->num_classes();
+  for (const auto& m : models_) {
+    if (m->num_classes() != num_classes_) {
+      return Status::Internal("base models disagree on class count");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> VotingClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  RVAR_CHECK(!models_.empty() && num_classes_ > 0)
+      << "PredictProba before Fit";
+  std::vector<double> proba(static_cast<size_t>(num_classes_), 0.0);
+  double total_weight = 0.0;
+  for (size_t m = 0; m < models_.size(); ++m) {
+    const std::vector<double> p = models_[m]->PredictProba(row);
+    for (size_t k = 0; k < proba.size(); ++k) {
+      proba[k] += weights_[m] * p[k];
+    }
+    total_weight += weights_[m];
+  }
+  for (double& p : proba) p /= total_weight;
+  return proba;
+}
+
+}  // namespace ml
+}  // namespace rvar

@@ -1,0 +1,42 @@
+// Copyright 2026 The rvar Authors.
+//
+// Soft-voting ensemble: averages the class-probability outputs of a set of
+// base classifiers (the paper's EnsembledClassifier, Section 5.2).
+
+#ifndef RVAR_ML_ENSEMBLE_H_
+#define RVAR_ML_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace rvar {
+namespace ml {
+
+/// \brief Owns base classifiers and soft-votes their probabilities,
+/// optionally with per-model weights.
+class VotingClassifier : public Classifier {
+ public:
+  VotingClassifier() = default;
+
+  /// Adds a base model (before Fit). Weight must be positive.
+  void AddModel(std::unique_ptr<Classifier> model, double weight = 1.0);
+
+  size_t num_models() const { return models_.size(); }
+
+  Status Fit(const Dataset& d) override;
+  std::vector<double> PredictProba(
+      const std::vector<double>& row) const override;
+  int num_classes() const override { return num_classes_; }
+
+ private:
+  std::vector<std::unique_ptr<Classifier>> models_;
+  std::vector<double> weights_;
+  int num_classes_ = 0;
+};
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_ENSEMBLE_H_

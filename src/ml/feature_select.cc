@@ -1,0 +1,111 @@
+#include "ml/feature_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace ml {
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  RVAR_CHECK_EQ(a.size(), b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<std::vector<double>> CorrelationMatrix(const Dataset& d) {
+  const size_t nf = d.NumFeatures();
+  std::vector<std::vector<double>> cols(nf);
+  for (size_t f = 0; f < nf; ++f) cols[f] = d.Column(f);
+  std::vector<std::vector<double>> corr(nf, std::vector<double>(nf, 0.0));
+  for (size_t i = 0; i < nf; ++i) {
+    corr[i][i] = 1.0;
+    for (size_t j = i + 1; j < nf; ++j) {
+      const double c = std::fabs(PearsonCorrelation(cols[i], cols[j]));
+      corr[i][j] = corr[j][i] = c;
+    }
+  }
+  return corr;
+}
+
+Result<FeatureSelection> SelectUncorrelatedFeatures(
+    const Dataset& d, const std::vector<double>& importance,
+    double max_abs_correlation) {
+  const size_t nf = d.NumFeatures();
+  if (nf == 0) return Status::InvalidArgument("dataset has no features");
+  if (max_abs_correlation <= 0.0 || max_abs_correlation > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("max_abs_correlation must be in (0,1], got ",
+               max_abs_correlation));
+  }
+  if (!importance.empty() && importance.size() != nf) {
+    return Status::InvalidArgument(
+        StrCat("importance has ", importance.size(), " entries for ", nf,
+               " features"));
+  }
+
+  std::vector<size_t> order(nf);
+  std::iota(order.begin(), order.end(), 0);
+  if (!importance.empty()) {
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return importance[a] > importance[b];
+    });
+  }
+
+  const std::vector<std::vector<double>> corr = CorrelationMatrix(d);
+  FeatureSelection sel;
+  for (size_t f : order) {
+    bool redundant = false;
+    for (size_t kept : sel.kept) {
+      if (corr[f][kept] >= max_abs_correlation) {
+        redundant = true;
+        break;
+      }
+    }
+    (redundant ? sel.dropped : sel.kept).push_back(f);
+  }
+  return sel;
+}
+
+Dataset ProjectFeatures(const Dataset& d, const std::vector<size_t>& kept) {
+  Dataset out;
+  out.y = d.y;
+  out.target = d.target;
+  for (size_t f : kept) {
+    RVAR_CHECK_LT(f, d.NumFeatures());
+    if (!d.feature_names.empty()) {
+      out.feature_names.push_back(d.feature_names[f]);
+    }
+  }
+  out.x.reserve(d.NumRows());
+  for (const auto& row : d.x) {
+    std::vector<double> new_row;
+    new_row.reserve(kept.size());
+    for (size_t f : kept) new_row.push_back(row[f]);
+    out.x.push_back(std::move(new_row));
+  }
+  return out;
+}
+
+}  // namespace ml
+}  // namespace rvar

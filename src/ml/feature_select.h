@@ -1,0 +1,49 @@
+// Copyright 2026 The rvar Authors.
+//
+// Importance-guided correlation filtering — the paper's "passive-aggressive
+// feature selection based on feature importance to avoid the use of
+// correlated features" (Section 5.2): features are visited in decreasing
+// importance and greedily kept unless highly correlated with an
+// already-kept feature.
+
+#ifndef RVAR_ML_FEATURE_SELECT_H_
+#define RVAR_ML_FEATURE_SELECT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace rvar {
+namespace ml {
+
+/// Pearson correlation of two equal-length vectors; 0 if either is
+/// constant.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Full feature-feature |Pearson| correlation matrix of `d`.
+std::vector<std::vector<double>> CorrelationMatrix(const Dataset& d);
+
+/// \brief Outcome of the selection pass.
+struct FeatureSelection {
+  std::vector<size_t> kept;     ///< feature indices kept, importance order
+  std::vector<size_t> dropped;  ///< indices dropped as redundant
+};
+
+/// Greedy selection: walk features by decreasing `importance`, keep a
+/// feature iff its |correlation| with every kept feature is below
+/// `max_abs_correlation`. `importance` may be empty (falls back to input
+/// order). Fails if importance is non-empty with the wrong size or the
+/// threshold is outside (0, 1].
+Result<FeatureSelection> SelectUncorrelatedFeatures(
+    const Dataset& d, const std::vector<double>& importance,
+    double max_abs_correlation);
+
+/// Projects `d` onto the kept features (names follow).
+Dataset ProjectFeatures(const Dataset& d, const std::vector<size_t>& kept);
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_FEATURE_SELECT_H_

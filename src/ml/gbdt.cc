@@ -1,0 +1,383 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+// A grown-but-unexpanded leaf with its best split precomputed.
+struct LeafCandidate {
+  int node_id;
+  size_t begin, end;  // span in the index array
+  int depth;
+  double gain;
+  int feature;
+  int bin;
+
+  bool operator<(const LeafCandidate& other) const {
+    return gain < other.gain;  // max-heap on gain
+  }
+};
+
+// Trains one Newton tree on (grad, hess) with leaf-wise growth.
+// Leaf values are -G/(H+lambda) * learning_rate.
+class GbdtTreeBuilder {
+ public:
+  GbdtTreeBuilder(const BinnedDataset& data, const GbdtConfig& config,
+                  const std::vector<double>& grad,
+                  const std::vector<double>& hess,
+                  const std::vector<uint8_t>& feature_mask,
+                  std::vector<double>* importance)
+      : data_(data),
+        config_(config),
+        grad_(grad),
+        hess_(hess),
+        feature_mask_(feature_mask),
+        importance_(importance) {}
+
+  Tree Build(std::vector<size_t> sample_idx) {
+    idx_ = std::move(sample_idx);
+    tree_.nodes.clear();
+
+    std::priority_queue<LeafCandidate> heap;
+    const int root = NewLeaf(0, idx_.size());
+    LeafCandidate root_cand{root, 0, idx_.size(), 0, 0.0, -1, -1};
+    FindBestSplit(&root_cand);
+    if (root_cand.feature >= 0) heap.push(root_cand);
+
+    int num_leaves = 1;
+    while (!heap.empty() && num_leaves < config_.max_leaves) {
+      LeafCandidate cand = heap.top();
+      heap.pop();
+      if (cand.gain < config_.min_gain) break;
+
+      // Partition the span on the chosen (feature, bin).
+      const std::vector<uint8_t>& col =
+          data_.columns[static_cast<size_t>(cand.feature)];
+      auto mid_it = std::partition(
+          idx_.begin() + static_cast<ptrdiff_t>(cand.begin),
+          idx_.begin() + static_cast<ptrdiff_t>(cand.end),
+          [&](size_t row) { return col[row] <= static_cast<uint8_t>(cand.bin); });
+      const size_t mid = static_cast<size_t>(mid_it - idx_.begin());
+      if (mid == cand.begin || mid == cand.end) continue;  // degenerate
+
+      if (importance_ != nullptr) {
+        (*importance_)[static_cast<size_t>(cand.feature)] += cand.gain;
+      }
+
+      TreeNode& node = tree_.nodes[static_cast<size_t>(cand.node_id)];
+      node.feature = cand.feature;
+      node.threshold = data_.binner->UpperEdge(
+          static_cast<size_t>(cand.feature), cand.bin);
+      const int left = NewLeaf(cand.begin, mid);
+      const int right = NewLeaf(mid, cand.end);
+      tree_.nodes[static_cast<size_t>(cand.node_id)].left = left;
+      tree_.nodes[static_cast<size_t>(cand.node_id)].right = right;
+      ++num_leaves;
+
+      if (cand.depth + 1 < config_.max_depth) {
+        LeafCandidate lc{left, cand.begin, mid, cand.depth + 1, 0.0, -1, -1};
+        FindBestSplit(&lc);
+        if (lc.feature >= 0) heap.push(lc);
+        LeafCandidate rc{right, mid, cand.end, cand.depth + 1, 0.0, -1, -1};
+        FindBestSplit(&rc);
+        if (rc.feature >= 0) heap.push(rc);
+      }
+    }
+    return std::move(tree_);
+  }
+
+ private:
+  // Creates a leaf node covering idx_[begin, end); returns its id.
+  int NewLeaf(size_t begin, size_t end) {
+    double g = 0.0, h = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      g += grad_[idx_[i]];
+      h += hess_[idx_[i]];
+    }
+    TreeNode node;
+    node.value = {-g / (h + config_.lambda_l2) * config_.learning_rate};
+    node.cover = h;
+    tree_.nodes.push_back(std::move(node));
+    return static_cast<int>(tree_.nodes.size()) - 1;
+  }
+
+  // XGBoost split gain: 1/2 [GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)].
+  double SplitGain(double gl, double hl, double gr, double hr) const {
+    const double l = config_.lambda_l2;
+    const double g = gl + gr, h = hl + hr;
+    return 0.5 * (gl * gl / (hl + l) + gr * gr / (hr + l) - g * g / (h + l));
+  }
+
+  void FindBestSplit(LeafCandidate* cand) {
+    cand->feature = -1;
+    cand->gain = -1.0;
+    const size_t n = cand->end - cand->begin;
+    if (n < 2 * static_cast<size_t>(config_.min_samples_leaf)) return;
+
+    double node_g = 0.0, node_h = 0.0;
+    for (size_t i = cand->begin; i < cand->end; ++i) {
+      node_g += grad_[idx_[i]];
+      node_h += hess_[idx_[i]];
+    }
+
+    for (size_t f = 0; f < data_.columns.size(); ++f) {
+      if (!feature_mask_[f]) continue;
+      const int num_bins = data_.binner->NumBins(f);
+      if (num_bins < 2) continue;
+
+      hist_g_.assign(static_cast<size_t>(num_bins), 0.0);
+      hist_h_.assign(static_cast<size_t>(num_bins), 0.0);
+      hist_n_.assign(static_cast<size_t>(num_bins), 0);
+      const std::vector<uint8_t>& col = data_.columns[f];
+      for (size_t i = cand->begin; i < cand->end; ++i) {
+        const size_t row = idx_[i];
+        const size_t b = col[row];
+        hist_g_[b] += grad_[row];
+        hist_h_[b] += hess_[row];
+        hist_n_[b] += 1;
+      }
+
+      double gl = 0.0, hl = 0.0;
+      size_t nl = 0;
+      for (int b = 0; b + 1 < num_bins; ++b) {
+        gl += hist_g_[static_cast<size_t>(b)];
+        hl += hist_h_[static_cast<size_t>(b)];
+        nl += hist_n_[static_cast<size_t>(b)];
+        const size_t nr = n - nl;
+        if (nl < static_cast<size_t>(config_.min_samples_leaf) ||
+            nr < static_cast<size_t>(config_.min_samples_leaf)) {
+          continue;
+        }
+        const double hr = node_h - hl;
+        if (hl < config_.min_child_weight || hr < config_.min_child_weight) {
+          continue;
+        }
+        const double gain = SplitGain(gl, hl, node_g - gl, hr);
+        if (gain > cand->gain) {
+          cand->gain = gain;
+          cand->feature = static_cast<int>(f);
+          cand->bin = b;
+        }
+      }
+    }
+  }
+
+  const BinnedDataset& data_;
+  const GbdtConfig& config_;
+  const std::vector<double>& grad_;
+  const std::vector<double>& hess_;
+  const std::vector<uint8_t>& feature_mask_;
+  std::vector<double>* importance_;
+  std::vector<size_t> idx_;
+  Tree tree_;
+  std::vector<double> hist_g_, hist_h_;
+  std::vector<int> hist_n_;
+};
+
+// Numerically stable in-place softmax.
+void Softmax(std::vector<double>* scores) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double s : *scores) mx = std::max(mx, s);
+  double sum = 0.0;
+  for (double& s : *scores) {
+    s = std::exp(s - mx);
+    sum += s;
+  }
+  for (double& s : *scores) s /= sum;
+}
+
+}  // namespace
+
+GbdtClassifier::GbdtClassifier(GbdtConfig config) : config_(config) {}
+
+Status GbdtClassifier::Fit(const Dataset& d) { return FitImpl(d, nullptr); }
+
+Status GbdtClassifier::FitWithValidation(const Dataset& train,
+                                         const Dataset& valid) {
+  RVAR_RETURN_NOT_OK(valid.Validate());
+  if (valid.y.size() != valid.NumRows() || valid.NumRows() == 0) {
+    return Status::InvalidArgument("validation set requires labels");
+  }
+  return FitImpl(train, &valid);
+}
+
+Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
+  RVAR_RETURN_NOT_OK(train.Validate());
+  if (train.NumRows() == 0) {
+    return Status::InvalidArgument("cannot fit GBDT on empty dataset");
+  }
+  if (train.y.size() != train.NumRows()) {
+    return Status::InvalidArgument("classification requires labels");
+  }
+  if (config_.num_rounds <= 0 || config_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("num_rounds and learning_rate must be > 0");
+  }
+  if (config_.feature_fraction <= 0.0 || config_.feature_fraction > 1.0 ||
+      config_.bagging_fraction <= 0.0 || config_.bagging_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "feature_fraction and bagging_fraction must be in (0,1]");
+  }
+  num_classes_ = train.NumClasses();
+  if (num_classes_ < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+
+  const size_t n = train.NumRows();
+  const size_t nf = train.NumFeatures();
+  const size_t kc = static_cast<size_t>(num_classes_);
+
+  RVAR_ASSIGN_OR_RETURN(FeatureBinner binner,
+                        FeatureBinner::Fit(train, config_.max_bins));
+  RVAR_ASSIGN_OR_RETURN(BinnedDataset binned,
+                        BinnedDataset::Make(binner, train));
+
+  // Base scores: log class priors.
+  base_scores_.assign(kc, 0.0);
+  {
+    std::vector<double> prior(kc, 1e-9);
+    for (int label : train.y) prior[static_cast<size_t>(label)] += 1.0;
+    for (size_t k = 0; k < kc; ++k) {
+      base_scores_[k] = std::log(prior[k] / static_cast<double>(n));
+    }
+  }
+
+  // Raw scores per row per class.
+  std::vector<std::vector<double>> scores(n,
+                                          std::vector<double>(kc, 0.0));
+  for (size_t i = 0; i < n; ++i) scores[i] = base_scores_;
+
+  trees_.assign(kc, {});
+  importance_.assign(nf, 0.0);
+  Rng rng(config_.seed);
+
+  std::vector<double> grad(n), hess(n);
+
+  double best_valid_loss = std::numeric_limits<double>::infinity();
+  int best_round = 0;
+  int rounds_without_improvement = 0;
+
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    // Per-tree row bagging (without replacement) and feature subsampling,
+    // shared across the K class trees of this round.
+    std::vector<size_t> sample_idx;
+    if (config_.bagging_fraction < 1.0) {
+      std::vector<size_t> perm = rng.Permutation(n);
+      const size_t take = std::max<size_t>(
+          1, static_cast<size_t>(config_.bagging_fraction *
+                                 static_cast<double>(n)));
+      sample_idx.assign(perm.begin(), perm.begin() + take);
+    } else {
+      sample_idx.resize(n);
+      std::iota(sample_idx.begin(), sample_idx.end(), 0);
+    }
+    std::vector<uint8_t> feature_mask(nf, 1);
+    if (config_.feature_fraction < 1.0) {
+      std::fill(feature_mask.begin(), feature_mask.end(), 0);
+      const size_t take = std::max<size_t>(
+          1, static_cast<size_t>(config_.feature_fraction *
+                                 static_cast<double>(nf)));
+      std::vector<size_t> perm = rng.Permutation(nf);
+      for (size_t i = 0; i < take; ++i) feature_mask[perm[i]] = 1;
+    }
+
+    // Class probabilities at the start of the round; all K trees of the
+    // round fit gradients computed from these (standard multiclass GBDT).
+    std::vector<std::vector<double>> round_proba(n);
+    for (size_t i = 0; i < n; ++i) {
+      round_proba[i] = scores[i];
+      Softmax(&round_proba[i]);
+    }
+
+    for (size_t k = 0; k < kc; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        const double p = round_proba[i][k];
+        const double target =
+            static_cast<size_t>(train.y[i]) == k ? 1.0 : 0.0;
+        grad[i] = p - target;
+        hess[i] = std::max(p * (1.0 - p), 1e-9);
+      }
+      GbdtTreeBuilder builder(binned, config_, grad, hess, feature_mask,
+                              &importance_);
+      Tree tree = builder.Build(sample_idx);
+      // Update scores with the new tree (all rows, not just the bag).
+      for (size_t i = 0; i < n; ++i) {
+        scores[i][k] += tree.PredictScalar(train.x[i]);
+      }
+      trees_[k].push_back(std::move(tree));
+    }
+
+    if (valid != nullptr && config_.early_stopping_rounds > 0) {
+      double loss = 0.0;
+      for (size_t i = 0; i < valid->NumRows(); ++i) {
+        std::vector<double> p = PredictProba(valid->x[i]);
+        const double py =
+            std::max(p[static_cast<size_t>(valid->y[i])], 1e-12);
+        loss -= std::log(py);
+      }
+      loss /= static_cast<double>(valid->NumRows());
+      if (loss < best_valid_loss - 1e-9) {
+        best_valid_loss = loss;
+        best_round = round + 1;
+        rounds_without_improvement = 0;
+      } else if (++rounds_without_improvement >=
+                 config_.early_stopping_rounds) {
+        for (auto& class_trees : trees_) {
+          class_trees.resize(static_cast<size_t>(best_round));
+        }
+        break;
+      }
+    }
+  }
+
+  // Normalize importance.
+  double total = 0.0;
+  for (double v : importance_) total += v;
+  if (total > 0.0) {
+    for (double& v : importance_) v /= total;
+  }
+  return Status::OK();
+}
+
+std::vector<double> GbdtClassifier::PredictRaw(
+    const std::vector<double>& row) const {
+  RVAR_CHECK(!trees_.empty()) << "PredictRaw before Fit";
+  std::vector<double> scores = base_scores_;
+  for (size_t k = 0; k < trees_.size(); ++k) {
+    for (const Tree& tree : trees_[k]) {
+      scores[k] += tree.PredictScalar(row);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> GbdtClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  std::vector<double> scores = PredictRaw(row);
+  Softmax(&scores);
+  return scores;
+}
+
+const std::vector<Tree>& GbdtClassifier::trees_for_class(int k) const {
+  RVAR_CHECK(k >= 0 && static_cast<size_t>(k) < trees_.size());
+  return trees_[static_cast<size_t>(k)];
+}
+
+double GbdtClassifier::base_score(int k) const {
+  RVAR_CHECK(k >= 0 && static_cast<size_t>(k) < base_scores_.size());
+  return base_scores_[static_cast<size_t>(k)];
+}
+
+int GbdtClassifier::rounds_used() const {
+  return trees_.empty() ? 0 : static_cast<int>(trees_[0].size());
+}
+
+}  // namespace ml
+}  // namespace rvar

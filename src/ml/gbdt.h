@@ -1,0 +1,92 @@
+// Copyright 2026 The rvar Authors.
+//
+// Gradient-boosted decision trees in the LightGBM style: histogram-based
+// split finding, leaf-wise (best-first) growth, second-order (Newton) leaf
+// values, softmax multiclass objective. This is the paper's primary
+// classifier (LightGBMClassifier had the highest accuracy in Section 5.2).
+
+#ifndef RVAR_ML_GBDT_H_
+#define RVAR_ML_GBDT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/model.h"
+#include "ml/tree.h"
+
+namespace rvar {
+namespace ml {
+
+/// \brief Hyper-parameters of the boosted ensemble.
+struct GbdtConfig {
+  int num_rounds = 100;
+  double learning_rate = 0.1;
+  /// Leaf-wise growth stops when a tree reaches this many leaves.
+  int max_leaves = 31;
+  int max_depth = 12;
+  /// Minimum hessian-weighted sample count per leaf.
+  double min_child_weight = 1.0;
+  int min_samples_leaf = 5;
+  /// L2 regularization on leaf values (XGBoost lambda).
+  double lambda_l2 = 1.0;
+  /// Minimum split gain.
+  double min_gain = 1e-6;
+  int max_bins = 255;
+  /// Fraction of features considered per tree.
+  double feature_fraction = 1.0;
+  /// Fraction of rows (without replacement) per tree.
+  double bagging_fraction = 1.0;
+  /// Stop if validation logloss has not improved for this many rounds
+  /// (requires FitWithValidation); 0 disables.
+  int early_stopping_rounds = 0;
+  uint64_t seed = 29;
+};
+
+/// \brief Multiclass gradient-boosted tree classifier.
+class GbdtClassifier : public Classifier {
+ public:
+  explicit GbdtClassifier(GbdtConfig config = {});
+
+  Status Fit(const Dataset& d) override;
+
+  /// Fit with early stopping monitored on `valid` (multiclass logloss).
+  Status FitWithValidation(const Dataset& train, const Dataset& valid);
+
+  std::vector<double> PredictProba(
+      const std::vector<double>& row) const override;
+  int num_classes() const override { return num_classes_; }
+
+  /// Raw (pre-softmax) per-class scores; base_score + sum of tree outputs.
+  std::vector<double> PredictRaw(const std::vector<double>& row) const;
+
+  /// Total split-gain importance per feature (normalized to sum to 1).
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+  /// Trees for class k across rounds (leaf values already scaled by the
+  /// learning rate). Needed by TreeSHAP.
+  const std::vector<Tree>& trees_for_class(int k) const;
+
+  /// Per-class additive base score (log prior).
+  double base_score(int k) const;
+
+  /// Number of boosting rounds actually kept (== num_rounds unless early
+  /// stopping truncated).
+  int rounds_used() const;
+
+ private:
+  Status FitImpl(const Dataset& train, const Dataset* valid);
+
+  GbdtConfig config_;
+  int num_classes_ = 0;
+  std::vector<double> base_scores_;
+  // trees_[k][r]: tree for class k at round r.
+  std::vector<std::vector<Tree>> trees_;
+  std::vector<double> importance_;
+};
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_GBDT_H_

@@ -1,0 +1,164 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+void Softmax(std::vector<double>* scores) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double s : *scores) mx = std::max(mx, s);
+  double sum = 0.0;
+  for (double& s : *scores) {
+    s = std::exp(s - mx);
+    sum += s;
+  }
+  for (double& s : *scores) s /= sum;
+}
+
+}  // namespace
+
+GradientBoostingClassifier::GradientBoostingClassifier(
+    GradientBoostingConfig config)
+    : config_(config) {}
+
+Status GradientBoostingClassifier::Fit(const Dataset& d) {
+  RVAR_RETURN_NOT_OK(d.Validate());
+  if (d.NumRows() == 0 || d.y.size() != d.NumRows()) {
+    return Status::InvalidArgument("classification requires labeled rows");
+  }
+  if (config_.num_rounds <= 0 || config_.learning_rate <= 0.0) {
+    return Status::InvalidArgument("num_rounds and learning_rate must be > 0");
+  }
+  if (config_.subsample <= 0.0 || config_.subsample > 1.0) {
+    return Status::InvalidArgument("subsample must be in (0,1]");
+  }
+  num_classes_ = d.NumClasses();
+  if (num_classes_ < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+
+  const size_t n = d.NumRows();
+  const size_t kc = static_cast<size_t>(num_classes_);
+  RVAR_ASSIGN_OR_RETURN(FeatureBinner binner,
+                        FeatureBinner::Fit(d, config_.max_bins));
+  RVAR_ASSIGN_OR_RETURN(BinnedDataset binned, BinnedDataset::Make(binner, d));
+
+  base_scores_.assign(kc, 0.0);
+  {
+    std::vector<double> prior(kc, 1e-9);
+    for (int label : d.y) prior[static_cast<size_t>(label)] += 1.0;
+    for (size_t k = 0; k < kc; ++k) {
+      base_scores_[k] = std::log(prior[k] / static_cast<double>(n));
+    }
+  }
+  std::vector<std::vector<double>> scores(n, base_scores_);
+
+  TreeConfig tree_config;
+  tree_config.max_depth = config_.max_depth;
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+  tree_config.min_samples_split = 2 * config_.min_samples_leaf;
+
+  trees_.assign(kc, {});
+  importance_.assign(d.NumFeatures(), 0.0);
+  Rng rng(config_.seed);
+  std::vector<double> residual(n), grad(n), hess(n);
+
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    // Row subsample for this round (shared across classes).
+    std::vector<size_t> sample_idx;
+    if (config_.subsample < 1.0) {
+      std::vector<size_t> perm = rng.Permutation(n);
+      const size_t take = std::max<size_t>(
+          1,
+          static_cast<size_t>(config_.subsample * static_cast<double>(n)));
+      sample_idx.assign(perm.begin(), perm.begin() + take);
+    } else {
+      sample_idx.resize(n);
+      std::iota(sample_idx.begin(), sample_idx.end(), 0);
+    }
+
+    // Round-start probabilities.
+    std::vector<std::vector<double>> proba(n);
+    for (size_t i = 0; i < n; ++i) {
+      proba[i] = scores[i];
+      Softmax(&proba[i]);
+    }
+
+    for (size_t k = 0; k < kc; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        const double p = proba[i][k];
+        const double target = static_cast<size_t>(d.y[i]) == k ? 1.0 : 0.0;
+        residual[i] = target - p;  // negative gradient
+        grad[i] = p - target;
+        hess[i] = std::max(p * (1.0 - p), 1e-9);
+      }
+      // Depth-wise regression tree on the residuals.
+      std::vector<double> gain;
+      Rng tree_rng = rng.Split();
+      RVAR_ASSIGN_OR_RETURN(
+          Tree tree, TrainRegressionTree(binned, residual, sample_idx,
+                                         tree_config, &tree_rng, &gain));
+      for (size_t f = 0; f < gain.size(); ++f) importance_[f] += gain[f];
+
+      // Newton line search per leaf: value = -G / (H + lambda) * lr,
+      // computed over the full training set.
+      std::vector<double> leaf_g(tree.nodes.size(), 0.0);
+      std::vector<double> leaf_h(tree.nodes.size(), 0.0);
+      std::vector<int> leaf_of(n);
+      for (size_t i = 0; i < n; ++i) {
+        const int leaf = tree.FindLeaf(d.x[i]);
+        leaf_of[i] = leaf;
+        leaf_g[static_cast<size_t>(leaf)] += grad[i];
+        leaf_h[static_cast<size_t>(leaf)] += hess[i];
+      }
+      for (size_t node = 0; node < tree.nodes.size(); ++node) {
+        if (tree.nodes[node].feature < 0) {
+          tree.nodes[node].value = {-leaf_g[node] /
+                                    (leaf_h[node] + config_.lambda_l2) *
+                                    config_.learning_rate};
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        scores[i][k] +=
+            tree.nodes[static_cast<size_t>(leaf_of[i])].value[0];
+      }
+      trees_[k].push_back(std::move(tree));
+    }
+  }
+
+  double total = 0.0;
+  for (double v : importance_) total += v;
+  if (total > 0.0) {
+    for (double& v : importance_) v /= total;
+  }
+  return Status::OK();
+}
+
+std::vector<double> GradientBoostingClassifier::PredictRaw(
+    const std::vector<double>& row) const {
+  RVAR_CHECK(!trees_.empty()) << "PredictRaw before Fit";
+  std::vector<double> scores = base_scores_;
+  for (size_t k = 0; k < trees_.size(); ++k) {
+    for (const Tree& tree : trees_[k]) {
+      scores[k] += tree.PredictScalar(row);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> GradientBoostingClassifier::PredictProba(
+    const std::vector<double>& row) const {
+  std::vector<double> scores = PredictRaw(row);
+  Softmax(&scores);
+  return scores;
+}
+
+}  // namespace ml
+}  // namespace rvar

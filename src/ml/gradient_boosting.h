@@ -1,0 +1,65 @@
+// Copyright 2026 The rvar Authors.
+//
+// Scikit-learn-style GradientBoostingClassifier: depth-wise trees fit to
+// softmax gradients with per-leaf Newton line search. One of the classifier
+// families the paper sweeps in Section 5.2 (alongside RandomForest,
+// LightGBM-style GBDT, GaussianNB, and the soft-voting ensemble). Compared
+// to GbdtClassifier this grows trees depth-wise without feature
+// subsampling — the classical GBM formulation.
+
+#ifndef RVAR_ML_GRADIENT_BOOSTING_H_
+#define RVAR_ML_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/tree.h"
+
+namespace rvar {
+namespace ml {
+
+/// \brief Hyper-parameters of the classical GBM.
+struct GradientBoostingConfig {
+  int num_rounds = 100;
+  double learning_rate = 0.1;
+  int max_depth = 3;  ///< sklearn's default: shallow depth-wise trees
+  int min_samples_leaf = 5;
+  /// L2 regularization on the Newton leaf values.
+  double lambda_l2 = 1.0;
+  /// Fraction of rows (without replacement) per tree; 1 disables
+  /// stochastic gradient boosting.
+  double subsample = 1.0;
+  int max_bins = 128;
+  uint64_t seed = 41;
+};
+
+/// \brief Multiclass gradient boosting with depth-wise regression trees.
+class GradientBoostingClassifier : public Classifier {
+ public:
+  explicit GradientBoostingClassifier(GradientBoostingConfig config = {});
+
+  Status Fit(const Dataset& d) override;
+  std::vector<double> PredictProba(
+      const std::vector<double>& row) const override;
+  int num_classes() const override { return num_classes_; }
+
+  /// Raw (pre-softmax) per-class scores.
+  std::vector<double> PredictRaw(const std::vector<double>& row) const;
+
+  /// Variance-reduction importance accumulated over all trees, normalized.
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+ private:
+  GradientBoostingConfig config_;
+  int num_classes_ = 0;
+  std::vector<double> base_scores_;
+  std::vector<std::vector<Tree>> trees_;  ///< [class][round]
+  std::vector<double> importance_;
+};
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_GRADIENT_BOOSTING_H_

@@ -1,0 +1,186 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "stats/distance.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+// k-means++ seeding: first centroid uniform, then proportional to squared
+// distance from the nearest chosen centroid.
+std::vector<std::vector<double>> PlusPlusInit(
+    const std::vector<std::vector<double>>& points, int k, Rng* rng) {
+  const size_t n = points.size();
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(
+      points[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1))]);
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (centroids.size() < static_cast<size_t>(k)) {
+    for (size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], SquaredL2(points[i], centroids.back()));
+    }
+    double total = 0.0;
+    for (double v : d2) total += v;
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1))]);
+      continue;
+    }
+    centroids.push_back(points[rng->Categorical(d2)]);
+  }
+  return centroids;
+}
+
+KMeansModel RunOnce(const std::vector<std::vector<double>>& points,
+                    const KMeansConfig& config, Rng* rng) {
+  const size_t n = points.size();
+  const size_t dim = points[0].size();
+  const size_t k = static_cast<size_t>(config.k);
+
+  KMeansModel model;
+  model.centroids = PlusPlusInit(points, config.k, rng);
+  model.assignments.assign(n, -1);
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    model.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = SquaredL2(points[i], model.centroids[0]);
+      for (size_t c = 1; c < k; ++c) {
+        const double d = SquaredL2(points[i], model.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (model.assignments[i] != best) {
+        model.assignments[i] = best;
+        changed = true;
+      }
+    }
+
+    // Update step.
+    std::vector<std::vector<double>> next(k, std::vector<double>(dim, 0.0));
+    std::vector<double> counts(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(model.assignments[i]);
+      counts[c] += 1.0;
+      for (size_t d = 0; d < dim; ++d) next[c][d] += points[i][d];
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0.0) {
+        for (size_t d = 0; d < dim; ++d) next[c][d] /= counts[c];
+      } else {
+        // Empty cluster: reseed at the point farthest from its centroid.
+        size_t far_i = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double d = SquaredL2(
+              points[i],
+              model.centroids[static_cast<size_t>(model.assignments[i])]);
+          if (d > far_d) {
+            far_d = d;
+            far_i = i;
+          }
+        }
+        next[c] = points[far_i];
+      }
+      movement += SquaredL2(next[c], model.centroids[c]);
+    }
+    model.centroids = std::move(next);
+    if (!changed || movement < config.tolerance) break;
+  }
+
+  model.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    model.inertia += SquaredL2(
+        points[i], model.centroids[static_cast<size_t>(model.assignments[i])]);
+  }
+  return model;
+}
+
+}  // namespace
+
+int KMeansModel::Predict(const std::vector<double>& point) const {
+  RVAR_CHECK(!centroids.empty());
+  int best = 0;
+  double best_d = SquaredL2(point, centroids[0]);
+  for (size_t c = 1; c < centroids.size(); ++c) {
+    const double d = SquaredL2(point, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<int> KMeansModel::ClusterSizes() const {
+  std::vector<int> sizes(centroids.size(), 0);
+  for (int a : assignments) sizes[static_cast<size_t>(a)]++;
+  return sizes;
+}
+
+Result<KMeansModel> KMeans(const std::vector<std::vector<double>>& points,
+                           const KMeansConfig& config) {
+  if (points.empty()) {
+    return Status::InvalidArgument("k-means on empty point set");
+  }
+  if (config.k < 1) {
+    return Status::InvalidArgument(StrCat("k must be >= 1, got ", config.k));
+  }
+  if (points.size() < static_cast<size_t>(config.k)) {
+    return Status::InvalidArgument(
+        StrCat("k=", config.k, " exceeds point count ", points.size()));
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+  if (config.num_restarts < 1 || config.max_iterations < 1) {
+    return Status::InvalidArgument(
+        "num_restarts and max_iterations must be >= 1");
+  }
+
+  Rng rng(config.seed);
+  KMeansModel best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < config.num_restarts; ++r) {
+    Rng run_rng = rng.Split();
+    KMeansModel model = RunOnce(points, config, &run_rng);
+    if (model.inertia < best.inertia) best = std::move(model);
+  }
+  return best;
+}
+
+Result<std::vector<InertiaPoint>> InertiaSweep(
+    const std::vector<std::vector<double>>& points, int k_min, int k_max,
+    KMeansConfig base_config) {
+  if (k_min < 1 || k_max < k_min) {
+    return Status::InvalidArgument(
+        StrCat("bad k range [", k_min, ", ", k_max, "]"));
+  }
+  std::vector<InertiaPoint> curve;
+  for (int k = k_min; k <= k_max; ++k) {
+    base_config.k = k;
+    RVAR_ASSIGN_OR_RETURN(KMeansModel model, KMeans(points, base_config));
+    curve.push_back({k, model.inertia});
+  }
+  return curve;
+}
+
+}  // namespace ml
+}  // namespace rvar

@@ -1,0 +1,64 @@
+// Copyright 2026 The rvar Authors.
+//
+// K-means clustering (k-means++ initialization, Lloyd iterations, multiple
+// restarts). This is the algorithm the paper selects for clustering the
+// runtime-distribution PMFs (Section 4.2) after finding hierarchy-based
+// methods produce imbalanced clusters.
+
+#ifndef RVAR_ML_KMEANS_H_
+#define RVAR_ML_KMEANS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace rvar {
+namespace ml {
+
+/// \brief Hyper-parameters for KMeans.
+struct KMeansConfig {
+  int k = 8;
+  int max_iterations = 300;
+  /// Independent restarts; the run with the lowest inertia wins.
+  int num_restarts = 16;
+  /// Convergence threshold on total centroid movement (squared L2).
+  double tolerance = 1e-8;
+  uint64_t seed = 23;
+};
+
+/// \brief The clustering outcome.
+struct KMeansModel {
+  std::vector<std::vector<double>> centroids;  ///< [cluster][dim]
+  std::vector<int> assignments;                ///< per input point
+  /// Sum of squared distances of points to their centroid (the paper's
+  /// elbow-curve quantity).
+  double inertia = 0.0;
+  int iterations = 0;
+
+  /// Index of the nearest centroid to `point`.
+  int Predict(const std::vector<double>& point) const;
+
+  /// Number of points per cluster (from `assignments`).
+  std::vector<int> ClusterSizes() const;
+};
+
+/// Runs k-means on `points` (all rows must share one dimension).
+/// Fails on empty input, k < 1, or fewer points than clusters.
+Result<KMeansModel> KMeans(const std::vector<std::vector<double>>& points,
+                           const KMeansConfig& config);
+
+/// Inertia for each k in [k_min, k_max] — the elbow curve used to choose
+/// the number of clusters.
+struct InertiaPoint {
+  int k;
+  double inertia;
+};
+Result<std::vector<InertiaPoint>> InertiaSweep(
+    const std::vector<std::vector<double>>& points, int k_min, int k_max,
+    KMeansConfig base_config);
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_KMEANS_H_

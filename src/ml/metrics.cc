@@ -1,0 +1,165 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+Status CheckPaired(size_t a, size_t b) {
+  if (a != b) {
+    return Status::InvalidArgument(
+        StrCat("size mismatch: ", a, " vs ", b));
+  }
+  if (a == 0) return Status::InvalidArgument("empty input");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Accuracy(const std::vector<int>& truth,
+                        const std::vector<int>& predicted) {
+  RVAR_RETURN_NOT_OK(CheckPaired(truth.size(), predicted.size()));
+  int64_t hits = 0;
+  for (size_t i = 0; i < truth.size(); ++i) hits += (truth[i] == predicted[i]);
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double ConfusionMatrix::DiagonalMass() const {
+  int64_t diag = 0, total = 0;
+  for (int a = 0; a < num_classes; ++a) {
+    for (int p = 0; p < num_classes; ++p) {
+      const int c = counts[static_cast<size_t>(a)][static_cast<size_t>(p)];
+      total += c;
+      if (a == p) diag += c;
+    }
+  }
+  return total > 0 ? static_cast<double>(diag) / static_cast<double>(total)
+                   : 0.0;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  TextTable table;
+  std::vector<std::string> header = {"actual\\pred"};
+  for (int p = 0; p < num_classes; ++p) header.push_back(StrCat(p));
+  table.SetHeader(header);
+  for (int a = 0; a < num_classes; ++a) {
+    std::vector<std::string> row = {StrCat(a)};
+    for (int p = 0; p < num_classes; ++p) {
+      row.push_back(FormatDouble(
+          fractions[static_cast<size_t>(a)][static_cast<size_t>(p)], 3));
+    }
+    table.AddRow(row);
+  }
+  return table.ToString();
+}
+
+Result<ConfusionMatrix> BuildConfusionMatrix(const std::vector<int>& truth,
+                                             const std::vector<int>& predicted,
+                                             int num_classes) {
+  RVAR_RETURN_NOT_OK(CheckPaired(truth.size(), predicted.size()));
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+  ConfusionMatrix cm;
+  cm.num_classes = num_classes;
+  cm.counts.assign(static_cast<size_t>(num_classes),
+                   std::vector<int>(static_cast<size_t>(num_classes), 0));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || truth[i] >= num_classes || predicted[i] < 0 ||
+        predicted[i] >= num_classes) {
+      return Status::OutOfRange(
+          StrCat("label out of range at row ", i, ": truth=", truth[i],
+                 " pred=", predicted[i]));
+    }
+    cm.counts[static_cast<size_t>(truth[i])]
+             [static_cast<size_t>(predicted[i])]++;
+  }
+  cm.fractions.assign(static_cast<size_t>(num_classes),
+                      std::vector<double>(static_cast<size_t>(num_classes),
+                                          0.0));
+  for (int a = 0; a < num_classes; ++a) {
+    int row_total = 0;
+    for (int p = 0; p < num_classes; ++p) {
+      row_total += cm.counts[static_cast<size_t>(a)][static_cast<size_t>(p)];
+    }
+    if (row_total > 0) {
+      for (int p = 0; p < num_classes; ++p) {
+        cm.fractions[static_cast<size_t>(a)][static_cast<size_t>(p)] =
+            static_cast<double>(
+                cm.counts[static_cast<size_t>(a)][static_cast<size_t>(p)]) /
+            static_cast<double>(row_total);
+      }
+    }
+  }
+  return cm;
+}
+
+Result<std::vector<ClassReport>> ClassificationReport(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes) {
+  RVAR_ASSIGN_OR_RETURN(ConfusionMatrix cm,
+                        BuildConfusionMatrix(truth, predicted, num_classes));
+  std::vector<ClassReport> reports;
+  for (int c = 0; c < num_classes; ++c) {
+    ClassReport r;
+    r.cls = c;
+    int tp = cm.counts[static_cast<size_t>(c)][static_cast<size_t>(c)];
+    int actual = 0, predicted_as = 0;
+    for (int o = 0; o < num_classes; ++o) {
+      actual += cm.counts[static_cast<size_t>(c)][static_cast<size_t>(o)];
+      predicted_as += cm.counts[static_cast<size_t>(o)][static_cast<size_t>(c)];
+    }
+    r.support = actual;
+    r.precision = predicted_as > 0
+                      ? static_cast<double>(tp) / predicted_as
+                      : 0.0;
+    r.recall = actual > 0 ? static_cast<double>(tp) / actual : 0.0;
+    r.f1 = (r.precision + r.recall) > 0.0
+               ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+               : 0.0;
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                 const std::vector<double>& predicted) {
+  RVAR_RETURN_NOT_OK(CheckPaired(truth.size(), predicted.size()));
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    acc += std::fabs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+Result<double> RootMeanSquaredError(const std::vector<double>& truth,
+                                    const std::vector<double>& predicted) {
+  RVAR_RETURN_NOT_OK(CheckPaired(truth.size(), predicted.size()));
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+Result<double> LogLoss(const std::vector<int>& truth,
+                       const std::vector<std::vector<double>>& proba) {
+  RVAR_RETURN_NOT_OK(CheckPaired(truth.size(), proba.size()));
+  double loss = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0 || static_cast<size_t>(truth[i]) >= proba[i].size()) {
+      return Status::OutOfRange(StrCat("label out of range at row ", i));
+    }
+    loss -= std::log(std::max(proba[i][static_cast<size_t>(truth[i])], 1e-12));
+  }
+  return loss / static_cast<double>(truth.size());
+}
+
+}  // namespace ml
+}  // namespace rvar

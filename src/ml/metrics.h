@@ -1,0 +1,67 @@
+// Copyright 2026 The rvar Authors.
+//
+// Evaluation metrics for the prediction study: accuracy, confusion matrices
+// (Figure 7a), per-class precision/recall, regression errors.
+
+#ifndef RVAR_ML_METRICS_H_
+#define RVAR_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rvar {
+namespace ml {
+
+/// Fraction of predictions equal to the truth. Fails on size mismatch or
+/// empty input.
+Result<double> Accuracy(const std::vector<int>& truth,
+                        const std::vector<int>& predicted);
+
+/// \brief Row-normalized confusion matrix: cell (actual, predicted) holds
+/// the fraction of class-`actual` examples predicted as `predicted`
+/// (each non-empty row sums to 1) — the layout of the paper's Figure 7a.
+struct ConfusionMatrix {
+  std::vector<std::vector<double>> fractions;  ///< [actual][predicted]
+  std::vector<std::vector<int>> counts;        ///< raw counts
+  int num_classes = 0;
+
+  /// Fraction of all examples on the diagonal (== accuracy).
+  double DiagonalMass() const;
+
+  /// Renders with one row per actual class.
+  std::string ToString() const;
+};
+Result<ConfusionMatrix> BuildConfusionMatrix(const std::vector<int>& truth,
+                                             const std::vector<int>& predicted,
+                                             int num_classes);
+
+/// Per-class precision, recall, F1.
+struct ClassReport {
+  int cls = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int support = 0;
+};
+Result<std::vector<ClassReport>> ClassificationReport(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes);
+
+/// Mean absolute error between paired vectors.
+Result<double> MeanAbsoluteError(const std::vector<double>& truth,
+                                 const std::vector<double>& predicted);
+
+/// Root mean squared error between paired vectors.
+Result<double> RootMeanSquaredError(const std::vector<double>& truth,
+                                    const std::vector<double>& predicted);
+
+/// Multiclass log loss given per-row probability vectors.
+Result<double> LogLoss(const std::vector<int>& truth,
+                       const std::vector<std::vector<double>>& proba);
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_METRICS_H_

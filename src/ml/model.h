@@ -1,0 +1,77 @@
+// Copyright 2026 The rvar Authors.
+//
+// Abstract model interfaces shared by the classifiers (random forest, GBDT,
+// naive Bayes, voting ensemble) and regressors, so the prediction pipeline
+// and the soft-voting ensemble can treat them uniformly.
+
+#ifndef RVAR_ML_MODEL_H_
+#define RVAR_ML_MODEL_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace rvar {
+namespace ml {
+
+/// \brief A multiclass probabilistic classifier.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `d` (labels in d.y). May be called once per instance.
+  virtual Status Fit(const Dataset& d) = 0;
+
+  /// Class-probability vector for one feature row; sums to 1.
+  virtual std::vector<double> PredictProba(
+      const std::vector<double>& row) const = 0;
+
+  /// Number of classes the model was fit with.
+  virtual int num_classes() const = 0;
+
+  /// Most probable class for `row`.
+  int Predict(const std::vector<double>& row) const {
+    const std::vector<double> p = PredictProba(row);
+    RVAR_CHECK(!p.empty());
+    int best = 0;
+    for (size_t k = 1; k < p.size(); ++k) {
+      if (p[k] > p[static_cast<size_t>(best)]) best = static_cast<int>(k);
+    }
+    return best;
+  }
+
+  /// Predicted class per row of `d`.
+  std::vector<int> PredictAll(const Dataset& d) const {
+    std::vector<int> out;
+    out.reserve(d.NumRows());
+    for (const auto& row : d.x) out.push_back(Predict(row));
+    return out;
+  }
+};
+
+/// \brief A scalar regressor.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on `d` (targets in d.target).
+  virtual Status Fit(const Dataset& d) = 0;
+
+  /// Point prediction for one feature row.
+  virtual double Predict(const std::vector<double>& row) const = 0;
+
+  /// Point prediction per row of `d`.
+  std::vector<double> PredictAll(const Dataset& d) const {
+    std::vector<double> out;
+    out.reserve(d.NumRows());
+    for (const auto& row : d.x) out.push_back(Predict(row));
+    return out;
+  }
+};
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_MODEL_H_

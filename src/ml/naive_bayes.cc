@@ -1,0 +1,115 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rvar {
+namespace ml {
+
+GaussianNaiveBayes::GaussianNaiveBayes(double var_smoothing)
+    : var_smoothing_(var_smoothing) {}
+
+Status GaussianNaiveBayes::Fit(const Dataset& d) {
+  RVAR_RETURN_NOT_OK(d.Validate());
+  if (d.NumRows() == 0 || d.y.size() != d.NumRows()) {
+    return Status::InvalidArgument("GaussianNB requires labeled rows");
+  }
+  num_classes_ = d.NumClasses();
+  if (num_classes_ < 2) {
+    return Status::InvalidArgument("need at least 2 classes");
+  }
+  const size_t kc = static_cast<size_t>(num_classes_);
+  const size_t nf = d.NumFeatures();
+  const size_t n = d.NumRows();
+
+  std::vector<double> count(kc, 0.0);
+  mean_.assign(kc, std::vector<double>(nf, 0.0));
+  variance_.assign(kc, std::vector<double>(nf, 0.0));
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = static_cast<size_t>(d.y[i]);
+    count[c] += 1.0;
+    for (size_t f = 0; f < nf; ++f) mean_[c][f] += d.x[i][f];
+  }
+  for (size_t c = 0; c < kc; ++c) {
+    if (count[c] > 0.0) {
+      for (size_t f = 0; f < nf; ++f) mean_[c][f] /= count[c];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = static_cast<size_t>(d.y[i]);
+    for (size_t f = 0; f < nf; ++f) {
+      const double delta = d.x[i][f] - mean_[c][f];
+      variance_[c][f] += delta * delta;
+    }
+  }
+
+  // Variance floor: var_smoothing * max overall feature variance.
+  double max_var = 0.0;
+  {
+    std::vector<double> overall_mean(nf, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t f = 0; f < nf; ++f) overall_mean[f] += d.x[i][f];
+    }
+    for (size_t f = 0; f < nf; ++f) {
+      overall_mean[f] /= static_cast<double>(n);
+    }
+    for (size_t f = 0; f < nf; ++f) {
+      double var = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double delta = d.x[i][f] - overall_mean[f];
+        var += delta * delta;
+      }
+      max_var = std::max(max_var, var / static_cast<double>(n));
+    }
+  }
+  const double floor = std::max(var_smoothing_ * max_var, 1e-12);
+
+  log_prior_.assign(kc, -std::numeric_limits<double>::infinity());
+  for (size_t c = 0; c < kc; ++c) {
+    if (count[c] > 0.0) {
+      log_prior_[c] = std::log(count[c] / static_cast<double>(n));
+      for (size_t f = 0; f < nf; ++f) {
+        variance_[c][f] = variance_[c][f] / count[c] + floor;
+      }
+    } else {
+      // Unseen class: neutral parameters, -inf prior keeps probability 0.
+      for (size_t f = 0; f < nf; ++f) variance_[c][f] = floor;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> GaussianNaiveBayes::PredictProba(
+    const std::vector<double>& row) const {
+  RVAR_CHECK(num_classes_ >= 2) << "PredictProba before Fit";
+  const size_t kc = static_cast<size_t>(num_classes_);
+  std::vector<double> log_post(kc);
+  for (size_t c = 0; c < kc; ++c) {
+    double lp = log_prior_[c];
+    if (std::isfinite(lp)) {
+      for (size_t f = 0; f < row.size(); ++f) {
+        const double var = variance_[c][f];
+        const double delta = row[f] - mean_[c][f];
+        lp += -0.5 * std::log(2.0 * M_PI * var) - delta * delta / (2.0 * var);
+      }
+    }
+    log_post[c] = lp;
+  }
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double v : log_post) mx = std::max(mx, v);
+  double sum = 0.0;
+  std::vector<double> proba(kc, 0.0);
+  for (size_t c = 0; c < kc; ++c) {
+    if (std::isfinite(log_post[c])) {
+      proba[c] = std::exp(log_post[c] - mx);
+      sum += proba[c];
+    }
+  }
+  for (double& p : proba) p /= sum;
+  return proba;
+}
+
+}  // namespace ml
+}  // namespace rvar

@@ -1,0 +1,40 @@
+// Copyright 2026 The rvar Authors.
+//
+// Gaussian naive Bayes — one of the base classifiers combined by the
+// soft-voting ensemble swept in Section 5.2 of the paper.
+
+#ifndef RVAR_ML_NAIVE_BAYES_H_
+#define RVAR_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/model.h"
+
+namespace rvar {
+namespace ml {
+
+/// \brief GaussianNB: per-class, per-feature normal likelihoods with a
+/// variance floor for numerical stability (scikit-learn's var_smoothing).
+class GaussianNaiveBayes : public Classifier {
+ public:
+  /// \param var_smoothing fraction of the largest feature variance added to
+  ///        all variances.
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-9);
+
+  Status Fit(const Dataset& d) override;
+  std::vector<double> PredictProba(
+      const std::vector<double>& row) const override;
+  int num_classes() const override { return num_classes_; }
+
+ private:
+  double var_smoothing_;
+  int num_classes_ = 0;
+  std::vector<double> log_prior_;               // [class]
+  std::vector<std::vector<double>> mean_;       // [class][feature]
+  std::vector<std::vector<double>> variance_;   // [class][feature]
+};
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_NAIVE_BAYES_H_

@@ -1,0 +1,296 @@
+#include "ml/shap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+// One element of the "unique path" of features encountered from root to the
+// current node (Lundberg's TreeSHAP, Algorithm 2).
+struct PathElement {
+  int feature_index = -1;
+  double zero_fraction = 0.0;  // fraction of paths flowing through when
+                               // the feature is "absent"
+  double one_fraction = 0.0;   // 1 if x follows this branch, else 0
+  double pweight = 0.0;        // permutation weight
+};
+
+void ExtendPath(std::vector<PathElement>* path, double zero_fraction,
+                double one_fraction, int feature_index) {
+  const int unique_depth = static_cast<int>(path->size());
+  path->push_back(
+      {feature_index, zero_fraction, one_fraction,
+       unique_depth == 0 ? 1.0 : 0.0});
+  std::vector<PathElement>& m = *path;
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    m[static_cast<size_t>(i + 1)].pweight +=
+        one_fraction * m[static_cast<size_t>(i)].pweight *
+        static_cast<double>(i + 1) / static_cast<double>(unique_depth + 1);
+    m[static_cast<size_t>(i)].pweight =
+        zero_fraction * m[static_cast<size_t>(i)].pweight *
+        static_cast<double>(unique_depth - i) /
+        static_cast<double>(unique_depth + 1);
+  }
+}
+
+void UnwindPath(std::vector<PathElement>* path, int path_index) {
+  std::vector<PathElement>& m = *path;
+  const int unique_depth = static_cast<int>(m.size()) - 1;
+  const double one_fraction =
+      m[static_cast<size_t>(path_index)].one_fraction;
+  const double zero_fraction =
+      m[static_cast<size_t>(path_index)].zero_fraction;
+  double next_one_portion = m[static_cast<size_t>(unique_depth)].pweight;
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      const double tmp = m[static_cast<size_t>(i)].pweight;
+      m[static_cast<size_t>(i)].pweight =
+          next_one_portion * static_cast<double>(unique_depth + 1) /
+          (static_cast<double>(i + 1) * one_fraction);
+      next_one_portion =
+          tmp - m[static_cast<size_t>(i)].pweight * zero_fraction *
+                    static_cast<double>(unique_depth - i) /
+                    static_cast<double>(unique_depth + 1);
+    } else {
+      m[static_cast<size_t>(i)].pweight =
+          m[static_cast<size_t>(i)].pweight *
+          static_cast<double>(unique_depth + 1) /
+          (zero_fraction * static_cast<double>(unique_depth - i));
+    }
+  }
+  for (int i = path_index; i < unique_depth; ++i) {
+    m[static_cast<size_t>(i)].feature_index =
+        m[static_cast<size_t>(i + 1)].feature_index;
+    m[static_cast<size_t>(i)].zero_fraction =
+        m[static_cast<size_t>(i + 1)].zero_fraction;
+    m[static_cast<size_t>(i)].one_fraction =
+        m[static_cast<size_t>(i + 1)].one_fraction;
+  }
+  m.pop_back();
+}
+
+double UnwoundPathSum(const std::vector<PathElement>& m, int path_index) {
+  const int unique_depth = static_cast<int>(m.size()) - 1;
+  const double one_fraction =
+      m[static_cast<size_t>(path_index)].one_fraction;
+  const double zero_fraction =
+      m[static_cast<size_t>(path_index)].zero_fraction;
+  double next_one_portion = m[static_cast<size_t>(unique_depth)].pweight;
+  double total = 0.0;
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      const double tmp = next_one_portion *
+                         static_cast<double>(unique_depth + 1) /
+                         (static_cast<double>(i + 1) * one_fraction);
+      total += tmp;
+      next_one_portion =
+          m[static_cast<size_t>(i)].pweight -
+          tmp * zero_fraction * static_cast<double>(unique_depth - i) /
+              static_cast<double>(unique_depth + 1);
+    } else {
+      total += m[static_cast<size_t>(i)].pweight /
+               (zero_fraction * static_cast<double>(unique_depth - i) /
+                static_cast<double>(unique_depth + 1));
+    }
+  }
+  return total;
+}
+
+class TreeShapComputer {
+ public:
+  TreeShapComputer(const Tree& tree, int output_k,
+                   const std::vector<double>& x, std::vector<double>* phi)
+      : tree_(tree), output_k_(static_cast<size_t>(output_k)), x_(x),
+        phi_(phi) {}
+
+  void Run() {
+    std::vector<PathElement> path;
+    Recurse(0, path, 1.0, 1.0, -1);
+  }
+
+ private:
+  double NodeOutput(int node) const {
+    const std::vector<double>& v =
+        tree_.nodes[static_cast<size_t>(node)].value;
+    RVAR_CHECK_LT(output_k_, v.size());
+    return v[output_k_];
+  }
+
+  void Recurse(int node_index, std::vector<PathElement> path,
+               double parent_zero_fraction, double parent_one_fraction,
+               int parent_feature_index) {
+    ExtendPath(&path, parent_zero_fraction, parent_one_fraction,
+               parent_feature_index);
+    const TreeNode& node = tree_.nodes[static_cast<size_t>(node_index)];
+
+    if (node.feature < 0) {
+      const double leaf_value = NodeOutput(node_index);
+      const int unique_depth = static_cast<int>(path.size()) - 1;
+      for (int i = 1; i <= unique_depth; ++i) {
+        const double w = UnwoundPathSum(path, i);
+        const PathElement& el = path[static_cast<size_t>(i)];
+        (*phi_)[static_cast<size_t>(el.feature_index)] +=
+            w * (el.one_fraction - el.zero_fraction) * leaf_value;
+      }
+      return;
+    }
+
+    const int hot =
+        x_[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                : node.right;
+    const int cold = hot == node.left ? node.right : node.left;
+    const double node_cover = std::max(node.cover, 1e-12);
+    const double hot_zero_fraction =
+        tree_.nodes[static_cast<size_t>(hot)].cover / node_cover;
+    const double cold_zero_fraction =
+        tree_.nodes[static_cast<size_t>(cold)].cover / node_cover;
+    double incoming_zero_fraction = 1.0;
+    double incoming_one_fraction = 1.0;
+
+    // If this feature is already on the path, undo its previous extension.
+    int path_index = -1;
+    for (size_t i = 1; i < path.size(); ++i) {
+      if (path[i].feature_index == node.feature) {
+        path_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (path_index >= 0) {
+      incoming_zero_fraction =
+          path[static_cast<size_t>(path_index)].zero_fraction;
+      incoming_one_fraction =
+          path[static_cast<size_t>(path_index)].one_fraction;
+      UnwindPath(&path, path_index);
+    }
+
+    Recurse(hot, path, hot_zero_fraction * incoming_zero_fraction,
+            incoming_one_fraction, node.feature);
+    Recurse(cold, path, cold_zero_fraction * incoming_zero_fraction, 0.0,
+            node.feature);
+  }
+
+  const Tree& tree_;
+  size_t output_k_;
+  const std::vector<double>& x_;
+  std::vector<double>* phi_;
+};
+
+// Cover-weighted mean leaf value: the expectation E[f(X)] the attributions
+// are measured against.
+double ExpectedValue(const Tree& tree, int output_k) {
+  double weighted = 0.0, total = 0.0;
+  for (const TreeNode& n : tree.nodes) {
+    if (n.feature < 0) {
+      weighted += n.cover * n.value[static_cast<size_t>(output_k)];
+      total += n.cover;
+    }
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+}  // namespace
+
+Result<std::vector<double>> TreeShap(const Tree& tree, int output_k,
+                                     const std::vector<double>& x,
+                                     size_t num_features, double* base_out) {
+  if (tree.empty()) {
+    return Status::InvalidArgument("TreeShap on empty tree");
+  }
+  if (output_k < 0 ||
+      static_cast<size_t>(output_k) >= tree.nodes[0].value.size()) {
+    return Status::OutOfRange(StrCat("output_k=", output_k, " out of range"));
+  }
+  for (const TreeNode& n : tree.nodes) {
+    if (n.feature >= 0 && static_cast<size_t>(n.feature) >= num_features) {
+      return Status::InvalidArgument(
+          "tree references a feature beyond num_features");
+    }
+  }
+  if (x.size() < num_features) {
+    return Status::InvalidArgument("instance has fewer values than features");
+  }
+  std::vector<double> phi(num_features, 0.0);
+  TreeShapComputer computer(tree, output_k, x, &phi);
+  computer.Run();
+  if (base_out != nullptr) *base_out = ExpectedValue(tree, output_k);
+  return phi;
+}
+
+double ShapExplanation::ReconstructedScore(int k) const {
+  RVAR_CHECK_LT(static_cast<size_t>(k), phi.size());
+  double acc = base[static_cast<size_t>(k)];
+  for (double v : phi[static_cast<size_t>(k)]) acc += v;
+  return acc;
+}
+
+Result<ShapExplanation> ShapForGbdt(const GbdtClassifier& model,
+                                    const std::vector<double>& x,
+                                    size_t num_features) {
+  const int kc = model.num_classes();
+  if (kc < 2) return Status::FailedPrecondition("model is not fitted");
+  ShapExplanation out;
+  out.phi.assign(static_cast<size_t>(kc),
+                 std::vector<double>(num_features, 0.0));
+  out.base.assign(static_cast<size_t>(kc), 0.0);
+  for (int k = 0; k < kc; ++k) {
+    out.base[static_cast<size_t>(k)] = model.base_score(k);
+    for (const Tree& tree : model.trees_for_class(k)) {
+      double base = 0.0;
+      RVAR_ASSIGN_OR_RETURN(std::vector<double> phi,
+                            TreeShap(tree, 0, x, num_features, &base));
+      for (size_t f = 0; f < num_features; ++f) {
+        out.phi[static_cast<size_t>(k)][f] += phi[f];
+      }
+      out.base[static_cast<size_t>(k)] += base;
+    }
+  }
+  return out;
+}
+
+Result<ShapExplanation> ShapForForest(const RandomForestClassifier& model,
+                                      const std::vector<double>& x,
+                                      size_t num_features) {
+  const int kc = model.num_classes();
+  if (kc < 2) return Status::FailedPrecondition("model is not fitted");
+  if (model.trees().empty()) {
+    return Status::FailedPrecondition("model has no trees");
+  }
+  ShapExplanation out;
+  out.phi.assign(static_cast<size_t>(kc),
+                 std::vector<double>(num_features, 0.0));
+  out.base.assign(static_cast<size_t>(kc), 0.0);
+  const double inv = 1.0 / static_cast<double>(model.trees().size());
+  for (const Tree& tree : model.trees()) {
+    for (int k = 0; k < kc; ++k) {
+      double base = 0.0;
+      RVAR_ASSIGN_OR_RETURN(std::vector<double> phi,
+                            TreeShap(tree, k, x, num_features, &base));
+      for (size_t f = 0; f < num_features; ++f) {
+        out.phi[static_cast<size_t>(k)][f] += inv * phi[f];
+      }
+      out.base[static_cast<size_t>(k)] += inv * base;
+    }
+  }
+  return out;
+}
+
+std::vector<double> MeanAbsoluteShap(
+    const std::vector<ShapExplanation>& explanations, int k) {
+  if (explanations.empty()) return {};
+  const size_t nf = explanations[0].phi[static_cast<size_t>(k)].size();
+  std::vector<double> out(nf, 0.0);
+  for (const ShapExplanation& e : explanations) {
+    for (size_t f = 0; f < nf; ++f) {
+      out[f] += std::fabs(e.phi[static_cast<size_t>(k)][f]);
+    }
+  }
+  for (double& v : out) v /= static_cast<double>(explanations.size());
+  return out;
+}
+
+}  // namespace ml
+}  // namespace rvar

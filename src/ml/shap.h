@@ -1,0 +1,64 @@
+// Copyright 2026 The rvar Authors.
+//
+// Shapley-value explanations for tree ensembles: exact TreeSHAP (Lundberg &
+// Lee) over the shared Tree representation, plus adapters for the GBDT and
+// random-forest classifiers. Used in Section 6 of the paper to attribute a
+// job's predicted distribution shape to its features.
+
+#ifndef RVAR_ML_SHAP_H_
+#define RVAR_ML_SHAP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "ml/tree.h"
+
+namespace rvar {
+namespace ml {
+
+/// Exact TreeSHAP for one tree and one instance, explaining output index
+/// `output_k` of the leaf value vectors.
+///
+/// Returns phi of length `num_features` satisfying the local-accuracy
+/// property: sum(phi) + base == tree prediction for x, where base (written
+/// to *base_out if non-null) is the cover-weighted mean leaf value.
+Result<std::vector<double>> TreeShap(const Tree& tree, int output_k,
+                                     const std::vector<double>& x,
+                                     size_t num_features,
+                                     double* base_out = nullptr);
+
+/// \brief Additive attributions for a multiclass model at one instance.
+struct ShapExplanation {
+  /// phi[k][f]: contribution of feature f to class k's score.
+  std::vector<std::vector<double>> phi;
+  /// base[k]: expected class-k score over the training distribution.
+  std::vector<double> base;
+
+  /// sum_f phi[k][f] + base[k] — should equal the model's class-k score.
+  double ReconstructedScore(int k) const;
+};
+
+/// SHAP for the GBDT classifier, in raw (pre-softmax) score space: the sum
+/// over each class's trees plus the class base score.
+Result<ShapExplanation> ShapForGbdt(const GbdtClassifier& model,
+                                    const std::vector<double>& x,
+                                    size_t num_features);
+
+/// SHAP for the random-forest classifier, in probability space (mean over
+/// trees of per-tree class-probability attributions).
+Result<ShapExplanation> ShapForForest(const RandomForestClassifier& model,
+                                      const std::vector<double>& x,
+                                      size_t num_features);
+
+/// Mean |phi| per feature for class k over a batch of instances — the
+/// global importance ranking used for the paper's Figure 9 summaries.
+/// `explanations` must all share feature count and class count.
+std::vector<double> MeanAbsoluteShap(
+    const std::vector<ShapExplanation>& explanations, int k);
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_SHAP_H_

@@ -1,0 +1,99 @@
+// Copyright 2026 The rvar Authors.
+//
+// Decision trees with histogram-based split finding. One node/tree
+// representation is shared by the random forest, the gradient-boosted
+// ensemble, and TreeSHAP (which needs per-node covers and scalar outputs).
+
+#ifndef RVAR_ML_TREE_H_
+#define RVAR_ML_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace rvar {
+namespace ml {
+
+/// \brief One node of a binary decision tree. Rows with
+/// x[feature] <= threshold go left. feature == -1 marks a leaf.
+struct TreeNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  /// Leaf payload: class distribution for classification trees (sums to 1),
+  /// a single element for regression/boosting trees. Populated on internal
+  /// nodes too (used by SHAP for expectations).
+  std::vector<double> value;
+  /// Number of training samples (or total hessian) that reached this node.
+  double cover = 0.0;
+};
+
+/// \brief A trained tree: flat node array, root at index 0.
+struct Tree {
+  std::vector<TreeNode> nodes;
+
+  bool empty() const { return nodes.empty(); }
+
+  /// Index of the leaf that `row` falls into.
+  int FindLeaf(const std::vector<double>& row) const;
+
+  /// The leaf's value vector for `row`.
+  const std::vector<double>& PredictValue(const std::vector<double>& row) const;
+
+  /// Scalar prediction: element `k` of the leaf value.
+  double PredictScalar(const std::vector<double>& row, int k = 0) const;
+
+  /// Maximum depth (root = 0); -1 for an empty tree.
+  int Depth() const;
+
+  int NumLeaves() const;
+};
+
+/// \brief Hyper-parameters for tree induction.
+struct TreeConfig {
+  int max_depth = 10;
+  int min_samples_leaf = 1;
+  int min_samples_split = 2;
+  /// Features considered per split; -1 means all.
+  int max_features = -1;
+  /// Minimum impurity decrease (classification: Gini; regression: variance)
+  /// required to split.
+  double min_gain = 1e-12;
+};
+
+/// \brief Binned view of a training set, shared across the trees of an
+/// ensemble so binning happens once.
+struct BinnedDataset {
+  const FeatureBinner* binner = nullptr;  // not owned
+  std::vector<std::vector<uint8_t>> columns;  // [feature][row]
+  size_t num_rows = 0;
+
+  static Result<BinnedDataset> Make(const FeatureBinner& binner,
+                                    const Dataset& d);
+};
+
+/// \brief Trains a classification tree (leaves hold class distributions)
+/// on the rows listed in `sample_idx` (duplicates allowed — bootstrap).
+/// `split_gain` accumulates Gini importance per feature if non-null.
+Result<Tree> TrainClassificationTree(const BinnedDataset& data,
+                                     const std::vector<int>& labels,
+                                     int num_classes,
+                                     const std::vector<size_t>& sample_idx,
+                                     const TreeConfig& config, Rng* rng,
+                                     std::vector<double>* split_gain);
+
+/// \brief Trains a regression tree (leaves hold {mean target}).
+Result<Tree> TrainRegressionTree(const BinnedDataset& data,
+                                 const std::vector<double>& targets,
+                                 const std::vector<size_t>& sample_idx,
+                                 const TreeConfig& config, Rng* rng,
+                                 std::vector<double>* split_gain);
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_TREE_H_

@@ -1,0 +1,89 @@
+#include "ml/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/strings.h"
+#include "ml/metrics.h"
+
+namespace rvar {
+namespace ml {
+
+Result<CvResult> CrossValidate(const Dataset& d, int folds,
+                               const ClassifierFactory& factory,
+                               uint64_t seed) {
+  if (folds < 2) return Status::InvalidArgument("need at least 2 folds");
+  if (d.NumRows() < static_cast<size_t>(folds)) {
+    return Status::InvalidArgument(
+        StrCat("only ", d.NumRows(), " rows for ", folds, " folds"));
+  }
+  if (d.y.size() != d.NumRows()) {
+    return Status::InvalidArgument("cross-validation requires labels");
+  }
+  if (!factory) return Status::InvalidArgument("empty classifier factory");
+
+  Rng rng(seed);
+  const std::vector<size_t> perm = rng.Permutation(d.NumRows());
+
+  CvResult result;
+  result.folds = folds;
+  const int num_classes = d.NumClasses();
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<size_t> train_idx, test_idx;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      (static_cast<int>(i % static_cast<size_t>(folds)) == fold ? test_idx
+                                                                : train_idx)
+          .push_back(perm[i]);
+    }
+    Dataset train = d.Subset(train_idx);
+    Dataset test = d.Subset(test_idx);
+    std::set<int> classes(train.y.begin(), train.y.end());
+    if (static_cast<int>(classes.size()) < num_classes) {
+      return Status::FailedPrecondition(
+          StrCat("fold ", fold, " lost a class; use fewer folds"));
+    }
+    std::unique_ptr<Classifier> model = factory();
+    if (model == nullptr) {
+      return Status::InvalidArgument("factory returned null classifier");
+    }
+    RVAR_RETURN_NOT_OK(model->Fit(train));
+    RVAR_ASSIGN_OR_RETURN(double acc,
+                          Accuracy(test.y, model->PredictAll(test)));
+    result.fold_accuracy.push_back(acc);
+  }
+
+  double sum = 0.0, sumsq = 0.0;
+  for (double a : result.fold_accuracy) {
+    sum += a;
+    sumsq += a * a;
+  }
+  result.mean_accuracy = sum / folds;
+  result.std_accuracy = std::sqrt(
+      std::max(0.0, sumsq / folds - result.mean_accuracy * result.mean_accuracy));
+  return result;
+}
+
+Result<std::vector<GridPoint>> GridSearch(
+    const Dataset& d, int folds,
+    const std::vector<std::pair<std::string, ClassifierFactory>>& grid,
+    uint64_t seed) {
+  if (grid.empty()) {
+    return Status::InvalidArgument("empty hyper-parameter grid");
+  }
+  std::vector<GridPoint> points;
+  for (const auto& [name, factory] : grid) {
+    GridPoint p;
+    p.name = name;
+    RVAR_ASSIGN_OR_RETURN(p.cv, CrossValidate(d, folds, factory, seed));
+    points.push_back(std::move(p));
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const GridPoint& a, const GridPoint& b) {
+                     return a.cv.mean_accuracy > b.cv.mean_accuracy;
+                   });
+  return points;
+}
+
+}  // namespace ml
+}  // namespace rvar

@@ -1,0 +1,57 @@
+// Copyright 2026 The rvar Authors.
+//
+// Hyper-parameter tooling: k-fold cross-validation over any Classifier
+// factory and a generic grid search — the paper's "parameter sweeping to
+// select the best hyper-parameters" (Section 5.2).
+
+#ifndef RVAR_ML_TUNING_H_
+#define RVAR_ML_TUNING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "ml/model.h"
+
+namespace rvar {
+namespace ml {
+
+/// Builds a fresh, unfitted classifier for each fold.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// \brief Accuracy statistics across folds.
+struct CvResult {
+  int folds = 0;
+  double mean_accuracy = 0.0;
+  double std_accuracy = 0.0;
+  std::vector<double> fold_accuracy;
+};
+
+/// Stratification-free k-fold CV: shuffles rows, trains on k-1 folds,
+/// scores accuracy on the held-out fold. Fails if a training fold loses a
+/// class entirely (use more data or fewer folds), on folds < 2, or when
+/// rows < folds.
+Result<CvResult> CrossValidate(const Dataset& d, int folds,
+                               const ClassifierFactory& factory,
+                               uint64_t seed = 11);
+
+/// \brief One grid-search candidate with its CV outcome.
+struct GridPoint {
+  std::string name;  ///< human-readable parameter description
+  CvResult cv;
+};
+
+/// Runs CV for every named candidate and returns them sorted by mean
+/// accuracy (best first). Candidate order breaks ties.
+Result<std::vector<GridPoint>> GridSearch(
+    const Dataset& d, int folds,
+    const std::vector<std::pair<std::string, ClassifierFactory>>& grid,
+    uint64_t seed = 11);
+
+}  // namespace ml
+}  // namespace rvar
+
+#endif  // RVAR_ML_TUNING_H_

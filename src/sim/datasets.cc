@@ -1,0 +1,77 @@
+#include "sim/datasets.h"
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace sim {
+
+int DatasetSlice::NumQualifyingGroups() const {
+  return static_cast<int>(telemetry.GroupsWithSupport(min_support).size());
+}
+
+int64_t DatasetSlice::NumQualifyingInstances() const {
+  int64_t total = 0;
+  for (int gid : telemetry.GroupsWithSupport(min_support)) {
+    total += telemetry.Support(gid);
+  }
+  return total;
+}
+
+const JobGroupSpec& StudySuite::group(int group_id) const {
+  RVAR_CHECK(group_id >= 0 &&
+             static_cast<size_t>(group_id) < groups.size());
+  RVAR_CHECK_EQ(groups[static_cast<size_t>(group_id)].group_id, group_id);
+  return groups[static_cast<size_t>(group_id)];
+}
+
+Result<StudySuite> BuildStudySuite(SuiteConfig config) {
+  if (config.num_groups <= 0) {
+    return Status::InvalidArgument("num_groups must be positive");
+  }
+  if (config.d1_days <= 0.0 || config.d2_days <= 0.0 ||
+      config.d3_days <= 0.0) {
+    return Status::InvalidArgument("all interval lengths must be positive");
+  }
+
+  StudySuite suite;
+  suite.config = config;
+
+  RVAR_ASSIGN_OR_RETURN(
+      Cluster cluster, Cluster::Make(SkuCatalog::Default(), config.cluster));
+  suite.cluster = std::make_shared<const Cluster>(std::move(cluster));
+
+  // One continuous timeline covering all three intervals.
+  WorkloadConfig wl = config.workload;
+  wl.num_groups = config.num_groups;
+  wl.interval_days = config.d1_days + config.d2_days + config.d3_days;
+  wl.seed = config.seed;
+  WorkloadGenerator generator(wl);
+  suite.groups = generator.GenerateGroups(
+      static_cast<int>(suite.cluster->catalog().NumSkus()));
+  const std::vector<JobInstanceSpec> instances =
+      generator.GenerateInstances(suite.groups);
+
+  suite.d1 = {"D1", config.d1_days, config.d1_support, {}};
+  suite.d2 = {"D2", config.d2_days, config.d2_support, {}};
+  suite.d3 = {"D3", config.d3_days, config.d3_support, {}};
+
+  TokenScheduler scheduler(suite.cluster.get(), config.scheduler);
+  Rng rng(config.seed ^ 0x9E3779B97F4A7C15ULL);
+  const double d1_end = config.d1_days * 86400.0;
+  const double d2_end = d1_end + config.d2_days * 86400.0;
+  for (const JobInstanceSpec& inst : instances) {
+    const JobGroupSpec& group = suite.group(inst.group_id);
+    RVAR_ASSIGN_OR_RETURN(JobRun run, scheduler.Execute(group, inst, &rng));
+    if (inst.submit_time < d1_end) {
+      suite.d1.telemetry.Add(std::move(run));
+    } else if (inst.submit_time < d2_end) {
+      suite.d2.telemetry.Add(std::move(run));
+    } else {
+      suite.d3.telemetry.Add(std::move(run));
+    }
+  }
+  return suite;
+}
+
+}  // namespace sim
+}  // namespace rvar

@@ -1,0 +1,73 @@
+// Copyright 2026 The rvar Authors.
+//
+// End-to-end dataset construction: one continuous simulated timeline is
+// split into the paper's three datasets (Table 1) — D1 (long interval,
+// support >= 20) for discovering canonical distribution shapes, D2 for
+// training the predictor, D3 for testing it. The same recurring job groups
+// flow through all three, as in production.
+
+#ifndef RVAR_SIM_DATASETS_H_
+#define RVAR_SIM_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/cluster.h"
+#include "sim/scheduler.h"
+#include "sim/telemetry.h"
+#include "sim/workload.h"
+
+namespace rvar {
+namespace sim {
+
+/// \brief One dataset slice (an interval of the simulated timeline).
+struct DatasetSlice {
+  std::string name;
+  double interval_days = 0.0;
+  int min_support = 3;
+  TelemetryStore telemetry;
+
+  /// Number of groups passing the support threshold.
+  int NumQualifyingGroups() const;
+  /// Total runs belonging to qualifying groups.
+  int64_t NumQualifyingInstances() const;
+};
+
+/// \brief Scaled-down analogue of the paper's Table 1 study setup.
+struct SuiteConfig {
+  int num_groups = 150;
+  double d1_days = 30.0;  ///< paper: 6 months
+  double d2_days = 15.0;  ///< paper: 15 days
+  double d3_days = 5.0;   ///< paper: 5 days
+  int d1_support = 20;
+  int d2_support = 3;
+  int d3_support = 3;
+  ClusterConfig cluster;
+  SchedulerConfig scheduler;
+  WorkloadConfig workload;
+  uint64_t seed = 42;
+};
+
+/// \brief The full simulated study: cluster, job groups, and the three
+/// dataset slices.
+struct StudySuite {
+  SuiteConfig config;
+  std::shared_ptr<const Cluster> cluster;
+  std::vector<JobGroupSpec> groups;
+  DatasetSlice d1;
+  DatasetSlice d2;
+  DatasetSlice d3;
+
+  const JobGroupSpec& group(int group_id) const;
+};
+
+/// Simulates the whole timeline and splits it into D1/D2/D3. The slices are
+/// contiguous: D1 = [0, d1), D2 = [d1, d1+d2), D3 = [d1+d2, d1+d2+d3).
+Result<StudySuite> BuildStudySuite(SuiteConfig config);
+
+}  // namespace sim
+}  // namespace rvar
+
+#endif  // RVAR_SIM_DATASETS_H_

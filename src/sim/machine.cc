@@ -1,0 +1,17 @@
+#include "sim/machine.h"
+
+#include "common/hash.h"
+
+namespace rvar {
+namespace sim {
+
+double MachineNoise(uint64_t cluster_seed, int machine_id,
+                    int64_t time_bucket) {
+  uint64_t h = HashCombine(cluster_seed, static_cast<uint64_t>(machine_id));
+  h = HashCombine(h, static_cast<uint64_t>(time_bucket));
+  // Map to [-1, 1].
+  return 2.0 * (static_cast<double>(h >> 11) * 0x1.0p-53) - 1.0;
+}
+
+}  // namespace sim
+}  // namespace rvar

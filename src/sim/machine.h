@@ -1,0 +1,33 @@
+// Copyright 2026 The rvar Authors.
+//
+// Individual compute nodes. A machine's CPU utilization at a given time is
+// a deterministic function of cluster-wide diurnal load, a per-machine
+// skew offset (load imbalance), and hash-derived noise, so utilization
+// queries are reproducible without simulating every machine continuously.
+
+#ifndef RVAR_SIM_MACHINE_H_
+#define RVAR_SIM_MACHINE_H_
+
+#include <cstdint>
+
+namespace rvar {
+namespace sim {
+
+/// \brief Static identity of one machine.
+struct Machine {
+  int id = 0;
+  int sku_index = 0;
+  /// Persistent utilization offset relative to the cluster baseline; the
+  /// spread of these offsets is the cluster's load imbalance.
+  double load_offset = 0.0;
+};
+
+/// Deterministic per-(machine, time-bucket) noise in [-1, 1], derived from
+/// a hash so repeated queries agree.
+double MachineNoise(uint64_t cluster_seed, int machine_id,
+                    int64_t time_bucket);
+
+}  // namespace sim
+}  // namespace rvar
+
+#endif  // RVAR_SIM_MACHINE_H_

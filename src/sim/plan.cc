@@ -1,0 +1,211 @@
+#include "sim/plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace rvar {
+namespace sim {
+
+const char* OperatorTypeName(OperatorType op) {
+  switch (op) {
+    case OperatorType::kExtract:
+      return "Extract";
+    case OperatorType::kFilter:
+      return "Filter";
+    case OperatorType::kProject:
+      return "Project";
+    case OperatorType::kJoin:
+      return "Join";
+    case OperatorType::kAggregate:
+      return "Aggregate";
+    case OperatorType::kSort:
+      return "Sort";
+    case OperatorType::kWindow:
+      return "Window";
+    case OperatorType::kIndexLookup:
+      return "IndexLookup";
+    case OperatorType::kRange:
+      return "Range";
+    case OperatorType::kExchange:
+      return "Exchange";
+    case OperatorType::kUdf:
+      return "Udf";
+    case OperatorType::kOutput:
+      return "Output";
+  }
+  return "Unknown";
+}
+
+double OperatorCostFactor(OperatorType op) {
+  switch (op) {
+    case OperatorType::kExtract:
+      return 0.6;
+    case OperatorType::kFilter:
+      return 0.2;
+    case OperatorType::kProject:
+      return 0.15;
+    case OperatorType::kJoin:
+      return 1.4;
+    case OperatorType::kAggregate:
+      return 0.9;
+    case OperatorType::kSort:
+      return 1.2;
+    case OperatorType::kWindow:
+      return 1.6;
+    case OperatorType::kIndexLookup:
+      return 1.1;
+    case OperatorType::kRange:
+      return 0.8;
+    case OperatorType::kExchange:
+      return 0.7;
+    case OperatorType::kUdf:
+      return 1.8;
+    case OperatorType::kOutput:
+      return 0.4;
+  }
+  return 1.0;
+}
+
+namespace {
+
+// Operators that break pipelines and start a new stage.
+bool IsPipelineBreaker(OperatorType op) {
+  switch (op) {
+    case OperatorType::kJoin:
+    case OperatorType::kAggregate:
+    case OperatorType::kSort:
+    case OperatorType::kWindow:
+    case OperatorType::kExchange:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<int> JobPlan::OperatorCounts() const {
+  std::vector<int> counts(kNumOperatorTypes, 0);
+  for (const PlanNode& n : nodes) {
+    counts[static_cast<size_t>(n.op)]++;
+  }
+  return counts;
+}
+
+double JobPlan::TotalCostFactor() const {
+  double total = 0.0;
+  for (const PlanNode& n : nodes) total += OperatorCostFactor(n.op);
+  return total;
+}
+
+uint64_t JobPlan::Signature() const {
+  // Recursive structural hash: each node's hash combines its operator type
+  // with its inputs' hashes (topological order guarantees inputs first).
+  std::vector<uint64_t> node_hash(nodes.size(), 0);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    uint64_t h = HashCombine(kFnvOffsetBasis,
+                             static_cast<uint64_t>(nodes[i].op) + 1);
+    for (int in : nodes[i].inputs) {
+      RVAR_CHECK(in >= 0 && static_cast<size_t>(in) < i);
+      h = HashCombine(h, node_hash[static_cast<size_t>(in)]);
+    }
+    node_hash[i] = h;
+  }
+  uint64_t sig = kFnvOffsetBasis;
+  // Hash over the sinks (nodes no one consumes) for a DAG-level identity.
+  std::vector<bool> consumed(nodes.size(), false);
+  for (const PlanNode& n : nodes) {
+    for (int in : n.inputs) consumed[static_cast<size_t>(in)] = true;
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!consumed[i]) sig = HashCombine(sig, node_hash[i]);
+  }
+  return sig;
+}
+
+JobPlan GeneratePlan(const PlanGeneratorConfig& config, Rng* rng) {
+  RVAR_CHECK(rng != nullptr);
+  RVAR_CHECK_GE(config.min_operators, 3);
+  RVAR_CHECK_GE(config.max_operators, config.min_operators);
+
+  const int target = static_cast<int>(
+      rng->UniformInt(config.min_operators, config.max_operators));
+  JobPlan plan;
+
+  // 1-3 Extract roots.
+  const int num_roots =
+      static_cast<int>(rng->UniformInt(1, std::min(3, target - 2)));
+  for (int r = 0; r < num_roots; ++r) {
+    plan.nodes.push_back({OperatorType::kExtract, {}, 0});
+  }
+
+  // Middle operators, each consuming 1-2 existing nodes.
+  const OperatorType common[] = {
+      OperatorType::kFilter, OperatorType::kProject, OperatorType::kJoin,
+      OperatorType::kAggregate, OperatorType::kSort,
+      OperatorType::kExchange};
+  const OperatorType exotic[] = {OperatorType::kWindow,
+                                 OperatorType::kIndexLookup,
+                                 OperatorType::kRange};
+  while (static_cast<int>(plan.nodes.size()) < target - 1) {
+    OperatorType op;
+    if (rng->Bernoulli(config.udf_probability)) {
+      op = OperatorType::kUdf;
+    } else if (rng->Bernoulli(config.exotic_probability)) {
+      op = exotic[static_cast<size_t>(rng->UniformInt(0, 2))];
+    } else {
+      op = common[static_cast<size_t>(rng->UniformInt(0, 5))];
+    }
+    PlanNode node;
+    node.op = op;
+    const int n = static_cast<int>(plan.nodes.size());
+    const int fan_in = op == OperatorType::kJoin
+                           ? 2
+                           : static_cast<int>(rng->UniformInt(1, 1));
+    for (int f = 0; f < fan_in && f < n; ++f) {
+      // Prefer recent nodes to get a deep-ish DAG.
+      const int lo = std::max(0, n - 6);
+      int in = static_cast<int>(rng->UniformInt(lo, n - 1));
+      if (std::find(node.inputs.begin(), node.inputs.end(), in) ==
+          node.inputs.end()) {
+        node.inputs.push_back(in);
+      }
+    }
+    plan.nodes.push_back(std::move(node));
+  }
+
+  // Output sink consuming the last node.
+  plan.nodes.push_back(
+      {OperatorType::kOutput,
+       {static_cast<int>(plan.nodes.size()) - 1},
+       0});
+
+  // Stage assignment: stage(node) = max over inputs of (input stage +
+  // breaker), so pipeline breakers start new stages.
+  int max_stage = 0;
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    int stage = 0;
+    for (int in : plan.nodes[i].inputs) {
+      stage = std::max(stage, plan.nodes[static_cast<size_t>(in)].stage);
+    }
+    if (IsPipelineBreaker(plan.nodes[i].op) && !plan.nodes[i].inputs.empty()) {
+      stage += 1;
+    }
+    plan.nodes[i].stage = stage;
+    max_stage = std::max(max_stage, stage);
+  }
+  plan.num_stages = max_stage + 1;
+
+  // Optimizer estimates: cardinality spans ~4 orders of magnitude; cost
+  // couples cardinality with the plan's operator mix.
+  plan.estimated_cardinality = rng->LogNormal(16.0, 2.0);  // ~9M rows median
+  plan.estimated_cost =
+      plan.estimated_cardinality * plan.TotalCostFactor() *
+      rng->LogNormal(0.0, 0.3);
+  return plan;
+}
+
+}  // namespace sim
+}  // namespace rvar

@@ -1,0 +1,96 @@
+// Copyright 2026 The rvar Authors.
+//
+// SCOPE-style compiled job plans: a DAG of relational operators with
+// optimizer estimates. Recurring jobs are grouped by (normalized name,
+// plan signature), where the signature is a hash computed recursively over
+// the operator DAG — exactly the paper's grouping key (Section 3.1). The
+// signature deliberately excludes input parameters and data sizes, which is
+// why input drift becomes a *within-group* source of runtime variation.
+
+#ifndef RVAR_SIM_PLAN_H_
+#define RVAR_SIM_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rvar {
+namespace sim {
+
+/// \brief Relational operator kinds appearing in compiled plans. The subset
+/// mirrors the operators the paper calls out (Extract, Filter,
+/// Index-Lookup, Window, Range, ...).
+enum class OperatorType : int {
+  kExtract = 0,
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+  kWindow,
+  kIndexLookup,
+  kRange,
+  kExchange,
+  kUdf,
+  kOutput,
+};
+inline constexpr int kNumOperatorTypes = 12;
+
+/// Human-readable operator name.
+const char* OperatorTypeName(OperatorType op);
+
+/// Per-operator relative CPU cost of processing one unit of data.
+double OperatorCostFactor(OperatorType op);
+
+/// \brief One node of the operator DAG.
+struct PlanNode {
+  OperatorType op = OperatorType::kExtract;
+  /// Indices of upstream nodes (data producers feeding this node).
+  std::vector<int> inputs;
+  /// Stage (pipeline-breaker level) this operator executes in.
+  int stage = 0;
+};
+
+/// \brief A compiled job plan with optimizer estimates.
+struct JobPlan {
+  std::vector<PlanNode> nodes;  ///< topologically ordered
+  int num_stages = 0;
+  /// Optimizer cardinality estimate (rows), known at compile time; can be
+  /// off from the true input by a wide margin.
+  double estimated_cardinality = 0.0;
+  /// Optimizer cost estimate (abstract units).
+  double estimated_cost = 0.0;
+
+  /// Count of operators per OperatorType (length kNumOperatorTypes).
+  std::vector<int> OperatorCounts() const;
+
+  /// Total relative work per unit of input data implied by the operators.
+  double TotalCostFactor() const;
+
+  /// Recursive structural hash over the DAG (operator types + shape); the
+  /// job-group signature. Insensitive to estimates and parameters.
+  uint64_t Signature() const;
+};
+
+/// \brief Knobs for random plan generation.
+struct PlanGeneratorConfig {
+  int min_operators = 5;
+  int max_operators = 40;
+  /// Probability that a generated operator is a UDF (SCOPE jobs are
+  /// UDF-heavy).
+  double udf_probability = 0.15;
+  /// Probability of the variance-prone operators (Window, IndexLookup,
+  /// Range) appearing.
+  double exotic_probability = 0.12;
+};
+
+/// Generates a random but well-formed plan (single Extract roots, Output
+/// sink, stage structure from pipeline breakers).
+JobPlan GeneratePlan(const PlanGeneratorConfig& config, Rng* rng);
+
+}  // namespace sim
+}  // namespace rvar
+
+#endif  // RVAR_SIM_PLAN_H_

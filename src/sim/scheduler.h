@@ -1,0 +1,113 @@
+// Copyright 2026 The rvar Authors.
+//
+// Token-based job execution. A job's vertices execute in stage order; each
+// stage runs in waves bounded by the tokens the job holds (guaranteed
+// allocation + opportunistic spare tokens, as in Cosmos/Apollo [7]). Stage
+// time depends on the SKUs and load of the machines the vertices land on;
+// rare events (stragglers, service disruptions) stretch a stage by a
+// heavy-tailed factor. The result carries the full telemetry the paper's
+// predictor consumes.
+
+#ifndef RVAR_SIM_SCHEDULER_H_
+#define RVAR_SIM_SCHEDULER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/cluster.h"
+#include "sim/workload.h"
+
+namespace rvar {
+namespace sim {
+
+/// \brief Scheduler/execution-model knobs.
+struct SchedulerConfig {
+  /// GB of input data processed by one vertex.
+  double data_per_vertex_gb = 2.0;
+  /// Seconds for one Gen5 vertex to process 1 GB at unit operator cost.
+  double seconds_per_gb = 6.0;
+  /// Data shrink factor from one stage to the next (aggregation etc.).
+  double stage_shrink = 0.6;
+  /// Amdahl serial share of each stage's work (coordination, skew, final
+  /// merge) that does not parallelize across tokens.
+  double serial_fraction = 0.008;
+  /// Fixed per-stage scheduling overhead, seconds.
+  double stage_overhead_seconds = 3.0;
+  /// How strongly machine load inflates vertex time: factor is
+  /// 1 / (1 - contention_strength * utilization).
+  double contention_strength = 0.55;
+  /// How aggressively placement prefers idle machines.
+  double placement_greed = 1.5;
+  /// Spare tokens usable, as a multiple of the allocation (production work
+  /// caps this multiplier; Section 7.1).
+  double spare_multiplier_cap = 4.0;
+  /// Set false to globally disable spare tokens (Scenario 1).
+  bool enable_spare_tokens = true;
+  /// Scale of multiplicative lognormal runtime noise.
+  double noise_sigma = 0.06;
+  /// Pareto tail exponent of rare-event slowdowns (smaller = heavier).
+  double rare_event_alpha = 0.95;
+  /// Cap on the rare-event slowdown factor.
+  double rare_event_max_factor = 60.0;
+  /// Machines sampled per stage to estimate placement mix.
+  int placement_sample = 48;
+};
+
+/// \brief Everything observed about one executed job instance: the ground
+/// truth runtime plus the compile-time/submit-time features (Section 5.1).
+struct JobRun {
+  int group_id = 0;
+  int64_t instance_id = 0;
+  double submit_time = 0.0;
+
+  // --- Outcome ---
+  double runtime_seconds = 0.0;
+  /// Whether a rare slowdown event hit this run.
+  bool rare_event = false;
+
+  // --- Resource telemetry ---
+  int allocated_tokens = 0;
+  int max_tokens_used = 0;
+  double avg_tokens_used = 0.0;
+  double avg_spare_tokens = 0.0;
+  /// Token usage over time: (start_second, token_count) steps.
+  std::vector<std::pair<double, int>> skyline;
+
+  // --- Job size telemetry ---
+  double input_gb = 0.0;
+  double temp_data_gb = 0.0;  ///< intermediate data across stages
+  int total_vertices = 0;
+  int num_stages = 0;
+
+  // --- Placement / environment telemetry ---
+  std::vector<double> sku_vertex_fraction;  ///< per SKU, sums to ~1
+  std::vector<double> sku_cpu_util;         ///< per SKU mean util at submit
+  double cpu_util_mean = 0.0;  ///< across the sampled placement machines
+  double cpu_util_std = 0.0;
+  double cluster_baseline_util = 0.0;
+  double spare_availability = 0.0;
+};
+
+/// \brief Executes job instances against a Cluster.
+class TokenScheduler {
+ public:
+  /// `cluster` must outlive the scheduler.
+  TokenScheduler(const Cluster* cluster, SchedulerConfig config);
+
+  const SchedulerConfig& config() const { return config_; }
+
+  /// Runs one instance of `group`, consuming randomness from `rng`.
+  /// Fails if the group's allocation is non-positive or input is invalid.
+  Result<JobRun> Execute(const JobGroupSpec& group,
+                         const JobInstanceSpec& instance, Rng* rng) const;
+
+ private:
+  const Cluster* cluster_;
+  SchedulerConfig config_;
+};
+
+}  // namespace sim
+}  // namespace rvar
+
+#endif  // RVAR_SIM_SCHEDULER_H_

@@ -1,0 +1,71 @@
+#include "sim/sku.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace sim {
+
+SkuCatalog SkuCatalog::Default() {
+  std::vector<SkuSpec> skus = {
+      {"Gen3", 0.70, 180, 16},  {"Gen3.5", 0.78, 260, 16},
+      {"Gen4", 0.85, 420, 24},  {"Gen4.5", 0.92, 360, 24},
+      {"Gen5", 1.00, 520, 32},  {"Gen5.2", 1.06, 380, 32},
+      {"Gen6", 1.18, 220, 48},
+  };
+  auto catalog = Make(std::move(skus));
+  return *catalog;  // the default catalog is valid by construction
+}
+
+Result<SkuCatalog> SkuCatalog::Make(std::vector<SkuSpec> skus) {
+  if (skus.empty()) {
+    return Status::InvalidArgument("catalog needs at least one SKU");
+  }
+  std::set<std::string> names;
+  for (const SkuSpec& s : skus) {
+    if (s.speed <= 0.0) {
+      return Status::InvalidArgument(
+          StrCat("SKU ", s.name, " has non-positive speed"));
+    }
+    if (s.machine_count <= 0 || s.tokens_per_machine <= 0) {
+      return Status::InvalidArgument(
+          StrCat("SKU ", s.name, " has non-positive capacity"));
+    }
+    if (!names.insert(s.name).second) {
+      return Status::AlreadyExists(StrCat("duplicate SKU name ", s.name));
+    }
+  }
+  SkuCatalog catalog;
+  catalog.skus_ = std::move(skus);
+  return catalog;
+}
+
+const SkuSpec& SkuCatalog::sku(size_t i) const {
+  RVAR_CHECK_LT(i, skus_.size());
+  return skus_[i];
+}
+
+int SkuCatalog::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < skus_.size(); ++i) {
+    if (skus_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int SkuCatalog::TotalMachines() const {
+  int total = 0;
+  for (const SkuSpec& s : skus_) total += s.machine_count;
+  return total;
+}
+
+int64_t SkuCatalog::TotalTokens() const {
+  int64_t total = 0;
+  for (const SkuSpec& s : skus_) {
+    total += static_cast<int64_t>(s.machine_count) * s.tokens_per_machine;
+  }
+  return total;
+}
+
+}  // namespace sim
+}  // namespace rvar

@@ -1,0 +1,62 @@
+// Copyright 2026 The rvar Authors.
+//
+// Stock Keeping Units (SKUs): the heterogeneous machine generations of the
+// simulated cluster. The paper's Cosmos cluster has 10-20 SKUs accumulated
+// over a decade, with newer generations (Gen5/Gen6) processing data faster
+// than older ones (Section 3.2, [83]); the what-if scenario of Section 7.2
+// migrates vertices from Gen3.5 to Gen5.2.
+
+#ifndef RVAR_SIM_SKU_H_
+#define RVAR_SIM_SKU_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rvar {
+namespace sim {
+
+/// \brief One machine generation.
+struct SkuSpec {
+  std::string name;
+  /// Relative processing speed (Gen5 == 1.0); bigger is faster.
+  double speed = 1.0;
+  /// Number of machines of this SKU in the cluster.
+  int machine_count = 0;
+  /// Resource tokens one machine can host concurrently.
+  int tokens_per_machine = 24;
+};
+
+/// \brief The cluster's SKU inventory.
+class SkuCatalog {
+ public:
+  /// The default 7-generation catalog used across the study. Speeds grow
+  /// with generation; the fleet is mid-heavy (most machines are Gen4-Gen5).
+  static SkuCatalog Default();
+
+  /// Builds a catalog from explicit specs; fails on empty input,
+  /// non-positive speeds/counts, or duplicate names.
+  static Result<SkuCatalog> Make(std::vector<SkuSpec> skus);
+
+  size_t NumSkus() const { return skus_.size(); }
+  const std::vector<SkuSpec>& skus() const { return skus_; }
+  const SkuSpec& sku(size_t i) const;
+
+  /// Index of the SKU named `name`, or -1.
+  int IndexOf(const std::string& name) const;
+
+  /// Total machines across all SKUs.
+  int TotalMachines() const;
+
+  /// Total token capacity across all SKUs.
+  int64_t TotalTokens() const;
+
+ private:
+  std::vector<SkuSpec> skus_;
+};
+
+}  // namespace sim
+}  // namespace rvar
+
+#endif  // RVAR_SIM_SKU_H_

@@ -1,0 +1,118 @@
+#include "sim/telemetry.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace rvar {
+namespace sim {
+
+const std::vector<size_t> TelemetryStore::kEmpty;
+
+void TelemetryStore::Add(JobRun run) {
+  by_group_[run.group_id].push_back(runs_.size());
+  runs_.push_back(std::move(run));
+}
+
+const JobRun& TelemetryStore::run(size_t i) const {
+  RVAR_CHECK_LT(i, runs_.size());
+  return runs_[i];
+}
+
+std::vector<int> TelemetryStore::GroupIds() const {
+  std::vector<int> ids;
+  ids.reserve(by_group_.size());
+  for (const auto& [gid, _] : by_group_) ids.push_back(gid);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const std::vector<size_t>& TelemetryStore::RunsOfGroup(int group_id) const {
+  const auto it = by_group_.find(group_id);
+  return it == by_group_.end() ? kEmpty : it->second;
+}
+
+int TelemetryStore::Support(int group_id) const {
+  return static_cast<int>(RunsOfGroup(group_id).size());
+}
+
+std::vector<int> TelemetryStore::GroupsWithSupport(int min_support) const {
+  std::vector<int> ids;
+  for (const auto& [gid, idx] : by_group_) {
+    if (static_cast<int>(idx.size()) >= min_support) ids.push_back(gid);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<double> TelemetryStore::GroupRuntimes(int group_id) const {
+  std::vector<double> out;
+  for (size_t i : RunsOfGroup(group_id)) {
+    out.push_back(runs_[i].runtime_seconds);
+  }
+  return out;
+}
+
+std::string TelemetryStore::ToCsv(
+    const std::vector<std::string>& sku_names) const {
+  CsvWriter csv;
+  std::vector<std::string> header = {
+      "group_id",      "instance_id",    "submit_time",
+      "runtime_s",     "rare_event",     "allocated_tokens",
+      "max_tokens",    "avg_tokens",     "avg_spare_tokens",
+      "input_gb",      "temp_data_gb",   "total_vertices",
+      "num_stages",    "cpu_util_mean",  "cpu_util_std",
+      "baseline_util", "spare_availability"};
+  for (const std::string& sku : sku_names) {
+    header.push_back(StrCat("sku_frac_", sku));
+  }
+  for (const std::string& sku : sku_names) {
+    header.push_back(StrCat("sku_util_", sku));
+  }
+  csv.AddRow(header);
+  for (const JobRun& r : runs_) {
+    RVAR_CHECK_EQ(r.sku_vertex_fraction.size(), sku_names.size());
+    std::vector<std::string> row = {
+        StrCat(r.group_id),
+        StrCat(r.instance_id),
+        FormatDouble(r.submit_time, 1),
+        FormatDouble(r.runtime_seconds, 3),
+        r.rare_event ? "1" : "0",
+        StrCat(r.allocated_tokens),
+        StrCat(r.max_tokens_used),
+        FormatDouble(r.avg_tokens_used, 2),
+        FormatDouble(r.avg_spare_tokens, 2),
+        FormatDouble(r.input_gb, 3),
+        FormatDouble(r.temp_data_gb, 3),
+        StrCat(r.total_vertices),
+        StrCat(r.num_stages),
+        FormatDouble(r.cpu_util_mean, 4),
+        FormatDouble(r.cpu_util_std, 4),
+        FormatDouble(r.cluster_baseline_util, 4),
+        FormatDouble(r.spare_availability, 4)};
+    for (double f : r.sku_vertex_fraction) {
+      row.push_back(FormatDouble(f, 4));
+    }
+    for (double u : r.sku_cpu_util) {
+      row.push_back(FormatDouble(u, 4));
+    }
+    csv.AddRow(row);
+  }
+  return csv.contents();
+}
+
+Status TelemetryStore::ExportCsv(
+    const std::string& path,
+    const std::vector<std::string>& sku_names) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << ToCsv(sku_names);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace sim
+}  // namespace rvar

@@ -1,0 +1,65 @@
+// Copyright 2026 The rvar Authors.
+//
+// Telemetry storage: the joined view of job runs the paper assembles from
+// Peregrine (plan features), execution logs (token skylines), and KEA
+// (machine/SKU data) — Section 3.3. Runs are indexed by job group for the
+// per-group distributional analyses.
+
+#ifndef RVAR_SIM_TELEMETRY_H_
+#define RVAR_SIM_TELEMETRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/scheduler.h"
+
+namespace rvar {
+namespace sim {
+
+/// \brief An append-only collection of executed job runs with a per-group
+/// index.
+class TelemetryStore {
+ public:
+  void Add(JobRun run);
+
+  size_t NumRuns() const { return runs_.size(); }
+  const std::vector<JobRun>& runs() const { return runs_; }
+  const JobRun& run(size_t i) const;
+
+  /// Group ids present, ascending.
+  std::vector<int> GroupIds() const;
+
+  /// Indices (into runs()) of one group's runs, in insertion order; empty
+  /// for unknown groups.
+  const std::vector<size_t>& RunsOfGroup(int group_id) const;
+
+  /// Number of recorded runs for a group.
+  int Support(int group_id) const;
+
+  /// Group ids with at least `min_support` runs, ascending.
+  std::vector<int> GroupsWithSupport(int min_support) const;
+
+  /// The group's runtimes, in insertion order.
+  std::vector<double> GroupRuntimes(int group_id) const;
+
+  /// Serializes every run as CSV (header + one row per run; SKU columns
+  /// named by `sku_names`, which must match the runs' vector lengths).
+  /// Useful for re-plotting figures with external tooling.
+  std::string ToCsv(const std::vector<std::string>& sku_names) const;
+
+  /// Writes ToCsv() to a file.
+  Status ExportCsv(const std::string& path,
+                   const std::vector<std::string>& sku_names) const;
+
+ private:
+  std::vector<JobRun> runs_;
+  std::unordered_map<int, std::vector<size_t>> by_group_;
+  static const std::vector<size_t> kEmpty;
+};
+
+}  // namespace sim
+}  // namespace rvar
+
+#endif  // RVAR_SIM_TELEMETRY_H_

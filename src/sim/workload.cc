@@ -1,0 +1,212 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace sim {
+
+const char* JobArchetypeName(JobArchetype a) {
+  switch (a) {
+    case JobArchetype::kRockSolid:
+      return "rock-solid";
+    case JobArchetype::kStable:
+      return "stable";
+    case JobArchetype::kMildDrifty:
+      return "mild-drifty";
+    case JobArchetype::kHeavyDrifty:
+      return "heavy-drifty";
+    case JobArchetype::kSpareHungry:
+      return "spare-hungry";
+    case JobArchetype::kMildStraggler:
+      return "mild-straggler";
+    case JobArchetype::kSevereStraggler:
+      return "severe-straggler";
+    case JobArchetype::kLoadSensitive:
+      return "load-sensitive";
+  }
+  return "unknown";
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::vector<JobGroupSpec> WorkloadGenerator::GenerateGroups(int num_skus) {
+  RVAR_CHECK_GT(num_skus, 0);
+  // Archetype mix of the workload population.
+  const std::vector<double> archetype_weights = {0.16, 0.20, 0.12, 0.10,
+                                                 0.14, 0.10, 0.08, 0.10};
+  std::vector<JobGroupSpec> groups;
+  groups.reserve(static_cast<size_t>(config_.num_groups));
+  for (int g = 0; g < config_.num_groups; ++g) {
+    JobGroupSpec spec;
+    spec.group_id = g;
+    spec.name = StrCat("job_group_", g);
+    spec.plan = GeneratePlan(config_.plan, &rng_);
+    spec.archetype =
+        static_cast<JobArchetype>(rng_.Categorical(archetype_weights));
+
+    // Input scale spans small ETL jobs to multi-TB scans.
+    spec.base_input_gb = rng_.LogNormal(3.0, 1.5);  // median ~20 GB
+
+    // Archetype-specific behavior. Parameters are tight around each
+    // archetype's center so group-level runtime distributions form
+    // distinct types (as production workloads do) rather than a continuum.
+    switch (spec.archetype) {
+      case JobArchetype::kRockSolid:
+        spec.input_drift_sigma = rng_.Uniform(0.028, 0.032);
+        spec.overallocation = rng_.Uniform(1.9, 2.3);
+        spec.uses_spare_tokens = false;
+        spec.rare_event_prob = 1e-4;
+        spec.contention_sensitivity = rng_.Uniform(0.34, 0.36);
+        break;
+      case JobArchetype::kStable:
+        spec.input_drift_sigma = rng_.Uniform(0.115, 0.125);
+        spec.overallocation = rng_.Uniform(1.5, 1.9);
+        spec.uses_spare_tokens = rng_.Bernoulli(0.4);
+        spec.rare_event_prob = 2e-3;
+        spec.contention_sensitivity = rng_.Uniform(0.78, 0.82);
+        // A quarter of otherwise-stable jobs are placed poorly: they run
+        // on whatever machines come up (uneven, often hot) and suffer
+        // contention for it. Their only observable distinction from their
+        // well-placed siblings is the utilization environment — the lever
+        // of the Section 7.3 what-if.
+        if (rng_.Bernoulli(0.25)) {
+          spec.placement_greed = 0.0;
+          spec.contention_sensitivity = rng_.Uniform(1.55, 1.65);
+        }
+        break;
+      case JobArchetype::kMildDrifty:
+        spec.input_drift_sigma = rng_.Uniform(0.40, 0.44);
+        spec.overallocation = rng_.Uniform(1.4, 1.8);
+        spec.uses_spare_tokens = rng_.Bernoulli(0.5);
+        spec.rare_event_prob = 3e-3;
+        spec.contention_sensitivity = rng_.Uniform(0.78, 0.82);
+        break;
+      case JobArchetype::kHeavyDrifty:
+        spec.input_drift_sigma = rng_.Uniform(1.00, 1.05);
+        spec.overallocation = rng_.Uniform(1.4, 1.8);
+        spec.uses_spare_tokens = rng_.Bernoulli(0.5);
+        spec.rare_event_prob = 3e-3;
+        spec.contention_sensitivity = rng_.Uniform(0.78, 0.82);
+        break;
+      case JobArchetype::kSpareHungry:
+        // Big scan-heavy jobs with shallow plans and allocations well
+        // below their parallelism needs: runtime rides the spare-token
+        // supply, with little dilution from trailing narrow stages.
+        spec.plan = GeneratePlan({.min_operators = 5, .max_operators = 12},
+                                 &rng_);
+        spec.base_input_gb = rng_.LogNormal(5.0, 0.6);  // large inputs
+        spec.input_drift_sigma = rng_.Uniform(0.045, 0.055);
+        spec.overallocation = rng_.Uniform(0.24, 0.26);
+        // A third of under-allocated groups have spare tokens disabled
+        // ("token-starved"): slow but consistent — the live counterpart of
+        // the Section 7.1 counterfactual.
+        spec.uses_spare_tokens = !rng_.Bernoulli(0.33);
+        spec.rare_event_prob = 3e-3;
+        spec.contention_sensitivity = rng_.Uniform(0.78, 0.82);
+        break;
+      case JobArchetype::kMildStraggler:
+        spec.input_drift_sigma = rng_.Uniform(0.165, 0.175);
+        spec.overallocation = rng_.Uniform(1.4, 1.8);
+        spec.uses_spare_tokens = rng_.Bernoulli(0.5);
+        spec.rare_event_prob = rng_.Uniform(0.075, 0.085);
+        spec.contention_sensitivity = rng_.Uniform(0.78, 0.82);
+        break;
+      case JobArchetype::kSevereStraggler:
+        spec.input_drift_sigma = rng_.Uniform(0.10, 0.14);
+        spec.overallocation = rng_.Uniform(1.4, 1.8);
+        spec.uses_spare_tokens = rng_.Bernoulli(0.5);
+        spec.rare_event_prob = rng_.Uniform(0.24, 0.26);
+        spec.contention_sensitivity = rng_.Uniform(0.78, 0.82);
+        break;
+      case JobArchetype::kLoadSensitive: {
+        spec.input_drift_sigma = rng_.Uniform(0.10, 0.14);
+        spec.overallocation = rng_.Uniform(1.4, 1.8);
+        spec.uses_spare_tokens = rng_.Bernoulli(0.5);
+        spec.rare_event_prob = 3e-3;
+        spec.contention_sensitivity = rng_.Uniform(1.55, 1.65);
+        // Data locality pins these scans to one end of the fleet: the
+        // old, hot, uneven generations (wide runtimes) or the new, cool
+        // ones (moderate) — the axis the Section 7.2 and 7.3 what-ifs
+        // move along. Locality also fixes the placement: the job takes
+        // the machines that hold its data rather than seeking idle ones.
+        spec.placement_greed = 0.0;
+        if (rng_.Bernoulli(0.5)) {
+          spec.preferred_sku = rng_.Bernoulli(0.5) ? 0 : 1;  // Gen3 / 3.5
+        } else {
+          spec.preferred_sku = rng_.Bernoulli(0.5) ? 5 : 6;  // Gen5.2 / 6
+        }
+        spec.sku_preference = rng_.Uniform(0.85, 0.95);
+        break;
+      }
+    }
+
+    // Token allocation tracks the job's peak parallelism (first-stage
+    // vertex count ~ input / 2 GB per vertex), quantized the way users
+    // pick round numbers; over-allocation is the norm (AutoToken [63]).
+    const double ideal_tokens = std::clamp(
+        spec.base_input_gb * 0.5 * rng_.Uniform(0.9, 1.1), 2.0, 2000.0);
+    spec.allocated_tokens = static_cast<int>(std::max(
+        2.0,
+        std::round(ideal_tokens * spec.overallocation / 5.0) * 5.0));
+
+    spec.period_seconds =
+        config_.min_period_seconds *
+        std::pow(config_.max_period_seconds / config_.min_period_seconds,
+                 rng_.Uniform());
+    spec.period_jitter = rng_.Uniform(0.05, 0.35);
+    // A quarter of the groups are newer pipelines that first appear
+    // somewhere in the first 60% of the timeline.
+    if (rng_.Bernoulli(0.25)) {
+      spec.start_fraction = rng_.Uniform(0.0, 0.6);
+    }
+
+    // Some groups' data locality gives them a mild affinity to one of the
+    // mid/new generations (affinity to the hot old generations is the
+    // load-sensitive archetype's defining trait).
+    if (spec.preferred_sku < 0 && rng_.Bernoulli(0.5)) {
+      spec.preferred_sku = static_cast<int>(
+          rng_.UniformInt(2, std::max(2, num_skus - 1)));
+      spec.sku_preference = rng_.Uniform(0.55, 0.65);
+    }
+    groups.push_back(std::move(spec));
+  }
+  return groups;
+}
+
+std::vector<JobInstanceSpec> WorkloadGenerator::GenerateInstances(
+    const std::vector<JobGroupSpec>& groups) {
+  const double horizon = config_.interval_days * 86400.0;
+  std::vector<JobInstanceSpec> instances;
+  int64_t next_id = 0;
+  for (const JobGroupSpec& group : groups) {
+    // Random phase so groups are not synchronized; late starters begin
+    // partway through the timeline.
+    double t = group.start_fraction * horizon +
+               rng_.Uniform(0.0, group.period_seconds);
+    while (t < horizon) {
+      JobInstanceSpec inst;
+      inst.group_id = group.group_id;
+      inst.instance_id = next_id++;
+      inst.submit_time = t;
+      inst.input_gb =
+          group.base_input_gb * rng_.LogNormal(0.0, group.input_drift_sigma);
+      instances.push_back(inst);
+      const double gap =
+          group.period_seconds *
+          std::max(0.1, 1.0 + rng_.Normal(0.0, group.period_jitter));
+      t += gap;
+    }
+  }
+  std::sort(instances.begin(), instances.end(),
+            [](const JobInstanceSpec& a, const JobInstanceSpec& b) {
+              return a.submit_time < b.submit_time;
+            });
+  return instances;
+}
+
+}  // namespace sim
+}  // namespace rvar

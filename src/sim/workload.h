@@ -1,0 +1,124 @@
+// Copyright 2026 The rvar Authors.
+//
+// Workload model: recurring job groups and their instances. A job group is
+// the paper's unit of analysis — (normalized name, plan signature) — and
+// its instances differ in submission time, input data size (drifting up to
+// ~50x within a group, Section 3.2), parameters, and the cluster conditions
+// they encounter.
+
+#ifndef RVAR_SIM_WORKLOAD_H_
+#define RVAR_SIM_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/plan.h"
+
+namespace rvar {
+namespace sim {
+
+/// \brief Behavioral archetypes of recurring jobs. Production workloads
+/// are a mix of distinct behavior types rather than a continuum — well
+/// provisioned ETL, input-drifting reports, under-allocated jobs leaning
+/// on spare tokens, straggler-prone pipelines, load-sensitive scans. The
+/// archetype shapes a group's runtime-distribution type; it is workload
+/// metadata, never exposed to the predictor's features.
+enum class JobArchetype : int {
+  kRockSolid = 0,     ///< tiny input drift, ample tokens, no spare usage
+  kStable,            ///< modest drift and risk
+  kMildDrifty,        ///< input sizes drift a few-fold
+  kHeavyDrifty,       ///< input sizes drift by up to ~50x
+  kSpareHungry,       ///< under-allocated; runtime rides spare availability
+  kMildStraggler,     ///< occasional rare-event slowdowns
+  kSevereStraggler,   ///< frequent heavy-tailed slowdowns
+  kLoadSensitive,     ///< runtime strongly coupled to machine load
+};
+inline constexpr int kNumJobArchetypes = 8;
+const char* JobArchetypeName(JobArchetype a);
+
+/// \brief A recurring job template: everything instances share.
+struct JobGroupSpec {
+  int group_id = 0;
+  std::string name;         ///< normalized job name
+  JobArchetype archetype = JobArchetype::kStable;
+  JobPlan plan;             ///< compiled plan (signature = group key part 2)
+  double base_input_gb = 10.0;
+  /// Lognormal sigma of per-instance input drift; ~1.3 gives the paper's
+  /// up-to-50x observed input spread.
+  double input_drift_sigma = 0.5;
+  /// Tokens guaranteed to the job (user-specified allocation).
+  int allocated_tokens = 50;
+  /// Users over-allocate: actual peak need is allocation / this factor.
+  double overallocation = 1.4;
+  /// Whether the job opportunistically consumes preemptible spare tokens.
+  bool uses_spare_tokens = true;
+  /// Mean seconds between submissions.
+  double period_seconds = 3600.0;
+  /// Fraction of the simulated timeline that elapses before this group's
+  /// first submission (new pipelines appear mid-stream in production;
+  /// late starters have little or no history in D1).
+  double start_fraction = 0.0;
+  /// Relative jitter of the submission period.
+  double period_jitter = 0.2;
+  /// Susceptibility to rare slowdown events (disruptions, stragglers).
+  double rare_event_prob = 0.01;
+  /// How strongly machine load inflates this job's vertex times
+  /// (multiplies the scheduler's contention_strength).
+  double contention_sensitivity = 1.0;
+  /// Placement greed override: how strongly this group's vertices seek
+  /// idle machines (negative = use the scheduler's default). 0 models
+  /// locality-constrained jobs stuck with whatever machines hold their
+  /// data; large values model well-placed jobs.
+  double placement_greed = -1.0;
+  /// SKU the group's data placement is affined to, or -1 for none.
+  int preferred_sku = -1;
+  /// Strength of the SKU affinity in [0,1].
+  double sku_preference = 0.6;
+};
+
+/// \brief One submission of a job group.
+struct JobInstanceSpec {
+  int group_id = 0;
+  int64_t instance_id = 0;
+  double submit_time = 0.0;  ///< seconds since interval start
+  double input_gb = 0.0;     ///< actual input size for this run
+};
+
+/// \brief Knobs for generating a whole workload.
+struct WorkloadConfig {
+  int num_groups = 200;
+  /// Simulated interval length in days.
+  double interval_days = 15.0;
+  PlanGeneratorConfig plan;
+  /// Range of mean submission periods across groups (log-uniform), seconds.
+  double min_period_seconds = 900.0;
+  double max_period_seconds = 6.0 * 3600.0;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates job groups and their submission schedules.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// Draws `config.num_groups` diverse job groups. Group properties (input
+  /// scale, tokens, spare usage, susceptibility, SKU affinity) are drawn
+  /// from broad distributions so the workload spans the paper's behavioral
+  /// spectrum. `num_skus` bounds preferred_sku.
+  std::vector<JobGroupSpec> GenerateGroups(int num_skus);
+
+  /// Expands groups into time-ordered instances over the interval.
+  std::vector<JobInstanceSpec> GenerateInstances(
+      const std::vector<JobGroupSpec>& groups);
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+};
+
+}  // namespace sim
+}  // namespace rvar
+
+#endif  // RVAR_SIM_WORKLOAD_H_

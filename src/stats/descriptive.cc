@@ -1,0 +1,94 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rvar {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cov() const {
+  if (count_ < 2 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_;
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  RVAR_CHECK(!sorted.empty());
+  RVAR_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+double Median(std::vector<double> values) {
+  return Quantile(std::move(values), 0.5);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  RunningStats rs;
+  for (double v : values) rs.Add(v);
+  return rs.stddev();
+}
+
+double CoefficientOfVariation(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = Mean(values);
+  if (m == 0.0) return 0.0;
+  return StdDev(values) / m;
+}
+
+double InterquartileRange(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, 0.75) - QuantileSorted(values, 0.25);
+}
+
+}  // namespace rvar

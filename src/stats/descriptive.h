@@ -1,0 +1,71 @@
+// Copyright 2026 The rvar Authors.
+//
+// Descriptive statistics used throughout the paper's analyses: running
+// moments, quantiles, and the scalar variation metrics (COV) that Section 4.1
+// shows to be insufficient — we implement them both as features and as the
+// strawmen they are compared against.
+
+#ifndef RVAR_STATS_DESCRIPTIVE_H_
+#define RVAR_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rvar {
+
+/// \brief Single-pass accumulation of count/mean/variance/min/max
+/// (Welford's algorithm; numerically stable).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Coefficient of variation = stddev / mean; 0 if mean is 0.
+  double cov() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Quantile of `sorted` (ascending) at q in [0,1], with linear interpolation
+/// between order statistics (type-7, the numpy default). Requires non-empty.
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Quantile of arbitrary `values` (copies and sorts). Requires non-empty.
+double Quantile(std::vector<double> values, double q);
+
+/// Median shorthand. Requires non-empty.
+double Median(std::vector<double> values);
+
+/// Mean of `values`; 0 for empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1); 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& values);
+
+/// Coefficient of variation = stddev/mean; 0 if the mean is 0 or input has
+/// fewer than 2 values.
+double CoefficientOfVariation(const std::vector<double>& values);
+
+/// Interquartile range: Q(0.75) - Q(0.25). Requires non-empty.
+double InterquartileRange(std::vector<double> values);
+
+}  // namespace rvar
+
+#endif  // RVAR_STATS_DESCRIPTIVE_H_

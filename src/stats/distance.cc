@@ -1,0 +1,88 @@
+#include "stats/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b) {
+  RVAR_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double L2(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  RVAR_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double KsDistance(std::vector<double> a, std::vector<double> b) {
+  RVAR_CHECK(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  return d;
+}
+
+double KsDistancePmf(const std::vector<double>& pmf_a,
+                     const std::vector<double>& pmf_b) {
+  RVAR_CHECK_EQ(pmf_a.size(), pmf_b.size());
+  double ca = 0.0, cb = 0.0, d = 0.0;
+  for (size_t i = 0; i < pmf_a.size(); ++i) {
+    ca += pmf_a[i];
+    cb += pmf_b[i];
+    d = std::max(d, std::fabs(ca - cb));
+  }
+  return d;
+}
+
+std::vector<QqPoint> QqSeries(std::vector<double> actual,
+                              std::vector<double> predicted,
+                              int num_quantiles) {
+  RVAR_CHECK(!actual.empty() && !predicted.empty());
+  RVAR_CHECK_GT(num_quantiles, 0);
+  std::sort(actual.begin(), actual.end());
+  std::sort(predicted.begin(), predicted.end());
+  std::vector<QqPoint> out;
+  out.reserve(static_cast<size_t>(num_quantiles));
+  for (int k = 1; k <= num_quantiles; ++k) {
+    const double q = static_cast<double>(k) / (num_quantiles + 1);
+    out.push_back({q, QuantileSorted(actual, q), QuantileSorted(predicted, q)});
+  }
+  return out;
+}
+
+double QqMeanAbsoluteError(std::vector<double> actual,
+                           std::vector<double> predicted, int num_quantiles) {
+  const std::vector<QqPoint> pts =
+      QqSeries(std::move(actual), std::move(predicted), num_quantiles);
+  double acc = 0.0;
+  for (const QqPoint& p : pts) acc += std::fabs(p.actual - p.predicted);
+  return acc / static_cast<double>(pts.size());
+}
+
+}  // namespace rvar

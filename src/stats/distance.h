@@ -1,0 +1,52 @@
+// Copyright 2026 The rvar Authors.
+//
+// Distances between distributions: the evaluation metrics of Figure 8
+// (QQ-plot mean absolute error, Kolmogorov-Smirnov distance) and the vector
+// distances used by the clustering of PMFs.
+
+#ifndef RVAR_STATS_DISTANCE_H_
+#define RVAR_STATS_DISTANCE_H_
+
+#include <vector>
+
+namespace rvar {
+
+/// Squared Euclidean distance between equal-length vectors.
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean distance between equal-length vectors.
+double L2(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Dot product of equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Two-sample Kolmogorov-Smirnov distance: the supremum over x of the
+/// absolute difference between the two empirical CDFs. Inputs need not be
+/// sorted; both must be non-empty.
+double KsDistance(std::vector<double> a, std::vector<double> b);
+
+/// KS distance between two PMFs on the same grid: max |CDF_a - CDF_b|.
+double KsDistancePmf(const std::vector<double>& pmf_a,
+                     const std::vector<double>& pmf_b);
+
+/// Quantile-quantile comparison: evaluates both samples at `num_quantiles`
+/// evenly spaced probabilities in (0,1) and returns the mean absolute error
+/// between the paired quantiles — the y-axis of the paper's Figure 8.
+double QqMeanAbsoluteError(std::vector<double> actual,
+                           std::vector<double> predicted,
+                           int num_quantiles = 99);
+
+/// The paired (actual, predicted) quantiles themselves, for rendering a
+/// QQ plot series.
+struct QqPoint {
+  double q;          ///< probability level
+  double actual;     ///< quantile of the actual sample
+  double predicted;  ///< quantile of the predicted sample
+};
+std::vector<QqPoint> QqSeries(std::vector<double> actual,
+                              std::vector<double> predicted,
+                              int num_quantiles = 99);
+
+}  // namespace rvar
+
+#endif  // RVAR_STATS_DISTANCE_H_

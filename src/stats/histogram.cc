@@ -1,0 +1,161 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace rvar {
+
+Result<BinGrid> BinGrid::Make(double lo, double hi, int num_bins) {
+  if (num_bins < 2) {
+    return Status::InvalidArgument(
+        StrCat("BinGrid needs >= 2 bins, got ", num_bins));
+  }
+  if (!(lo < hi)) {
+    return Status::InvalidArgument(
+        StrCat("BinGrid needs lo < hi, got [", lo, ", ", hi, "]"));
+  }
+  return BinGrid(lo, hi, num_bins);
+}
+
+int BinGrid::BinIndex(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return num_bins_ - 1;
+  int idx = static_cast<int>((x - lo_) / width_);
+  return std::clamp(idx, 0, num_bins_ - 1);
+}
+
+double BinGrid::BinCenter(int i) const {
+  RVAR_CHECK(i >= 0 && i < num_bins_);
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+Histogram::Histogram(BinGrid grid)
+    : grid_(grid), counts_(grid.num_bins(), 0) {}
+
+void Histogram::Add(double x) {
+  counts_[grid_.BinIndex(x)]++;
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+std::vector<double> Histogram::Probabilities() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ == 0) return p;
+  const double inv = 1.0 / static_cast<double>(total_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) * inv;
+  }
+  return p;
+}
+
+Histogram Histogram::FromValues(const BinGrid& grid,
+                                const std::vector<double>& values) {
+  Histogram h(grid);
+  h.AddAll(values);
+  return h;
+}
+
+std::vector<double> SmoothPmf(const std::vector<double>& pmf, int radius) {
+  RVAR_CHECK_GE(radius, 0);
+  if (radius == 0 || pmf.empty()) return pmf;
+  const int n = static_cast<int>(pmf.size());
+  double in_sum = 0.0;
+  for (double v : pmf) in_sum += v;
+
+  std::vector<double> out(pmf.size(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - radius);
+    const int hi = std::min(n - 1, i + radius);
+    double acc = 0.0;
+    for (int j = lo; j <= hi; ++j) acc += pmf[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  // Renormalize so truncation at edges does not change the total mass.
+  double out_sum = 0.0;
+  for (double v : out) out_sum += v;
+  if (out_sum > 0.0 && in_sum > 0.0) {
+    const double scale = in_sum / out_sum;
+    for (double& v : out) v *= scale;
+  }
+  return out;
+}
+
+std::vector<double> PmfToCdf(const std::vector<double>& pmf) {
+  std::vector<double> cdf(pmf.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    acc += pmf[i];
+    cdf[i] = acc;
+  }
+  return cdf;
+}
+
+double PmfMean(const BinGrid& grid, const std::vector<double>& pmf) {
+  RVAR_CHECK_EQ(static_cast<int>(pmf.size()), grid.num_bins());
+  double mean = 0.0, mass = 0.0;
+  for (int i = 0; i < grid.num_bins(); ++i) {
+    mean += pmf[i] * grid.BinCenter(i);
+    mass += pmf[i];
+  }
+  return mass > 0.0 ? mean / mass : 0.0;
+}
+
+double PmfQuantile(const BinGrid& grid, const std::vector<double>& pmf,
+                   double q) {
+  RVAR_CHECK_EQ(static_cast<int>(pmf.size()), grid.num_bins());
+  RVAR_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> cdf = PmfToCdf(pmf);
+  const double total = cdf.empty() ? 0.0 : cdf.back();
+  if (total <= 0.0) return grid.lo();
+  const double target = q * total;
+  for (int i = 0; i < grid.num_bins(); ++i) {
+    if (cdf[i] >= target) {
+      const double prev = i > 0 ? cdf[i - 1] : 0.0;
+      const double in_bin = cdf[i] - prev;
+      const double frac = in_bin > 0.0 ? (target - prev) / in_bin : 0.5;
+      const double left = grid.lo() + grid.bin_width() * i;
+      return left + frac * grid.bin_width();
+    }
+  }
+  return grid.hi();
+}
+
+double PmfStdDev(const BinGrid& grid, const std::vector<double>& pmf) {
+  RVAR_CHECK_EQ(static_cast<int>(pmf.size()), grid.num_bins());
+  const double mean = PmfMean(grid, pmf);
+  double var = 0.0, mass = 0.0;
+  for (int i = 0; i < grid.num_bins(); ++i) {
+    const double d = grid.BinCenter(i) - mean;
+    var += pmf[i] * d * d;
+    mass += pmf[i];
+  }
+  return mass > 0.0 ? std::sqrt(var / mass) : 0.0;
+}
+
+std::vector<double> SamplePmf(const BinGrid& grid,
+                              const std::vector<double>& pmf, int n,
+                              Rng* rng) {
+  RVAR_CHECK(rng != nullptr);
+  RVAR_CHECK_EQ(static_cast<int>(pmf.size()), grid.num_bins());
+  RVAR_CHECK_GE(n, 0);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  double total = 0.0;
+  for (double v : pmf) total += v;
+  if (total <= 0.0) return out;
+  for (int k = 0; k < n; ++k) {
+    const size_t bin = rng->Categorical(pmf);
+    const double left = grid.lo() + grid.bin_width() * static_cast<double>(bin);
+    out.push_back(left + rng->Uniform() * grid.bin_width());
+  }
+  return out;
+}
+
+}  // namespace rvar

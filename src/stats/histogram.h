@@ -1,0 +1,114 @@
+// Copyright 2026 The rvar Authors.
+//
+// Empirical PMFs over a fixed bin grid — the paper's representation of a job
+// group's normalized-runtime distribution (Section 4.2). Values outside the
+// configured range are merged into the first/last bin ("outlier bins"), and a
+// smoothing pass can be applied so that clustering treats adjacent bins as
+// correlated.
+
+#ifndef RVAR_STATS_HISTOGRAM_H_
+#define RVAR_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rvar {
+
+/// \brief Immutable description of a uniform bin grid over [lo, hi] with
+/// clipping: values < lo land in bin 0, values > hi in the last bin.
+class BinGrid {
+ public:
+  /// Creates a grid of `num_bins` equal-width bins spanning [lo, hi].
+  /// Fails if num_bins < 2 or lo >= hi.
+  static Result<BinGrid> Make(double lo, double hi, int num_bins);
+
+  int num_bins() const { return num_bins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+
+  /// Index of the bin containing `x` (clipped to [0, num_bins-1]).
+  int BinIndex(double x) const;
+
+  /// Center of bin `i`.
+  double BinCenter(int i) const;
+
+ private:
+  BinGrid(double lo, double hi, int num_bins)
+      : lo_(lo),
+        hi_(hi),
+        num_bins_(num_bins),
+        width_((hi - lo) / num_bins) {}
+
+  double lo_;
+  double hi_;
+  int num_bins_;
+  double width_;
+};
+
+/// \brief An empirical probability mass function over a BinGrid.
+///
+/// Counts are accumulated with Add(); probabilities() returns the normalized
+/// vector. A Histogram with zero observations has an all-zero PMF.
+class Histogram {
+ public:
+  explicit Histogram(BinGrid grid);
+
+  const BinGrid& grid() const { return grid_; }
+
+  /// Accumulates one observation.
+  void Add(double x);
+
+  /// Accumulates many observations.
+  void AddAll(const std::vector<double>& xs);
+
+  int64_t total_count() const { return total_; }
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  /// Normalized bin probabilities (sums to 1 when total_count() > 0).
+  std::vector<double> Probabilities() const;
+
+  /// Builds a histogram of `values` over `grid` in one call.
+  static Histogram FromValues(const BinGrid& grid,
+                              const std::vector<double>& values);
+
+ private:
+  BinGrid grid_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Smooths a PMF with a symmetric moving-average window of half-width
+/// `radius` (window size 2*radius+1, truncated at the edges). The result
+/// still sums to the input's sum. radius == 0 returns the input unchanged.
+std::vector<double> SmoothPmf(const std::vector<double>& pmf, int radius);
+
+/// Cumulative distribution of a PMF (same length; last element equals the
+/// PMF's sum).
+std::vector<double> PmfToCdf(const std::vector<double>& pmf);
+
+/// Mean of a PMF over the grid's bin centers.
+double PmfMean(const BinGrid& grid, const std::vector<double>& pmf);
+
+/// Quantile q of a distribution given by a PMF over `grid`, read from the
+/// CDF with within-bin linear interpolation.
+double PmfQuantile(const BinGrid& grid, const std::vector<double>& pmf,
+                   double q);
+
+/// Standard deviation of a PMF over the grid's bin centers.
+double PmfStdDev(const BinGrid& grid, const std::vector<double>& pmf);
+
+/// Draws `n` samples distributed per `pmf` over `grid` bin centers, with
+/// uniform jitter inside each bin. Used to reconstruct runtime distributions
+/// from predicted shapes. `rng_uniform` supplies U(0,1) draws.
+class Rng;  // from common/rng.h
+std::vector<double> SamplePmf(const BinGrid& grid,
+                              const std::vector<double>& pmf, int n,
+                              Rng* rng);
+
+}  // namespace rvar
+
+#endif  // RVAR_STATS_HISTOGRAM_H_

@@ -1,0 +1,161 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedDifferentStream) {
+  Rng a(123), b(124);
+  int diff = 0;
+  for (int i = 0; i < 100; ++i) diff += (a.Next() != b.Next());
+  EXPECT_GT(diff, 90);
+}
+
+TEST(RngTest, SplitIsIndependent) {
+  Rng a(7);
+  Rng child = a.Split();
+  // The child stream should not trivially equal the parent's continuation.
+  int diff = 0;
+  for (int i = 0; i < 50; ++i) diff += (a.Next() != child.Next());
+  EXPECT_GT(diff, 45);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(4);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 10.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(5);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.Add(rng.Exponential(0.5));
+  EXPECT_NEAR(rs.mean(), 2.0, 0.1);
+}
+
+TEST(RngTest, LogNormalMedianIsExpMu) {
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.LogNormal(1.0, 0.5));
+  EXPECT_NEAR(Median(xs), std::exp(1.0), 0.1);
+}
+
+TEST(RngTest, ParetoNeverBelowScale) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, GammaMeanIsShapeTimesScale) {
+  Rng rng(8);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.Add(rng.Gamma(3.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 6.0, 0.15);
+  // Variance = shape * scale^2 = 12.
+  EXPECT_NEAR(rs.variance(), 12.0, 1.0);
+}
+
+TEST(RngTest, GammaSmallShape) {
+  Rng rng(9);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) {
+    const double g = rng.Gamma(0.5, 1.0);
+    EXPECT_GE(g, 0.0);
+    rs.Add(g);
+  }
+  EXPECT_NEAR(rs.mean(), 0.5, 0.05);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, PoissonMeanAndZero) {
+  Rng rng(12);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  RunningStats small, large;
+  for (int i = 0; i < 20000; ++i) small.Add(static_cast<double>(rng.Poisson(3.0)));
+  for (int i = 0; i < 20000; ++i) large.Add(static_cast<double>(rng.Poisson(100.0)));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 100.0, 0.5);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(14);
+  std::vector<size_t> p = rng.Permutation(100);
+  std::sort(p.begin(), p.end());
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(RngTest, PermutationEmptyAndSingle) {
+  Rng rng(15);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  const auto p = rng.Permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+}  // namespace
+}  // namespace rvar

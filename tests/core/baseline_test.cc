@@ -1,0 +1,117 @@
+// Tests for the Griffon-style regression baseline and the Figure 8
+// reconstruction comparison machinery.
+
+#include "core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace rvar {
+namespace core {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::SuiteConfig config;
+    config.num_groups = 40;
+    config.d1_days = 4.0;
+    config.d2_days = 2.0;
+    config.d3_days = 1.0;
+    config.d1_support = 15;
+    config.workload.min_period_seconds = 600.0;
+    config.workload.max_period_seconds = 2.0 * 3600.0;
+    config.seed = 31337;
+    auto suite = sim::BuildStudySuite(config);
+    ASSERT_TRUE(suite.ok());
+    suite_ = new sim::StudySuite(std::move(*suite));
+
+    PredictorConfig pc;
+    pc.shape.num_clusters = 5;
+    pc.shape.min_support = 15;
+    pc.shape.kmeans.num_restarts = 4;
+    pc.gbdt.num_rounds = 25;
+    auto predictor = VariationPredictor::Train(*suite_, pc);
+    ASSERT_TRUE(predictor.ok()) << predictor.status().ToString();
+    predictor_ = predictor->release();
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete suite_;
+    predictor_ = nullptr;
+    suite_ = nullptr;
+  }
+
+  static sim::StudySuite* suite_;
+  static VariationPredictor* predictor_;
+};
+
+sim::StudySuite* BaselineTest::suite_ = nullptr;
+VariationPredictor* BaselineTest::predictor_ = nullptr;
+
+TEST_F(BaselineTest, PredictsPositiveRuntimesOfRightScale) {
+  auto baseline = RegressionBaseline::Train(*suite_, *predictor_,
+                                            ml::ForestConfig{.num_trees = 25});
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  // Point predictions should land within a factor of ~3 of the truth for
+  // most runs (log-space regression on strongly informative features).
+  int within = 0, total = 0;
+  for (size_t i = 0; i < suite_->d3.telemetry.NumRuns(); i += 7) {
+    const sim::JobRun& run = suite_->d3.telemetry.run(i);
+    auto predicted = (*baseline)->PredictRuntime(run);
+    ASSERT_TRUE(predicted.ok());
+    EXPECT_GT(*predicted, 0.0);
+    const double ratio = *predicted / run.runtime_seconds;
+    within += (ratio > 1.0 / 3.0 && ratio < 3.0);
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(within) / total, 0.8);
+}
+
+TEST_F(BaselineTest, ComparisonProducesCompleteArtifacts) {
+  auto baseline = RegressionBaseline::Train(*suite_, *predictor_,
+                                            ml::ForestConfig{.num_trees = 25});
+  ASSERT_TRUE(baseline.ok());
+  Rng rng(1);
+  auto cmp = CompareReconstruction(suite_->d3.telemetry, *predictor_,
+                                   **baseline, &rng, 49);
+  ASSERT_TRUE(cmp.ok()) << cmp.status().ToString();
+  EXPECT_GT(cmp->num_runs, 0);
+  EXPECT_EQ(cmp->regression_qq.size(), 49u);
+  EXPECT_EQ(cmp->proposed_qq.size(), 49u);
+  EXPECT_GE(cmp->regression_qq_mae, 0.0);
+  EXPECT_GE(cmp->proposed_qq_mae, 0.0);
+  EXPECT_GT(cmp->regression_ks, 0.0);
+  EXPECT_LE(cmp->regression_ks, 1.0);
+  // QQ actual quantiles are shared between the two series.
+  for (size_t i = 0; i < cmp->regression_qq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cmp->regression_qq[i].actual,
+                     cmp->proposed_qq[i].actual);
+  }
+  // The rendered report mentions both methods.
+  const std::string report = RenderReconstruction(*cmp);
+  EXPECT_NE(report.find("regression"), std::string::npos);
+  EXPECT_NE(report.find("proposed"), std::string::npos);
+}
+
+TEST_F(BaselineTest, KsReductionPercentDefinition) {
+  ReconstructionComparison cmp;
+  cmp.regression_ks = 0.5;
+  cmp.proposed_ks = 0.4;
+  EXPECT_NEAR(cmp.KsReductionPercent(), 20.0, 1e-12);
+  cmp.regression_ks = 0.0;
+  EXPECT_EQ(cmp.KsReductionPercent(), 0.0);
+}
+
+TEST_F(BaselineTest, ReportsRenderDatasetAndBuckets) {
+  EXPECT_NE(RenderDatasetSummary(*suite_).find("D1"), std::string::npos);
+  auto eval = predictor_->Evaluate(suite_->d3.telemetry);
+  ASSERT_TRUE(eval.ok());
+  const std::string buckets = RenderSupportBuckets(*eval);
+  EXPECT_NE(buckets.find("occurrences"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rvar

@@ -1,0 +1,157 @@
+// Unit tests for the featurizer: exact history aggregates, cold-start
+// fallback, and dataset assembly.
+
+#include "core/featurizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace core {
+namespace {
+
+class FeaturizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = sim::SkuCatalog::Default();
+    Rng rng(1);
+    sim::JobGroupSpec group;
+    group.group_id = 0;
+    group.name = "g0";
+    group.plan = sim::GeneratePlan({}, &rng);
+    group.allocated_tokens = 40;
+    group.plan.estimated_cardinality = 1000.0;
+    group.plan.estimated_cost = 5000.0;
+    groups_.push_back(group);
+    featurizer_ = std::make_unique<Featurizer>(&groups_, &catalog_);
+  }
+
+  sim::JobRun RunWith(double input, double runtime, int max_tokens,
+                      double spare) {
+    sim::JobRun run;
+    run.group_id = 0;
+    run.input_gb = input;
+    run.runtime_seconds = runtime;
+    run.max_tokens_used = max_tokens;
+    run.avg_tokens_used = max_tokens * 0.8;
+    run.avg_spare_tokens = spare;
+    run.temp_data_gb = input * 0.5;
+    run.total_vertices = 10;
+    run.allocated_tokens = 40;
+    run.sku_vertex_fraction.assign(catalog_.NumSkus(), 0.0);
+    run.sku_vertex_fraction[2] = 1.0;
+    run.sku_cpu_util.assign(catalog_.NumSkus(), 0.5);
+    return run;
+  }
+
+  double Feature(const std::vector<double>& x, const char* name) {
+    const int idx = featurizer_->IndexOf(name);
+    EXPECT_GE(idx, 0) << name;
+    return x[static_cast<size_t>(idx)];
+  }
+
+  sim::SkuCatalog catalog_;
+  std::vector<sim::JobGroupSpec> groups_;
+  std::unique_ptr<Featurizer> featurizer_;
+};
+
+TEST_F(FeaturizerTest, HistoryAggregatesAreExact) {
+  sim::TelemetryStore history;
+  history.Add(RunWith(10.0, 100.0, 50, 5.0));
+  history.Add(RunWith(20.0, 200.0, 70, 15.0));
+  history.Add(RunWith(30.0, 600.0, 90, 10.0));
+  featurizer_->SetHistory(history);
+
+  auto x = featurizer_->FeaturesFor(RunWith(99.0, 1.0, 1, 0.0));
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_input_gb_mean"), 20.0);
+  EXPECT_NEAR(Feature(*x, "hist_input_gb_std"), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_temp_gb_mean"), 10.0);
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_max_tokens_mean"), 70.0);
+  EXPECT_NEAR(Feature(*x, "hist_max_tokens_std"), 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_spare_tokens_mean"), 10.0);
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_runtime_median"), 200.0);
+  // SKU fraction history: everything on SKU 2.
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_sku_frac_Gen4"), 1.0);
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_sku_frac_Gen3"), 0.0);
+}
+
+TEST_F(FeaturizerTest, ColdStartFallsBackToRunTelemetry) {
+  // No history set: the run's own values stand in.
+  sim::JobRun run = RunWith(42.0, 123.0, 60, 7.0);
+  auto x = featurizer_->FeaturesFor(run);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_input_gb_mean"), 42.0);
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_input_gb_std"), 0.0);
+  EXPECT_DOUBLE_EQ(Feature(*x, "hist_max_tokens_mean"), 60.0);
+}
+
+TEST_F(FeaturizerTest, IntrinsicPlanFeatures) {
+  auto x = featurizer_->FeaturesFor(RunWith(10.0, 10.0, 40, 0.0));
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(Feature(*x, "log_est_cardinality"), std::log(1000.0), 1e-12);
+  EXPECT_NEAR(Feature(*x, "log_est_cost"), std::log(5000.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Feature(*x, "num_operators"),
+                   static_cast<double>(groups_[0].plan.nodes.size()));
+  EXPECT_DOUBLE_EQ(Feature(*x, "allocated_tokens"), 40.0);
+  // Operator counts sum to the node count.
+  double op_total = 0.0;
+  for (int op = 0; op < sim::kNumOperatorTypes; ++op) {
+    op_total += Feature(
+        *x, StrCat("op_", sim::OperatorTypeName(
+                              static_cast<sim::OperatorType>(op)))
+                .c_str());
+  }
+  EXPECT_DOUBLE_EQ(op_total,
+                   static_cast<double>(groups_[0].plan.nodes.size()));
+}
+
+TEST_F(FeaturizerTest, TimeOfDayEncodingIsOnUnitCircle) {
+  sim::JobRun run = RunWith(10.0, 10.0, 40, 0.0);
+  run.submit_time = 86400.0 * 3 + 6.0 * 3600.0;  // 06:00 on day 3
+  auto x = featurizer_->FeaturesFor(run);
+  ASSERT_TRUE(x.ok());
+  const double s = Feature(*x, "tod_sin");
+  const double c = Feature(*x, "tod_cos");
+  EXPECT_NEAR(s * s + c * c, 1.0, 1e-9);
+  EXPECT_NEAR(s, 1.0, 1e-9);  // sin(2pi * 0.25)
+}
+
+TEST_F(FeaturizerTest, UnknownGroupRejected) {
+  sim::JobRun run = RunWith(10.0, 10.0, 40, 0.0);
+  run.group_id = 7;  // not in groups_
+  EXPECT_TRUE(featurizer_->FeaturesFor(run).status().IsOutOfRange());
+}
+
+TEST_F(FeaturizerTest, BuildDatasetSkipsUnlabeledGroups) {
+  sim::TelemetryStore slice;
+  slice.Add(RunWith(10.0, 100.0, 50, 0.0));
+  slice.Add(RunWith(20.0, 120.0, 50, 0.0));
+  std::unordered_map<int, int> labels;  // empty: nothing labeled
+  auto d = featurizer_->BuildDataset(slice, labels);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumRows(), 0u);
+  labels[0] = 3;
+  d = featurizer_->BuildDataset(slice, labels);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumRows(), 2u);
+  EXPECT_EQ(d->y, (std::vector<int>{3, 3}));
+  EXPECT_EQ(d->feature_names.size(), d->NumFeatures());
+}
+
+TEST_F(FeaturizerTest, RegressionDatasetTargetsRuntime) {
+  sim::TelemetryStore slice;
+  slice.Add(RunWith(10.0, 111.0, 50, 0.0));
+  slice.Add(RunWith(20.0, 222.0, 50, 0.0));
+  auto d = featurizer_->BuildRegressionDataset(slice);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->target, (std::vector<double>{111.0, 222.0}));
+  EXPECT_TRUE(d->y.empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rvar

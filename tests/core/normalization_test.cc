@@ -1,0 +1,96 @@
+#include "core/normalization.h"
+
+#include <gtest/gtest.h>
+
+namespace rvar {
+namespace core {
+namespace {
+
+sim::JobRun RunOf(int group, double runtime) {
+  sim::JobRun run;
+  run.group_id = group;
+  run.runtime_seconds = runtime;
+  return run;
+}
+
+TEST(NormalizationTest, RatioAndDelta) {
+  EXPECT_DOUBLE_EQ(
+      NormalizeRuntime(Normalization::kRatio, 150.0, 100.0), 1.5);
+  EXPECT_DOUBLE_EQ(
+      NormalizeRuntime(Normalization::kDelta, 150.0, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(
+      NormalizeRuntime(Normalization::kDelta, 80.0, 100.0), -20.0);
+}
+
+TEST(NormalizationTest, CanonicalGridsMatchPaper) {
+  const BinGrid ratio = CanonicalGrid(Normalization::kRatio);
+  EXPECT_EQ(ratio.num_bins(), 200);
+  EXPECT_DOUBLE_EQ(ratio.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(ratio.hi(), 10.0);
+  const BinGrid delta = CanonicalGrid(Normalization::kDelta);
+  EXPECT_DOUBLE_EQ(delta.lo(), -900.0);
+  EXPECT_DOUBLE_EQ(delta.hi(), 900.0);
+  EXPECT_DOUBLE_EQ(OutlierThreshold(Normalization::kRatio), 10.0);
+  EXPECT_DOUBLE_EQ(OutlierThreshold(Normalization::kDelta), 900.0);
+  EXPECT_STREQ(NormalizationName(Normalization::kRatio), "Ratio");
+  EXPECT_STREQ(NormalizationName(Normalization::kDelta), "Delta");
+}
+
+TEST(GroupMediansTest, FromTelemetry) {
+  sim::TelemetryStore store;
+  for (double t : {10.0, 20.0, 30.0}) store.Add(RunOf(0, t));
+  for (double t : {5.0, 100.0}) store.Add(RunOf(7, t));
+  GroupMedians medians = GroupMedians::FromTelemetry(store);
+  EXPECT_EQ(medians.size(), 2u);
+  ASSERT_TRUE(medians.Has(0));
+  EXPECT_DOUBLE_EQ(*medians.Of(0), 20.0);
+  EXPECT_DOUBLE_EQ(*medians.Of(7), 52.5);
+  EXPECT_FALSE(medians.Has(3));
+  EXPECT_TRUE(medians.Of(3).status().IsNotFound());
+}
+
+TEST(GroupMediansTest, SetOverrides) {
+  GroupMedians medians;
+  medians.Set(5, 42.0);
+  EXPECT_DOUBLE_EQ(*medians.Of(5), 42.0);
+  medians.Set(5, 50.0);
+  EXPECT_DOUBLE_EQ(*medians.Of(5), 50.0);
+}
+
+TEST(NormalizedGroupRuntimesTest, RatioAndDeltaAgainstMedian) {
+  sim::TelemetryStore store;
+  for (double t : {50.0, 100.0, 200.0}) store.Add(RunOf(1, t));
+  GroupMedians medians;
+  medians.Set(1, 100.0);
+  auto ratio = NormalizedGroupRuntimes(store, 1, medians,
+                                       Normalization::kRatio);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_EQ(*ratio, (std::vector<double>{0.5, 1.0, 2.0}));
+  auto delta = NormalizedGroupRuntimes(store, 1, medians,
+                                       Normalization::kDelta);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(*delta, (std::vector<double>{-50.0, 0.0, 100.0}));
+}
+
+TEST(NormalizedGroupRuntimesTest, FailsWithoutMedianOrBadMedian) {
+  sim::TelemetryStore store;
+  store.Add(RunOf(1, 10.0));
+  GroupMedians medians;
+  EXPECT_TRUE(NormalizedGroupRuntimes(store, 1, medians,
+                                      Normalization::kRatio)
+                  .status()
+                  .IsNotFound());
+  medians.Set(1, 0.0);
+  EXPECT_TRUE(NormalizedGroupRuntimes(store, 1, medians,
+                                      Normalization::kRatio)
+                  .status()
+                  .IsFailedPrecondition());
+  // Delta works even with zero median.
+  EXPECT_TRUE(NormalizedGroupRuntimes(store, 1, medians,
+                                      Normalization::kDelta)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rvar

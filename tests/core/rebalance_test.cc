@@ -1,0 +1,113 @@
+#include "core/rebalance.h"
+
+#include <gtest/gtest.h>
+
+namespace rvar {
+namespace core {
+namespace {
+
+sim::JobRun RunOn(int sku, double tokens, double runtime, size_t num_skus) {
+  sim::JobRun run;
+  run.group_id = 0;
+  run.avg_tokens_used = tokens;
+  run.runtime_seconds = runtime;
+  run.sku_vertex_fraction.assign(num_skus, 0.0);
+  run.sku_vertex_fraction[static_cast<size_t>(sku)] = 1.0;
+  run.sku_cpu_util.assign(num_skus, 0.5);
+  return run;
+}
+
+class RebalanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = sim::SkuCatalog::Default();
+    // All load on Gen3.5 (index 1): 100 tokens x 1000 s.
+    store_.Add(RunOn(1, 100.0, 1000.0, catalog_.NumSkus()));
+  }
+
+  sim::SkuCatalog catalog_;
+  sim::TelemetryStore store_;
+};
+
+TEST_F(RebalanceTest, EstimatesCapacityShares) {
+  auto model = RebalanceModel::Estimate(store_, catalog_, 1000.0);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // Gen3.5: 260 machines x 16 tokens = 4160 capacity; share = 100/4160.
+  EXPECT_NEAR(model->SkuLoad(1), 100.0 / 4160.0, 1e-9);
+  EXPECT_EQ(model->SkuLoad(0), 0.0);
+  EXPECT_EQ(model->SkuLoad(5), 0.0);
+}
+
+TEST_F(RebalanceTest, ShiftConservesAndScalesWork) {
+  auto model = RebalanceModel::Estimate(store_, catalog_, 1000.0);
+  ASSERT_TRUE(model.ok());
+  auto delta = model->UtilizationShift(1, 5, 1.0);  // Gen3.5 -> Gen5.2
+  ASSERT_TRUE(delta.ok());
+  // Source drops by its full share.
+  EXPECT_NEAR((*delta)[1], -100.0 / 4160.0, 1e-9);
+  // Destination absorbs the token-seconds against its own capacity,
+  // scaled down by the speed ratio (faster machines finish sooner).
+  const double to_capacity = 380.0 * 32.0;
+  const double expected =
+      (100.0 / 4160.0) * (4160.0 / to_capacity) * (0.78 / 1.06);
+  EXPECT_NEAR((*delta)[5], expected, 1e-9);
+  // No other SKU moves.
+  for (int s : {0, 2, 3, 4, 6}) EXPECT_EQ((*delta)[static_cast<size_t>(s)], 0.0);
+}
+
+TEST_F(RebalanceTest, PartialFractionScalesLinearly) {
+  auto model = RebalanceModel::Estimate(store_, catalog_, 1000.0);
+  ASSERT_TRUE(model.ok());
+  auto full = model->UtilizationShift(1, 5, 1.0);
+  auto half = model->UtilizationShift(1, 5, 0.5);
+  ASSERT_TRUE(full.ok() && half.ok());
+  EXPECT_NEAR((*half)[1], 0.5 * (*full)[1], 1e-12);
+  EXPECT_NEAR((*half)[5], 0.5 * (*full)[5], 1e-12);
+}
+
+TEST_F(RebalanceTest, RejectsBadArguments) {
+  sim::TelemetryStore empty;
+  EXPECT_FALSE(RebalanceModel::Estimate(empty, catalog_, 1000.0).ok());
+  EXPECT_FALSE(RebalanceModel::Estimate(store_, catalog_, 0.0).ok());
+  auto model = RebalanceModel::Estimate(store_, catalog_, 1000.0);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->UtilizationShift(1, 1, 0.5).ok());
+  EXPECT_FALSE(model->UtilizationShift(-1, 2, 0.5).ok());
+  EXPECT_FALSE(model->UtilizationShift(1, 99, 0.5).ok());
+  EXPECT_FALSE(model->UtilizationShift(1, 2, 1.5).ok());
+  EXPECT_FALSE(model->DynamicSkuShift("Gen99", "Gen5.2").ok());
+}
+
+TEST_F(RebalanceTest, DynamicTransformMovesFracAndUtil) {
+  auto model = RebalanceModel::Estimate(store_, catalog_, 1000.0);
+  ASSERT_TRUE(model.ok());
+  auto transform = model->DynamicSkuShift("Gen3.5", "Gen5.2");
+  ASSERT_TRUE(transform.ok());
+
+  std::vector<sim::JobGroupSpec> groups;
+  Featurizer featurizer(&groups, &catalog_);
+  std::vector<double> x(featurizer.FeatureNames().size(), 0.0);
+  auto set = [&](const char* name, double v) {
+    x[static_cast<size_t>(featurizer.IndexOf(name))] = v;
+  };
+  auto get = [&](const char* name) {
+    return x[static_cast<size_t>(featurizer.IndexOf(name))];
+  };
+  set("hist_sku_frac_Gen3.5", 0.9);
+  set("sku_util_Gen3.5", 0.7);
+  set("sku_util_Gen5.2", 0.45);
+  set("cpu_util_mean", 0.68);
+
+  (*transform)(featurizer, &x);
+  EXPECT_DOUBLE_EQ(get("hist_sku_frac_Gen3.5"), 0.0);
+  EXPECT_DOUBLE_EQ(get("hist_sku_frac_Gen5.2"), 0.9);
+  // Source SKU cools down, destination warms up.
+  EXPECT_LT(get("sku_util_Gen3.5"), 0.7);
+  EXPECT_GT(get("sku_util_Gen5.2"), 0.45);
+  // The job's own machines follow to the (post-shift) destination util.
+  EXPECT_LT(get("cpu_util_mean"), 0.68);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rvar

@@ -1,0 +1,262 @@
+#include "core/shape_library.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/assigner.h"
+#include "stats/distance.h"
+
+namespace rvar {
+namespace core {
+namespace {
+
+// Builds a telemetry store with three families of groups whose
+// ratio-normalized runtime distributions are clearly distinct:
+//  - "tight":   runtime ~ median * N(1, 0.03)
+//  - "wide":    runtime ~ median * N(1, 0.5) (clipped positive)
+//  - "bimodal": median * N(1, 0.05) with 30% of runs at ~3x median.
+struct SyntheticReference {
+  sim::TelemetryStore store;
+  GroupMedians medians;
+  std::vector<int> tight_groups, wide_groups, bimodal_groups;
+};
+
+SyntheticReference MakeReference(int groups_per_family, int runs_per_group,
+                                 uint64_t seed) {
+  SyntheticReference ref;
+  Rng rng(seed);
+  int gid = 0;
+  auto add_group = [&](int family) {
+    const double median = rng.Uniform(50.0, 500.0);
+    for (int i = 0; i < runs_per_group; ++i) {
+      double factor = 1.0;
+      if (family == 0) {
+        factor = std::max(0.1, rng.Normal(1.0, 0.03));
+      } else if (family == 1) {
+        factor = std::max(0.1, rng.Normal(1.0, 0.5));
+      } else {
+        factor = rng.Bernoulli(0.3) ? rng.Normal(3.0, 0.1)
+                                    : rng.Normal(1.0, 0.05);
+        factor = std::max(0.1, factor);
+      }
+      sim::JobRun run;
+      run.group_id = gid;
+      run.runtime_seconds = median * factor;
+      ref.store.Add(run);
+    }
+    ref.medians.Set(gid, median);
+    if (family == 0) ref.tight_groups.push_back(gid);
+    if (family == 1) ref.wide_groups.push_back(gid);
+    if (family == 2) ref.bimodal_groups.push_back(gid);
+    ++gid;
+  };
+  for (int g = 0; g < groups_per_family; ++g) {
+    add_group(0);
+    add_group(1);
+    add_group(2);
+  }
+  return ref;
+}
+
+ShapeLibraryConfig SmallConfig(int clusters = 3) {
+  ShapeLibraryConfig config;
+  config.num_clusters = clusters;
+  config.min_support = 10;
+  config.kmeans.num_restarts = 5;
+  return config;
+}
+
+TEST(ShapeLibraryTest, RecoversDistinctFamilies) {
+  SyntheticReference ref = MakeReference(12, 60, 1);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  EXPECT_EQ(lib->num_clusters(), 3);
+  // All groups of one family land in the same cluster, and the three
+  // families get three distinct clusters.
+  auto family_cluster = [&](const std::vector<int>& gids) {
+    const int c0 = lib->ReferenceAssignment(gids[0]);
+    for (int gid : gids) {
+      EXPECT_EQ(lib->ReferenceAssignment(gid), c0) << "group " << gid;
+    }
+    return c0;
+  };
+  const int ct = family_cluster(ref.tight_groups);
+  const int cw = family_cluster(ref.wide_groups);
+  const int cb = family_cluster(ref.bimodal_groups);
+  EXPECT_NE(ct, cw);
+  EXPECT_NE(ct, cb);
+  EXPECT_NE(cw, cb);
+}
+
+TEST(ShapeLibraryTest, ClustersOrderedByIqr) {
+  SyntheticReference ref = MakeReference(12, 60, 2);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  for (int c = 1; c < lib->num_clusters(); ++c) {
+    EXPECT_GE(lib->stats(c).iqr, lib->stats(c - 1).iqr);
+  }
+  // The tight family must be cluster 0 (smallest IQR).
+  EXPECT_EQ(lib->ReferenceAssignment(ref.tight_groups[0]), 0);
+}
+
+TEST(ShapeLibraryTest, StatsMatchFamilyProperties) {
+  SyntheticReference ref = MakeReference(12, 80, 3);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  const int tight = lib->ReferenceAssignment(ref.tight_groups[0]);
+  const int bimodal = lib->ReferenceAssignment(ref.bimodal_groups[0]);
+  // Tight cluster: tiny IQR around 1.0, p95 close to 1.
+  EXPECT_LT(lib->stats(tight).iqr, 0.1);
+  EXPECT_NEAR(lib->stats(tight).p95, 1.05, 0.1);
+  // Bimodal cluster: p95 reaches the 3x mode.
+  EXPECT_GT(lib->stats(bimodal).p95, 2.0);
+  // Sample counts and groups add up.
+  int64_t samples = 0;
+  int groups = 0;
+  for (int c = 0; c < lib->num_clusters(); ++c) {
+    samples += lib->stats(c).num_samples;
+    groups += lib->stats(c).num_groups;
+  }
+  EXPECT_EQ(samples, static_cast<int64_t>(ref.store.NumRuns()));
+  EXPECT_EQ(groups, 36);
+}
+
+TEST(ShapeLibraryTest, ShapePmfsNormalized) {
+  SyntheticReference ref = MakeReference(10, 50, 4);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  for (int c = 0; c < lib->num_clusters(); ++c) {
+    const auto& pmf = lib->shape(c);
+    EXPECT_EQ(static_cast<int>(pmf.size()), lib->grid().num_bins());
+    EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-9);
+    for (double v : pmf) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(ShapeLibraryTest, MinSupportFiltersGroups) {
+  SyntheticReference ref = MakeReference(10, 15, 5);  // support 15 < 20
+  ShapeLibraryConfig config = SmallConfig();
+  config.min_support = 20;
+  EXPECT_TRUE(ShapeLibrary::Build(ref.store, ref.medians, config)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ShapeLibraryTest, RejectsBadConfig) {
+  SyntheticReference ref = MakeReference(5, 30, 6);
+  ShapeLibraryConfig config = SmallConfig();
+  config.num_clusters = 0;
+  EXPECT_FALSE(ShapeLibrary::Build(ref.store, ref.medians, config).ok());
+  config = SmallConfig();
+  config.num_bins = 1;
+  EXPECT_FALSE(ShapeLibrary::Build(ref.store, ref.medians, config).ok());
+  config = SmallConfig();
+  config.smoothing_radius = -1;
+  EXPECT_FALSE(ShapeLibrary::Build(ref.store, ref.medians, config).ok());
+}
+
+TEST(ShapeLibraryTest, DeltaNormalizationWorks) {
+  SyntheticReference ref = MakeReference(12, 60, 7);
+  ShapeLibraryConfig config = SmallConfig();
+  config.normalization = Normalization::kDelta;
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, config);
+  ASSERT_TRUE(lib.ok());
+  EXPECT_DOUBLE_EQ(lib->grid().lo(), -900.0);
+  // Delta IQRs are in seconds.
+  EXPECT_GT(lib->stats(lib->num_clusters() - 1).iqr, 1.0);
+}
+
+TEST(ShapeLibraryTest, ObservationPmfSmoothedAndNormalized) {
+  SyntheticReference ref = MakeReference(10, 50, 8);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  const auto pmf = lib->ObservationPmf({1.0, 1.0, 1.01, 0.99});
+  EXPECT_NEAR(std::accumulate(pmf.begin(), pmf.end(), 0.0), 1.0, 1e-9);
+  // Smoothing spreads mass over neighboring bins.
+  int nonzero = 0;
+  for (double v : pmf) nonzero += (v > 0.0);
+  EXPECT_GT(nonzero, 2);
+}
+
+TEST(PosteriorAssignerTest, AssignsObservationsToOwnFamily) {
+  SyntheticReference ref = MakeReference(12, 60, 9);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  PosteriorAssigner assigner(&*lib);
+
+  Rng rng(10);
+  // Fresh observations from each family (only 10 samples, like the paper's
+  // Figure 6 example) must map to the family's cluster.
+  auto draw_tight = [&] { return std::max(0.1, rng.Normal(1.0, 0.03)); };
+  auto draw_bimodal = [&] {
+    return rng.Bernoulli(0.3) ? rng.Normal(3.0, 0.1)
+                              : rng.Normal(1.0, 0.05);
+  };
+  std::vector<double> tight_obs, bimodal_obs;
+  for (int i = 0; i < 10; ++i) {
+    tight_obs.push_back(draw_tight());
+    bimodal_obs.push_back(draw_bimodal());
+  }
+  auto tight_cluster = assigner.Assign(tight_obs);
+  ASSERT_TRUE(tight_cluster.ok());
+  EXPECT_EQ(*tight_cluster, lib->ReferenceAssignment(ref.tight_groups[0]));
+  auto bimodal_cluster = assigner.Assign(bimodal_obs);
+  ASSERT_TRUE(bimodal_cluster.ok());
+  EXPECT_EQ(*bimodal_cluster,
+            lib->ReferenceAssignment(ref.bimodal_groups[0]));
+}
+
+TEST(PosteriorAssignerTest, LikelihoodRanksSimilarShapesHigher) {
+  SyntheticReference ref = MakeReference(12, 60, 11);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  PosteriorAssigner assigner(&*lib);
+  std::vector<double> obs(20, 1.0);  // spike at the median
+  auto lls = assigner.LogLikelihoods(obs);
+  ASSERT_TRUE(lls.ok());
+  ASSERT_EQ(lls->size(), 3u);
+  const int tight = lib->ReferenceAssignment(ref.tight_groups[0]);
+  for (const ClusterLikelihood& cl : *lls) {
+    if (cl.cluster != tight) {
+      EXPECT_GT((*lls)[static_cast<size_t>(tight)].log_likelihood,
+                cl.log_likelihood);
+    }
+  }
+  ClusterLikelihood best;
+  ASSERT_TRUE(assigner.Assign(obs, &best).ok());
+  EXPECT_EQ(best.cluster, tight);
+  EXPECT_LE(best.log_likelihood, 0.0);
+}
+
+TEST(PosteriorAssignerTest, LikelihoodScalesWithSampleSize) {
+  // Equation 3: doubling the observations doubles the log-likelihood.
+  SyntheticReference ref = MakeReference(10, 50, 12);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  PosteriorAssigner assigner(&*lib);
+  std::vector<double> once = {0.9, 1.0, 1.1, 3.0};
+  std::vector<double> twice = once;
+  twice.insert(twice.end(), once.begin(), once.end());
+  auto ll1 = assigner.LogLikelihoods(once);
+  auto ll2 = assigner.LogLikelihoods(twice);
+  ASSERT_TRUE(ll1.ok() && ll2.ok());
+  for (size_t c = 0; c < ll1->size(); ++c) {
+    EXPECT_NEAR((*ll2)[c].log_likelihood, 2.0 * (*ll1)[c].log_likelihood,
+                1e-9);
+  }
+}
+
+TEST(PosteriorAssignerTest, EmptyObservationsRejected) {
+  SyntheticReference ref = MakeReference(10, 50, 13);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  PosteriorAssigner assigner(&*lib);
+  EXPECT_TRUE(assigner.Assign({}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rvar

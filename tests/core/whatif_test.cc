@@ -1,0 +1,136 @@
+// Unit tests for the what-if transforms themselves (the engine-level
+// integration is covered in pipeline_test.cc). A featurizer with a real
+// catalog resolves the names; the transforms must rewrite consistent
+// counterfactual vectors.
+
+#include "core/whatif.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "sim/datasets.h"
+
+namespace rvar {
+namespace core {
+namespace {
+
+class WhatIfTransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = sim::SkuCatalog::Default();
+    groups_.clear();
+    featurizer_ = std::make_unique<Featurizer>(&groups_, &catalog_);
+    x_.assign(featurizer_->FeatureNames().size(), 0.0);
+  }
+
+  void Set(const std::string& name, double v) {
+    const int idx = featurizer_->IndexOf(name);
+    ASSERT_GE(idx, 0) << name;
+    x_[static_cast<size_t>(idx)] = v;
+  }
+  double Get(const std::string& name) const {
+    const int idx = featurizer_->IndexOf(name);
+    EXPECT_GE(idx, 0) << name;
+    return idx >= 0 ? x_[static_cast<size_t>(idx)] : -1.0;
+  }
+
+  sim::SkuCatalog catalog_;
+  std::vector<sim::JobGroupSpec> groups_;
+  std::unique_ptr<Featurizer> featurizer_;
+  std::vector<double> x_;
+};
+
+TEST_F(WhatIfTransformTest, DisableSpareTokensCollapsesTokenStats) {
+  Set("allocated_tokens", 50.0);
+  Set("hist_spare_tokens_mean", 30.0);
+  Set("spare_availability", 0.4);
+  Set("hist_max_tokens_mean", 120.0);  // peak above allocation
+  Set("hist_avg_tokens_mean", 80.0);
+  Set("hist_max_tokens_std", 25.0);
+  auto transform = WhatIfEngine::DisableSpareTokens();
+  transform(*featurizer_, &x_);
+  EXPECT_EQ(Get("hist_spare_tokens_mean"), 0.0);
+  EXPECT_EQ(Get("spare_availability"), 0.0);
+  EXPECT_EQ(Get("hist_max_tokens_mean"), 50.0);
+  EXPECT_EQ(Get("hist_avg_tokens_mean"), 50.0);
+  EXPECT_EQ(Get("hist_max_tokens_std"), 0.0);
+  EXPECT_EQ(Get("allocated_tokens"), 50.0);
+}
+
+TEST_F(WhatIfTransformTest, DisableSpareLeavesProvisionedJobsAlone) {
+  // A job whose usage never exceeded its allocation keeps its stats.
+  Set("allocated_tokens", 100.0);
+  Set("hist_max_tokens_mean", 60.0);
+  Set("hist_avg_tokens_mean", 40.0);
+  Set("hist_max_tokens_std", 5.0);
+  auto transform = WhatIfEngine::DisableSpareTokens();
+  transform(*featurizer_, &x_);
+  EXPECT_EQ(Get("hist_max_tokens_mean"), 60.0);
+  EXPECT_EQ(Get("hist_avg_tokens_mean"), 40.0);
+  EXPECT_EQ(Get("hist_max_tokens_std"), 5.0);
+}
+
+TEST_F(WhatIfTransformTest, ShiftSkuMovesFractionAndUtilization) {
+  Set("hist_sku_frac_Gen3.5", 0.8);
+  Set("hist_sku_frac_Gen5.2", 0.1);
+  Set("sku_util_Gen3.5", 0.7);
+  Set("sku_util_Gen5.2", 0.4);
+  Set("cpu_util_mean", 0.65);
+  auto transform = WhatIfEngine::ShiftSkuVertices("Gen3.5", "Gen5.2");
+  transform(*featurizer_, &x_);
+  EXPECT_DOUBLE_EQ(Get("hist_sku_frac_Gen3.5"), 0.0);
+  EXPECT_DOUBLE_EQ(Get("hist_sku_frac_Gen5.2"), 0.9);
+  // The moved 0.8 of vertices now see Gen5.2's utilization.
+  EXPECT_NEAR(Get("cpu_util_mean"), 0.65 + 0.8 * (0.4 - 0.7), 1e-12);
+  // The SKU utilizations themselves (cluster facts) do not change.
+  EXPECT_DOUBLE_EQ(Get("sku_util_Gen3.5"), 0.7);
+}
+
+TEST_F(WhatIfTransformTest, ShiftSkuNoopWithoutPresence) {
+  Set("hist_sku_frac_Gen5.2", 0.5);
+  Set("cpu_util_mean", 0.5);
+  auto transform = WhatIfEngine::ShiftSkuVertices("Gen3.5", "Gen5.2");
+  transform(*featurizer_, &x_);
+  EXPECT_DOUBLE_EQ(Get("hist_sku_frac_Gen5.2"), 0.5);
+  EXPECT_DOUBLE_EQ(Get("cpu_util_mean"), 0.5);
+}
+
+TEST_F(WhatIfTransformTest, EqualizeLoadFlattensUtilization) {
+  // Per-SKU utils spread 0.3..0.9; job's own machines hot.
+  const auto& names = featurizer_->FeatureNames();
+  double expected_mean = 0.0;
+  int n = 0;
+  for (size_t f = 0; f < names.size(); ++f) {
+    if (StartsWith(names[f], "sku_util_")) {
+      const double v = 0.3 + 0.1 * n;
+      x_[f] = v;
+      expected_mean += v;
+      ++n;
+    }
+  }
+  expected_mean /= n;
+  Set("cpu_util_std", 0.2);
+  Set("cpu_util_mean", 0.85);
+  auto transform = WhatIfEngine::EqualizeLoad();
+  transform(*featurizer_, &x_);
+  EXPECT_DOUBLE_EQ(Get("cpu_util_std"), 0.0);
+  EXPECT_NEAR(Get("cpu_util_mean"), expected_mean, 1e-12);
+  for (size_t f = 0; f < names.size(); ++f) {
+    if (StartsWith(names[f], "sku_util_")) {
+      EXPECT_NEAR(x_[f], expected_mean, 1e-12);
+    }
+  }
+}
+
+TEST_F(WhatIfTransformTest, TransformsIgnoreUnknownFeatureNames) {
+  // A transform referencing a SKU that does not exist must be a no-op
+  // rather than a crash.
+  auto transform = WhatIfEngine::ShiftSkuVertices("Gen99", "Gen100");
+  std::vector<double> before = x_;
+  transform(*featurizer_, &x_);
+  EXPECT_EQ(x_, before);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rvar

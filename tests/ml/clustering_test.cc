@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "ml/agglomerative.h"
+#include "ml/kmeans.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+// Three tight, well-separated blobs in `dim` dimensions.
+std::vector<std::vector<double>> ThreeBlobs(int per_blob, size_t dim,
+                                            double spread, Rng* rng,
+                                            std::vector<int>* truth) {
+  std::vector<std::vector<double>> points;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_blob; ++i) {
+      std::vector<double> p(dim, 0.0);
+      for (size_t d = 0; d < dim; ++d) {
+        p[d] = 10.0 * c + rng->Normal(0.0, spread);
+      }
+      points.push_back(std::move(p));
+      if (truth) truth->push_back(c);
+    }
+  }
+  return points;
+}
+
+// Checks that the clustering exactly recovers a ground-truth partition
+// (up to label permutation).
+void ExpectPartitionMatch(const std::vector<int>& truth,
+                          const std::vector<int>& assigned) {
+  ASSERT_EQ(truth.size(), assigned.size());
+  std::map<int, int> mapping;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    auto [it, inserted] = mapping.emplace(truth[i], assigned[i]);
+    EXPECT_EQ(it->second, assigned[i]) << "row " << i;
+  }
+  std::set<int> distinct;
+  for (auto& [t, a] : mapping) distinct.insert(a);
+  EXPECT_EQ(distinct.size(), mapping.size());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(51);
+  std::vector<int> truth;
+  auto points = ThreeBlobs(60, 4, 0.5, &rng, &truth);
+  KMeansConfig config;
+  config.k = 3;
+  auto model = KMeans(points, config);
+  ASSERT_TRUE(model.ok());
+  ExpectPartitionMatch(truth, model->assignments);
+  EXPECT_EQ(model->ClusterSizes(),
+            (std::vector<int>{60, 60, 60}));
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquaredResiduals) {
+  std::vector<std::vector<double>> points = {{0.0}, {2.0}, {10.0}, {12.0}};
+  KMeansConfig config;
+  config.k = 2;
+  auto model = KMeans(points, config);
+  ASSERT_TRUE(model.ok());
+  // Optimal: centroids 1 and 11, inertia = 4 * 1^2 = 4.
+  EXPECT_NEAR(model->inertia, 4.0, 1e-9);
+}
+
+TEST(KMeansTest, PredictMatchesAssignments) {
+  Rng rng(52);
+  std::vector<int> truth;
+  auto points = ThreeBlobs(40, 3, 0.4, &rng, &truth);
+  auto model = KMeans(points, {.k = 3});
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(model->Predict(points[i]), model->assignments[i]);
+  }
+}
+
+TEST(KMeansTest, KEqualsNPutsEachPointAlone) {
+  std::vector<std::vector<double>> points = {{0.0}, {5.0}, {9.0}};
+  auto model = KMeans(points, {.k = 3});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->inertia, 0.0, 1e-12);
+  std::set<int> distinct(model->assignments.begin(),
+                         model->assignments.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  EXPECT_FALSE(KMeans({}, {.k = 1}).ok());
+  EXPECT_FALSE(KMeans(points, {.k = 0}).ok());
+  EXPECT_FALSE(KMeans(points, {.k = 3}).ok());
+  std::vector<std::vector<double>> ragged = {{0.0}, {1.0, 2.0}};
+  EXPECT_FALSE(KMeans(ragged, {.k = 1}).ok());
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng(53);
+  auto points = ThreeBlobs(30, 2, 1.0, &rng, nullptr);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 7;
+  auto a = KMeans(points, config);
+  auto b = KMeans(points, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  std::vector<std::vector<double>> points(10, std::vector<double>{1.0, 2.0});
+  auto model = KMeans(points, {.k = 3});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->inertia, 0.0, 1e-12);
+}
+
+TEST(InertiaSweepTest, MonotoneNonIncreasingWithElbow) {
+  Rng rng(54);
+  std::vector<int> truth;
+  auto points = ThreeBlobs(50, 3, 0.5, &rng, &truth);
+  KMeansConfig config;
+  config.num_restarts = 5;
+  auto curve = InertiaSweep(points, 1, 6, config);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 6u);
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_LE((*curve)[i].inertia, (*curve)[i - 1].inertia * 1.001);
+  }
+  // Elbow at k=3: drop from 2->3 is much larger than 3->4.
+  const double drop_23 = (*curve)[1].inertia - (*curve)[2].inertia;
+  const double drop_34 = (*curve)[2].inertia - (*curve)[3].inertia;
+  EXPECT_GT(drop_23, 5.0 * std::max(drop_34, 1e-9));
+}
+
+TEST(InertiaSweepTest, RejectsBadRange) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  EXPECT_FALSE(InertiaSweep(points, 0, 2, {}).ok());
+  EXPECT_FALSE(InertiaSweep(points, 3, 2, {}).ok());
+}
+
+class AgglomerativeLinkageTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(AgglomerativeLinkageTest, RecoversBlobs) {
+  Rng rng(55);
+  std::vector<int> truth;
+  auto points = ThreeBlobs(25, 2, 0.4, &rng, &truth);
+  auto model = AgglomerativeCluster(points, 3, GetParam());
+  ASSERT_TRUE(model.ok());
+  ExpectPartitionMatch(truth, model->assignments);
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, AgglomerativeLinkageTest,
+                         ::testing::Values(Linkage::kSingle,
+                                           Linkage::kComplete,
+                                           Linkage::kAverage));
+
+TEST(AgglomerativeTest, OneClusterAndNClusters) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}, {5.0}};
+  auto one = AgglomerativeCluster(points, 1, Linkage::kAverage);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->ClusterSizes(), (std::vector<int>{3}));
+  EXPECT_DOUBLE_EQ(one->LargestClusterFraction(), 1.0);
+  auto all = AgglomerativeCluster(points, 3, Linkage::kAverage);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->ClusterSizes(), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(AgglomerativeTest, RejectsBadArguments) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  EXPECT_FALSE(AgglomerativeCluster({}, 1, Linkage::kSingle).ok());
+  EXPECT_FALSE(AgglomerativeCluster(points, 0, Linkage::kSingle).ok());
+  EXPECT_FALSE(AgglomerativeCluster(points, 3, Linkage::kSingle).ok());
+}
+
+TEST(AgglomerativeTest, SingleLinkageChains) {
+  // A chain of close points plus one distant point: single linkage merges
+  // the chain first, producing the imbalance the paper observed.
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 20; ++i) points.push_back({static_cast<double>(i)});
+  points.push_back({1000.0});
+  auto model = AgglomerativeCluster(points, 2, Linkage::kSingle);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->LargestClusterFraction(), 0.9);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace rvar

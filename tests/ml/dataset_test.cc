@@ -1,0 +1,169 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace rvar {
+namespace ml {
+namespace {
+
+Dataset MakeToy() {
+  Dataset d;
+  d.feature_names = {"a", "b"};
+  d.x = {{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}, {4.0, 40.0}};
+  d.y = {0, 1, 0, 1};
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeToy();
+  EXPECT_EQ(d.NumRows(), 4u);
+  EXPECT_EQ(d.NumFeatures(), 2u);
+  EXPECT_EQ(d.NumClasses(), 2);
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_EQ(d.Column(1), (std::vector<double>{10.0, 20.0, 30.0, 40.0}));
+}
+
+TEST(DatasetTest, ValidateCatchesRaggedRows) {
+  Dataset d = MakeToy();
+  d.x[2].push_back(99.0);
+  EXPECT_TRUE(d.Validate().IsInvalidArgument());
+}
+
+TEST(DatasetTest, ValidateCatchesNonFinite) {
+  Dataset d = MakeToy();
+  d.x[1][0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(d.Validate().IsInvalidArgument());
+}
+
+TEST(DatasetTest, ValidateCatchesLabelMismatch) {
+  Dataset d = MakeToy();
+  d.y.pop_back();
+  EXPECT_TRUE(d.Validate().IsInvalidArgument());
+  d = MakeToy();
+  d.y[0] = -1;
+  EXPECT_TRUE(d.Validate().IsInvalidArgument());
+}
+
+TEST(DatasetTest, ValidateCatchesBadFeatureNames) {
+  Dataset d = MakeToy();
+  d.feature_names.push_back("extra");
+  EXPECT_TRUE(d.Validate().IsInvalidArgument());
+}
+
+TEST(DatasetTest, SubsetPreservesAlignment) {
+  Dataset d = MakeToy();
+  d.target = {0.1, 0.2, 0.3, 0.4};
+  Dataset s = d.Subset({3, 1});
+  EXPECT_EQ(s.NumRows(), 2u);
+  EXPECT_EQ(s.x[0][0], 4.0);
+  EXPECT_EQ(s.y[0], 1);
+  EXPECT_EQ(s.target[1], 0.2);
+  EXPECT_EQ(s.feature_names, d.feature_names);
+}
+
+TEST(TrainTestSplitTest, SplitsAndPreservesRows) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) {
+    d.x.push_back({static_cast<double>(i)});
+    d.y.push_back(i % 3);
+  }
+  Rng rng(5);
+  auto split = TrainTestSplit(d, 0.25, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.NumRows(), 25u);
+  EXPECT_EQ(split->train.NumRows(), 75u);
+  // All original rows present exactly once.
+  std::multiset<double> seen;
+  for (const auto& r : split->train.x) seen.insert(r[0]);
+  for (const auto& r : split->test.x) seen.insert(r[0]);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0.0);
+  EXPECT_EQ(*seen.rbegin(), 99.0);
+}
+
+TEST(TrainTestSplitTest, RejectsBadFraction) {
+  Dataset d = MakeToy();
+  Rng rng(1);
+  EXPECT_FALSE(TrainTestSplit(d, 0.0, &rng).ok());
+  EXPECT_FALSE(TrainTestSplit(d, 1.0, &rng).ok());
+  Dataset tiny;
+  tiny.x = {{1.0}};
+  EXPECT_FALSE(TrainTestSplit(tiny, 0.5, &rng).ok());
+}
+
+TEST(FeatureBinnerTest, RejectsBadArgs) {
+  Dataset d = MakeToy();
+  EXPECT_FALSE(FeatureBinner::Fit(d, 1).ok());
+  EXPECT_FALSE(FeatureBinner::Fit(d, 257).ok());
+  Dataset empty;
+  EXPECT_FALSE(FeatureBinner::Fit(empty, 16).ok());
+}
+
+TEST(FeatureBinnerTest, LowCardinalityGetsExactBins) {
+  Dataset d;
+  d.x = {{1.0}, {2.0}, {2.0}, {5.0}};
+  auto binner = FeatureBinner::Fit(d, 16);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->NumBins(0), 3);  // values {1, 2, 5}
+  EXPECT_EQ(binner->Bin(0, 1.0), 0);
+  EXPECT_EQ(binner->Bin(0, 2.0), 1);
+  EXPECT_EQ(binner->Bin(0, 5.0), 2);
+  // Between-value queries resolve consistently with edges.
+  EXPECT_EQ(binner->Bin(0, 1.4), 0);
+  EXPECT_EQ(binner->Bin(0, 1.6), 1);
+  EXPECT_EQ(binner->Bin(0, 100.0), 2);
+  EXPECT_EQ(binner->Bin(0, -100.0), 0);
+}
+
+TEST(FeatureBinnerTest, ConstantFeatureSingleBin) {
+  Dataset d;
+  d.x = {{7.0}, {7.0}, {7.0}};
+  auto binner = FeatureBinner::Fit(d, 8);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_EQ(binner->NumBins(0), 1);
+  EXPECT_EQ(binner->Bin(0, 7.0), 0);
+  EXPECT_EQ(binner->Bin(0, 123.0), 0);
+}
+
+TEST(FeatureBinnerTest, QuantileBinsRoughlyBalanced) {
+  Dataset d;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) d.x.push_back({rng.Normal(0.0, 1.0)});
+  auto binner = FeatureBinner::Fit(d, 32);
+  ASSERT_TRUE(binner.ok());
+  EXPECT_GE(binner->NumBins(0), 30);
+  auto cols = binner->BinColumns(d);
+  std::vector<int> counts(static_cast<size_t>(binner->NumBins(0)), 0);
+  for (uint8_t b : cols[0]) counts[b]++;
+  // Quantile bins: every bin within ~3x of the expected uniform share.
+  for (int c : counts) {
+    EXPECT_GT(c, 0);
+    EXPECT_LT(c, 3 * 5000 / 30);
+  }
+}
+
+TEST(FeatureBinnerTest, BinEdgeConsistency) {
+  // Bin(v) <= Bin(w) for v <= w, and UpperEdge separates bins.
+  Dataset d;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) d.x.push_back({rng.Uniform(-5.0, 5.0)});
+  auto binner = FeatureBinner::Fit(d, 16);
+  ASSERT_TRUE(binner.ok());
+  for (double v = -6.0; v < 6.0; v += 0.1) {
+    EXPECT_LE(binner->Bin(0, v), binner->Bin(0, v + 0.1));
+  }
+  for (int b = 0; b + 1 < binner->NumBins(0); ++b) {
+    const double edge = binner->UpperEdge(0, b);
+    EXPECT_LE(binner->Bin(0, edge), b);
+    EXPECT_GT(binner->Bin(0, edge + 1e-9), b);
+  }
+  EXPECT_TRUE(std::isinf(binner->UpperEdge(0, binner->NumBins(0) - 1)));
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace rvar

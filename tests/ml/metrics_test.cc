@@ -1,0 +1,159 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/feature_select.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+TEST(AccuracyTest, Basics) {
+  auto full = Accuracy({0, 1, 2}, {0, 1, 2});
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(*full, 1.0);
+  auto half = Accuracy({0, 1, 0, 1}, {0, 0, 0, 0});
+  ASSERT_TRUE(half.ok());
+  EXPECT_DOUBLE_EQ(*half, 0.5);
+  EXPECT_FALSE(Accuracy({0}, {0, 1}).ok());
+  EXPECT_FALSE(Accuracy({}, {}).ok());
+}
+
+TEST(ConfusionMatrixTest, RowNormalization) {
+  //          predicted
+  // actual 0: 2 correct, 1 as class 1
+  // actual 1: 1 correct
+  auto cm = BuildConfusionMatrix({0, 0, 0, 1}, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(cm.ok());
+  EXPECT_EQ(cm->counts[0][0], 2);
+  EXPECT_EQ(cm->counts[0][1], 1);
+  EXPECT_EQ(cm->counts[1][1], 1);
+  EXPECT_NEAR(cm->fractions[0][0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm->fractions[0][1], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm->fractions[1][1], 1.0);
+  EXPECT_DOUBLE_EQ(cm->DiagonalMass(), 0.75);
+  EXPECT_FALSE(cm->ToString().empty());
+}
+
+TEST(ConfusionMatrixTest, EmptyClassRowStaysZero) {
+  auto cm = BuildConfusionMatrix({0, 0}, {0, 0}, 3);
+  ASSERT_TRUE(cm.ok());
+  for (int p = 0; p < 3; ++p) EXPECT_EQ(cm->fractions[2][static_cast<size_t>(p)], 0.0);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRangeLabels) {
+  EXPECT_FALSE(BuildConfusionMatrix({0, 5}, {0, 1}, 2).ok());
+  EXPECT_FALSE(BuildConfusionMatrix({0, 1}, {0, -1}, 2).ok());
+  EXPECT_FALSE(BuildConfusionMatrix({0}, {0}, 1).ok());
+}
+
+TEST(ClassificationReportTest, PrecisionRecallF1) {
+  // class 0: tp=2 fp=1 fn=0 -> p=2/3, r=1
+  // class 1: tp=1 fp=0 fn=1 -> p=1, r=1/2
+  auto rep = ClassificationReport({0, 0, 1, 1}, {0, 0, 0, 1}, 2);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_NEAR((*rep)[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ((*rep)[0].recall, 1.0);
+  EXPECT_DOUBLE_EQ((*rep)[1].precision, 1.0);
+  EXPECT_DOUBLE_EQ((*rep)[1].recall, 0.5);
+  EXPECT_NEAR((*rep)[1].f1, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ((*rep)[0].support, 2);
+}
+
+TEST(RegressionMetricsTest, MaeAndRmse) {
+  auto mae = MeanAbsoluteError({1.0, 2.0, 3.0}, {2.0, 2.0, 1.0});
+  ASSERT_TRUE(mae.ok());
+  EXPECT_DOUBLE_EQ(*mae, 1.0);
+  auto rmse = RootMeanSquaredError({0.0, 0.0}, {3.0, 4.0});
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_NEAR(*rmse, std::sqrt(12.5), 1e-12);
+  EXPECT_FALSE(MeanAbsoluteError({1.0}, {}).ok());
+}
+
+TEST(LogLossTest, PerfectAndUncertain) {
+  auto perfect = LogLoss({0, 1}, {{1.0, 0.0}, {0.0, 1.0}});
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_NEAR(*perfect, 0.0, 1e-9);
+  auto uniform = LogLoss({0, 1}, {{0.5, 0.5}, {0.5, 0.5}});
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_NEAR(*uniform, std::log(2.0), 1e-12);
+  EXPECT_FALSE(LogLoss({3}, {{0.5, 0.5}}).ok());
+}
+
+TEST(PearsonTest, KnownValues) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(a, c), -1.0, 1e-12);
+  std::vector<double> constant = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(PearsonCorrelation(a, constant), 0.0);
+}
+
+TEST(FeatureSelectTest, DropsCorrelatedKeepsImportant) {
+  Rng rng(61);
+  Dataset d;
+  d.feature_names = {"signal", "copy_of_signal", "independent"};
+  for (int i = 0; i < 500; ++i) {
+    const double s = rng.Normal(0.0, 1.0);
+    d.x.push_back({s, s * 2.0 + rng.Normal(0.0, 0.01), rng.Normal(0.0, 1.0)});
+  }
+  // Importance favors feature 0 over its near-copy feature 1.
+  auto sel = SelectUncorrelatedFeatures(d, {0.5, 0.3, 0.2}, 0.9);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->kept, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(sel->dropped, (std::vector<size_t>{1}));
+}
+
+TEST(FeatureSelectTest, ImportanceOrderDeterminesSurvivor) {
+  Rng rng(62);
+  Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const double s = rng.Normal(0.0, 1.0);
+    d.x.push_back({s, s});
+  }
+  auto sel = SelectUncorrelatedFeatures(d, {0.1, 0.9}, 0.95);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->kept, (std::vector<size_t>{1}));
+}
+
+TEST(FeatureSelectTest, NoImportanceFallsBackToInputOrder) {
+  Rng rng(63);
+  Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const double s = rng.Normal(0.0, 1.0);
+    d.x.push_back({s, s});
+  }
+  auto sel = SelectUncorrelatedFeatures(d, {}, 0.95);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->kept, (std::vector<size_t>{0}));
+}
+
+TEST(FeatureSelectTest, RejectsBadArgs) {
+  Dataset d;
+  d.x = {{1.0, 2.0}};
+  EXPECT_FALSE(SelectUncorrelatedFeatures(d, {0.1}, 0.9).ok());
+  EXPECT_FALSE(SelectUncorrelatedFeatures(d, {}, 0.0).ok());
+  EXPECT_FALSE(SelectUncorrelatedFeatures(d, {}, 1.5).ok());
+  Dataset empty;
+  EXPECT_FALSE(SelectUncorrelatedFeatures(empty, {}, 0.9).ok());
+}
+
+TEST(ProjectFeaturesTest, KeepsSelectedColumnsAndLabels) {
+  Dataset d;
+  d.feature_names = {"a", "b", "c"};
+  d.x = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  d.y = {0, 1};
+  Dataset p = ProjectFeatures(d, {2, 0});
+  EXPECT_EQ(p.feature_names, (std::vector<std::string>{"c", "a"}));
+  EXPECT_EQ(p.x[0], (std::vector<double>{3.0, 1.0}));
+  EXPECT_EQ(p.x[1], (std::vector<double>{6.0, 4.0}));
+  EXPECT_EQ(p.y, d.y);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace rvar

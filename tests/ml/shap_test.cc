@@ -1,0 +1,207 @@
+#include "ml/shap.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+// Hand-built stump: x0 <= 0.5 -> 1.0 (cover 30), else 3.0 (cover 70).
+Tree Stump() {
+  Tree t;
+  t.nodes.resize(3);
+  t.nodes[0].feature = 0;
+  t.nodes[0].threshold = 0.5;
+  t.nodes[0].left = 1;
+  t.nodes[0].right = 2;
+  t.nodes[0].cover = 100.0;
+  t.nodes[0].value = {0.0};
+  t.nodes[1].value = {1.0};
+  t.nodes[1].cover = 30.0;
+  t.nodes[2].value = {3.0};
+  t.nodes[2].cover = 70.0;
+  return t;
+}
+
+TEST(TreeShapTest, StumpExactValues) {
+  Tree t = Stump();
+  // E[f] = 0.3*1 + 0.7*3 = 2.4.
+  double base = 0.0;
+  auto phi = TreeShap(t, 0, {0.2, 9.9}, 2, &base);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(base, 2.4, 1e-12);
+  // Single feature: phi0 = f(x) - E[f] = 1 - 2.4 = -1.4; phi1 = 0.
+  EXPECT_NEAR((*phi)[0], -1.4, 1e-12);
+  EXPECT_NEAR((*phi)[1], 0.0, 1e-12);
+
+  auto phi_hi = TreeShap(t, 0, {0.9, 0.0}, 2, &base);
+  ASSERT_TRUE(phi_hi.ok());
+  EXPECT_NEAR((*phi_hi)[0], 0.6, 1e-12);
+}
+
+TEST(TreeShapTest, TwoFeatureTreeMatchesBruteForceShapley) {
+  // Depth-2 tree over features 0 and 1 with uniform covers: SHAP values can
+  // be computed by hand from the 2-player Shapley formula.
+  Tree t;
+  t.nodes.resize(7);
+  t.nodes[0] = {0, 0.5, 1, 2, {0.0}, 4.0};
+  t.nodes[1] = {1, 0.5, 3, 4, {0.0}, 2.0};
+  t.nodes[2] = {1, 0.5, 5, 6, {0.0}, 2.0};
+  t.nodes[3] = {-1, 0.0, -1, -1, {0.0}, 1.0};   // x0<=.5, x1<=.5
+  t.nodes[4] = {-1, 0.0, -1, -1, {10.0}, 1.0};  // x0<=.5, x1>.5
+  t.nodes[5] = {-1, 0.0, -1, -1, {20.0}, 1.0};  // x0>.5, x1<=.5
+  t.nodes[6] = {-1, 0.0, -1, -1, {30.0}, 1.0};  // x0>.5, x1>.5
+
+  // Instance (0.9, 0.9) -> f = 30. Expectations:
+  // E[] = 15. E[x0 fixed hi] = 25. E[x1 fixed hi] = 20. E[both] = 30.
+  // phi0 = 1/2[(25-15) + (30-20)] = 10. phi1 = 1/2[(20-15) + (30-25)] = 5.
+  double base = 0.0;
+  auto phi = TreeShap(t, 0, {0.9, 0.9}, 2, &base);
+  ASSERT_TRUE(phi.ok());
+  EXPECT_NEAR(base, 15.0, 1e-9);
+  EXPECT_NEAR((*phi)[0], 10.0, 1e-9);
+  EXPECT_NEAR((*phi)[1], 5.0, 1e-9);
+}
+
+TEST(TreeShapTest, LocalAccuracyOnTrainedTree) {
+  // Additivity: sum(phi) + base == prediction, for every instance.
+  Rng rng(71);
+  Dataset d;
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> row = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    d.target.push_back(2.0 * row[0] + row[1] * row[1] - row[2] +
+                       rng.Normal(0.0, 0.05));
+    d.x.push_back(std::move(row));
+  }
+  auto binner = FeatureBinner::Fit(d, 32);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  config.max_depth = 6;
+  std::vector<size_t> idx(600);
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng tree_rng(72);
+  auto tree =
+      TrainRegressionTree(*binned, d.target, idx, config, &tree_rng, nullptr);
+  ASSERT_TRUE(tree.ok());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<double> x = {rng.Uniform(), rng.Uniform(),
+                                   rng.Uniform()};
+    double base = 0.0;
+    auto phi = TreeShap(*tree, 0, x, 3, &base);
+    ASSERT_TRUE(phi.ok());
+    const double reconstructed =
+        base + std::accumulate(phi->begin(), phi->end(), 0.0);
+    EXPECT_NEAR(reconstructed, tree->PredictScalar(x), 1e-6) << "trial "
+                                                             << trial;
+  }
+}
+
+TEST(TreeShapTest, RepeatedFeatureOnPath) {
+  // Tree splitting twice on feature 0 exercises the unwind path.
+  Tree t;
+  t.nodes.resize(5);
+  t.nodes[0] = {0, 0.5, 1, 2, {0.0}, 10.0};
+  t.nodes[1] = {-1, 0.0, -1, -1, {1.0}, 5.0};
+  t.nodes[2] = {0, 0.8, 3, 4, {0.0}, 5.0};
+  t.nodes[3] = {-1, 0.0, -1, -1, {2.0}, 3.0};
+  t.nodes[4] = {-1, 0.0, -1, -1, {4.0}, 2.0};
+
+  // E[f] = (5*1 + 3*2 + 2*4)/10 = 1.9.
+  for (double x0 : {0.2, 0.6, 0.95}) {
+    double base = 0.0;
+    auto phi = TreeShap(t, 0, {x0}, 1, &base);
+    ASSERT_TRUE(phi.ok());
+    EXPECT_NEAR(base, 1.9, 1e-12);
+    EXPECT_NEAR(base + (*phi)[0], t.PredictScalar({x0}), 1e-9) << x0;
+  }
+}
+
+TEST(TreeShapTest, RejectsBadInput) {
+  Tree t = Stump();
+  EXPECT_FALSE(TreeShap(Tree{}, 0, {0.1}, 1, nullptr).ok());
+  EXPECT_FALSE(TreeShap(t, 5, {0.1, 0.2}, 2, nullptr).ok());
+  EXPECT_FALSE(TreeShap(t, 0, {0.1, 0.2}, 0, nullptr).ok());  // f0 out of range
+  EXPECT_FALSE(TreeShap(t, 0, {}, 2, nullptr).ok());
+}
+
+TEST(ShapForGbdtTest, LocalAccuracyInRawScoreSpace) {
+  Rng rng(73);
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform(-1.0, 1.0);
+    const double b = rng.Uniform(-1.0, 1.0);
+    d.x.push_back({a, b});
+    d.y.push_back(a + b > 0.0 ? 1 : (a > b ? 2 : 0));
+  }
+  GbdtClassifier model({.num_rounds = 15});
+  ASSERT_TRUE(model.Fit(d).ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> x = {rng.Uniform(-1.0, 1.0),
+                                   rng.Uniform(-1.0, 1.0)};
+    auto exp = ShapForGbdt(model, x, 2);
+    ASSERT_TRUE(exp.ok());
+    const auto raw = model.PredictRaw(x);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_NEAR(exp->ReconstructedScore(k), raw[static_cast<size_t>(k)],
+                  1e-6)
+          << "class " << k;
+    }
+  }
+}
+
+TEST(ShapForForestTest, LocalAccuracyInProbabilitySpace) {
+  Rng rng(74);
+  Dataset d;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(-1.0, 1.0);
+    d.x.push_back({a, rng.Uniform(-1.0, 1.0)});
+    d.y.push_back(a > 0.0 ? 1 : 0);
+  }
+  RandomForestClassifier model({.num_trees = 12});
+  ASSERT_TRUE(model.Fit(d).ok());
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::vector<double> x = {rng.Uniform(-1.0, 1.0),
+                                   rng.Uniform(-1.0, 1.0)};
+    auto exp = ShapForForest(model, x, 2);
+    ASSERT_TRUE(exp.ok());
+    const auto proba = model.PredictProba(x);
+    for (int k = 0; k < 2; ++k) {
+      EXPECT_NEAR(exp->ReconstructedScore(k), proba[static_cast<size_t>(k)],
+                  1e-6);
+    }
+  }
+}
+
+TEST(ShapTest, SignalFeatureDominatesAttribution) {
+  Rng rng(75);
+  Dataset d;
+  for (int i = 0; i < 600; ++i) {
+    const double signal = rng.Uniform(-1.0, 1.0);
+    d.x.push_back({signal, rng.Uniform(-1.0, 1.0)});
+    d.y.push_back(signal > 0.0 ? 1 : 0);
+  }
+  GbdtClassifier model({.num_rounds = 20});
+  ASSERT_TRUE(model.Fit(d).ok());
+  std::vector<ShapExplanation> exps;
+  for (int i = 0; i < 40; ++i) {
+    auto e = ShapForGbdt(model, d.x[static_cast<size_t>(i * 10)], 2);
+    ASSERT_TRUE(e.ok());
+    exps.push_back(*e);
+  }
+  const auto mean_abs = MeanAbsoluteShap(exps, 1);
+  ASSERT_EQ(mean_abs.size(), 2u);
+  EXPECT_GT(mean_abs[0], 10.0 * std::max(mean_abs[1], 1e-9));
+}
+
+TEST(ShapTest, MeanAbsoluteShapEmptyInput) {
+  EXPECT_TRUE(MeanAbsoluteShap({}, 0).empty());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace rvar

@@ -1,0 +1,234 @@
+#include "ml/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+// A dataset that is perfectly separable on feature 0 at x=0.5.
+Dataset Separable(int n, Rng* rng) {
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const bool cls = rng->Bernoulli(0.5);
+    d.x.push_back({cls ? rng->Uniform(0.6, 1.0) : rng->Uniform(0.0, 0.4),
+                   rng->Uniform(0.0, 1.0)});
+    d.y.push_back(cls ? 1 : 0);
+  }
+  return d;
+}
+
+std::vector<size_t> AllRows(size_t n) {
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+TEST(ClassificationTreeTest, LearnsSeparableSplit) {
+  Rng rng(1);
+  Dataset d = Separable(400, &rng);
+  auto binner = FeatureBinner::Fit(d, 64);
+  ASSERT_TRUE(binner.ok());
+  auto binned = BinnedDataset::Make(*binner, d);
+  ASSERT_TRUE(binned.ok());
+  TreeConfig config;
+  std::vector<double> gain;
+  Rng tree_rng(2);
+  auto tree = TrainClassificationTree(*binned, d.y, 2, AllRows(400), config,
+                                      &tree_rng, &gain);
+  ASSERT_TRUE(tree.ok());
+  // Perfect separation achievable with one split.
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    const auto& p = tree->PredictValue(d.x[i]);
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_GT(p[static_cast<size_t>(d.y[i])], 0.99);
+  }
+  // Importance concentrated on feature 0.
+  EXPECT_GT(gain[0], gain[1] * 10.0);
+  EXPECT_EQ(tree->nodes[0].feature, 0);
+  EXPECT_NEAR(tree->nodes[0].threshold, 0.5, 0.15);
+}
+
+TEST(ClassificationTreeTest, RespectsMaxDepth) {
+  Rng rng(3);
+  Dataset d;
+  for (int i = 0; i < 500; ++i) {
+    d.x.push_back({rng.Uniform(), rng.Uniform()});
+    d.y.push_back(rng.Bernoulli(0.5) ? 1 : 0);  // pure noise
+  }
+  auto binner = FeatureBinner::Fit(d, 64);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  config.max_depth = 3;
+  Rng tree_rng(4);
+  auto tree = TrainClassificationTree(*binned, d.y, 2, AllRows(500), config,
+                                      &tree_rng, nullptr);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_LE(tree->Depth(), 3);
+  EXPECT_LE(tree->NumLeaves(), 8);
+}
+
+TEST(ClassificationTreeTest, MinSamplesLeafHonored) {
+  Rng rng(5);
+  Dataset d = Separable(200, &rng);
+  auto binner = FeatureBinner::Fit(d, 64);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  config.min_samples_leaf = 50;
+  Rng tree_rng(6);
+  auto tree = TrainClassificationTree(*binned, d.y, 2, AllRows(200), config,
+                                      &tree_rng, nullptr);
+  ASSERT_TRUE(tree.ok());
+  for (const TreeNode& node : tree->nodes) {
+    if (node.feature < 0) {
+      EXPECT_GE(node.cover, 50.0);
+    }
+  }
+}
+
+TEST(ClassificationTreeTest, PureNodeBecomesLeaf) {
+  Dataset d;
+  for (int i = 0; i < 50; ++i) {
+    d.x.push_back({static_cast<double>(i)});
+    d.y.push_back(0);  // single class observed, declared 2 classes
+  }
+  auto binner = FeatureBinner::Fit(d, 16);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  Rng rng(7);
+  auto tree = TrainClassificationTree(*binned, d.y, 2, AllRows(50), config,
+                                      &rng, nullptr);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumLeaves(), 1);
+  EXPECT_DOUBLE_EQ(tree->PredictValue({3.0})[0], 1.0);
+}
+
+TEST(ClassificationTreeTest, RejectsBadInput) {
+  Rng rng(8);
+  Dataset d = Separable(20, &rng);
+  auto binner = FeatureBinner::Fit(d, 16);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  EXPECT_FALSE(
+      TrainClassificationTree(*binned, d.y, 1, AllRows(20), config, &rng,
+                              nullptr)
+          .ok());
+  EXPECT_FALSE(
+      TrainClassificationTree(*binned, d.y, 2, {}, config, &rng, nullptr)
+          .ok());
+  EXPECT_FALSE(TrainClassificationTree(*binned, d.y, 2, {999}, config, &rng,
+                                       nullptr)
+                   .ok());
+  std::vector<int> bad_labels = d.y;
+  bad_labels[0] = 7;
+  EXPECT_FALSE(TrainClassificationTree(*binned, bad_labels, 2, AllRows(20),
+                                       config, &rng, nullptr)
+                   .ok());
+}
+
+TEST(RegressionTreeTest, FitsStepFunction) {
+  Rng rng(9);
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    const double x0 = rng.Uniform();
+    d.x.push_back({x0, rng.Uniform()});
+    d.target.push_back(x0 < 0.5 ? 1.0 : 5.0);
+  }
+  auto binner = FeatureBinner::Fit(d, 64);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  Rng tree_rng(10);
+  auto tree = TrainRegressionTree(*binned, d.target, AllRows(400), config,
+                                  &tree_rng, nullptr);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_NEAR(tree->PredictScalar({0.1, 0.5}), 1.0, 1e-9);
+  EXPECT_NEAR(tree->PredictScalar({0.9, 0.5}), 5.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, ApproximatesSmoothFunction) {
+  Rng rng(11);
+  Dataset d;
+  for (int i = 0; i < 2000; ++i) {
+    const double x0 = rng.Uniform(0.0, 3.0);
+    d.x.push_back({x0});
+    d.target.push_back(x0 * x0);
+  }
+  auto binner = FeatureBinner::Fit(d, 128);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  config.max_depth = 8;
+  Rng tree_rng(12);
+  auto tree = TrainRegressionTree(*binned, d.target, AllRows(2000), config,
+                                  &tree_rng, nullptr);
+  ASSERT_TRUE(tree.ok());
+  double max_err = 0.0;
+  for (double x0 = 0.1; x0 < 2.9; x0 += 0.05) {
+    max_err = std::max(max_err,
+                       std::fabs(tree->PredictScalar({x0}) - x0 * x0));
+  }
+  EXPECT_LT(max_err, 0.5);
+}
+
+TEST(RegressionTreeTest, ConstantTargetSingleLeaf) {
+  Dataset d;
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    d.x.push_back({rng.Uniform()});
+    d.target.push_back(3.5);
+  }
+  auto binner = FeatureBinner::Fit(d, 16);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  auto tree = TrainRegressionTree(*binned, d.target, AllRows(100), config,
+                                  &rng, nullptr);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->NumLeaves(), 1);
+  EXPECT_DOUBLE_EQ(tree->PredictScalar({0.3}), 3.5);
+}
+
+TEST(TreeStructTest, CoverAndValuesOnInternalNodes) {
+  Rng rng(14);
+  Dataset d = Separable(300, &rng);
+  auto binner = FeatureBinner::Fit(d, 64);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  auto tree = TrainClassificationTree(*binned, d.y, 2, AllRows(300), config,
+                                      &rng, nullptr);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree->nodes[0].cover, 300.0);
+  for (const TreeNode& n : tree->nodes) {
+    ASSERT_EQ(n.value.size(), 2u);
+    EXPECT_NEAR(n.value[0] + n.value[1], 1.0, 1e-9);
+    if (n.feature >= 0) {
+      // Children covers sum to the parent cover.
+      EXPECT_DOUBLE_EQ(
+          tree->nodes[static_cast<size_t>(n.left)].cover +
+              tree->nodes[static_cast<size_t>(n.right)].cover,
+          n.cover);
+    }
+  }
+}
+
+TEST(TreeStructTest, BootstrapDuplicatesAccepted) {
+  Rng rng(15);
+  Dataset d = Separable(50, &rng);
+  auto binner = FeatureBinner::Fit(d, 16);
+  auto binned = BinnedDataset::Make(*binner, d);
+  TreeConfig config;
+  std::vector<size_t> idx(120, 0);
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i % 50;
+  auto tree = TrainClassificationTree(*binned, d.y, 2, idx, config, &rng,
+                                      nullptr);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree->nodes[0].cover, 120.0);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace rvar

@@ -1,0 +1,204 @@
+// Tests for the classical GradientBoostingClassifier and the
+// cross-validation / grid-search tooling.
+
+#include "ml/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "ml/gradient_boosting.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+Dataset Blobs(int n_per_class, double spread, Rng* rng) {
+  const double centers[3][2] = {{0.0, 0.0}, {4.0, 0.0}, {2.0, 4.0}};
+  Dataset d;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < n_per_class; ++i) {
+      d.x.push_back({rng->Normal(centers[c][0], spread),
+                     rng->Normal(centers[c][1], spread)});
+      d.y.push_back(c);
+    }
+  }
+  return d;
+}
+
+Dataset Xor(int n, Rng* rng) {
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    const double a = rng->Uniform(-1.0, 1.0);
+    const double b = rng->Uniform(-1.0, 1.0);
+    d.x.push_back({a, b});
+    d.y.push_back((a > 0.0) != (b > 0.0) ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(GradientBoostingTest, SeparatesBlobs) {
+  Rng rng(81);
+  Dataset train = Blobs(120, 0.6, &rng);
+  Dataset test = Blobs(40, 0.6, &rng);
+  GradientBoostingClassifier model({.num_rounds = 40});
+  ASSERT_TRUE(model.Fit(train).ok());
+  auto acc = Accuracy(test.y, model.PredictAll(test));
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.95);
+  EXPECT_EQ(model.num_classes(), 3);
+}
+
+TEST(GradientBoostingTest, SolvesXorWithDepth3) {
+  Rng rng(82);
+  Dataset train = Xor(1000, &rng);
+  Dataset test = Xor(300, &rng);
+  GradientBoostingClassifier model({.num_rounds = 80, .max_depth = 3});
+  ASSERT_TRUE(model.Fit(train).ok());
+  auto acc = Accuracy(test.y, model.PredictAll(test));
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.93);
+}
+
+TEST(GradientBoostingTest, SubsampleStillLearns) {
+  Rng rng(83);
+  Dataset train = Blobs(100, 0.7, &rng);
+  Dataset test = Blobs(30, 0.7, &rng);
+  GradientBoostingClassifier model(
+      {.num_rounds = 40, .subsample = 0.6});
+  ASSERT_TRUE(model.Fit(train).ok());
+  auto acc = Accuracy(test.y, model.PredictAll(test));
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(*acc, 0.9);
+}
+
+TEST(GradientBoostingTest, ProbabilitiesSumToOne) {
+  Rng rng(84);
+  Dataset train = Blobs(40, 0.6, &rng);
+  GradientBoostingClassifier model({.num_rounds = 10});
+  ASSERT_TRUE(model.Fit(train).ok());
+  const auto p = model.PredictProba({1.0, 2.0});
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GradientBoostingTest, ImportanceNormalized) {
+  Rng rng(85);
+  Dataset train = Xor(600, &rng);
+  GradientBoostingClassifier model({.num_rounds = 20});
+  ASSERT_TRUE(model.Fit(train).ok());
+  const auto& imp = model.feature_importance();
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(GradientBoostingTest, RejectsBadConfig) {
+  Rng rng(86);
+  Dataset train = Blobs(20, 0.5, &rng);
+  GradientBoostingClassifier zero({.num_rounds = 0});
+  EXPECT_FALSE(zero.Fit(train).ok());
+  GradientBoostingClassifier bad_sub({.num_rounds = 5, .subsample = 0.0});
+  EXPECT_FALSE(bad_sub.Fit(train).ok());
+  Dataset no_labels = train;
+  no_labels.y.clear();
+  GradientBoostingClassifier model;
+  EXPECT_FALSE(model.Fit(no_labels).ok());
+}
+
+TEST(CrossValidateTest, HighAccuracyOnEasyProblem) {
+  Rng rng(87);
+  Dataset d = Blobs(60, 0.5, &rng);
+  auto cv = CrossValidate(d, 5, [] {
+    return std::make_unique<GaussianNaiveBayes>();
+  });
+  ASSERT_TRUE(cv.ok()) << cv.status().ToString();
+  EXPECT_EQ(cv->folds, 5);
+  EXPECT_EQ(cv->fold_accuracy.size(), 5u);
+  EXPECT_GT(cv->mean_accuracy, 0.95);
+  EXPECT_LT(cv->std_accuracy, 0.1);
+  for (double a : cv->fold_accuracy) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(CrossValidateTest, NearChanceOnNoise) {
+  Rng rng(88);
+  Dataset d;
+  for (int i = 0; i < 400; ++i) {
+    d.x.push_back({rng.Uniform(), rng.Uniform()});
+    d.y.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  auto cv = CrossValidate(d, 4, [] {
+    return std::make_unique<GaussianNaiveBayes>();
+  });
+  ASSERT_TRUE(cv.ok());
+  EXPECT_NEAR(cv->mean_accuracy, 0.5, 0.12);
+}
+
+TEST(CrossValidateTest, RejectsBadInput) {
+  Rng rng(89);
+  Dataset d = Blobs(10, 0.5, &rng);
+  auto factory = [] { return std::make_unique<GaussianNaiveBayes>(); };
+  EXPECT_FALSE(CrossValidate(d, 1, factory).ok());
+  Dataset tiny = d.Subset({0, 1});
+  EXPECT_FALSE(CrossValidate(tiny, 5, factory).ok());
+  Dataset no_labels = d;
+  no_labels.y.clear();
+  EXPECT_FALSE(CrossValidate(no_labels, 3, factory).ok());
+  EXPECT_FALSE(CrossValidate(d, 3, ClassifierFactory{}).ok());
+}
+
+TEST(CrossValidateTest, DeterministicGivenSeed) {
+  Rng rng(90);
+  Dataset d = Blobs(40, 0.8, &rng);
+  auto factory = [] { return std::make_unique<GaussianNaiveBayes>(); };
+  auto a = CrossValidate(d, 4, factory, 123);
+  auto b = CrossValidate(d, 4, factory, 123);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->fold_accuracy, b->fold_accuracy);
+}
+
+TEST(GridSearchTest, RanksCandidatesByAccuracy) {
+  Rng rng(91);
+  Dataset d = Xor(600, &rng);
+  std::vector<std::pair<std::string, ClassifierFactory>> grid = {
+      {"gbm depth 1 (too shallow for XOR)",
+       [] {
+         return std::make_unique<GradientBoostingClassifier>(
+             GradientBoostingConfig{.num_rounds = 10, .max_depth = 1});
+       }},
+      {"gbm depth 3",
+       [] {
+         return std::make_unique<GradientBoostingClassifier>(
+             GradientBoostingConfig{.num_rounds = 40, .max_depth = 3});
+       }},
+  };
+  auto result = GridSearch(d, 3, grid);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  // Depth-1 stumps cannot express XOR; depth-3 must win.
+  EXPECT_EQ((*result)[0].name, "gbm depth 3");
+  EXPECT_GT((*result)[0].cv.mean_accuracy,
+            (*result)[1].cv.mean_accuracy + 0.2);
+}
+
+TEST(GridSearchTest, RejectsEmptyGrid) {
+  Rng rng(92);
+  Dataset d = Blobs(10, 0.5, &rng);
+  EXPECT_FALSE(GridSearch(d, 2, {}).ok());
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace rvar

@@ -1,0 +1,184 @@
+// Property tests over the workload archetypes: each archetype's defining
+// mechanism must be visible in the simulated telemetry. These are the
+// invariants the paper's phenomenology rests on (Section 3.2 sources of
+// variation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "sim/datasets.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace sim {
+namespace {
+
+// One shared mid-sized study for all archetype properties.
+class ArchetypeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SuiteConfig config;
+    config.num_groups = 120;
+    config.d1_days = 8.0;
+    config.d2_days = 1.0;
+    config.d3_days = 1.0;
+    config.d1_support = 20;
+    config.workload.min_period_seconds = 600.0;
+    config.workload.max_period_seconds = 3.0 * 3600.0;
+    config.seed = 777;
+    auto suite = BuildStudySuite(config);
+    ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+    suite_ = new StudySuite(std::move(*suite));
+  }
+  static void TearDownTestSuite() {
+    delete suite_;
+    suite_ = nullptr;
+  }
+
+  // Ratio-normalized IQR of a group's D1 runs.
+  static double GroupIqr(int gid) {
+    std::vector<double> runtimes = suite_->d1.telemetry.GroupRuntimes(gid);
+    const double median = Median(runtimes);
+    for (double& r : runtimes) r /= median;
+    return InterquartileRange(runtimes);
+  }
+
+  // Mean of a statistic over the D1 groups of one archetype (with at
+  // least 20 runs).
+  template <typename F>
+  static double ArchetypeMean(JobArchetype a, F stat, int* count = nullptr) {
+    double total = 0.0;
+    int n = 0;
+    for (int gid : suite_->d1.telemetry.GroupsWithSupport(20)) {
+      if (suite_->group(gid).archetype != a) continue;
+      total += stat(gid);
+      ++n;
+    }
+    if (count != nullptr) *count = n;
+    return n > 0 ? total / n : 0.0;
+  }
+
+  static StudySuite* suite_;
+};
+
+StudySuite* ArchetypeTest::suite_ = nullptr;
+
+TEST_F(ArchetypeTest, AllArchetypesPresent) {
+  std::map<JobArchetype, int> counts;
+  for (const JobGroupSpec& g : suite_->groups) counts[g.archetype]++;
+  EXPECT_EQ(counts.size(), static_cast<size_t>(kNumJobArchetypes));
+  for (const auto& [a, n] : counts) {
+    EXPECT_GE(n, 3) << JobArchetypeName(a);
+  }
+}
+
+TEST_F(ArchetypeTest, ArchetypeNamesDistinct) {
+  std::set<std::string> names;
+  for (int a = 0; a < kNumJobArchetypes; ++a) {
+    names.insert(JobArchetypeName(static_cast<JobArchetype>(a)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumJobArchetypes));
+}
+
+TEST_F(ArchetypeTest, WidthOrderingMatchesDesign) {
+  // Rock-solid < stable < mild-drifty < heavy-drifty in normalized IQR.
+  int n = 0;
+  const double rock =
+      ArchetypeMean(JobArchetype::kRockSolid, GroupIqr, &n);
+  ASSERT_GT(n, 0);
+  const double stable = ArchetypeMean(JobArchetype::kStable, GroupIqr);
+  const double mild = ArchetypeMean(JobArchetype::kMildDrifty, GroupIqr);
+  const double heavy = ArchetypeMean(JobArchetype::kHeavyDrifty, GroupIqr);
+  EXPECT_LT(rock, stable);
+  EXPECT_LT(stable, mild);
+  EXPECT_LT(mild, heavy);
+}
+
+TEST_F(ArchetypeTest, StragglersHaveOutlierTails) {
+  auto outlier_rate = [&](int gid) {
+    std::vector<double> runtimes = suite_->d1.telemetry.GroupRuntimes(gid);
+    const double median = Median(runtimes);
+    int64_t outliers = 0;
+    for (double r : runtimes) outliers += (r >= 3.0 * median);
+    return static_cast<double>(outliers) / runtimes.size();
+  };
+  const double calm = ArchetypeMean(JobArchetype::kStable, outlier_rate);
+  const double mild =
+      ArchetypeMean(JobArchetype::kMildStraggler, outlier_rate);
+  const double severe =
+      ArchetypeMean(JobArchetype::kSevereStraggler, outlier_rate);
+  EXPECT_LT(calm, 0.01);
+  EXPECT_GT(mild, 0.02);
+  EXPECT_GT(severe, mild * 1.5);
+}
+
+TEST_F(ArchetypeTest, SpareHungryGroupsRideSpareTokens) {
+  auto spare_share = [&](int gid) {
+    double spare = 0.0, total = 0.0;
+    for (size_t i : suite_->d1.telemetry.RunsOfGroup(gid)) {
+      const JobRun& run = suite_->d1.telemetry.run(i);
+      spare += run.avg_spare_tokens;
+      total += run.avg_tokens_used;
+    }
+    return total > 0.0 ? spare / total : 0.0;
+  };
+  // Spare-using under-allocated groups draw a large share of their tokens
+  // from the spare pool; rock-solid groups draw none.
+  double hungry_max = 0.0;
+  for (int gid : suite_->d1.telemetry.GroupsWithSupport(20)) {
+    const JobGroupSpec& g = suite_->group(gid);
+    if (g.archetype == JobArchetype::kSpareHungry && g.uses_spare_tokens) {
+      hungry_max = std::max(hungry_max, spare_share(gid));
+    }
+    if (g.archetype == JobArchetype::kRockSolid) {
+      EXPECT_EQ(spare_share(gid), 0.0) << gid;
+    }
+  }
+  EXPECT_GT(hungry_max, 0.2);
+}
+
+TEST_F(ArchetypeTest, LoadSensitivePinnedGroupsSeeTheirSku) {
+  for (int gid : suite_->d1.telemetry.GroupsWithSupport(20)) {
+    const JobGroupSpec& g = suite_->group(gid);
+    if (g.archetype != JobArchetype::kLoadSensitive) continue;
+    ASSERT_GE(g.preferred_sku, 0);
+    double frac = 0.0;
+    int n = 0;
+    for (size_t i : suite_->d1.telemetry.RunsOfGroup(gid)) {
+      const JobRun& run = suite_->d1.telemetry.run(i);
+      frac += run.sku_vertex_fraction[static_cast<size_t>(g.preferred_sku)];
+      ++n;
+    }
+    EXPECT_GT(frac / n, 0.6) << gid;
+  }
+}
+
+TEST_F(ArchetypeTest, OldSkusRunHotter) {
+  const Cluster& cluster = *suite_->cluster;
+  double gen3 = 0.0, gen6 = 0.0;
+  cluster.SkuUtilization(cluster.catalog().IndexOf("Gen3"), 40000.0, &gen3,
+                         nullptr);
+  cluster.SkuUtilization(cluster.catalog().IndexOf("Gen6"), 40000.0, &gen6,
+                         nullptr);
+  EXPECT_GT(gen3, gen6 + 0.1);
+}
+
+TEST_F(ArchetypeTest, HotPinnedLoadSensitiveWiderThanCoolPinned) {
+  std::vector<double> hot, cool;
+  for (int gid : suite_->d1.telemetry.GroupsWithSupport(20)) {
+    const JobGroupSpec& g = suite_->group(gid);
+    if (g.archetype != JobArchetype::kLoadSensitive) continue;
+    (g.preferred_sku <= 1 ? hot : cool).push_back(GroupIqr(gid));
+  }
+  ASSERT_FALSE(hot.empty());
+  ASSERT_FALSE(cool.empty());
+  EXPECT_GT(Mean(hot), Mean(cool) * 1.3);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace rvar

@@ -1,0 +1,176 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace sim {
+namespace {
+
+Cluster MakeDefaultCluster(uint64_t seed = 1) {
+  ClusterConfig config;
+  config.seed = seed;
+  auto c = Cluster::Make(SkuCatalog::Default(), config);
+  EXPECT_TRUE(c.ok());
+  return *c;
+}
+
+TEST(SkuCatalogTest, DefaultIsWellFormed) {
+  SkuCatalog catalog = SkuCatalog::Default();
+  EXPECT_EQ(catalog.NumSkus(), 7u);
+  EXPECT_GT(catalog.TotalMachines(), 1000);
+  EXPECT_GT(catalog.TotalTokens(), 10000);
+  // Newer generations are faster.
+  EXPECT_LT(catalog.sku(0).speed, catalog.sku(catalog.NumSkus() - 1).speed);
+  EXPECT_EQ(catalog.IndexOf("Gen5.2"), 5);
+  EXPECT_EQ(catalog.IndexOf("nope"), -1);
+}
+
+TEST(SkuCatalogTest, MakeRejectsBadSpecs) {
+  EXPECT_FALSE(SkuCatalog::Make({}).ok());
+  EXPECT_FALSE(SkuCatalog::Make({{"A", 0.0, 10, 8}}).ok());
+  EXPECT_FALSE(SkuCatalog::Make({{"A", 1.0, 0, 8}}).ok());
+  EXPECT_FALSE(
+      SkuCatalog::Make({{"A", 1.0, 10, 8}, {"A", 1.2, 10, 8}}).ok());
+}
+
+TEST(ClusterTest, MakeRejectsBadConfig) {
+  SkuCatalog catalog = SkuCatalog::Default();
+  ClusterConfig config;
+  config.mean_utilization = 0.0;
+  EXPECT_FALSE(Cluster::Make(catalog, config).ok());
+  config = {};
+  config.spare_exposure = 1.5;
+  EXPECT_FALSE(Cluster::Make(catalog, config).ok());
+  config = {};
+  config.noise_period_seconds = 0.0;
+  EXPECT_FALSE(Cluster::Make(catalog, config).ok());
+}
+
+TEST(ClusterTest, FleetMatchesCatalog) {
+  Cluster cluster = MakeDefaultCluster();
+  EXPECT_EQ(static_cast<int>(cluster.machines().size()),
+            cluster.catalog().TotalMachines());
+  for (size_t s = 0; s < cluster.catalog().NumSkus(); ++s) {
+    EXPECT_EQ(static_cast<int>(cluster.MachinesOfSku(static_cast<int>(s)).size()),
+              cluster.catalog().sku(s).machine_count);
+  }
+}
+
+TEST(ClusterTest, DiurnalCycleHasPeakAndTrough) {
+  Cluster cluster = MakeDefaultCluster();
+  double lo = 1.0, hi = 0.0;
+  for (double t = 0.0; t < 86400.0; t += 3600.0) {
+    const double u = cluster.BaselineUtilization(t);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_GT(hi - lo, 0.2);  // amplitude 0.15 => swing ~0.3
+  // 24h periodicity.
+  EXPECT_NEAR(cluster.BaselineUtilization(1000.0),
+              cluster.BaselineUtilization(1000.0 + 86400.0), 1e-9);
+}
+
+TEST(ClusterTest, MachineUtilizationDeterministicAndBounded) {
+  Cluster cluster = MakeDefaultCluster();
+  for (int id : {0, 100, 500}) {
+    for (double t : {0.0, 5000.0, 80000.0}) {
+      const double u1 = cluster.MachineUtilization(id, t);
+      const double u2 = cluster.MachineUtilization(id, t);
+      EXPECT_EQ(u1, u2);
+      EXPECT_GE(u1, 0.02);
+      EXPECT_LE(u1, 0.98);
+    }
+  }
+}
+
+TEST(ClusterTest, LoadImbalanceSpreadsUtilization) {
+  ClusterConfig balanced;
+  balanced.load_imbalance = 0.0;
+  balanced.noise_amplitude = 0.0;
+  auto flat = Cluster::Make(SkuCatalog::Default(), balanced);
+  ASSERT_TRUE(flat.ok());
+  ClusterConfig skewed = balanced;
+  skewed.load_imbalance = 0.15;
+  auto bumpy = Cluster::Make(SkuCatalog::Default(), skewed);
+  ASSERT_TRUE(bumpy.ok());
+
+  double flat_std = 0.0, bumpy_std = 0.0;
+  flat->SkuUtilization(0, 1000.0, nullptr, &flat_std);
+  bumpy->SkuUtilization(0, 1000.0, nullptr, &bumpy_std);
+  EXPECT_NEAR(flat_std, 0.0, 1e-9);
+  EXPECT_GT(bumpy_std, 0.05);
+}
+
+TEST(ClusterTest, SpareAvailabilityAntiCorrelatedWithLoad) {
+  Cluster cluster = MakeDefaultCluster();
+  // Collect (baseline load, spare) over a day; correlation must be < 0.
+  std::vector<double> load, spare;
+  for (double t = 0.0; t < 86400.0; t += 1800.0) {
+    load.push_back(cluster.BaselineUtilization(t));
+    spare.push_back(cluster.SpareAvailability(t));
+  }
+  double lm = Mean(load), sm = Mean(spare), cov = 0.0;
+  for (size_t i = 0; i < load.size(); ++i) {
+    cov += (load[i] - lm) * (spare[i] - sm);
+  }
+  EXPECT_LT(cov, 0.0);
+  for (double s : spare) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ClusterTest, PlacementPrefersIdleMachines) {
+  Cluster cluster = MakeDefaultCluster();
+  Rng rng(11);
+  const std::vector<int> greedy =
+      cluster.SamplePlacement(400, 1000.0, 3.0, -1, 0.0, &rng);
+  const std::vector<int> random =
+      cluster.SamplePlacement(400, 1000.0, 0.0, -1, 0.0, &rng);
+  RunningStats g, r;
+  for (int id : greedy) g.Add(cluster.MachineUtilization(id, 1000.0));
+  for (int id : random) r.Add(cluster.MachineUtilization(id, 1000.0));
+  EXPECT_LT(g.mean(), r.mean());
+}
+
+TEST(ClusterTest, PlacementHonorsSkuPreference) {
+  Cluster cluster = MakeDefaultCluster();
+  Rng rng(12);
+  const int sku = cluster.catalog().IndexOf("Gen6");
+  const std::vector<int> placed =
+      cluster.SamplePlacement(300, 0.0, 1.0, sku, 1.0, &rng);
+  for (int id : placed) {
+    EXPECT_EQ(cluster.machines()[static_cast<size_t>(id)].sku_index, sku);
+  }
+  // With preference 0, machines come from many SKUs.
+  const std::vector<int> spread =
+      cluster.SamplePlacement(300, 0.0, 1.0, sku, 0.0, &rng);
+  std::set<int> skus;
+  for (int id : spread) {
+    skus.insert(cluster.machines()[static_cast<size_t>(id)].sku_index);
+  }
+  EXPECT_GT(skus.size(), 3u);
+}
+
+TEST(MachineNoiseTest, DeterministicAndBounded) {
+  for (int m = 0; m < 50; ++m) {
+    for (int64_t b = 0; b < 20; ++b) {
+      const double n1 = MachineNoise(77, m, b);
+      EXPECT_EQ(n1, MachineNoise(77, m, b));
+      EXPECT_GE(n1, -1.0);
+      EXPECT_LE(n1, 1.0);
+    }
+  }
+  // Different machines / buckets give different noise.
+  EXPECT_NE(MachineNoise(77, 1, 5), MachineNoise(77, 2, 5));
+  EXPECT_NE(MachineNoise(77, 1, 5), MachineNoise(77, 1, 6));
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace rvar

@@ -1,0 +1,142 @@
+// Parameterized property tests over the execution model: monotonicities
+// and conservation laws that must hold for any seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/scheduler.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace sim {
+namespace {
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ClusterConfig cc;
+    cc.seed = GetParam();
+    auto c = Cluster::Make(SkuCatalog::Default(), cc);
+    ASSERT_TRUE(c.ok());
+    cluster_ = std::make_unique<Cluster>(*c);
+  }
+
+  JobGroupSpec MakeGroup(uint64_t seed, double input_gb, int tokens) {
+    Rng rng(seed);
+    JobGroupSpec g;
+    g.group_id = 0;
+    g.plan = GeneratePlan({}, &rng);
+    g.base_input_gb = input_gb;
+    g.allocated_tokens = tokens;
+    g.uses_spare_tokens = false;
+    g.rare_event_prob = 0.0;
+    return g;
+  }
+
+  double MeanRuntime(const JobGroupSpec& group, double input_gb,
+                     int repeats) {
+    TokenScheduler scheduler(cluster_.get(), {});
+    double total = 0.0;
+    for (int i = 0; i < repeats; ++i) {
+      JobInstanceSpec inst;
+      inst.group_id = 0;
+      inst.instance_id = i;
+      inst.submit_time = 20000.0 + 1000.0 * i;
+      inst.input_gb = input_gb;
+      Rng rng(GetParam() * 1000 + static_cast<uint64_t>(i));
+      auto run = scheduler.Execute(group, inst, &rng);
+      EXPECT_TRUE(run.ok());
+      total += run->runtime_seconds;
+    }
+    return total / repeats;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_P(SchedulerPropertyTest, RuntimeMonotoneInInputSize) {
+  JobGroupSpec group = MakeGroup(GetParam(), 200.0, 60);
+  const double small = MeanRuntime(group, 100.0, 6);
+  const double medium = MeanRuntime(group, 200.0, 6);
+  const double large = MeanRuntime(group, 400.0, 6);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+}
+
+TEST_P(SchedulerPropertyTest, RuntimeMonotoneInTokensWhenStarved) {
+  // Same big job, increasing allocations: runtime must not grow.
+  const double input = 600.0;
+  double prev = 1e18;
+  for (int tokens : {10, 40, 160}) {
+    JobGroupSpec group = MakeGroup(GetParam(), input, tokens);
+    const double t = MeanRuntime(group, input, 6);
+    EXPECT_LT(t, prev * 1.05) << tokens;  // small noise slack
+    prev = t;
+  }
+}
+
+TEST_P(SchedulerPropertyTest, FasterSkusRunFaster) {
+  JobGroupSpec old_gen = MakeGroup(GetParam(), 300.0, 80);
+  old_gen.preferred_sku = 0;  // Gen3: slow and hot
+  old_gen.sku_preference = 0.95;
+  JobGroupSpec new_gen = old_gen;
+  new_gen.preferred_sku =
+      static_cast<int>(cluster_->catalog().NumSkus()) - 1;  // Gen6
+  EXPECT_GT(MeanRuntime(old_gen, 300.0, 8),
+            MeanRuntime(new_gen, 300.0, 8) * 1.2);
+}
+
+TEST_P(SchedulerPropertyTest, TokenAccountingConsistent) {
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec group = MakeGroup(GetParam(), 400.0, 50);
+  group.uses_spare_tokens = true;
+  JobInstanceSpec inst;
+  inst.group_id = 0;
+  inst.input_gb = 400.0;
+  inst.submit_time = 30000.0;
+  Rng rng(GetParam() + 5);
+  auto run = scheduler.Execute(group, inst, &rng);
+  ASSERT_TRUE(run.ok());
+  // Average usage cannot exceed the peak; spare cannot exceed usage.
+  EXPECT_LE(run->avg_tokens_used, run->max_tokens_used + 1e-9);
+  EXPECT_LE(run->avg_spare_tokens, run->avg_tokens_used + 1e-9);
+  // Peak bounded by allocation + spare cap.
+  const SchedulerConfig config;
+  EXPECT_LE(run->max_tokens_used,
+            group.allocated_tokens *
+                static_cast<int>(1.0 + config.spare_multiplier_cap) +
+                1);
+  // Temp data is bounded by total input through the shrink chain.
+  EXPECT_LT(run->temp_data_gb, run->input_gb * 2.0);
+  EXPECT_GE(run->num_stages, 1);
+}
+
+TEST_P(SchedulerPropertyTest, HotterClusterIsSlower) {
+  // The same job at the diurnal trough vs peak.
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec group = MakeGroup(GetParam(), 300.0, 80);
+  group.contention_sensitivity = 1.5;
+  auto mean_at = [&](double t0) {
+    double total = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      JobInstanceSpec inst;
+      inst.group_id = 0;
+      inst.input_gb = 300.0;
+      inst.submit_time = t0 + i * 86400.0;  // same phase, several days
+      Rng rng(GetParam() * 77 + static_cast<uint64_t>(i));
+      total += scheduler.Execute(group, inst, &rng)->runtime_seconds;
+    }
+    return total / 8.0;
+  };
+  const double trough = mean_at(0.5 * 3600.0);   // ~00:30 (trough)
+  const double peak = mean_at(12.0 * 3600.0);    // ~12:00 (peak)
+  EXPECT_GT(peak, trough);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+}  // namespace
+}  // namespace sim
+}  // namespace rvar

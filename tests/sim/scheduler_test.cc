@@ -1,0 +1,287 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/datasets.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace sim {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cc;
+    cc.seed = 5;
+    auto c = Cluster::Make(SkuCatalog::Default(), cc);
+    ASSERT_TRUE(c.ok());
+    cluster_ = std::make_unique<Cluster>(*c);
+  }
+
+  JobGroupSpec MakeGroup(double input_gb = 50.0, int tokens = 40) {
+    Rng rng(9);
+    JobGroupSpec g;
+    g.group_id = 0;
+    g.name = "test_group";
+    g.plan = GeneratePlan({}, &rng);
+    g.base_input_gb = input_gb;
+    g.allocated_tokens = tokens;
+    g.rare_event_prob = 0.0;
+    return g;
+  }
+
+  JobInstanceSpec MakeInstance(double input_gb, double t = 10000.0) {
+    JobInstanceSpec inst;
+    inst.group_id = 0;
+    inst.instance_id = 1;
+    inst.submit_time = t;
+    inst.input_gb = input_gb;
+    return inst;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(SchedulerTest, ProducesCompleteTelemetry) {
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec group = MakeGroup();
+  Rng rng(1);
+  auto run = scheduler.Execute(group, MakeInstance(50.0), &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->runtime_seconds, 0.0);
+  EXPECT_GT(run->total_vertices, 0);
+  EXPECT_EQ(run->num_stages, group.plan.num_stages);
+  EXPECT_EQ(run->allocated_tokens, 40);
+  EXPECT_GT(run->max_tokens_used, 0);
+  EXPECT_GT(run->avg_tokens_used, 0.0);
+  EXPECT_EQ(run->skyline.size(), static_cast<size_t>(group.plan.num_stages));
+  EXPECT_EQ(run->sku_vertex_fraction.size(), 7u);
+  double frac = 0.0;
+  for (double f : run->sku_vertex_fraction) frac += f;
+  EXPECT_NEAR(frac, 1.0, 1e-9);
+  EXPECT_GT(run->cpu_util_mean, 0.0);
+  EXPECT_LT(run->cpu_util_mean, 1.0);
+  EXPECT_GE(run->spare_availability, 0.0);
+  EXPECT_GT(run->input_gb, 0.0);
+}
+
+TEST_F(SchedulerTest, LargerInputsRunLonger) {
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec group = MakeGroup();
+  // Average over repetitions to wash out placement noise.
+  double small = 0.0, large = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    Rng rng(100 + static_cast<uint64_t>(i));
+    small += scheduler.Execute(group, MakeInstance(10.0), &rng)
+                 ->runtime_seconds;
+    Rng rng2(200 + static_cast<uint64_t>(i));
+    large += scheduler.Execute(group, MakeInstance(500.0), &rng2)
+                 ->runtime_seconds;
+  }
+  EXPECT_GT(large, small * 2.0);
+}
+
+TEST_F(SchedulerTest, MoreTokensShortenBigJobs) {
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec few = MakeGroup(800.0, 10);
+  few.uses_spare_tokens = false;
+  JobGroupSpec many = MakeGroup(800.0, 200);
+  many.uses_spare_tokens = false;
+  double t_few = 0.0, t_many = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    Rng a(300 + static_cast<uint64_t>(i)), b(300 + static_cast<uint64_t>(i));
+    t_few += scheduler.Execute(few, MakeInstance(800.0), &a)->runtime_seconds;
+    t_many +=
+        scheduler.Execute(many, MakeInstance(800.0), &b)->runtime_seconds;
+  }
+  EXPECT_GT(t_few, t_many * 2.0);
+}
+
+TEST_F(SchedulerTest, SpareTokensRaisePeakUsage) {
+  SchedulerConfig config;
+  TokenScheduler scheduler(cluster_.get(), config);
+  JobGroupSpec with_spare = MakeGroup(2000.0, 20);
+  with_spare.uses_spare_tokens = true;
+  JobGroupSpec no_spare = MakeGroup(2000.0, 20);
+  no_spare.uses_spare_tokens = false;
+
+  int with_peak = 0, without_peak = 0;
+  double with_spare_avg = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    Rng a(400 + static_cast<uint64_t>(i)), b(400 + static_cast<uint64_t>(i));
+    auto rw = scheduler.Execute(with_spare, MakeInstance(2000.0), &a);
+    auto ro = scheduler.Execute(no_spare, MakeInstance(2000.0), &b);
+    with_peak = std::max(with_peak, rw->max_tokens_used);
+    without_peak = std::max(without_peak, ro->max_tokens_used);
+    with_spare_avg += rw->avg_spare_tokens;
+    EXPECT_DOUBLE_EQ(ro->avg_spare_tokens, 0.0);
+    EXPECT_LE(rw->max_tokens_used,
+              20 + static_cast<int>(config.spare_multiplier_cap * 20));
+  }
+  EXPECT_GT(with_peak, without_peak);
+  EXPECT_GT(with_spare_avg, 0.0);
+  EXPECT_EQ(without_peak, 20);
+}
+
+TEST_F(SchedulerTest, DisablingSpareGloballyMatchesGroupOptOut) {
+  SchedulerConfig config;
+  config.enable_spare_tokens = false;
+  TokenScheduler scheduler(cluster_.get(), config);
+  JobGroupSpec group = MakeGroup(2000.0, 20);
+  group.uses_spare_tokens = true;
+  Rng rng(7);
+  auto run = scheduler.Execute(group, MakeInstance(2000.0), &rng);
+  EXPECT_EQ(run->max_tokens_used, 20);
+  EXPECT_DOUBLE_EQ(run->avg_spare_tokens, 0.0);
+}
+
+TEST_F(SchedulerTest, RareEventsCreateOutliers) {
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec calm = MakeGroup();
+  calm.rare_event_prob = 0.0;
+  JobGroupSpec risky = MakeGroup();
+  risky.rare_event_prob = 1.0;  // force events
+
+  Rng rng(8);
+  std::vector<double> calm_times, risky_times;
+  bool saw_event = false;
+  for (int i = 0; i < 40; ++i) {
+    auto rc = scheduler.Execute(calm, MakeInstance(50.0), &rng);
+    auto rr = scheduler.Execute(risky, MakeInstance(50.0), &rng);
+    calm_times.push_back(rc->runtime_seconds);
+    risky_times.push_back(rr->runtime_seconds);
+    EXPECT_FALSE(rc->rare_event);
+    saw_event |= rr->rare_event;
+  }
+  EXPECT_TRUE(saw_event);
+  // The risky group's tail is much longer.
+  EXPECT_GT(Quantile(risky_times, 0.9), Quantile(calm_times, 0.9) * 1.5);
+}
+
+TEST_F(SchedulerTest, SkuPreferenceShowsInVertexFractions) {
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec group = MakeGroup();
+  group.preferred_sku = cluster_->catalog().IndexOf("Gen6");
+  group.sku_preference = 0.9;
+  Rng rng(9);
+  auto run = scheduler.Execute(group, MakeInstance(200.0), &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->sku_vertex_fraction[static_cast<size_t>(group.preferred_sku)],
+            0.5);
+}
+
+TEST_F(SchedulerTest, RejectsInvalidInputs) {
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec group = MakeGroup();
+  Rng rng(10);
+  JobGroupSpec bad_tokens = group;
+  bad_tokens.allocated_tokens = 0;
+  EXPECT_FALSE(
+      scheduler.Execute(bad_tokens, MakeInstance(10.0), &rng).ok());
+  EXPECT_FALSE(scheduler.Execute(group, MakeInstance(0.0), &rng).ok());
+  JobGroupSpec empty_plan = group;
+  empty_plan.plan = JobPlan{};
+  EXPECT_FALSE(
+      scheduler.Execute(empty_plan, MakeInstance(10.0), &rng).ok());
+}
+
+TEST_F(SchedulerTest, SkylineStartsAtQueueEndAndIsOrdered) {
+  TokenScheduler scheduler(cluster_.get(), {});
+  JobGroupSpec group = MakeGroup();
+  Rng rng(11);
+  auto run = scheduler.Execute(group, MakeInstance(100.0), &rng);
+  ASSERT_TRUE(run.ok());
+  double prev = -1.0;
+  for (const auto& [start, tokens] : run->skyline) {
+    EXPECT_GT(start, prev);
+    EXPECT_GT(tokens, 0);
+    EXPECT_LE(start, run->runtime_seconds);
+    prev = start;
+  }
+}
+
+TEST(TelemetryStoreTest, GroupIndexing) {
+  TelemetryStore store;
+  for (int g = 0; g < 3; ++g) {
+    for (int i = 0; i <= g; ++i) {
+      JobRun run;
+      run.group_id = g;
+      run.runtime_seconds = 10.0 * g + i;
+      store.Add(run);
+    }
+  }
+  EXPECT_EQ(store.NumRuns(), 6u);
+  EXPECT_EQ(store.GroupIds(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(store.Support(2), 3);
+  EXPECT_EQ(store.Support(99), 0);
+  EXPECT_TRUE(store.RunsOfGroup(99).empty());
+  EXPECT_EQ(store.GroupsWithSupport(2), (std::vector<int>{1, 2}));
+  EXPECT_EQ(store.GroupRuntimes(1), (std::vector<double>{10.0, 11.0}));
+}
+
+TEST(StudySuiteTest, BuildsThreeConsistentSlices) {
+  SuiteConfig config;
+  config.num_groups = 25;
+  config.d1_days = 2.0;
+  config.d2_days = 1.0;
+  config.d3_days = 0.5;
+  config.d1_support = 5;
+  config.workload.min_period_seconds = 600.0;
+  config.workload.max_period_seconds = 7200.0;
+  auto suite = BuildStudySuite(config);
+  ASSERT_TRUE(suite.ok());
+  EXPECT_EQ(suite->groups.size(), 25u);
+  EXPECT_GT(suite->d1.telemetry.NumRuns(), 0u);
+  EXPECT_GT(suite->d2.telemetry.NumRuns(), 0u);
+  EXPECT_GT(suite->d3.telemetry.NumRuns(), 0u);
+  // D1 covers twice D2's days, so roughly twice the runs.
+  EXPECT_GT(suite->d1.telemetry.NumRuns(), suite->d2.telemetry.NumRuns());
+  // Submit times partition correctly.
+  const double d1_end = 2.0 * 86400.0;
+  const double d2_end = 3.0 * 86400.0;
+  for (const JobRun& r : suite->d1.telemetry.runs()) {
+    EXPECT_LT(r.submit_time, d1_end);
+  }
+  for (const JobRun& r : suite->d2.telemetry.runs()) {
+    EXPECT_GE(r.submit_time, d1_end);
+    EXPECT_LT(r.submit_time, d2_end);
+  }
+  for (const JobRun& r : suite->d3.telemetry.runs()) {
+    EXPECT_GE(r.submit_time, d2_end);
+  }
+  EXPECT_GT(suite->d1.NumQualifyingGroups(), 0);
+  EXPECT_GT(suite->d1.NumQualifyingInstances(), 0);
+}
+
+TEST(StudySuiteTest, RejectsBadConfig) {
+  SuiteConfig config;
+  config.num_groups = 0;
+  EXPECT_FALSE(BuildStudySuite(config).ok());
+  config = {};
+  config.d2_days = 0.0;
+  EXPECT_FALSE(BuildStudySuite(config).ok());
+}
+
+TEST(StudySuiteTest, DeterministicGivenSeed) {
+  SuiteConfig config;
+  config.num_groups = 10;
+  config.d1_days = 0.5;
+  config.d2_days = 0.25;
+  config.d3_days = 0.25;
+  config.seed = 77;
+  auto a = BuildStudySuite(config);
+  auto b = BuildStudySuite(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->d2.telemetry.NumRuns(), b->d2.telemetry.NumRuns());
+  for (size_t i = 0; i < a->d2.telemetry.NumRuns(); ++i) {
+    EXPECT_DOUBLE_EQ(a->d2.telemetry.run(i).runtime_seconds,
+                     b->d2.telemetry.run(i).runtime_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace rvar

@@ -1,0 +1,194 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/plan.h"
+#include "stats/descriptive.h"
+
+namespace rvar {
+namespace sim {
+namespace {
+
+TEST(PlanTest, GeneratedPlansAreWellFormed) {
+  Rng rng(1);
+  PlanGeneratorConfig config;
+  for (int trial = 0; trial < 50; ++trial) {
+    JobPlan plan = GeneratePlan(config, &rng);
+    ASSERT_GE(static_cast<int>(plan.nodes.size()), config.min_operators);
+    ASSERT_LE(static_cast<int>(plan.nodes.size()), config.max_operators + 1);
+    // Topological: inputs always precede.
+    for (size_t i = 0; i < plan.nodes.size(); ++i) {
+      for (int in : plan.nodes[i].inputs) {
+        EXPECT_LT(in, static_cast<int>(i));
+        EXPECT_GE(in, 0);
+      }
+    }
+    // First node is an Extract, last is the Output sink.
+    EXPECT_EQ(plan.nodes.front().op, OperatorType::kExtract);
+    EXPECT_EQ(plan.nodes.back().op, OperatorType::kOutput);
+    EXPECT_GE(plan.num_stages, 1);
+    EXPECT_GT(plan.estimated_cardinality, 0.0);
+    EXPECT_GT(plan.estimated_cost, 0.0);
+    // Stage ids are consistent with DAG order.
+    for (const PlanNode& n : plan.nodes) {
+      for (int in : n.inputs) {
+        EXPECT_LE(plan.nodes[static_cast<size_t>(in)].stage, n.stage);
+      }
+      EXPECT_LT(n.stage, plan.num_stages);
+    }
+  }
+}
+
+TEST(PlanTest, OperatorCountsSumToNodes) {
+  Rng rng(2);
+  JobPlan plan = GeneratePlan({}, &rng);
+  const std::vector<int> counts = plan.OperatorCounts();
+  ASSERT_EQ(counts.size(), static_cast<size_t>(kNumOperatorTypes));
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, static_cast<int>(plan.nodes.size()));
+}
+
+TEST(PlanTest, SignatureIsStructural) {
+  Rng rng(3);
+  JobPlan plan = GeneratePlan({}, &rng);
+  JobPlan copy = plan;
+  // Estimates are not part of the signature.
+  copy.estimated_cardinality *= 10.0;
+  copy.estimated_cost *= 10.0;
+  EXPECT_EQ(plan.Signature(), copy.Signature());
+  // Changing an operator changes the signature.
+  for (PlanNode& n : copy.nodes) {
+    if (n.op == OperatorType::kFilter) {
+      n.op = OperatorType::kProject;
+      break;
+    }
+  }
+  // (Only guaranteed to differ if a Filter existed; find a robust mutation.)
+  copy.nodes[0].op = OperatorType::kUdf;
+  EXPECT_NE(plan.Signature(), copy.Signature());
+}
+
+TEST(PlanTest, DistinctPlansGetDistinctSignatures) {
+  Rng rng(4);
+  std::set<uint64_t> signatures;
+  for (int i = 0; i < 200; ++i) {
+    signatures.insert(GeneratePlan({}, &rng).Signature());
+  }
+  // Random plans should essentially never collide.
+  EXPECT_GT(signatures.size(), 195u);
+}
+
+TEST(PlanTest, OperatorNamesAndCosts) {
+  for (int i = 0; i < kNumOperatorTypes; ++i) {
+    const OperatorType op = static_cast<OperatorType>(i);
+    EXPECT_STRNE(OperatorTypeName(op), "Unknown");
+    EXPECT_GT(OperatorCostFactor(op), 0.0);
+  }
+}
+
+TEST(WorkloadTest, GroupsHavePlausibleProperties) {
+  WorkloadConfig config;
+  config.num_groups = 100;
+  WorkloadGenerator generator(config);
+  const auto groups = generator.GenerateGroups(7);
+  ASSERT_EQ(groups.size(), 100u);
+  std::set<uint64_t> signatures;
+  for (const JobGroupSpec& g : groups) {
+    EXPECT_GT(g.base_input_gb, 0.0);
+    EXPECT_GT(g.allocated_tokens, 0);
+    // Spare-hungry groups are deliberately under-allocated; everyone else
+    // over-allocates.
+    if (g.archetype == JobArchetype::kSpareHungry) {
+      EXPECT_LT(g.overallocation, 1.0);
+    } else {
+      EXPECT_GE(g.overallocation, 1.0);
+    }
+    EXPECT_GE(g.period_seconds, config.min_period_seconds);
+    EXPECT_LE(g.period_seconds, config.max_period_seconds * 1.001);
+    EXPECT_GE(g.rare_event_prob, 0.0);
+    EXPECT_LE(g.rare_event_prob, 0.3);
+    EXPECT_GT(g.contention_sensitivity, 0.0);
+    EXPECT_LT(g.preferred_sku, 7);
+    signatures.insert(g.plan.Signature());
+  }
+  // Groups are distinct templates.
+  EXPECT_GT(signatures.size(), 95u);
+}
+
+TEST(WorkloadTest, InstancesSortedAndWithinHorizon) {
+  WorkloadConfig config;
+  config.num_groups = 20;
+  config.interval_days = 3.0;
+  WorkloadGenerator generator(config);
+  const auto groups = generator.GenerateGroups(7);
+  const auto instances = generator.GenerateInstances(groups);
+  ASSERT_FALSE(instances.empty());
+  for (size_t i = 1; i < instances.size(); ++i) {
+    EXPECT_LE(instances[i - 1].submit_time, instances[i].submit_time);
+  }
+  for (const JobInstanceSpec& inst : instances) {
+    EXPECT_GE(inst.submit_time, 0.0);
+    EXPECT_LT(inst.submit_time, 3.0 * 86400.0);
+    EXPECT_GT(inst.input_gb, 0.0);
+    EXPECT_GE(inst.group_id, 0);
+    EXPECT_LT(inst.group_id, 20);
+  }
+}
+
+TEST(WorkloadTest, FrequentGroupsRecurMore) {
+  WorkloadConfig config;
+  config.num_groups = 60;
+  config.interval_days = 10.0;
+  WorkloadGenerator generator(config);
+  const auto groups = generator.GenerateGroups(7);
+  const auto instances = generator.GenerateInstances(groups);
+  std::vector<int> counts(groups.size(), 0);
+  for (const auto& inst : instances) {
+    counts[static_cast<size_t>(inst.group_id)]++;
+  }
+  for (const JobGroupSpec& g : groups) {
+    const double expected = 10.0 * 86400.0 / g.period_seconds;
+    const int got = counts[static_cast<size_t>(g.group_id)];
+    EXPECT_GT(got, expected * 0.4) << g.group_id;
+    EXPECT_LT(got, expected * 2.5 + 5) << g.group_id;
+  }
+}
+
+TEST(WorkloadTest, InputDriftMatchesSigma) {
+  WorkloadConfig config;
+  config.num_groups = 200;
+  config.interval_days = 8.0;
+  WorkloadGenerator generator(config);
+  auto groups = generator.GenerateGroups(7);
+  // Force one highly-drifting group and one stable group.
+  groups[0].input_drift_sigma = 1.2;
+  groups[0].period_seconds = 1000.0;
+  groups[1].input_drift_sigma = 0.05;
+  groups[1].period_seconds = 1000.0;
+  const auto instances = generator.GenerateInstances(groups);
+  std::vector<double> drifty, stable;
+  for (const auto& inst : instances) {
+    if (inst.group_id == 0) drifty.push_back(inst.input_gb);
+    if (inst.group_id == 1) stable.push_back(inst.input_gb);
+  }
+  ASSERT_GT(drifty.size(), 100u);
+  ASSERT_GT(stable.size(), 100u);
+  // Max/min spread: heavy drift should exceed an order of magnitude; the
+  // paper reports up to ~50x input spread within a group.
+  const double drift_ratio =
+      *std::max_element(drifty.begin(), drifty.end()) /
+      *std::min_element(drifty.begin(), drifty.end());
+  const double stable_ratio =
+      *std::max_element(stable.begin(), stable.end()) /
+      *std::min_element(stable.begin(), stable.end());
+  EXPECT_GT(drift_ratio, 10.0);
+  EXPECT_LT(stable_ratio, 2.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace rvar

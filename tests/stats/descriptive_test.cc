@@ -1,0 +1,122 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rvar {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.cov(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  EXPECT_EQ(rs.count(), 8);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+  EXPECT_NEAR(rs.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(99);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(3.0, 7.0);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats b = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.Merge(b);
+  EXPECT_EQ(empty.count(), 2);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_EQ(Quantile({5.0}, 0.0), 5.0);
+  EXPECT_EQ(Quantile({5.0}, 1.0), 5.0);
+}
+
+TEST(QuantileTest, LinearInterpolation) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Median({9.0, 1.0, 5.0}), 5.0);
+}
+
+TEST(DescriptiveTest, MeanAndStdDev) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, CovMatchesDefinition) {
+  std::vector<double> v = {10.0, 12.0, 8.0, 10.0};
+  EXPECT_NEAR(CoefficientOfVariation(v), StdDev(v) / 10.0, 1e-12);
+  EXPECT_EQ(CoefficientOfVariation({5.0}), 0.0);
+  EXPECT_EQ(CoefficientOfVariation({-1.0, 1.0}), 0.0);  // zero mean
+}
+
+TEST(DescriptiveTest, Iqr) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(InterquartileRange(v), 50.0);
+}
+
+// Property: quantile is monotone in q.
+class QuantileMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantileMonotoneTest, MonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  const int n = static_cast<int>(rng.UniformInt(2, 200));
+  for (int i = 0; i < n; ++i) v.push_back(rng.LogNormal(0.0, 1.5));
+  std::sort(v.begin(), v.end());
+  double prev = QuantileSorted(v, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = QuantileSorted(v, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.0), v.front());
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0), v.back());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rvar

@@ -1,0 +1,102 @@
+#include "stats/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace rvar {
+namespace {
+
+TEST(VectorDistanceTest, L2AndDot) {
+  std::vector<double> a = {1.0, 2.0, 2.0};
+  std::vector<double> b = {1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(SquaredL2(a, b), 8.0);
+  EXPECT_DOUBLE_EQ(L2(a, b), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(L2(a, a), 0.0);
+}
+
+TEST(KsDistanceTest, IdenticalSamplesZero) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(KsDistance(a, a), 0.0);
+}
+
+TEST(KsDistanceTest, DisjointSamplesOne) {
+  EXPECT_DOUBLE_EQ(KsDistance({1.0, 2.0}, {10.0, 11.0}), 1.0);
+}
+
+TEST(KsDistanceTest, KnownHalfShift) {
+  // a = {1,2}, b = {2,3}: at x=1, Fa=0.5, Fb=0 -> D = 0.5.
+  EXPECT_DOUBLE_EQ(KsDistance({1.0, 2.0}, {2.0, 3.0}), 0.5);
+}
+
+TEST(KsDistanceTest, SymmetricAndBounded) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) a.push_back(rng.Normal(0.0, 1.0));
+  for (int i = 0; i < 200; ++i) b.push_back(rng.Normal(0.5, 2.0));
+  const double dab = KsDistance(a, b);
+  const double dba = KsDistance(b, a);
+  EXPECT_DOUBLE_EQ(dab, dba);
+  EXPECT_GT(dab, 0.0);
+  EXPECT_LE(dab, 1.0);
+}
+
+TEST(KsDistanceTest, ConvergesForSameDistribution) {
+  Rng rng(6);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20000; ++i) a.push_back(rng.LogNormal(0.0, 1.0));
+  for (int i = 0; i < 20000; ++i) b.push_back(rng.LogNormal(0.0, 1.0));
+  EXPECT_LT(KsDistance(a, b), 0.03);
+}
+
+TEST(KsDistancePmfTest, MatchesManualCdfDifference) {
+  std::vector<double> pa = {0.5, 0.5, 0.0};
+  std::vector<double> pb = {0.0, 0.5, 0.5};
+  // CDFs: a = {.5, 1, 1}, b = {0, .5, 1} -> max diff 0.5.
+  EXPECT_DOUBLE_EQ(KsDistancePmf(pa, pb), 0.5);
+  EXPECT_DOUBLE_EQ(KsDistancePmf(pa, pa), 0.0);
+}
+
+TEST(QqTest, IdenticalSamplesZeroMae) {
+  std::vector<double> a = {1.0, 5.0, 9.0, 2.0, 4.0};
+  EXPECT_NEAR(QqMeanAbsoluteError(a, a), 0.0, 1e-12);
+}
+
+TEST(QqTest, ConstantShiftGivesShiftMae) {
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.Normal(0.0, 1.0);
+    a.push_back(v);
+    b.push_back(v + 3.0);
+  }
+  EXPECT_NEAR(QqMeanAbsoluteError(a, b), 3.0, 1e-9);
+}
+
+TEST(QqTest, SeriesIsMonotoneInBothAxes) {
+  Rng rng(8);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(rng.LogNormal(0.0, 1.0));
+    b.push_back(rng.LogNormal(0.2, 1.2));
+  }
+  const auto series = QqSeries(a, b, 19);
+  ASSERT_EQ(series.size(), 19u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].actual, series[i - 1].actual);
+    EXPECT_GE(series[i].predicted, series[i - 1].predicted);
+    EXPECT_GT(series[i].q, series[i - 1].q);
+  }
+}
+
+TEST(QqTest, DifferentSampleSizesSupported) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  std::vector<double> b = {1.0, 8.0};
+  EXPECT_GE(QqMeanAbsoluteError(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace rvar

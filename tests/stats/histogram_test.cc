@@ -1,0 +1,174 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace rvar {
+namespace {
+
+BinGrid MakeGrid(double lo, double hi, int bins) {
+  auto r = BinGrid::Make(lo, hi, bins);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+TEST(BinGridTest, RejectsBadArguments) {
+  EXPECT_TRUE(BinGrid::Make(0.0, 10.0, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(BinGrid::Make(5.0, 5.0, 10).status().IsInvalidArgument());
+  EXPECT_TRUE(BinGrid::Make(7.0, 3.0, 10).status().IsInvalidArgument());
+  EXPECT_TRUE(BinGrid::Make(0.0, 10.0, 200).ok());
+}
+
+TEST(BinGridTest, BinIndexClipsOutliers) {
+  // The paper's Ratio grid: [0, 10] with outliers merged into edge bins.
+  BinGrid g = MakeGrid(0.0, 10.0, 200);
+  EXPECT_EQ(g.BinIndex(-5.0), 0);
+  EXPECT_EQ(g.BinIndex(0.0), 0);
+  EXPECT_EQ(g.BinIndex(10.0), 199);
+  EXPECT_EQ(g.BinIndex(1e9), 199);
+  EXPECT_EQ(g.BinIndex(0.049), 0);
+  EXPECT_EQ(g.BinIndex(0.051), 1);
+}
+
+TEST(BinGridTest, CentersAreMidpoints) {
+  BinGrid g = MakeGrid(-900.0, 900.0, 200);
+  EXPECT_DOUBLE_EQ(g.bin_width(), 9.0);
+  EXPECT_DOUBLE_EQ(g.BinCenter(0), -895.5);
+  EXPECT_DOUBLE_EQ(g.BinCenter(199), 895.5);
+}
+
+TEST(HistogramTest, CountsAndProbabilities) {
+  BinGrid g = MakeGrid(0.0, 10.0, 10);
+  Histogram h(g);
+  h.AddAll({0.5, 0.5, 5.5, 9.9, 100.0});
+  EXPECT_EQ(h.total_count(), 5);
+  EXPECT_EQ(h.counts()[0], 2);
+  EXPECT_EQ(h.counts()[5], 1);
+  EXPECT_EQ(h.counts()[9], 2);  // 9.9 and the clipped 100.0
+  const auto p = h.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.4);
+  EXPECT_DOUBLE_EQ(std::accumulate(p.begin(), p.end(), 0.0), 1.0);
+}
+
+TEST(HistogramTest, EmptyHasZeroPmf) {
+  Histogram h(MakeGrid(0.0, 1.0, 4));
+  for (double v : h.Probabilities()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SmoothPmfTest, RadiusZeroIsIdentity) {
+  std::vector<double> pmf = {0.1, 0.7, 0.2};
+  EXPECT_EQ(SmoothPmf(pmf, 0), pmf);
+}
+
+TEST(SmoothPmfTest, PreservesMassAndSpreadsSpike) {
+  std::vector<double> pmf(11, 0.0);
+  pmf[5] = 1.0;
+  const auto s = SmoothPmf(pmf, 2);
+  EXPECT_NEAR(std::accumulate(s.begin(), s.end(), 0.0), 1.0, 1e-12);
+  EXPECT_GT(s[4], 0.0);
+  EXPECT_GT(s[6], 0.0);
+  EXPECT_LT(s[5], 1.0);
+  EXPECT_EQ(s[0], 0.0);
+}
+
+TEST(SmoothPmfTest, UniformIsFixedPoint) {
+  std::vector<double> pmf(8, 0.125);
+  const auto s = SmoothPmf(pmf, 3);
+  for (double v : s) EXPECT_NEAR(v, 0.125, 1e-12);
+}
+
+TEST(SmoothPmfTest, IncreasesAffinityOfShiftedSpikes) {
+  // The motivation in Section 4.2: two nearly-identical distributions whose
+  // spikes land in adjacent bins should look more similar after smoothing.
+  std::vector<double> a(20, 0.0), b(20, 0.0);
+  a[9] = 1.0;
+  b[10] = 1.0;
+  const double raw_dot = 0.0;  // orthogonal
+  const auto sa = SmoothPmf(a, 2);
+  const auto sb = SmoothPmf(b, 2);
+  double smooth_dot = 0.0;
+  for (size_t i = 0; i < sa.size(); ++i) smooth_dot += sa[i] * sb[i];
+  EXPECT_GT(smooth_dot, raw_dot);
+}
+
+TEST(PmfStatsTest, CdfQuantileMeanStd) {
+  BinGrid g = MakeGrid(0.0, 10.0, 10);
+  // All mass in bin 3 => values near its center 3.5.
+  std::vector<double> pmf(10, 0.0);
+  pmf[3] = 1.0;
+  EXPECT_DOUBLE_EQ(PmfMean(g, pmf), 3.5);
+  EXPECT_DOUBLE_EQ(PmfStdDev(g, pmf), 0.0);
+  EXPECT_NEAR(PmfQuantile(g, pmf, 0.5), 3.5, 0.5);
+  const auto cdf = PmfToCdf(pmf);
+  EXPECT_EQ(cdf[2], 0.0);
+  EXPECT_EQ(cdf[3], 1.0);
+  EXPECT_EQ(cdf[9], 1.0);
+}
+
+TEST(PmfStatsTest, QuantileInterpolatesWithinBin) {
+  BinGrid g = MakeGrid(0.0, 1.0, 2);
+  std::vector<double> pmf = {0.5, 0.5};
+  EXPECT_NEAR(PmfQuantile(g, pmf, 0.25), 0.25, 1e-12);
+  EXPECT_NEAR(PmfQuantile(g, pmf, 0.75), 0.75, 1e-12);
+}
+
+TEST(PmfStatsTest, ZeroMassPmf) {
+  BinGrid g = MakeGrid(0.0, 1.0, 4);
+  std::vector<double> pmf(4, 0.0);
+  EXPECT_EQ(PmfMean(g, pmf), 0.0);
+  EXPECT_EQ(PmfQuantile(g, pmf, 0.5), 0.0);
+  EXPECT_EQ(PmfStdDev(g, pmf), 0.0);
+}
+
+TEST(SamplePmfTest, SamplesFallInSupport) {
+  BinGrid g = MakeGrid(0.0, 10.0, 10);
+  std::vector<double> pmf(10, 0.0);
+  pmf[2] = 0.5;
+  pmf[7] = 0.5;
+  Rng rng(42);
+  const auto xs = SamplePmf(g, pmf, 2000, &rng);
+  ASSERT_EQ(xs.size(), 2000u);
+  int lo_bin = 0, hi_bin = 0;
+  for (double x : xs) {
+    const int b = g.BinIndex(x);
+    EXPECT_TRUE(b == 2 || b == 7);
+    (b == 2 ? lo_bin : hi_bin)++;
+  }
+  EXPECT_NEAR(lo_bin / 2000.0, 0.5, 0.05);
+}
+
+TEST(SamplePmfTest, ZeroMassYieldsEmpty) {
+  BinGrid g = MakeGrid(0.0, 1.0, 4);
+  Rng rng(1);
+  EXPECT_TRUE(SamplePmf(g, std::vector<double>(4, 0.0), 10, &rng).empty());
+}
+
+// Property: histogram round-trip — sampling from a PMF and re-histogramming
+// recovers approximately the same PMF.
+class PmfRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PmfRoundTripTest, SampleThenRebin) {
+  Rng rng(GetParam());
+  BinGrid g = MakeGrid(0.0, 10.0, 20);
+  std::vector<double> pmf(20, 0.0);
+  // Random sparse PMF.
+  for (int k = 0; k < 4; ++k) {
+    pmf[static_cast<size_t>(rng.UniformInt(0, 19))] += 0.25;
+  }
+  Rng sample_rng = rng.Split();
+  const auto xs = SamplePmf(g, pmf, 20000, &sample_rng);
+  const auto rebinned = Histogram::FromValues(g, xs).Probabilities();
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    EXPECT_NEAR(rebinned[i], pmf[i], 0.02) << "bin " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmfRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace rvar
