@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classifier_sweep.dir/bench_classifier_sweep.cc.o"
+  "CMakeFiles/bench_classifier_sweep.dir/bench_classifier_sweep.cc.o.d"
+  "bench_classifier_sweep"
+  "bench_classifier_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classifier_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

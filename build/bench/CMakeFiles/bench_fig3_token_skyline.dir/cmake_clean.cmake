@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_token_skyline.dir/bench_fig3_token_skyline.cc.o"
+  "CMakeFiles/bench_fig3_token_skyline.dir/bench_fig3_token_skyline.cc.o.d"
+  "bench_fig3_token_skyline"
+  "bench_fig3_token_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_token_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

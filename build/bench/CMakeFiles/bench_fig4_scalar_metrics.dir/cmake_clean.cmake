@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_scalar_metrics.dir/bench_fig4_scalar_metrics.cc.o"
+  "CMakeFiles/bench_fig4_scalar_metrics.dir/bench_fig4_scalar_metrics.cc.o.d"
+  "bench_fig4_scalar_metrics"
+  "bench_fig4_scalar_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scalar_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

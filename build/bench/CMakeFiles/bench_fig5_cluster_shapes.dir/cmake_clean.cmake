@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cluster_shapes.dir/bench_fig5_cluster_shapes.cc.o"
+  "CMakeFiles/bench_fig5_cluster_shapes.dir/bench_fig5_cluster_shapes.cc.o.d"
+  "bench_fig5_cluster_shapes"
+  "bench_fig5_cluster_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cluster_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_likelihood.dir/bench_fig6_likelihood.cc.o"
+  "CMakeFiles/bench_fig6_likelihood.dir/bench_fig6_likelihood.cc.o.d"
+  "bench_fig6_likelihood"
+  "bench_fig6_likelihood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

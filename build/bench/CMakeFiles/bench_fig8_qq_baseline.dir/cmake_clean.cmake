@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_qq_baseline.dir/bench_fig8_qq_baseline.cc.o"
+  "CMakeFiles/bench_fig8_qq_baseline.dir/bench_fig8_qq_baseline.cc.o.d"
+  "bench_fig8_qq_baseline"
+  "bench_fig8_qq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_qq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

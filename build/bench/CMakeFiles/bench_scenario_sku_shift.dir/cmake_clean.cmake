@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_sku_shift.dir/bench_scenario_sku_shift.cc.o"
+  "CMakeFiles/bench_scenario_sku_shift.dir/bench_scenario_sku_shift.cc.o.d"
+  "bench_scenario_sku_shift"
+  "bench_scenario_sku_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_sku_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

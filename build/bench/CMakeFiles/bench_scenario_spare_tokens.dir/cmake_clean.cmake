@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_spare_tokens.dir/bench_scenario_spare_tokens.cc.o"
+  "CMakeFiles/bench_scenario_spare_tokens.dir/bench_scenario_spare_tokens.cc.o.d"
+  "bench_scenario_spare_tokens"
+  "bench_scenario_spare_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_spare_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvar_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/rvar_bench_common.dir/bench_common.cc.o.d"
+  "librvar_bench_common.a"
+  "librvar_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvar_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

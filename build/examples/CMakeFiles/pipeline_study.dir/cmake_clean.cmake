@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_study.dir/pipeline_study.cpp.o"
+  "CMakeFiles/pipeline_study.dir/pipeline_study.cpp.o.d"
+  "pipeline_study"
+  "pipeline_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

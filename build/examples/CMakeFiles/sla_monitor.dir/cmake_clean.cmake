@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_monitor.dir/sla_monitor.cpp.o"
+  "CMakeFiles/sla_monitor.dir/sla_monitor.cpp.o.d"
+  "sla_monitor"
+  "sla_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

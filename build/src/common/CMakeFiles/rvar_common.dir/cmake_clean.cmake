@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvar_common.dir/csv.cc.o"
+  "CMakeFiles/rvar_common.dir/csv.cc.o.d"
+  "CMakeFiles/rvar_common.dir/rng.cc.o"
+  "CMakeFiles/rvar_common.dir/rng.cc.o.d"
+  "CMakeFiles/rvar_common.dir/status.cc.o"
+  "CMakeFiles/rvar_common.dir/status.cc.o.d"
+  "CMakeFiles/rvar_common.dir/strings.cc.o"
+  "CMakeFiles/rvar_common.dir/strings.cc.o.d"
+  "CMakeFiles/rvar_common.dir/table.cc.o"
+  "CMakeFiles/rvar_common.dir/table.cc.o.d"
+  "librvar_common.a"
+  "librvar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assigner.cc" "src/core/CMakeFiles/rvar_core.dir/assigner.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/assigner.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/rvar_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/distribution.cc" "src/core/CMakeFiles/rvar_core.dir/distribution.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/distribution.cc.o.d"
+  "/root/repo/src/core/explainer.cc" "src/core/CMakeFiles/rvar_core.dir/explainer.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/explainer.cc.o.d"
+  "/root/repo/src/core/featurizer.cc" "src/core/CMakeFiles/rvar_core.dir/featurizer.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/featurizer.cc.o.d"
+  "/root/repo/src/core/normalization.cc" "src/core/CMakeFiles/rvar_core.dir/normalization.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/normalization.cc.o.d"
+  "/root/repo/src/core/online.cc" "src/core/CMakeFiles/rvar_core.dir/online.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/online.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/rvar_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/rebalance.cc" "src/core/CMakeFiles/rvar_core.dir/rebalance.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/rebalance.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/rvar_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/report.cc.o.d"
+  "/root/repo/src/core/scalar_metrics.cc" "src/core/CMakeFiles/rvar_core.dir/scalar_metrics.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/scalar_metrics.cc.o.d"
+  "/root/repo/src/core/shape_library.cc" "src/core/CMakeFiles/rvar_core.dir/shape_library.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/shape_library.cc.o.d"
+  "/root/repo/src/core/whatif.cc" "src/core/CMakeFiles/rvar_core.dir/whatif.cc.o" "gcc" "src/core/CMakeFiles/rvar_core.dir/whatif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rvar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rvar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rvar_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvar_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvar_core.dir/assigner.cc.o"
+  "CMakeFiles/rvar_core.dir/assigner.cc.o.d"
+  "CMakeFiles/rvar_core.dir/baseline.cc.o"
+  "CMakeFiles/rvar_core.dir/baseline.cc.o.d"
+  "CMakeFiles/rvar_core.dir/distribution.cc.o"
+  "CMakeFiles/rvar_core.dir/distribution.cc.o.d"
+  "CMakeFiles/rvar_core.dir/explainer.cc.o"
+  "CMakeFiles/rvar_core.dir/explainer.cc.o.d"
+  "CMakeFiles/rvar_core.dir/featurizer.cc.o"
+  "CMakeFiles/rvar_core.dir/featurizer.cc.o.d"
+  "CMakeFiles/rvar_core.dir/normalization.cc.o"
+  "CMakeFiles/rvar_core.dir/normalization.cc.o.d"
+  "CMakeFiles/rvar_core.dir/online.cc.o"
+  "CMakeFiles/rvar_core.dir/online.cc.o.d"
+  "CMakeFiles/rvar_core.dir/predictor.cc.o"
+  "CMakeFiles/rvar_core.dir/predictor.cc.o.d"
+  "CMakeFiles/rvar_core.dir/rebalance.cc.o"
+  "CMakeFiles/rvar_core.dir/rebalance.cc.o.d"
+  "CMakeFiles/rvar_core.dir/report.cc.o"
+  "CMakeFiles/rvar_core.dir/report.cc.o.d"
+  "CMakeFiles/rvar_core.dir/scalar_metrics.cc.o"
+  "CMakeFiles/rvar_core.dir/scalar_metrics.cc.o.d"
+  "CMakeFiles/rvar_core.dir/shape_library.cc.o"
+  "CMakeFiles/rvar_core.dir/shape_library.cc.o.d"
+  "CMakeFiles/rvar_core.dir/whatif.cc.o"
+  "CMakeFiles/rvar_core.dir/whatif.cc.o.d"
+  "librvar_core.a"
+  "librvar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

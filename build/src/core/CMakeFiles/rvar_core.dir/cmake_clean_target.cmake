@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librvar_core.a"
+)

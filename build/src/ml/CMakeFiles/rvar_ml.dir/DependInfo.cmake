@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/agglomerative.cc" "src/ml/CMakeFiles/rvar_ml.dir/agglomerative.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/agglomerative.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/rvar_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/ensemble.cc" "src/ml/CMakeFiles/rvar_ml.dir/ensemble.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/ensemble.cc.o.d"
+  "/root/repo/src/ml/feature_select.cc" "src/ml/CMakeFiles/rvar_ml.dir/feature_select.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/feature_select.cc.o.d"
+  "/root/repo/src/ml/forest.cc" "src/ml/CMakeFiles/rvar_ml.dir/forest.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/forest.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/rvar_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/ml/CMakeFiles/rvar_ml.dir/gradient_boosting.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/rvar_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/rvar_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/rvar_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/shap.cc" "src/ml/CMakeFiles/rvar_ml.dir/shap.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/shap.cc.o.d"
+  "/root/repo/src/ml/tree.cc" "src/ml/CMakeFiles/rvar_ml.dir/tree.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/tree.cc.o.d"
+  "/root/repo/src/ml/tuning.cc" "src/ml/CMakeFiles/rvar_ml.dir/tuning.cc.o" "gcc" "src/ml/CMakeFiles/rvar_ml.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rvar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rvar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

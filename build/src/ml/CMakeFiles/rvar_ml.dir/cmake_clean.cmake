@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvar_ml.dir/agglomerative.cc.o"
+  "CMakeFiles/rvar_ml.dir/agglomerative.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/dataset.cc.o"
+  "CMakeFiles/rvar_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/ensemble.cc.o"
+  "CMakeFiles/rvar_ml.dir/ensemble.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/feature_select.cc.o"
+  "CMakeFiles/rvar_ml.dir/feature_select.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/forest.cc.o"
+  "CMakeFiles/rvar_ml.dir/forest.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/gbdt.cc.o"
+  "CMakeFiles/rvar_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/gradient_boosting.cc.o"
+  "CMakeFiles/rvar_ml.dir/gradient_boosting.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/kmeans.cc.o"
+  "CMakeFiles/rvar_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/metrics.cc.o"
+  "CMakeFiles/rvar_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/rvar_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/shap.cc.o"
+  "CMakeFiles/rvar_ml.dir/shap.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/tree.cc.o"
+  "CMakeFiles/rvar_ml.dir/tree.cc.o.d"
+  "CMakeFiles/rvar_ml.dir/tuning.cc.o"
+  "CMakeFiles/rvar_ml.dir/tuning.cc.o.d"
+  "librvar_ml.a"
+  "librvar_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvar_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cc" "src/sim/CMakeFiles/rvar_sim.dir/cluster.cc.o" "gcc" "src/sim/CMakeFiles/rvar_sim.dir/cluster.cc.o.d"
+  "/root/repo/src/sim/datasets.cc" "src/sim/CMakeFiles/rvar_sim.dir/datasets.cc.o" "gcc" "src/sim/CMakeFiles/rvar_sim.dir/datasets.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/rvar_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/rvar_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/plan.cc" "src/sim/CMakeFiles/rvar_sim.dir/plan.cc.o" "gcc" "src/sim/CMakeFiles/rvar_sim.dir/plan.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/rvar_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/rvar_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/sku.cc" "src/sim/CMakeFiles/rvar_sim.dir/sku.cc.o" "gcc" "src/sim/CMakeFiles/rvar_sim.dir/sku.cc.o.d"
+  "/root/repo/src/sim/telemetry.cc" "src/sim/CMakeFiles/rvar_sim.dir/telemetry.cc.o" "gcc" "src/sim/CMakeFiles/rvar_sim.dir/telemetry.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/rvar_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/rvar_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rvar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rvar_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

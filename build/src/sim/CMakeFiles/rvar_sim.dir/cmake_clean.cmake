@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvar_sim.dir/cluster.cc.o"
+  "CMakeFiles/rvar_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/rvar_sim.dir/datasets.cc.o"
+  "CMakeFiles/rvar_sim.dir/datasets.cc.o.d"
+  "CMakeFiles/rvar_sim.dir/machine.cc.o"
+  "CMakeFiles/rvar_sim.dir/machine.cc.o.d"
+  "CMakeFiles/rvar_sim.dir/plan.cc.o"
+  "CMakeFiles/rvar_sim.dir/plan.cc.o.d"
+  "CMakeFiles/rvar_sim.dir/scheduler.cc.o"
+  "CMakeFiles/rvar_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/rvar_sim.dir/sku.cc.o"
+  "CMakeFiles/rvar_sim.dir/sku.cc.o.d"
+  "CMakeFiles/rvar_sim.dir/telemetry.cc.o"
+  "CMakeFiles/rvar_sim.dir/telemetry.cc.o.d"
+  "CMakeFiles/rvar_sim.dir/workload.cc.o"
+  "CMakeFiles/rvar_sim.dir/workload.cc.o.d"
+  "librvar_sim.a"
+  "librvar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvar_stats.dir/descriptive.cc.o"
+  "CMakeFiles/rvar_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/rvar_stats.dir/distance.cc.o"
+  "CMakeFiles/rvar_stats.dir/distance.cc.o.d"
+  "CMakeFiles/rvar_stats.dir/histogram.cc.o"
+  "CMakeFiles/rvar_stats.dir/histogram.cc.o.d"
+  "librvar_stats.a"
+  "librvar_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvar_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

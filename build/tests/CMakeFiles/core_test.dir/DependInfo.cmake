@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/baseline_test.cc" "tests/CMakeFiles/core_test.dir/core/baseline_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/baseline_test.cc.o.d"
+  "/root/repo/tests/core/distribution_test.cc" "tests/CMakeFiles/core_test.dir/core/distribution_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/distribution_test.cc.o.d"
+  "/root/repo/tests/core/featurizer_test.cc" "tests/CMakeFiles/core_test.dir/core/featurizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/featurizer_test.cc.o.d"
+  "/root/repo/tests/core/normalization_test.cc" "tests/CMakeFiles/core_test.dir/core/normalization_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/normalization_test.cc.o.d"
+  "/root/repo/tests/core/pipeline_test.cc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "/root/repo/tests/core/rebalance_test.cc" "tests/CMakeFiles/core_test.dir/core/rebalance_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rebalance_test.cc.o.d"
+  "/root/repo/tests/core/scalar_metrics_test.cc" "tests/CMakeFiles/core_test.dir/core/scalar_metrics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scalar_metrics_test.cc.o.d"
+  "/root/repo/tests/core/shape_library_test.cc" "tests/CMakeFiles/core_test.dir/core/shape_library_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/shape_library_test.cc.o.d"
+  "/root/repo/tests/core/whatif_test.cc" "tests/CMakeFiles/core_test.dir/core/whatif_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/whatif_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rvar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rvar_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rvar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

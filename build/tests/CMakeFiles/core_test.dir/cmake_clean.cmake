@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/baseline_test.cc.o"
+  "CMakeFiles/core_test.dir/core/baseline_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/distribution_test.cc.o"
+  "CMakeFiles/core_test.dir/core/distribution_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/featurizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/featurizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/normalization_test.cc.o"
+  "CMakeFiles/core_test.dir/core/normalization_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rebalance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rebalance_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/scalar_metrics_test.cc.o"
+  "CMakeFiles/core_test.dir/core/scalar_metrics_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/shape_library_test.cc.o"
+  "CMakeFiles/core_test.dir/core/shape_library_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/whatif_test.cc.o"
+  "CMakeFiles/core_test.dir/core/whatif_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

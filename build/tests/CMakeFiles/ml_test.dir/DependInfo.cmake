@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/classifier_test.cc" "tests/CMakeFiles/ml_test.dir/ml/classifier_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/classifier_test.cc.o.d"
+  "/root/repo/tests/ml/clustering_test.cc" "tests/CMakeFiles/ml_test.dir/ml/clustering_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/clustering_test.cc.o.d"
+  "/root/repo/tests/ml/dataset_test.cc" "tests/CMakeFiles/ml_test.dir/ml/dataset_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/dataset_test.cc.o.d"
+  "/root/repo/tests/ml/metrics_test.cc" "tests/CMakeFiles/ml_test.dir/ml/metrics_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/metrics_test.cc.o.d"
+  "/root/repo/tests/ml/shap_test.cc" "tests/CMakeFiles/ml_test.dir/ml/shap_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/shap_test.cc.o.d"
+  "/root/repo/tests/ml/tree_test.cc" "tests/CMakeFiles/ml_test.dir/ml/tree_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/tree_test.cc.o.d"
+  "/root/repo/tests/ml/tuning_test.cc" "tests/CMakeFiles/ml_test.dir/ml/tuning_test.cc.o" "gcc" "tests/CMakeFiles/ml_test.dir/ml/tuning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rvar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/rvar_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rvar_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/classifier_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/classifier_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/clustering_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/clustering_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/dataset_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/dataset_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/shap_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/shap_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/tree_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/tree_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/tuning_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/tuning_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
