@@ -1,0 +1,148 @@
+// Fault-injection scenario: how machine-failure and telemetry-corruption
+// rates shift cluster-shape membership. For each fault rate the study
+// suite is rebuilt under an identically seeded FaultPlan and every D3
+// group is re-assigned against the clean run's shape library; the
+// migration column is the share of groups whose cluster changed relative
+// to the clean study. Retries on/off contrasts bounded re-execution
+// (lost work + backoff appears as extra runtime) with abandoning jobs at
+// the first fault (telemetry loss).
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_common.h"
+#include "core/assigner.h"
+#include "core/normalization.h"
+#include "core/shape_library.h"
+
+namespace {
+
+using namespace rvar;
+
+sim::SuiteConfig FaultSuiteConfig() {
+  sim::SuiteConfig config;
+  config.num_groups = 80;
+  config.d1_days = 8.0;
+  config.d2_days = 3.0;
+  config.d3_days = 1.5;
+  config.d1_support = 15;
+  config.workload.min_period_seconds = 900.0;
+  config.workload.max_period_seconds = 4.0 * 3600.0;
+  config.seed = 7;
+  return config;
+}
+
+sim::FaultPlanConfig FaultsAtRate(double rate) {
+  sim::FaultPlanConfig faults;
+  faults.seed = 404;
+  faults.machine_fault_rate = rate;
+  faults.token_revocation_rate = rate / 2.0;
+  // Telemetry corruption scales with the machine-fault rate: a flaky
+  // fleet also produces flaky logs.
+  faults.drop_run_rate = rate / 5.0;
+  faults.duplicate_run_rate = rate / 5.0;
+  faults.nan_runtime_rate = rate / 5.0;
+  faults.negative_runtime_rate = rate / 5.0;
+  faults.missing_columns_rate = rate / 5.0;
+  faults.reorder_window = rate > 0.0 ? 20 : 0;
+  return faults;
+}
+
+// Per-group D3 cluster assignment against a fixed (clean) library.
+std::unordered_map<int, int> AssignGroups(const sim::StudySuite& suite,
+                                          const core::GroupMedians& medians,
+                                          const core::ShapeLibrary& library,
+                                          const core::PosteriorAssigner& assigner) {
+  std::unordered_map<int, int> assignment;
+  for (int gid : suite.d3.telemetry.GroupIds()) {
+    auto normalized =
+        core::NormalizedGroupRuntimes(suite.d3.telemetry, gid, medians,
+                                      library.normalization());
+    if (!normalized.ok()) continue;
+    auto cluster = assigner.Assign(*normalized);
+    if (!cluster.ok()) continue;
+    assignment[gid] = *cluster;
+  }
+  return assignment;
+}
+
+double MeanRuntime(const sim::TelemetryStore& store) {
+  if (store.NumRuns() == 0) return 0.0;
+  double total = 0.0;
+  for (const sim::JobRun& run : store.runs()) total += run.runtime_seconds;
+  return total / static_cast<double>(store.NumRuns());
+}
+
+}  // namespace
+
+int main() {
+  using namespace rvar;
+
+  bench::PrintHeader("Fault sweep: cluster-shape migration vs fault rate");
+  sim::SuiteConfig clean_config = FaultSuiteConfig();
+  auto clean = sim::BuildStudySuite(clean_config);
+  RVAR_CHECK(clean.ok()) << clean.status().ToString();
+
+  const core::GroupMedians medians =
+      core::GroupMedians::FromTelemetry(clean->d1.telemetry);
+  core::ShapeLibraryConfig sc;
+  sc.num_clusters = 5;
+  sc.min_support = 15;
+  sc.kmeans.num_restarts = 4;
+  auto library =
+      core::ShapeLibrary::Build(clean->d1.telemetry, medians, sc);
+  RVAR_CHECK(library.ok()) << library.status().ToString();
+  const core::PosteriorAssigner assigner(&*library);
+
+  const std::unordered_map<int, int> baseline =
+      AssignGroups(*clean, medians, *library, assigner);
+  const double clean_mean = MeanRuntime(clean->d3.telemetry);
+  std::printf("clean study: %zu D3 runs, %zu assigned groups, "
+              "mean runtime %.0f s\n\n",
+              clean->d3.telemetry.NumRuns(), baseline.size(), clean_mean);
+
+  std::printf("%7s %8s %10s %9s %8s %11s %11s %9s\n", "fault%", "retries",
+              "migrated%", "faults", "failed", "quarantined", "d3 runs",
+              "runtime");
+  for (const double rate : {0.0, 0.05, 0.10, 0.20}) {
+    for (const int retries : {3, 0}) {
+      sim::SuiteConfig config = FaultSuiteConfig();
+      config.faults = FaultsAtRate(rate);
+      config.scheduler.max_vertex_retries = retries;
+      auto suite = sim::BuildStudySuite(config);
+      RVAR_CHECK(suite.ok()) << suite.status().ToString();
+
+      // Membership under faults, measured against the clean library and
+      // this study's own D1 history (the production setting: history and
+      // live traffic degrade together).
+      const core::GroupMedians fault_medians =
+          core::GroupMedians::FromTelemetry(suite->d1.telemetry);
+      const std::unordered_map<int, int> assignment =
+          AssignGroups(*suite, fault_medians, *library, assigner);
+      int comparable = 0, migrated = 0;
+      for (const auto& [gid, cluster] : assignment) {
+        const auto it = baseline.find(gid);
+        if (it == baseline.end()) continue;
+        ++comparable;
+        migrated += (cluster != it->second);
+      }
+      const double migrated_pct =
+          comparable > 0 ? 100.0 * migrated / comparable : 0.0;
+      const double mean = MeanRuntime(suite->d3.telemetry);
+      const double inflation =
+          clean_mean > 0.0 ? 100.0 * (mean / clean_mean - 1.0) : 0.0;
+      std::printf(
+          "%6.0f%% %8d %9.1f%% %9lld %8lld %11lld %11zu %+7.1f%%\n",
+          100.0 * rate, retries, migrated_pct,
+          static_cast<long long>(suite->faults.machine_faults),
+          static_cast<long long>(suite->faults.failed_jobs),
+          static_cast<long long>(suite->faults.quarantined_runs),
+          suite->d3.telemetry.NumRuns(), inflation);
+    }
+  }
+  std::printf(
+      "\n(migrated%% = D3 groups whose posterior shape differs from the\n"
+      " clean study; retries=0 abandons jobs at the first machine fault,\n"
+      " trading runtime inflation for telemetry loss.)\n");
+  return 0;
+}

@@ -38,11 +38,20 @@ Result<std::vector<ClusterLikelihood>> PosteriorAssigner::LogLikelihoods(
     return Status::InvalidArgument(
         "cannot compute likelihoods for zero observations");
   }
-  // Bin counts n_h of the observations (Equation 8).
+  // Bin counts n_h of the observations (Equation 8). Non-finite values
+  // carry no shape information and are skipped; if nothing finite
+  // remains there is no likelihood to compute.
   const BinGrid& grid = library_->grid();
   std::vector<int64_t> counts(static_cast<size_t>(grid.num_bins()), 0);
+  int64_t num_finite = 0;
   for (double x : normalized_runtimes) {
+    if (!std::isfinite(x)) continue;
     counts[static_cast<size_t>(grid.BinIndex(x))]++;
+    ++num_finite;
+  }
+  if (num_finite == 0) {
+    return Status::InvalidArgument(
+        "all observations are non-finite; cannot compute likelihoods");
   }
   std::vector<ClusterLikelihood> out;
   out.reserve(log_pmf_.size());

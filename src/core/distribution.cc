@@ -1,6 +1,7 @@
 #include "core/distribution.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/strings.h"
@@ -24,6 +25,11 @@ Result<RuntimeDistribution> RuntimeDistribution::Make(
     return Status::OutOfRange(StrCat("cluster ", cluster, " outside [0,",
                                      library.num_clusters(), ")"));
   }
+  // NaN slips past a plain sign check (it compares false to everything),
+  // so the median must be explicitly finite before use.
+  if (!std::isfinite(median_seconds)) {
+    return Status::InvalidArgument("median must be finite");
+  }
   if (library.normalization() == Normalization::kRatio &&
       median_seconds <= 0.0) {
     return Status::InvalidArgument(
@@ -31,9 +37,9 @@ Result<RuntimeDistribution> RuntimeDistribution::Make(
   }
   std::vector<double> pmf = library.shape(cluster);
   const double mass = std::accumulate(pmf.begin(), pmf.end(), 0.0);
-  if (mass <= 0.0) {
+  if (!std::isfinite(mass) || mass <= 0.0) {
     return Status::FailedPrecondition(
-        StrCat("shape ", cluster, " has zero mass"));
+        StrCat("shape ", cluster, " has zero or non-finite mass"));
   }
   for (double& v : pmf) v /= mass;
   return RuntimeDistribution(library.grid(), std::move(pmf),

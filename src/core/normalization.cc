@@ -1,5 +1,7 @@
 #include "core/normalization.h"
 
+#include <cmath>
+
 #include "common/strings.h"
 #include "stats/descriptive.h"
 
@@ -34,7 +36,15 @@ GroupMedians GroupMedians::FromTelemetry(
     const sim::TelemetryStore& reference) {
   GroupMedians medians;
   for (int gid : reference.GroupIds()) {
-    medians.medians_[gid] = Median(reference.GroupRuntimes(gid));
+    // Non-finite runtimes (possible on the trusted Add() path) would make
+    // the median NaN and poison every downstream normalization; groups
+    // with no finite runtime at all get no median (NotFound downstream).
+    std::vector<double> runtimes;
+    for (double r : reference.GroupRuntimes(gid)) {
+      if (std::isfinite(r)) runtimes.push_back(r);
+    }
+    if (runtimes.empty()) continue;
+    medians.medians_[gid] = Median(std::move(runtimes));
   }
   return medians;
 }
@@ -60,6 +70,12 @@ Result<std::vector<double>> NormalizedGroupRuntimes(
     const sim::TelemetryStore& store, int group_id,
     const GroupMedians& medians, Normalization norm) {
   RVAR_ASSIGN_OR_RETURN(double median, medians.Of(group_id));
+  // A NaN/inf median would flow into every normalized value (and NaN
+  // compares false against <= 0, slipping past the sign check).
+  if (!std::isfinite(median)) {
+    return Status::InvalidArgument(
+        StrCat("group ", group_id, " has non-finite median"));
+  }
   if (norm == Normalization::kRatio && median <= 0.0) {
     return Status::FailedPrecondition(
         StrCat("group ", group_id, " has non-positive median ", median));

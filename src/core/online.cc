@@ -48,6 +48,12 @@ Result<OnlineShapeTracker> OnlineShapeTracker::Make(
 }
 
 void OnlineShapeTracker::Observe(double normalized_runtime) {
+  if (!std::isfinite(normalized_runtime)) {
+    ++num_clamped_;
+    if (std::isnan(normalized_runtime)) return;  // no information at all
+    normalized_runtime = normalized_runtime > 0.0 ? library_->grid().hi()
+                                                  : library_->grid().lo();
+  }
   const int bin = library_->grid().BinIndex(normalized_runtime);
   for (size_t c = 0; c < ll_.size(); ++c) {
     ll_[c] = decay_ * ll_[c] + log_pmf_[c][static_cast<size_t>(bin)];
@@ -84,6 +90,7 @@ double OnlineShapeTracker::ProbabilityOf(int cluster) const {
 void OnlineShapeTracker::Reset() {
   std::fill(ll_.begin(), ll_.end(), 0.0);
   count_ = 0;
+  num_clamped_ = 0;
 }
 
 }  // namespace core

@@ -33,11 +33,17 @@ class OnlineShapeTracker {
                                          double decay = 1.0,
                                          double pmf_floor = 1e-6);
 
-  /// Incorporates one normalized runtime observation.
+  /// Incorporates one normalized runtime observation. Non-finite inputs
+  /// degrade gracefully instead of poisoning the sums: NaN is ignored,
+  /// ±inf is clamped to the nearest grid edge; both are tallied in
+  /// num_clamped().
   void Observe(double normalized_runtime);
 
   /// Number of observations incorporated (undiscounted count).
   int64_t count() const { return count_; }
+
+  /// Non-finite observations seen so far (NaN dropped, ±inf clamped).
+  int64_t num_clamped() const { return num_clamped_; }
 
   /// Most likely cluster so far; -1 before any observation.
   int MostLikely() const;
@@ -65,6 +71,7 @@ class OnlineShapeTracker {
   std::vector<std::vector<double>> log_pmf_;  ///< [cluster][bin]
   std::vector<double> ll_;
   int64_t count_ = 0;
+  int64_t num_clamped_ = 0;
 };
 
 }  // namespace core

@@ -1,6 +1,7 @@
 #include "core/shape_library.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/strings.h"
@@ -29,25 +30,42 @@ Result<ShapeLibrary> ShapeLibrary::Build(
   lib.config_ = config;
   lib.grid_ = CanonicalGrid(config.normalization, config.num_bins);
 
-  // One smoothed PMF per qualifying group.
-  const std::vector<int> groups =
+  // One smoothed PMF per qualifying group. Degenerate groups — no usable
+  // median, or too few finite observations once corrupt values are
+  // excluded — are skipped so one bad group cannot fail the whole build.
+  const std::vector<int> candidates =
       reference.GroupsWithSupport(config.min_support);
-  if (static_cast<int>(groups.size()) < config.num_clusters) {
-    return Status::FailedPrecondition(
-        StrCat("only ", groups.size(), " groups with support >= ",
-               config.min_support, " but ", config.num_clusters,
-               " clusters requested"));
-  }
+  std::vector<int> groups;
   std::vector<std::vector<double>> pmfs;
   std::vector<std::vector<double>> raw;  // unclipped normalized runtimes
-  pmfs.reserve(groups.size());
-  for (int gid : groups) {
-    RVAR_ASSIGN_OR_RETURN(
-        std::vector<double> normalized,
-        NormalizedGroupRuntimes(reference, gid, medians,
-                                config.normalization));
-    pmfs.push_back(lib.ObservationPmf(normalized));
-    raw.push_back(std::move(normalized));
+  groups.reserve(candidates.size());
+  pmfs.reserve(candidates.size());
+  for (int gid : candidates) {
+    Result<std::vector<double>> normalized = NormalizedGroupRuntimes(
+        reference, gid, medians, config.normalization);
+    if (!normalized.ok()) {
+      ++lib.num_skipped_groups_;
+      continue;
+    }
+    std::vector<double> finite;
+    finite.reserve(normalized->size());
+    for (double x : *normalized) {
+      if (std::isfinite(x)) finite.push_back(x);
+    }
+    if (static_cast<int>(finite.size()) < config.min_support) {
+      ++lib.num_skipped_groups_;
+      continue;
+    }
+    groups.push_back(gid);
+    pmfs.push_back(lib.ObservationPmf(finite));
+    raw.push_back(std::move(finite));
+  }
+  if (static_cast<int>(groups.size()) < config.num_clusters) {
+    return Status::FailedPrecondition(
+        StrCat("only ", groups.size(), " usable groups with support >= ",
+               config.min_support, " (", lib.num_skipped_groups_,
+               " degenerate) but ", config.num_clusters,
+               " clusters requested"));
   }
 
   // Cluster the PMFs.
@@ -142,8 +160,12 @@ int ShapeLibrary::ReferenceAssignment(int group_id) const {
 
 std::vector<double> ShapeLibrary::ObservationPmf(
     const std::vector<double>& normalized_runtimes) const {
-  const Histogram hist =
-      Histogram::FromValues(grid_, normalized_runtimes);
+  // NaN carries no shape information and must not be counted as a
+  // low-outlier observation; infinities clip to the outlier bins.
+  Histogram hist(grid_);
+  for (double x : normalized_runtimes) {
+    if (!std::isnan(x)) hist.Add(x);
+  }
   return SmoothPmf(hist.Probabilities(), config_.smoothing_radius);
 }
 

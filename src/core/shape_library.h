@@ -48,7 +48,10 @@ struct ShapeStats {
 class ShapeLibrary {
  public:
   /// Clusters the group PMFs of `reference` (typically D1). Fails if fewer
-  /// qualifying groups than clusters, or on invalid config.
+  /// qualifying groups than clusters, or on invalid config. Degenerate
+  /// groups — unknown/non-finite/non-positive median, or fewer than
+  /// min_support finite observations — are skipped rather than failing the
+  /// whole build; num_skipped_groups() reports how many.
   static Result<ShapeLibrary> Build(const sim::TelemetryStore& reference,
                                     const GroupMedians& medians,
                                     const ShapeLibraryConfig& config);
@@ -73,6 +76,9 @@ class ShapeLibrary {
     return reference_groups_;
   }
 
+  /// Qualifying groups rejected as degenerate during Build.
+  int num_skipped_groups() const { return num_skipped_groups_; }
+
   /// K-means inertia of the final clustering.
   double inertia() const { return inertia_; }
 
@@ -92,6 +98,7 @@ class ShapeLibrary {
   std::vector<int> reference_groups_;
   std::unordered_map<int, int> reference_assignment_;
   double inertia_ = 0.0;
+  int num_skipped_groups_ = 0;
 };
 
 }  // namespace core

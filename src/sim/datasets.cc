@@ -55,20 +55,60 @@ Result<StudySuite> BuildStudySuite(SuiteConfig config) {
   suite.d2 = {"D2", config.d2_days, config.d2_support, {}};
   suite.d3 = {"D3", config.d3_days, config.d3_support, {}};
 
-  TokenScheduler scheduler(suite.cluster.get(), config.scheduler);
+  // The fault plan is only materialized when a fault channel is active, so
+  // the default configuration takes the untouched clean path.
+  const bool faults_active = config.faults.AnyActive();
+  FaultPlan fault_plan = *FaultPlan::Make(FaultPlanConfig{});
+  if (faults_active) {
+    RVAR_ASSIGN_OR_RETURN(fault_plan, FaultPlan::Make(config.faults));
+  }
+
+  TokenScheduler scheduler(suite.cluster.get(), config.scheduler,
+                           faults_active ? &fault_plan : nullptr);
   Rng rng(config.seed ^ 0x9E3779B97F4A7C15ULL);
   const double d1_end = config.d1_days * 86400.0;
   const double d2_end = d1_end + config.d2_days * 86400.0;
+  DatasetSlice* slices[] = {&suite.d1, &suite.d2, &suite.d3};
+  std::vector<JobRun> slice_runs[3];
   for (const JobInstanceSpec& inst : instances) {
     const JobGroupSpec& group = suite.group(inst.group_id);
-    RVAR_ASSIGN_OR_RETURN(JobRun run, scheduler.Execute(group, inst, &rng));
-    if (inst.submit_time < d1_end) {
-      suite.d1.telemetry.Add(std::move(run));
-    } else if (inst.submit_time < d2_end) {
-      suite.d2.telemetry.Add(std::move(run));
-    } else {
-      suite.d3.telemetry.Add(std::move(run));
+    Result<JobRun> run = scheduler.Execute(group, inst, &rng);
+    if (!run.ok()) {
+      // A job abandoned by the fault injector leaves no telemetry; any
+      // other failure is a real configuration error.
+      if (faults_active &&
+          run.status().code() == StatusCode::kResourceExhausted) {
+        ++suite.faults.failed_jobs;
+        continue;
+      }
+      return run.status();
     }
+    suite.faults.machine_faults += run->machine_faults;
+    suite.faults.vertex_retries += run->vertex_retries;
+    const int slice =
+        inst.submit_time < d1_end ? 0 : (inst.submit_time < d2_end ? 1 : 2);
+    slice_runs[slice].push_back(std::move(*run));
+  }
+
+  for (int s = 0; s < 3; ++s) {
+    if (!faults_active) {
+      for (JobRun& run : slice_runs[s]) {
+        slices[s]->telemetry.Add(std::move(run));
+      }
+      continue;
+    }
+    TelemetryFaultStats stats;
+    std::vector<JobRun> corrupted =
+        fault_plan.CorruptTelemetry(std::move(slice_runs[s]), &stats);
+    suite.faults.dropped_runs += stats.dropped;
+    suite.faults.corrupted_runs += stats.NumCorrupt();
+    suite.faults.reordered_runs += stats.reordered;
+    for (JobRun& run : corrupted) {
+      // Non-OK means quarantined; the store keeps the exact tally.
+      slices[s]->telemetry.Ingest(std::move(run));
+    }
+    suite.faults.quarantined_runs +=
+        static_cast<int64_t>(slices[s]->telemetry.NumQuarantined());
   }
   return suite;
 }

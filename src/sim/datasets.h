@@ -15,6 +15,7 @@
 
 #include "common/result.h"
 #include "sim/cluster.h"
+#include "sim/faults.h"
 #include "sim/scheduler.h"
 #include "sim/telemetry.h"
 #include "sim/workload.h"
@@ -47,7 +48,21 @@ struct SuiteConfig {
   ClusterConfig cluster;
   SchedulerConfig scheduler;
   WorkloadConfig workload;
+  /// Fault scenario applied across the timeline; the default (all rates
+  /// zero) injects nothing and preserves the clean build path.
+  FaultPlanConfig faults;
   uint64_t seed = 42;
+};
+
+/// \brief What the injected faults did to the simulated study.
+struct FaultReport {
+  int64_t machine_faults = 0;   ///< stage waves killed
+  int64_t vertex_retries = 0;   ///< stage re-executions
+  int64_t failed_jobs = 0;      ///< abandoned after exhausting retries
+  int64_t dropped_runs = 0;     ///< telemetry records lost before ingest
+  int64_t corrupted_runs = 0;   ///< records reaching ingest with defects
+  int64_t reordered_runs = 0;   ///< records displaced in the stream
+  int64_t quarantined_runs = 0; ///< records rejected at ingest
 };
 
 /// \brief The full simulated study: cluster, job groups, and the three
@@ -59,6 +74,7 @@ struct StudySuite {
   DatasetSlice d1;
   DatasetSlice d2;
   DatasetSlice d3;
+  FaultReport faults;
 
   const JobGroupSpec& group(int group_id) const;
 };

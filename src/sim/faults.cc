@@ -1,0 +1,174 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace rvar {
+namespace sim {
+namespace {
+
+// Distinct salts per fault channel so their draws are independent.
+constexpr uint64_t kSaltMachineFault = 0x4D46;   // "MF"
+constexpr uint64_t kSaltFaultFraction = 0x4646;  // "FF"
+constexpr uint64_t kSaltRevocation = 0x5256;     // "RV"
+constexpr uint64_t kSaltTelemetry = 0x544C;      // "TL"
+constexpr uint64_t kSaltReorder = 0x524F;        // "RO"
+
+// murmur3 finalizer: FNV mixes well upward but weakly downward; this makes
+// every output bit depend on every input bit.
+uint64_t Finalize(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+bool RateValid(double r) { return std::isfinite(r) && r >= 0.0 && r <= 1.0; }
+
+}  // namespace
+
+bool FaultPlanConfig::AnyActive() const {
+  return machine_fault_rate > 0.0 || token_revocation_rate > 0.0 ||
+         drop_run_rate > 0.0 || duplicate_run_rate > 0.0 ||
+         nan_runtime_rate > 0.0 || negative_runtime_rate > 0.0 ||
+         missing_columns_rate > 0.0 || reorder_window > 0;
+}
+
+Result<FaultPlan> FaultPlan::Make(const FaultPlanConfig& config) {
+  for (double rate :
+       {config.machine_fault_rate, config.token_revocation_rate,
+        config.drop_run_rate, config.duplicate_run_rate,
+        config.nan_runtime_rate, config.negative_runtime_rate,
+        config.missing_columns_rate}) {
+    if (!RateValid(rate)) {
+      return Status::InvalidArgument(
+          StrCat("fault rate ", rate, " outside [0,1]"));
+    }
+  }
+  const double telemetry_total =
+      config.drop_run_rate + config.duplicate_run_rate +
+      config.nan_runtime_rate + config.negative_runtime_rate +
+      config.missing_columns_rate;
+  if (telemetry_total > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("telemetry fault rates sum to ", telemetry_total,
+               " > 1; the per-run fault partition must fit in [0,1]"));
+  }
+  if (config.reorder_window < 0) {
+    return Status::InvalidArgument("reorder_window must be >= 0");
+  }
+  return FaultPlan(config);
+}
+
+double FaultPlan::Uniform(uint64_t salt, int64_t a, int64_t b,
+                          int64_t c) const {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashCombine(h, config_.seed);
+  h = HashCombine(h, salt);
+  h = HashCombine(h, static_cast<uint64_t>(a));
+  h = HashCombine(h, static_cast<uint64_t>(b));
+  h = HashCombine(h, static_cast<uint64_t>(c));
+  return static_cast<double>(Finalize(h) >> 11) * 0x1.0p-53;
+}
+
+bool FaultPlan::MachineFault(int64_t instance_id, int stage,
+                             int attempt) const {
+  if (config_.machine_fault_rate <= 0.0) return false;
+  return Uniform(kSaltMachineFault, instance_id, stage, attempt) <
+         config_.machine_fault_rate;
+}
+
+double FaultPlan::FaultFraction(int64_t instance_id, int stage,
+                                int attempt) const {
+  return Uniform(kSaltFaultFraction, instance_id, stage, attempt);
+}
+
+bool FaultPlan::SpareRevocation(int64_t instance_id, int stage) const {
+  if (config_.token_revocation_rate <= 0.0) return false;
+  return Uniform(kSaltRevocation, instance_id, stage, 0) <
+         config_.token_revocation_rate;
+}
+
+FaultPlan::TelemetryFault FaultPlan::RunFault(int group_id,
+                                              int64_t instance_id) const {
+  const double u = Uniform(kSaltTelemetry, group_id, instance_id, 0);
+  double edge = config_.drop_run_rate;
+  if (u < edge) return TelemetryFault::kDrop;
+  edge += config_.duplicate_run_rate;
+  if (u < edge) return TelemetryFault::kDuplicate;
+  edge += config_.nan_runtime_rate;
+  if (u < edge) return TelemetryFault::kNanRuntime;
+  edge += config_.negative_runtime_rate;
+  if (u < edge) return TelemetryFault::kNegativeRuntime;
+  edge += config_.missing_columns_rate;
+  if (u < edge) return TelemetryFault::kMissingColumns;
+  return TelemetryFault::kNone;
+}
+
+std::vector<JobRun> FaultPlan::CorruptTelemetry(
+    std::vector<JobRun> runs, TelemetryFaultStats* stats) const {
+  TelemetryFaultStats local;
+
+  // Out-of-order ingestion: jitter each run's stream position by up to
+  // reorder_window slots and stable-sort on the jittered key.
+  if (config_.reorder_window > 0 && runs.size() > 1) {
+    std::vector<std::pair<double, size_t>> keys;
+    keys.reserve(runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const double jitter =
+          static_cast<double>(config_.reorder_window) *
+          Uniform(kSaltReorder, runs[i].group_id, runs[i].instance_id, 0);
+      keys.push_back({static_cast<double>(i) + jitter, i});
+    }
+    std::stable_sort(keys.begin(), keys.end());
+    std::vector<JobRun> shuffled;
+    shuffled.reserve(runs.size());
+    for (size_t pos = 0; pos < keys.size(); ++pos) {
+      if (keys[pos].second != pos) ++local.reordered;
+      shuffled.push_back(std::move(runs[keys[pos].second]));
+    }
+    runs = std::move(shuffled);
+  }
+
+  std::vector<JobRun> out;
+  out.reserve(runs.size());
+  for (JobRun& run : runs) {
+    switch (RunFault(run.group_id, run.instance_id)) {
+      case TelemetryFault::kDrop:
+        ++local.dropped;
+        continue;
+      case TelemetryFault::kDuplicate:
+        ++local.duplicated;
+        out.push_back(run);
+        out.push_back(std::move(run));
+        continue;
+      case TelemetryFault::kNanRuntime:
+        ++local.nan_runtime;
+        run.runtime_seconds = std::nan("");
+        break;
+      case TelemetryFault::kNegativeRuntime:
+        ++local.negative_runtime;
+        run.runtime_seconds = -(run.runtime_seconds + 1.0);
+        break;
+      case TelemetryFault::kMissingColumns:
+        ++local.missing_columns;
+        run.sku_vertex_fraction.clear();
+        run.sku_cpu_util.clear();
+        break;
+      case TelemetryFault::kNone:
+        ++local.clean;
+        break;
+    }
+    out.push_back(std::move(run));
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace sim
+}  // namespace rvar

@@ -1,0 +1,132 @@
+// Copyright 2026 The rvar Authors.
+//
+// Fault injection: the rare events the paper blames for a large share of
+// runtime variation (Section 3.2, Section 7) — machine failures and token
+// revocations that kill in-flight vertices — plus the telemetry corruption
+// that production pipelines must survive (dropped runs, NaN/negative
+// runtimes, duplicated records, missing feature columns, out-of-order
+// ingestion). A FaultPlan is a pure function of its seed: every fault
+// decision is derived by hashing (seed, instance, stage, attempt), so the
+// same plan replayed over the same workload yields bit-identical faults
+// regardless of evaluation order.
+
+#ifndef RVAR_SIM_FAULTS_H_
+#define RVAR_SIM_FAULTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/scheduler.h"
+
+namespace rvar {
+namespace sim {
+
+/// \brief Rates and knobs of one composed fault scenario. All rates are
+/// probabilities in [0, 1]; the default plan injects nothing.
+struct FaultPlanConfig {
+  uint64_t seed = 1;
+
+  // --- Machine faults (consumed by TokenScheduler) ---
+  /// Per stage-attempt probability that a machine failure kills the
+  /// in-flight vertex wave, forcing a retry (or job failure).
+  double machine_fault_rate = 0.0;
+  /// Per-stage probability that the job's preemptible spare tokens are
+  /// revoked for the remainder of the job.
+  double token_revocation_rate = 0.0;
+
+  // --- Telemetry faults (applied at ingestion time) ---
+  /// Run never reaches the store (log loss).
+  double drop_run_rate = 0.0;
+  /// Run is ingested twice (at-least-once delivery).
+  double duplicate_run_rate = 0.0;
+  /// Runtime field is NaN (failed join / parse error).
+  double nan_runtime_rate = 0.0;
+  /// Runtime field is negative (clock skew, bad subtraction).
+  double negative_runtime_rate = 0.0;
+  /// Per-SKU feature columns are missing (partial join).
+  double missing_columns_rate = 0.0;
+  /// Maximum positional displacement of a run in the ingestion stream;
+  /// 0 keeps the stream ordered.
+  int reorder_window = 0;
+
+  /// True if any fault channel is active.
+  bool AnyActive() const;
+};
+
+/// \brief Tally of the telemetry faults CorruptTelemetry injected.
+struct TelemetryFaultStats {
+  int64_t dropped = 0;
+  int64_t duplicated = 0;
+  int64_t nan_runtime = 0;
+  int64_t negative_runtime = 0;
+  int64_t missing_columns = 0;
+  /// Runs whose stream position moved relative to insertion order.
+  int64_t reordered = 0;
+  int64_t clean = 0;
+
+  /// Runs that reach the store carrying an injected defect. Every one of
+  /// these must end up quarantined by TelemetryStore::Ingest.
+  int64_t NumCorrupt() const {
+    return duplicated + nan_runtime + negative_runtime + missing_columns;
+  }
+};
+
+/// \brief A deterministic, seeded fault scenario.
+///
+/// Machine-fault queries are pure functions usable from any evaluation
+/// order; telemetry corruption is a batch transform over an ingestion
+/// stream. Per-run fault kinds are mutually exclusive (one hash draw picks
+/// at most one), which keeps the injected-fault accounting exact.
+class FaultPlan {
+ public:
+  /// Validates rates (each in [0, 1]; telemetry rates must sum to <= 1 so
+  /// the exclusive-fault partition is well formed).
+  static Result<FaultPlan> Make(const FaultPlanConfig& config);
+
+  const FaultPlanConfig& config() const { return config_; }
+
+  /// Whether a machine failure kills attempt `attempt` of stage `stage` of
+  /// instance `instance_id`.
+  bool MachineFault(int64_t instance_id, int stage, int attempt) const;
+
+  /// Fraction of the stage's work completed (and lost) when the fault in
+  /// MachineFault struck; in [0, 1).
+  double FaultFraction(int64_t instance_id, int stage, int attempt) const;
+
+  /// Whether the job's spare tokens are revoked at the start of `stage`.
+  bool SpareRevocation(int64_t instance_id, int stage) const;
+
+  /// Per-run telemetry fault kinds.
+  enum class TelemetryFault : int {
+    kNone = 0,
+    kDrop,
+    kDuplicate,
+    kNanRuntime,
+    kNegativeRuntime,
+    kMissingColumns,
+  };
+
+  /// The fault assigned to one run's telemetry record (keyed by identity,
+  /// not stream position).
+  TelemetryFault RunFault(int group_id, int64_t instance_id) const;
+
+  /// Applies drop / duplicate / NaN / negative / missing-column faults and
+  /// reorders the stream within `reorder_window`. Deterministic; `stats`
+  /// (optional) receives the exact injected-fault tally.
+  std::vector<JobRun> CorruptTelemetry(std::vector<JobRun> runs,
+                                       TelemetryFaultStats* stats) const;
+
+ private:
+  explicit FaultPlan(const FaultPlanConfig& config) : config_(config) {}
+
+  /// Uniform [0,1) draw keyed by (seed, salt, a, b, c).
+  double Uniform(uint64_t salt, int64_t a, int64_t b, int64_t c) const;
+
+  FaultPlanConfig config_;
+};
+
+}  // namespace sim
+}  // namespace rvar
+
+#endif  // RVAR_SIM_FAULTS_H_

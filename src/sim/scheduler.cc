@@ -4,13 +4,15 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "sim/faults.h"
 #include "stats/descriptive.h"
 
 namespace rvar {
 namespace sim {
 
-TokenScheduler::TokenScheduler(const Cluster* cluster, SchedulerConfig config)
-    : cluster_(cluster), config_(config) {
+TokenScheduler::TokenScheduler(const Cluster* cluster, SchedulerConfig config,
+                               const FaultPlan* faults)
+    : cluster_(cluster), config_(config), faults_(faults) {
   RVAR_CHECK(cluster != nullptr);
 }
 
@@ -29,6 +31,13 @@ Result<JobRun> TokenScheduler::Execute(const JobGroupSpec& group,
   if (group.plan.num_stages <= 0) {
     return Status::InvalidArgument(
         StrCat("group ", group.group_id, " has an empty plan"));
+  }
+  for (const PlanNode& node : group.plan.nodes) {
+    if (node.stage < 0 || node.stage >= group.plan.num_stages) {
+      return Status::InvalidArgument(
+          StrCat("group ", group.group_id, " has a plan node in stage ",
+                 node.stage, " outside [0,", group.plan.num_stages, ")"));
+    }
   }
 
   const size_t num_skus = cluster_->catalog().NumSkus();
@@ -95,49 +104,93 @@ Result<JobRun> TokenScheduler::Execute(const JobGroupSpec& group,
         1, static_cast<int>(std::ceil(planned_data /
                                       config_.data_per_vertex_gb)));
     run.total_vertices += vertices;
-    const int parallelism = std::min(vertices, total_tokens);
 
-    // Sample representative machines for this stage's placement.
-    const int sample = std::min(parallelism, config_.placement_sample);
-    const double greed = group.placement_greed >= 0.0
-                             ? group.placement_greed
-                             : config_.placement_greed;
-    const std::vector<int> placed = cluster_->SamplePlacement(
-        sample, t0 + elapsed, greed, group.preferred_sku,
-        group.sku_preference, rng);
-    double speed_sum = 0.0, contention_sum = 0.0;
-    for (int machine_id : placed) {
-      const Machine& m =
-          cluster_->machines()[static_cast<size_t>(machine_id)];
-      const double util = cluster_->MachineUtilization(machine_id, t0 + elapsed);
-      util_stats.Add(util);
-      speed_sum += cluster_->catalog().sku(static_cast<size_t>(m.sku_index))
-                       .speed;
-      const double effective = std::min(
-          0.92,
-          config_.contention_strength * group.contention_sensitivity * util);
-      contention_sum += 1.0 / (1.0 - effective);
-      run.sku_vertex_fraction[static_cast<size_t>(m.sku_index)] +=
-          static_cast<double>(vertices) / sample;
+    // A token revocation strips the spare tokens for the rest of the job;
+    // vertices running on them are killed and re-planned at the guaranteed
+    // allocation.
+    if (faults_ != nullptr && !run.spare_revoked && spare_tokens > 0 &&
+        faults_->SpareRevocation(instance.instance_id, s)) {
+      run.spare_revoked = true;
     }
-    const double mean_speed = speed_sum / placed.size();
-    const double mean_contention = contention_sum / placed.size();
+    const int tokens_now =
+        run.spare_revoked ? group.allocated_tokens : total_tokens;
+    const int parallelism = std::min(vertices, tokens_now);
 
-    // Amdahl decomposition of the stage: a serial share (coordination,
-    // skewed partitions, final merge) scales with the data regardless of
-    // parallelism; the rest divides across the tokens held. Vertex-count
-    // quantization is smoothed (vertex durations vary, so wave boundaries
-    // blur in practice).
-    const double total_work = stage_data *
-                              stage_cost[static_cast<size_t>(s)] *
-                              config_.seconds_per_gb;
-    const double serial_work = config_.serial_fraction * total_work;
-    const double parallel_work =
-        (1.0 - config_.serial_fraction) * total_work / parallelism;
-    double stage_time =
-        config_.stage_overhead_seconds +
-        (serial_work + parallel_work) * mean_contention / mean_speed *
-            rng->LogNormal(0.0, config_.noise_sigma);
+    // Execute the stage wave; an injected machine fault kills the wave
+    // part-way through (the partial work and held tokens are lost) and the
+    // wave is re-placed and re-executed after an exponential backoff.
+    double stage_time = 0.0;
+    for (int attempt = 0;; ++attempt) {
+      // Sample representative machines for this attempt's placement.
+      const int sample = std::min(parallelism, config_.placement_sample);
+      const double greed = group.placement_greed >= 0.0
+                               ? group.placement_greed
+                               : config_.placement_greed;
+      const std::vector<int> placed = cluster_->SamplePlacement(
+          sample, t0 + elapsed, greed, group.preferred_sku,
+          group.sku_preference, rng);
+      double speed_sum = 0.0, contention_sum = 0.0;
+      for (int machine_id : placed) {
+        const Machine& m =
+            cluster_->machines()[static_cast<size_t>(machine_id)];
+        const double util =
+            cluster_->MachineUtilization(machine_id, t0 + elapsed);
+        util_stats.Add(util);
+        speed_sum += cluster_->catalog()
+                         .sku(static_cast<size_t>(m.sku_index))
+                         .speed;
+        const double effective = std::min(
+            0.92,
+            config_.contention_strength * group.contention_sensitivity *
+                util);
+        contention_sum += 1.0 / (1.0 - effective);
+        run.sku_vertex_fraction[static_cast<size_t>(m.sku_index)] +=
+            static_cast<double>(vertices) / sample;
+      }
+      const double mean_speed = speed_sum / placed.size();
+      const double mean_contention = contention_sum / placed.size();
+
+      // Amdahl decomposition of the stage: a serial share (coordination,
+      // skewed partitions, final merge) scales with the data regardless of
+      // parallelism; the rest divides across the tokens held. Vertex-count
+      // quantization is smoothed (vertex durations vary, so wave
+      // boundaries blur in practice).
+      const double total_work = stage_data *
+                                stage_cost[static_cast<size_t>(s)] *
+                                config_.seconds_per_gb;
+      const double serial_work = config_.serial_fraction * total_work;
+      const double parallel_work =
+          (1.0 - config_.serial_fraction) * total_work / parallelism;
+      stage_time =
+          config_.stage_overhead_seconds +
+          (serial_work + parallel_work) * mean_contention / mean_speed *
+              rng->LogNormal(0.0, config_.noise_sigma);
+
+      if (faults_ == nullptr ||
+          !faults_->MachineFault(instance.instance_id, s, attempt)) {
+        break;
+      }
+      ++run.machine_faults;
+      // The wave dies part-way through the stage; the completed fraction
+      // of the work is lost but its wall-clock and token-hold are not.
+      const double lost =
+          stage_time *
+          faults_->FaultFraction(instance.instance_id, s, attempt);
+      elapsed += lost;
+      token_seconds += static_cast<double>(parallelism) * lost;
+      spare_token_seconds +=
+          static_cast<double>(
+              std::max(0, parallelism - group.allocated_tokens)) *
+          lost;
+      if (attempt >= config_.max_vertex_retries) {
+        return Status::ResourceExhausted(StrCat(
+            "instance ", instance.instance_id, " of group ", group.group_id,
+            " abandoned after ", attempt + 1, " machine faults in stage ",
+            s));
+      }
+      elapsed += config_.retry_backoff_seconds * std::pow(2.0, attempt);
+      ++run.vertex_retries;
+    }
 
     if (stage_time > slowest_stage) {
       slowest_stage = stage_time;

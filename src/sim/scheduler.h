@@ -52,6 +52,13 @@ struct SchedulerConfig {
   double rare_event_max_factor = 60.0;
   /// Machines sampled per stage to estimate placement mix.
   int placement_sample = 48;
+  /// Re-executions of a stage wave killed by an injected machine fault
+  /// before the job is abandoned (0 = the first fault is fatal). Only
+  /// consulted when a FaultPlan is attached.
+  int max_vertex_retries = 3;
+  /// Base of the exponential retry backoff, simulated seconds: retry k is
+  /// re-dispatched after retry_backoff_seconds * 2^k.
+  double retry_backoff_seconds = 8.0;
 };
 
 /// \brief Everything observed about one executed job instance: the ground
@@ -65,6 +72,12 @@ struct JobRun {
   double runtime_seconds = 0.0;
   /// Whether a rare slowdown event hit this run.
   bool rare_event = false;
+  /// Stage waves killed by injected machine faults.
+  int machine_faults = 0;
+  /// Stage re-executions after machine faults (bounded retries).
+  int vertex_retries = 0;
+  /// Whether spare tokens were revoked mid-job.
+  bool spare_revoked = false;
 
   // --- Resource telemetry ---
   int allocated_tokens = 0;
@@ -89,11 +102,18 @@ struct JobRun {
   double spare_availability = 0.0;
 };
 
+class FaultPlan;  // sim/faults.h
+
 /// \brief Executes job instances against a Cluster.
 class TokenScheduler {
  public:
-  /// `cluster` must outlive the scheduler.
-  TokenScheduler(const Cluster* cluster, SchedulerConfig config);
+  /// `cluster` (and `faults`, when non-null) must outlive the scheduler.
+  /// With a FaultPlan attached, machine faults kill in-flight stage waves;
+  /// the wave is re-executed after an exponential backoff, up to
+  /// config.max_vertex_retries times, after which Execute fails with
+  /// ResourceExhausted (the job is abandoned and yields no telemetry).
+  TokenScheduler(const Cluster* cluster, SchedulerConfig config,
+                 const FaultPlan* faults = nullptr);
 
   const SchedulerConfig& config() const { return config_; }
 
@@ -105,6 +125,7 @@ class TokenScheduler {
  private:
   const Cluster* cluster_;
   SchedulerConfig config_;
+  const FaultPlan* faults_;
 };
 
 }  // namespace sim

@@ -1,10 +1,12 @@
 #include "sim/telemetry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace rvar {
@@ -12,9 +14,86 @@ namespace sim {
 
 const std::vector<size_t> TelemetryStore::kEmpty;
 
+const char* QuarantineReasonName(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kNonFiniteRuntime:
+      return "non-finite-runtime";
+    case QuarantineReason::kNegativeRuntime:
+      return "negative-runtime";
+    case QuarantineReason::kDuplicate:
+      return "duplicate";
+    case QuarantineReason::kMissingFeatures:
+      return "missing-features";
+    case QuarantineReason::kBadMetadata:
+      return "bad-metadata";
+  }
+  return "unknown";
+}
+
+uint64_t TelemetryStore::RunKey(const JobRun& run) {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashCombine(h, static_cast<uint64_t>(run.group_id));
+  h = HashCombine(h, static_cast<uint64_t>(run.instance_id));
+  return h;
+}
+
 void TelemetryStore::Add(JobRun run) {
+  seen_.insert(RunKey(run));
   by_group_[run.group_id].push_back(runs_.size());
   runs_.push_back(std::move(run));
+}
+
+bool TelemetryStore::Validate(const JobRun& run,
+                              QuarantineReason* reason) const {
+  if (std::isnan(run.runtime_seconds) || std::isinf(run.runtime_seconds)) {
+    *reason = QuarantineReason::kNonFiniteRuntime;
+    return false;
+  }
+  if (run.runtime_seconds < 0.0) {
+    *reason = QuarantineReason::kNegativeRuntime;
+    return false;
+  }
+  if (!std::isfinite(run.input_gb) || run.input_gb < 0.0 ||
+      !std::isfinite(run.submit_time)) {
+    *reason = QuarantineReason::kBadMetadata;
+    return false;
+  }
+  auto columns_ok = [](const std::vector<double>& v) {
+    if (v.empty()) return false;
+    for (double x : v) {
+      if (!std::isfinite(x)) return false;
+    }
+    return true;
+  };
+  if (!columns_ok(run.sku_vertex_fraction) || !columns_ok(run.sku_cpu_util)) {
+    *reason = QuarantineReason::kMissingFeatures;
+    return false;
+  }
+  if (seen_.count(RunKey(run)) > 0) {
+    *reason = QuarantineReason::kDuplicate;
+    return false;
+  }
+  return true;
+}
+
+Status TelemetryStore::Ingest(JobRun run) {
+  QuarantineReason reason;
+  if (Validate(run, &reason)) {
+    Add(std::move(run));
+    return Status::OK();
+  }
+  quarantine_counts_[static_cast<size_t>(reason)]++;
+  const std::string message =
+      StrCat("run (group ", run.group_id, ", instance ", run.instance_id,
+             ") quarantined: ", QuarantineReasonName(reason));
+  quarantined_.push_back(std::move(run));
+  return reason == QuarantineReason::kDuplicate
+             ? Status::AlreadyExists(message)
+             : Status::InvalidArgument(message);
+}
+
+int64_t TelemetryStore::QuarantineCount(QuarantineReason reason) const {
+  return quarantine_counts_[static_cast<size_t>(reason)];
 }
 
 const JobRun& TelemetryStore::run(size_t i) const {
@@ -65,7 +144,8 @@ std::string TelemetryStore::ToCsv(
       "max_tokens",    "avg_tokens",     "avg_spare_tokens",
       "input_gb",      "temp_data_gb",   "total_vertices",
       "num_stages",    "cpu_util_mean",  "cpu_util_std",
-      "baseline_util", "spare_availability"};
+      "baseline_util", "spare_availability",
+      "machine_faults", "vertex_retries", "spare_revoked"};
   for (const std::string& sku : sku_names) {
     header.push_back(StrCat("sku_frac_", sku));
   }
@@ -92,7 +172,10 @@ std::string TelemetryStore::ToCsv(
         FormatDouble(r.cpu_util_mean, 4),
         FormatDouble(r.cpu_util_std, 4),
         FormatDouble(r.cluster_baseline_util, 4),
-        FormatDouble(r.spare_availability, 4)};
+        FormatDouble(r.spare_availability, 4),
+        StrCat(r.machine_faults),
+        StrCat(r.vertex_retries),
+        r.spare_revoked ? "1" : "0"};
     for (double f : r.sku_vertex_fraction) {
       row.push_back(FormatDouble(f, 4));
     }

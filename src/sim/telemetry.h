@@ -4,12 +4,21 @@
 // Peregrine (plan features), execution logs (token skylines), and KEA
 // (machine/SKU data) — Section 3.3. Runs are indexed by job group for the
 // per-group distributional analyses.
+//
+// Production telemetry is not clean: joins drop records, clocks skew,
+// deliveries duplicate. The store therefore has two ingestion paths:
+// Add() appends trusted (simulator-produced) runs unconditionally, while
+// Ingest() validates each run and quarantines corrupt ones — keeping the
+// indexed view free of NaN/negative runtimes, duplicates, and
+// missing-feature records, with exact queryable quarantine accounting.
 
 #ifndef RVAR_SIM_TELEMETRY_H_
 #define RVAR_SIM_TELEMETRY_H_
 
+#include <array>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -18,15 +27,39 @@
 namespace rvar {
 namespace sim {
 
+/// \brief Why a run was rejected by TelemetryStore::Ingest.
+enum class QuarantineReason : int {
+  kNonFiniteRuntime = 0,  ///< NaN or infinite runtime
+  kNegativeRuntime,       ///< runtime < 0 (clock skew, bad subtraction)
+  kDuplicate,             ///< (group_id, instance_id) already stored
+  kMissingFeatures,       ///< empty or non-finite feature columns
+  kBadMetadata,           ///< non-finite input size / submit time
+};
+inline constexpr int kNumQuarantineReasons = 5;
+const char* QuarantineReasonName(QuarantineReason reason);
+
 /// \brief An append-only collection of executed job runs with a per-group
 /// index.
 class TelemetryStore {
  public:
+  /// Appends a trusted run without validation (simulator output).
   void Add(JobRun run);
+
+  /// Validates and appends one run. A corrupt run is quarantined — counted,
+  /// retained for audit, excluded from every query — and the returned
+  /// Status carries the reason (InvalidArgument for corrupt fields,
+  /// AlreadyExists for duplicates). Ingestion order may be arbitrary;
+  /// per-group views keep insertion order.
+  Status Ingest(JobRun run);
 
   size_t NumRuns() const { return runs_.size(); }
   const std::vector<JobRun>& runs() const { return runs_; }
   const JobRun& run(size_t i) const;
+
+  /// Runs rejected by Ingest, in rejection order.
+  const std::vector<JobRun>& quarantined() const { return quarantined_; }
+  size_t NumQuarantined() const { return quarantined_.size(); }
+  int64_t QuarantineCount(QuarantineReason reason) const;
 
   /// Group ids present, ascending.
   std::vector<int> GroupIds() const;
@@ -54,8 +87,17 @@ class TelemetryStore {
                    const std::vector<std::string>& sku_names) const;
 
  private:
+  /// True if the run is storable; otherwise sets `reason`.
+  bool Validate(const JobRun& run, QuarantineReason* reason) const;
+
+  /// Stable identity key for duplicate detection.
+  static uint64_t RunKey(const JobRun& run);
+
   std::vector<JobRun> runs_;
   std::unordered_map<int, std::vector<size_t>> by_group_;
+  std::vector<JobRun> quarantined_;
+  std::array<int64_t, kNumQuarantineReasons> quarantine_counts_{};
+  std::unordered_set<uint64_t> seen_;
   static const std::vector<size_t> kEmpty;
 };
 

@@ -22,6 +22,9 @@ Result<BinGrid> BinGrid::Make(double lo, double hi, int num_bins) {
 }
 
 int BinGrid::BinIndex(double x) const {
+  // NaN compares false against both edges and casting it to int is UB, so
+  // it must be caught explicitly; it lands in the low outlier bin.
+  if (std::isnan(x)) return 0;
   if (x <= lo_) return 0;
   if (x >= hi_) return num_bins_ - 1;
   int idx = static_cast<int>((x - lo_) / width_);

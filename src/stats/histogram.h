@@ -31,6 +31,8 @@ class BinGrid {
   double bin_width() const { return width_; }
 
   /// Index of the bin containing `x` (clipped to [0, num_bins-1]).
+  /// NaN maps to bin 0 rather than invoking UB; callers that must not
+  /// count NaN observations filter them before binning.
   int BinIndex(double x) const;
 
   /// Center of bin `i`.

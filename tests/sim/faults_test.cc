@@ -1,0 +1,391 @@
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/plan.h"
+#include "sim/scheduler.h"
+#include "sim/telemetry.h"
+
+namespace rvar {
+namespace sim {
+namespace {
+
+JobRun MakeRun(int group_id, int64_t instance_id,
+               double runtime = 100.0) {
+  JobRun run;
+  run.group_id = group_id;
+  run.instance_id = instance_id;
+  run.runtime_seconds = runtime;
+  run.input_gb = 10.0;
+  run.sku_vertex_fraction = {0.5, 0.5};
+  run.sku_cpu_util = {0.3, 0.4};
+  return run;
+}
+
+TEST(FaultPlanConfigTest, DefaultIsInert) {
+  FaultPlanConfig config;
+  EXPECT_FALSE(config.AnyActive());
+  config.machine_fault_rate = 0.01;
+  EXPECT_TRUE(config.AnyActive());
+  config = {};
+  config.reorder_window = 5;
+  EXPECT_TRUE(config.AnyActive());
+}
+
+TEST(FaultPlanTest, MakeRejectsBadRates) {
+  FaultPlanConfig config;
+  config.machine_fault_rate = 1.5;
+  EXPECT_TRUE(FaultPlan::Make(config).status().IsInvalidArgument());
+  config = {};
+  config.drop_run_rate = -0.1;
+  EXPECT_TRUE(FaultPlan::Make(config).status().IsInvalidArgument());
+  config = {};
+  config.nan_runtime_rate = std::nan("");
+  EXPECT_TRUE(FaultPlan::Make(config).status().IsInvalidArgument());
+  config = {};
+  config.reorder_window = -1;
+  EXPECT_TRUE(FaultPlan::Make(config).status().IsInvalidArgument());
+  // Telemetry rates individually valid but jointly over 1.
+  config = {};
+  config.drop_run_rate = 0.5;
+  config.duplicate_run_rate = 0.4;
+  config.nan_runtime_rate = 0.3;
+  EXPECT_TRUE(FaultPlan::Make(config).status().IsInvalidArgument());
+}
+
+TEST(FaultPlanTest, MachineFaultsAreDeterministicAndSeedSensitive) {
+  FaultPlanConfig config;
+  config.seed = 11;
+  config.machine_fault_rate = 0.3;
+  FaultPlan a = *FaultPlan::Make(config);
+  FaultPlan b = *FaultPlan::Make(config);
+  config.seed = 12;
+  FaultPlan c = *FaultPlan::Make(config);
+  int differs = 0;
+  for (int64_t id = 0; id < 200; ++id) {
+    for (int stage = 0; stage < 4; ++stage) {
+      EXPECT_EQ(a.MachineFault(id, stage, 0), b.MachineFault(id, stage, 0));
+      EXPECT_DOUBLE_EQ(a.FaultFraction(id, stage, 0),
+                       b.FaultFraction(id, stage, 0));
+      differs += (a.MachineFault(id, stage, 0) != c.MachineFault(id, stage, 0));
+    }
+  }
+  EXPECT_GT(differs, 0) << "different seeds must give different faults";
+}
+
+TEST(FaultPlanTest, MachineFaultFrequencyMatchesRate) {
+  FaultPlanConfig config;
+  config.machine_fault_rate = 0.2;
+  FaultPlan plan = *FaultPlan::Make(config);
+  int hits = 0;
+  const int n = 20000;
+  for (int64_t id = 0; id < n; ++id) {
+    hits += plan.MachineFault(id, 0, 0);
+    const double frac = plan.FaultFraction(id, 0, 0);
+    EXPECT_GE(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.02);
+}
+
+TEST(FaultPlanTest, ZeroRatesNeverFire) {
+  FaultPlan plan = *FaultPlan::Make(FaultPlanConfig{});
+  for (int64_t id = 0; id < 500; ++id) {
+    EXPECT_FALSE(plan.MachineFault(id, 0, 0));
+    EXPECT_FALSE(plan.SpareRevocation(id, 0));
+    EXPECT_EQ(plan.RunFault(0, id), FaultPlan::TelemetryFault::kNone);
+  }
+}
+
+TEST(FaultPlanTest, RunFaultPartitionCoversAllKinds) {
+  FaultPlanConfig config;
+  config.drop_run_rate = 0.1;
+  config.duplicate_run_rate = 0.1;
+  config.nan_runtime_rate = 0.1;
+  config.negative_runtime_rate = 0.1;
+  config.missing_columns_rate = 0.1;
+  FaultPlan plan = *FaultPlan::Make(config);
+  std::map<FaultPlan::TelemetryFault, int> counts;
+  const int n = 10000;
+  for (int64_t id = 0; id < n; ++id) counts[plan.RunFault(7, id)]++;
+  for (auto kind :
+       {FaultPlan::TelemetryFault::kDrop, FaultPlan::TelemetryFault::kDuplicate,
+        FaultPlan::TelemetryFault::kNanRuntime,
+        FaultPlan::TelemetryFault::kNegativeRuntime,
+        FaultPlan::TelemetryFault::kMissingColumns}) {
+    EXPECT_NEAR(static_cast<double>(counts[kind]) / n, 0.1, 0.02);
+  }
+  EXPECT_NEAR(static_cast<double>(counts[FaultPlan::TelemetryFault::kNone]) / n,
+              0.5, 0.03);
+}
+
+TEST(FaultPlanTest, CorruptTelemetryStatsAreExact) {
+  FaultPlanConfig config;
+  config.drop_run_rate = 0.05;
+  config.duplicate_run_rate = 0.05;
+  config.nan_runtime_rate = 0.05;
+  config.negative_runtime_rate = 0.05;
+  config.missing_columns_rate = 0.05;
+  FaultPlan plan = *FaultPlan::Make(config);
+
+  std::vector<JobRun> runs;
+  const int n = 4000;
+  for (int64_t id = 0; id < n; ++id) runs.push_back(MakeRun(id % 13, id));
+
+  TelemetryFaultStats stats;
+  std::vector<JobRun> out = plan.CorruptTelemetry(runs, &stats);
+
+  // The per-run partition is exhaustive.
+  EXPECT_EQ(stats.dropped + stats.duplicated + stats.nan_runtime +
+                stats.negative_runtime + stats.missing_columns + stats.clean,
+            n);
+  EXPECT_GT(stats.NumCorrupt(), 0);
+  EXPECT_EQ(static_cast<int64_t>(out.size()),
+            n - stats.dropped + stats.duplicated);
+
+  // Verify the injected defects are really present.
+  int64_t nan_seen = 0, negative_seen = 0, missing_seen = 0;
+  std::map<std::pair<int, int64_t>, int> copies;
+  for (const JobRun& run : out) {
+    copies[{run.group_id, run.instance_id}]++;
+    if (std::isnan(run.runtime_seconds)) ++nan_seen;
+    if (run.runtime_seconds < 0.0) ++negative_seen;
+    if (run.sku_vertex_fraction.empty()) ++missing_seen;
+  }
+  EXPECT_EQ(nan_seen, stats.nan_runtime);
+  EXPECT_EQ(negative_seen, stats.negative_runtime);
+  EXPECT_EQ(missing_seen, stats.missing_columns);
+  int64_t dupes = 0;
+  for (const auto& [key, count] : copies) dupes += (count == 2);
+  EXPECT_EQ(dupes, stats.duplicated);
+
+  // Determinism: a second application gives identical results.
+  TelemetryFaultStats stats2;
+  std::vector<JobRun> out2 = plan.CorruptTelemetry(runs, &stats2);
+  ASSERT_EQ(out.size(), out2.size());
+  EXPECT_EQ(stats.NumCorrupt(), stats2.NumCorrupt());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].instance_id, out2[i].instance_id);
+  }
+}
+
+TEST(FaultPlanTest, ReorderingPermutesButPreservesRuns) {
+  FaultPlanConfig config;
+  config.reorder_window = 10;
+  FaultPlan plan = *FaultPlan::Make(config);
+  std::vector<JobRun> runs;
+  for (int64_t id = 0; id < 300; ++id) runs.push_back(MakeRun(0, id));
+  TelemetryFaultStats stats;
+  std::vector<JobRun> out = plan.CorruptTelemetry(runs, &stats);
+  ASSERT_EQ(out.size(), runs.size());
+  EXPECT_GT(stats.reordered, 0);
+  EXPECT_EQ(stats.NumCorrupt(), 0);
+  // Same multiset of instances; displacement bounded by the window.
+  bool any_moved = false;
+  std::vector<bool> present(runs.size(), false);
+  for (size_t pos = 0; pos < out.size(); ++pos) {
+    const auto id = static_cast<size_t>(out[pos].instance_id);
+    ASSERT_LT(id, present.size());
+    present[id] = true;
+    any_moved |= (id != pos);
+    EXPECT_LE(std::abs(static_cast<long>(pos) - static_cast<long>(id)),
+              config.reorder_window + 1);
+  }
+  EXPECT_TRUE(any_moved);
+  for (bool p : present) EXPECT_TRUE(p);
+}
+
+TEST(TelemetryIngestTest, QuarantinesExactlyTheCorruptRuns) {
+  FaultPlanConfig config;
+  config.duplicate_run_rate = 0.08;
+  config.nan_runtime_rate = 0.05;
+  config.negative_runtime_rate = 0.05;
+  config.missing_columns_rate = 0.05;
+  config.reorder_window = 7;
+  FaultPlan plan = *FaultPlan::Make(config);
+  std::vector<JobRun> runs;
+  for (int64_t id = 0; id < 1500; ++id) runs.push_back(MakeRun(id % 9, id));
+
+  TelemetryFaultStats stats;
+  std::vector<JobRun> stream = plan.CorruptTelemetry(std::move(runs), &stats);
+  TelemetryStore store;
+  int64_t rejected = 0;
+  for (JobRun& run : stream) {
+    rejected += !store.Ingest(std::move(run)).ok();
+  }
+  EXPECT_EQ(rejected, stats.NumCorrupt());
+  EXPECT_EQ(static_cast<int64_t>(store.NumQuarantined()), stats.NumCorrupt());
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kNonFiniteRuntime),
+            stats.nan_runtime);
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kNegativeRuntime),
+            stats.negative_runtime);
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kDuplicate),
+            stats.duplicated);
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kMissingFeatures),
+            stats.missing_columns);
+  // The stored view is clean.
+  for (const JobRun& run : store.runs()) {
+    EXPECT_TRUE(std::isfinite(run.runtime_seconds));
+    EXPECT_GE(run.runtime_seconds, 0.0);
+    EXPECT_FALSE(run.sku_vertex_fraction.empty());
+  }
+}
+
+TEST(TelemetryIngestTest, ReportsReasonPerFault) {
+  TelemetryStore store;
+  EXPECT_TRUE(store.Ingest(MakeRun(0, 0)).ok());
+
+  JobRun dupe = MakeRun(0, 0);
+  Status s = store.Ingest(dupe);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+
+  JobRun nan_run = MakeRun(0, 1, std::nan(""));
+  EXPECT_TRUE(store.Ingest(nan_run).IsInvalidArgument());
+
+  JobRun neg = MakeRun(0, 2, -5.0);
+  EXPECT_TRUE(store.Ingest(neg).IsInvalidArgument());
+
+  JobRun missing = MakeRun(0, 3);
+  missing.sku_vertex_fraction.clear();
+  missing.sku_cpu_util.clear();
+  EXPECT_TRUE(store.Ingest(missing).IsInvalidArgument());
+
+  JobRun bad_meta = MakeRun(0, 4);
+  bad_meta.input_gb = std::nan("");
+  EXPECT_TRUE(store.Ingest(bad_meta).IsInvalidArgument());
+
+  EXPECT_EQ(store.NumRuns(), 1u);
+  EXPECT_EQ(store.NumQuarantined(), 5u);
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kDuplicate), 1);
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kNonFiniteRuntime), 1);
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kNegativeRuntime), 1);
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kMissingFeatures), 1);
+  EXPECT_EQ(store.QuarantineCount(QuarantineReason::kBadMetadata), 1);
+}
+
+class FaultySchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig cc;
+    cc.seed = 5;
+    auto c = Cluster::Make(SkuCatalog::Default(), cc);
+    ASSERT_TRUE(c.ok());
+    cluster_ = std::make_unique<Cluster>(*c);
+    Rng rng(9);
+    group_.group_id = 0;
+    group_.name = "faulty_group";
+    group_.plan = GeneratePlan({}, &rng);
+    group_.base_input_gb = 50.0;
+    group_.allocated_tokens = 40;
+    group_.rare_event_prob = 0.0;
+  }
+
+  JobInstanceSpec MakeInstance(int64_t id) {
+    JobInstanceSpec inst;
+    inst.group_id = 0;
+    inst.instance_id = id;
+    inst.submit_time = 10000.0;
+    inst.input_gb = 50.0;
+    return inst;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  JobGroupSpec group_;
+};
+
+TEST_F(FaultySchedulerTest, RetriesRecordFaultsAndInflateRuntime) {
+  FaultPlanConfig fc;
+  fc.machine_fault_rate = 0.25;
+  FaultPlan plan = *FaultPlan::Make(fc);
+  SchedulerConfig config;
+  TokenScheduler clean(cluster_.get(), config);
+  TokenScheduler faulty(cluster_.get(), config, &plan);
+
+  int64_t faults = 0, retries = 0, failed = 0;
+  double clean_total = 0.0, faulty_total = 0.0;
+  for (int64_t id = 0; id < 60; ++id) {
+    Rng a(1000 + static_cast<uint64_t>(id));
+    Rng b(1000 + static_cast<uint64_t>(id));
+    auto rc = clean.Execute(group_, MakeInstance(id), &a);
+    auto rf = faulty.Execute(group_, MakeInstance(id), &b);
+    ASSERT_TRUE(rc.ok());
+    EXPECT_EQ(rc->machine_faults, 0);
+    EXPECT_EQ(rc->vertex_retries, 0);
+    clean_total += rc->runtime_seconds;
+    if (!rf.ok()) {
+      EXPECT_EQ(rf.status().code(), StatusCode::kResourceExhausted);
+      ++failed;
+      continue;
+    }
+    faults += rf->machine_faults;
+    retries += rf->vertex_retries;
+    faulty_total += rf->runtime_seconds;
+    if (rf->machine_faults > 0) {
+      EXPECT_EQ(rf->vertex_retries, rf->machine_faults);
+    }
+  }
+  EXPECT_GT(faults, 0);
+  EXPECT_EQ(retries, faults);
+  // Lost work plus backoff makes the faulty population strictly slower
+  // even though fewer jobs finished.
+  EXPECT_GT(faulty_total, clean_total * 0.9);
+  // At a 25% per-stage-attempt rate and 3 retries, a multi-stage job
+  // only rarely fails outright.
+  EXPECT_LT(failed, 30);
+}
+
+TEST_F(FaultySchedulerTest, ZeroRetriesMakesFirstFaultFatal) {
+  FaultPlanConfig fc;
+  fc.machine_fault_rate = 0.4;
+  FaultPlan plan = *FaultPlan::Make(fc);
+  SchedulerConfig config;
+  config.max_vertex_retries = 0;
+  TokenScheduler scheduler(cluster_.get(), config, &plan);
+  int64_t failed = 0;
+  for (int64_t id = 0; id < 40; ++id) {
+    Rng rng(2000 + static_cast<uint64_t>(id));
+    auto run = scheduler.Execute(group_, MakeInstance(id), &rng);
+    if (!run.ok()) {
+      EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+      ++failed;
+    } else {
+      EXPECT_EQ(run->machine_faults, 0);
+      EXPECT_EQ(run->vertex_retries, 0);
+    }
+  }
+  EXPECT_GT(failed, 0);
+}
+
+TEST_F(FaultySchedulerTest, RevocationCapsTokensAtAllocation) {
+  FaultPlanConfig fc;
+  fc.token_revocation_rate = 1.0;  // revoke in every stage
+  FaultPlan plan = *FaultPlan::Make(fc);
+  group_.uses_spare_tokens = true;
+  TokenScheduler scheduler(cluster_.get(), {}, &plan);
+  Rng rng(3);
+  auto run = scheduler.Execute(group_, MakeInstance(1), &rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->spare_revoked);
+  EXPECT_LE(run->max_tokens_used, group_.allocated_tokens);
+}
+
+TEST_F(FaultySchedulerTest, NullFaultPlanMatchesCleanScheduler) {
+  TokenScheduler with_null(cluster_.get(), {}, nullptr);
+  TokenScheduler clean(cluster_.get(), {});
+  Rng a(4), b(4);
+  auto ra = with_null.Execute(group_, MakeInstance(1), &a);
+  auto rb = clean.Execute(group_, MakeInstance(1), &b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_DOUBLE_EQ(ra->runtime_seconds, rb->runtime_seconds);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace rvar
