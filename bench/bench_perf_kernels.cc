@@ -1,13 +1,23 @@
 // Performance microbenchmarks (google-benchmark) of the library's hot
 // kernels: PMF building/smoothing, posterior likelihoods, k-means, GBDT
-// training and prediction, TreeSHAP, and simulated job execution.
+// training and prediction, TreeSHAP, simulated job execution, and the
+// checkpoint/restore path (snapshot save/load, WAL append/replay). The io
+// kernels also emit a machine-readable summary to BENCH_io.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
 #include <numeric>
 
 #include "core/assigner.h"
 #include "core/shape_library.h"
+#include "io/recovery.h"
+#include "io/serialize.h"
+#include "io/snapshot.h"
+#include "io/wal.h"
 #include "ml/gbdt.h"
 #include "ml/kmeans.h"
 #include "ml/shap.h"
@@ -167,6 +177,193 @@ void BM_SchedulerExecute(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerExecute);
 
+
+// --- Checkpoint/restore kernels (io/) ------------------------------------
+
+core::ShapeLibrary MakeServingLibrary() {
+  sim::TelemetryStore store;
+  core::GroupMedians medians;
+  Rng rng(21);
+  for (int g = 0; g < 60; ++g) {
+    const double median = rng.Uniform(50.0, 500.0);
+    for (int i = 0; i < 40; ++i) {
+      sim::JobRun run;
+      run.group_id = g;
+      run.runtime_seconds =
+          median * std::max(0.1, rng.Normal(1.0, 0.1 + 0.05 * (g % 4)));
+      store.Add(run);
+    }
+    medians.Set(g, median);
+  }
+  core::ShapeLibraryConfig config;
+  config.num_clusters = 8;
+  config.min_support = 20;
+  config.kmeans.num_restarts = 2;
+  return *core::ShapeLibrary::Build(store, medians, config);
+}
+
+std::string BenchTempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("rvar_bench_io_") + name))
+      .string();
+}
+
+void BM_SnapshotEncodeLibrary(benchmark::State& state) {
+  const core::ShapeLibrary library = MakeServingLibrary();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string image = io::EncodeShapeLibrary(library);
+    bytes = image.size();
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotEncodeLibrary);
+
+void BM_SnapshotDecodeLibrary(benchmark::State& state) {
+  const std::string image = io::EncodeShapeLibrary(MakeServingLibrary());
+  for (auto _ : state) {
+    auto library = io::DecodeShapeLibrary(image);
+    benchmark::DoNotOptimize(library.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(image.size()));
+}
+BENCHMARK(BM_SnapshotDecodeLibrary);
+
+void BM_SnapshotSaveFile(benchmark::State& state) {
+  const core::ShapeLibrary library = MakeServingLibrary();
+  const std::string path = BenchTempPath("snapshot");
+  size_t bytes = io::EncodeShapeLibrary(library).size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::SaveShapeLibrary(library, path).ok());
+  }
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotSaveFile);
+
+void BM_SnapshotLoadFile(benchmark::State& state) {
+  const std::string path = BenchTempPath("snapshot_load");
+  (void)io::SaveShapeLibrary(MakeServingLibrary(), path);
+  const auto size = std::filesystem::file_size(path);
+  for (auto _ : state) {
+    auto library = io::LoadShapeLibrary(path);
+    benchmark::DoNotOptimize(library.ok());
+  }
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_SnapshotLoadFile);
+
+// WAL append throughput, with and without per-record fsync (the sync cost
+// dominates; both matter for sizing checkpoint intervals).
+void BM_WalAppend(benchmark::State& state) {
+  const bool sync = state.range(0) != 0;
+  const std::string path = BenchTempPath("wal_append");
+  std::filesystem::remove(path);
+  auto writer = io::WalWriter::Create(path, 1, sync);
+  const std::string record(24, 'r');  // observation-record sized
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer->Append(record).ok());
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppend)->Arg(0)->Arg(1)->ArgNames({"fsync"});
+
+void BM_WalReplay(benchmark::State& state) {
+  const int num_records = static_cast<int>(state.range(0));
+  const std::string path = BenchTempPath("wal_replay");
+  std::filesystem::remove(path);
+  {
+    auto writer =
+        io::WalWriter::Create(path, 1, /*sync_each_append=*/false);
+    const std::string record(24, 'r');
+    for (int i = 0; i < num_records; ++i) (void)writer->Append(record);
+  }
+  for (auto _ : state) {
+    auto scan = io::ScanWalFile(path);
+    benchmark::DoNotOptimize(scan.ok());
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(state.iterations() * num_records);
+}
+BENCHMARK(BM_WalReplay)->Arg(10000)->Arg(100000);
+
+// Direct timed run of the io kernels; written to BENCH_io.json so the
+// throughput numbers land next to the figure/table outputs.
+double SecondsOf(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void WriteBenchIoJson() {
+  const core::ShapeLibrary library = MakeServingLibrary();
+  const std::string image = io::EncodeShapeLibrary(library);
+  const std::string snap_path = BenchTempPath("json_snapshot");
+  const std::string wal_path = BenchTempPath("json_wal");
+
+  constexpr int kSaveReps = 50;
+  const double save_s = SecondsOf([&] {
+    for (int i = 0; i < kSaveReps; ++i) {
+      (void)io::SaveShapeLibrary(library, snap_path);
+    }
+  });
+  const double load_s = SecondsOf([&] {
+    for (int i = 0; i < kSaveReps; ++i) {
+      (void)io::LoadShapeLibrary(snap_path);
+    }
+  });
+
+  constexpr int kWalRecords = 200000;
+  std::filesystem::remove(wal_path);
+  const std::string record(24, 'r');
+  double append_s = 0.0;
+  {
+    auto writer =
+        io::WalWriter::Create(wal_path, 1, /*sync_each_append=*/false);
+    append_s = SecondsOf([&] {
+      for (int i = 0; i < kWalRecords; ++i) (void)writer->Append(record);
+    });
+  }
+  const double replay_s =
+      SecondsOf([&] { (void)io::ScanWalFile(wal_path); });
+
+  const double mb = static_cast<double>(image.size()) / 1e6;
+  std::FILE* out = std::fopen("BENCH_io.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"snapshot_bytes\": %zu,\n"
+                 "  \"snapshot_save_mb_per_s\": %.2f,\n"
+                 "  \"snapshot_load_mb_per_s\": %.2f,\n"
+                 "  \"wal_append_records_per_s\": %.0f,\n"
+                 "  \"wal_replay_records_per_s\": %.0f\n"
+                 "}\n",
+                 image.size(), kSaveReps * mb / save_s,
+                 kSaveReps * mb / load_s, kWalRecords / append_s,
+                 kWalRecords / replay_s);
+    std::fclose(out);
+    std::printf("io throughput summary written to BENCH_io.json\n");
+  }
+  std::filesystem::remove(snap_path);
+  std::filesystem::remove(wal_path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteBenchIoJson();
+  return 0;
+}

@@ -1,6 +1,12 @@
 #include "common/csv.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
+
+#include "common/check.h"
+#include "common/strings.h"
 
 namespace rvar {
 
@@ -31,6 +37,152 @@ Status CsvWriter::WriteToFile(const std::string& path) const {
   out << buffer_;
   if (!out) return Status::IOError("write failed for " + path);
   return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  size_t line = 1;  // 1-based, for error messages
+  bool in_quotes = false;
+  bool cell_was_quoted = false;
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_was_quoted = false;
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';  // doubled quote = literal quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty() || cell_was_quoted) {
+          return Status::InvalidArgument(
+              StrCat("line ", line, ": quote inside an unquoted cell"));
+        }
+        in_quotes = true;
+        cell_was_quoted = true;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        // Only as part of a CRLF line ending.
+        if (i + 1 >= text.size() || text[i + 1] != '\n') {
+          return Status::InvalidArgument(
+              StrCat("line ", line, ": bare carriage return"));
+        }
+        break;
+      case '\n':
+        end_row();
+        ++line;
+        break;
+      default:
+        if (cell_was_quoted) {
+          return Status::InvalidArgument(
+              StrCat("line ", line, ": bytes after a closing quote"));
+        }
+        cell += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        StrCat("line ", line, ": unterminated quoted cell"));
+  }
+  // Final row without a trailing newline.
+  if (!cell.empty() || cell_was_quoted || !row.empty()) end_row();
+  return rows;
+}
+
+Result<CsvTable> CsvTable::Parse(std::string_view text) {
+  RVAR_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                        ParseCsv(text));
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV: no header row");
+  }
+  CsvTable table;
+  table.header_ = std::move(rows.front());
+  for (size_t i = 0; i < table.header_.size(); ++i) {
+    table.column_index_[table.header_[i]] = static_cast<int>(i);
+  }
+  for (size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].size() != table.header_.size()) {
+      return Status::InvalidArgument(
+          StrCat("ragged row at line ", r + 1, ": ", rows[r].size(),
+                 " cells, header has ", table.header_.size()));
+    }
+    table.rows_.push_back(std::move(rows[r]));
+  }
+  return table;
+}
+
+const std::string& CsvTable::cell(size_t row, size_t col) const {
+  RVAR_CHECK_LT(row, rows_.size());
+  RVAR_CHECK_LT(col, header_.size());
+  return rows_[row][col];
+}
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  const auto it = column_index_.find(name);
+  return it == column_index_.end() ? -1 : it->second;
+}
+
+Result<double> CsvTable::NumericCell(size_t row, size_t col) const {
+  const std::string& s = cell(row, col);
+  if (s.empty()) {
+    return Status::InvalidArgument(
+        StrCat("line ", row + 2, ", column \"", header_[col],
+               "\": empty cell where a number is required"));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    return Status::InvalidArgument(
+        StrCat("line ", row + 2, ", column \"", header_[col],
+               "\": \"", s, "\" is not a finite number"));
+  }
+  return v;
+}
+
+Result<int64_t> CsvTable::IntegerCell(size_t row, size_t col) const {
+  const std::string& s = cell(row, col);
+  if (s.empty()) {
+    return Status::InvalidArgument(
+        StrCat("line ", row + 2, ", column \"", header_[col],
+               "\": empty cell where an integer is required"));
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    return Status::InvalidArgument(
+        StrCat("line ", row + 2, ", column \"", header_[col],
+               "\": \"", s, "\" is not an integer"));
+  }
+  return static_cast<int64_t>(v);
 }
 
 }  // namespace rvar

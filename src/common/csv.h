@@ -1,14 +1,21 @@
 // Copyright 2026 The rvar Authors.
 //
-// Minimal CSV writing for exporting experiment data (e.g. so figures can be
-// re-plotted externally). Quoting handles commas/quotes/newlines.
+// CSV writing and strict CSV parsing for experiment data (e.g. so figures
+// can be re-plotted externally and telemetry exports can be re-imported).
+// Quoting handles commas/quotes/newlines. The parser is validating: an
+// unterminated quote, a ragged row, or a non-numeric cell where a number
+// is required yields a clear Status naming the offending row/column —
+// never a silent misparse.
 
 #ifndef RVAR_COMMON_CSV_H_
 #define RVAR_COMMON_CSV_H_
 
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace rvar {
@@ -30,6 +37,46 @@ class CsvWriter {
 
  private:
   std::string buffer_;
+};
+
+/// Parses a CSV document into rows of unescaped cells (RFC-4180 style:
+/// quoted cells may contain commas, doubled quotes, and newlines). Fails
+/// on an unterminated quote or on bytes between a closing quote and the
+/// next delimiter. Does not require rectangular rows — see CsvTable.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
+/// \brief A parsed CSV with a header row and rectangular data rows.
+///
+/// Parse() rejects a document whose rows disagree on width ("ragged"),
+/// naming the first offending row, so column positions can never silently
+/// shift mid-file.
+class CsvTable {
+ public:
+  static Result<CsvTable> Parse(std::string_view text);
+
+  const std::vector<std::string>& header() const { return header_; }
+  size_t num_columns() const { return header_.size(); }
+  /// Data rows (header excluded).
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Cell of data row `row` (0-based, header excluded). Checked.
+  const std::string& cell(size_t row, size_t col) const;
+
+  /// Index of a header column, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+  /// The cell parsed as a finite double; InvalidArgument naming the
+  /// 1-based CSV line and the column header otherwise.
+  Result<double> NumericCell(size_t row, size_t col) const;
+
+  /// The cell parsed as a 64-bit integer (no fractional part, no
+  /// precision loss through a double round-trip).
+  Result<int64_t> IntegerCell(size_t row, size_t col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::unordered_map<std::string, int> column_index_;
 };
 
 }  // namespace rvar

@@ -11,7 +11,7 @@ namespace core {
 
 OnlineShapeTracker::OnlineShapeTracker(const ShapeLibrary* library,
                                        double decay, double pmf_floor)
-    : library_(library), decay_(decay) {
+    : library_(library), decay_(decay), pmf_floor_(pmf_floor) {
   const int k = library->num_clusters();
   const int bins = library->grid().num_bins();
   log_pmf_.resize(static_cast<size_t>(k));
@@ -85,6 +85,32 @@ double OnlineShapeTracker::ProbabilityOf(int cluster) const {
   RVAR_CHECK(cluster >= 0 &&
              static_cast<size_t>(cluster) < ll_.size());
   return Posterior()[static_cast<size_t>(cluster)];
+}
+
+Status OnlineShapeTracker::RestoreState(
+    const std::vector<double>& log_likelihood, int64_t count,
+    int64_t num_clamped) {
+  if (log_likelihood.size() != ll_.size()) {
+    return Status::InvalidArgument(
+        StrCat("restore holds ", log_likelihood.size(),
+               " log-likelihood sums, library has ", ll_.size(),
+               " clusters"));
+  }
+  for (double v : log_likelihood) {
+    if (std::isnan(v) || v > 0.0) {
+      // Sums of log-probabilities are <= 0; -inf (all mass at the floor)
+      // is possible under extreme decay so only NaN and positives reject.
+      return Status::InvalidArgument(
+          "restored log-likelihood sums must be non-positive");
+    }
+  }
+  if (count < 0 || num_clamped < 0) {
+    return Status::InvalidArgument("restored counters must be >= 0");
+  }
+  ll_ = log_likelihood;
+  count_ = count;
+  num_clamped_ = num_clamped;
+  return Status::OK();
 }
 
 void OnlineShapeTracker::Reset() {

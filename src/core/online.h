@@ -62,12 +62,22 @@ class OnlineShapeTracker {
   /// Forgets everything.
   void Reset();
 
+  double decay() const { return decay_; }
+  double pmf_floor() const { return pmf_floor_; }
+
+  /// Reinstalls checkpointed sums (io/recovery.h): the discounted
+  /// log-likelihoods plus the observation counters. Validates sizes and
+  /// finiteness so a corrupt snapshot cannot poison the posterior.
+  Status RestoreState(const std::vector<double>& log_likelihood,
+                      int64_t count, int64_t num_clamped);
+
  private:
   OnlineShapeTracker(const ShapeLibrary* library, double decay,
                      double pmf_floor);
 
   const ShapeLibrary* library_;
   double decay_;
+  double pmf_floor_ = 1e-6;
   std::vector<std::vector<double>> log_pmf_;  ///< [cluster][bin]
   std::vector<double> ll_;
   int64_t count_ = 0;

@@ -10,9 +10,9 @@
 namespace rvar {
 namespace core {
 
-Result<ShapeLibrary> ShapeLibrary::Build(
-    const sim::TelemetryStore& reference, const GroupMedians& medians,
-    const ShapeLibraryConfig& config) {
+namespace {
+
+Status ValidateConfig(const ShapeLibraryConfig& config) {
   if (config.num_clusters < 1) {
     return Status::InvalidArgument("num_clusters must be >= 1");
   }
@@ -25,6 +25,15 @@ Result<ShapeLibrary> ShapeLibrary::Build(
   if (config.smoothing_radius < 0) {
     return Status::InvalidArgument("smoothing_radius must be >= 0");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShapeLibrary> ShapeLibrary::Build(
+    const sim::TelemetryStore& reference, const GroupMedians& medians,
+    const ShapeLibraryConfig& config) {
+  RVAR_RETURN_NOT_OK(ValidateConfig(config));
 
   ShapeLibrary lib;
   lib.config_ = config;
@@ -140,6 +149,64 @@ Result<ShapeLibrary> ShapeLibrary::Build(
     lib.reference_assignment_[groups[g]] =
         relabel[static_cast<size_t>(model.assignments[g])];
   }
+  return lib;
+}
+
+Result<ShapeLibrary> ShapeLibrary::Restore(
+    const ShapeLibraryConfig& config,
+    std::vector<std::vector<double>> shapes, std::vector<ShapeStats> stats,
+    std::vector<int> reference_groups,
+    std::unordered_map<int, int> reference_assignment, double inertia,
+    int num_skipped_groups) {
+  RVAR_RETURN_NOT_OK(ValidateConfig(config));
+  const size_t k = static_cast<size_t>(config.num_clusters);
+  if (shapes.size() != k || stats.size() != k) {
+    return Status::InvalidArgument(
+        StrCat("restore holds ", shapes.size(), " shapes and ", stats.size(),
+               " stats rows for ", k, " clusters"));
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (shapes[c].size() != static_cast<size_t>(config.num_bins)) {
+      return Status::InvalidArgument(
+          StrCat("cluster ", c, " PMF has ", shapes[c].size(),
+                 " bins, grid has ", config.num_bins));
+    }
+    for (double v : shapes[c]) {
+      if (!std::isfinite(v) || v < 0.0) {
+        return Status::InvalidArgument(
+            StrCat("cluster ", c, " PMF holds a non-finite or negative mass"));
+      }
+    }
+    const ShapeStats& s = stats[c];
+    if (!std::isfinite(s.outlier_probability) || !std::isfinite(s.iqr) ||
+        !std::isfinite(s.p95) || !std::isfinite(s.stddev) ||
+        s.num_samples < 0 || s.num_groups < 0) {
+      return Status::InvalidArgument(
+          StrCat("cluster ", c, " stats are corrupt"));
+    }
+  }
+  if (!std::isfinite(inertia) || inertia < 0.0) {
+    return Status::InvalidArgument("inertia must be finite and >= 0");
+  }
+  if (num_skipped_groups < 0) {
+    return Status::InvalidArgument("num_skipped_groups must be >= 0");
+  }
+  for (const auto& [gid, cluster] : reference_assignment) {
+    if (cluster < 0 || static_cast<size_t>(cluster) >= k) {
+      return Status::InvalidArgument(
+          StrCat("group ", gid, " assigned to unknown cluster ", cluster));
+    }
+  }
+
+  ShapeLibrary lib;
+  lib.config_ = config;
+  lib.grid_ = CanonicalGrid(config.normalization, config.num_bins);
+  lib.shapes_ = std::move(shapes);
+  lib.stats_ = std::move(stats);
+  lib.reference_groups_ = std::move(reference_groups);
+  lib.reference_assignment_ = std::move(reference_assignment);
+  lib.inertia_ = inertia;
+  lib.num_skipped_groups_ = num_skipped_groups;
   return lib;
 }
 

@@ -56,6 +56,19 @@ class ShapeLibrary {
                                     const GroupMedians& medians,
                                     const ShapeLibraryConfig& config);
 
+  /// Reassembles a library from persisted parts (io/serialize.h). Every
+  /// invariant Build guarantees is re-validated — PMF lengths match the
+  /// grid, values are finite, assignments point at real clusters — so a
+  /// decoded-from-hostile-bytes library either equals a built one or the
+  /// load fails with InvalidArgument; it never produces a library that
+  /// crashes later.
+  static Result<ShapeLibrary> Restore(
+      const ShapeLibraryConfig& config,
+      std::vector<std::vector<double>> shapes, std::vector<ShapeStats> stats,
+      std::vector<int> reference_groups,
+      std::unordered_map<int, int> reference_assignment, double inertia,
+      int num_skipped_groups);
+
   const ShapeLibraryConfig& config() const { return config_; }
   Normalization normalization() const { return config_.normalization; }
   const BinGrid& grid() const { return grid_; }

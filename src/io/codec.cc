@@ -1,0 +1,151 @@
+#include "io/codec.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace io {
+
+void BinaryWriter::PutU8(uint8_t v) {
+  buffer_.push_back(static_cast<char>(v));
+}
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutRaw(std::string_view s) {
+  buffer_.append(s.data(), s.size());
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU64(s.size());
+  buffer_.append(s.data(), s.size());
+}
+
+void BinaryWriter::PutDoubleVector(const std::vector<double>& v) {
+  PutU64(v.size());
+  for (double x : v) PutDouble(x);
+}
+
+void BinaryWriter::PutI32Vector(const std::vector<int>& v) {
+  PutU64(v.size());
+  for (int x : v) PutI32(x);
+}
+
+Result<std::string_view> BinaryReader::Take(size_t n) {
+  if (n > remaining()) {
+    return Status::OutOfRange(StrCat("short read: need ", n, " bytes at ",
+                                     pos_, ", have ", remaining()));
+  }
+  std::string_view out = bytes_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Status BinaryReader::Skip(size_t n) {
+  return Take(n).status();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  RVAR_ASSIGN_OR_RETURN(std::string_view b, Take(1));
+  return static_cast<uint8_t>(b[0]);
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  RVAR_ASSIGN_OR_RETURN(std::string_view b, Take(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  RVAR_ASSIGN_OR_RETURN(std::string_view b, Take(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+Result<int32_t> BinaryReader::ReadI32() {
+  RVAR_ASSIGN_OR_RETURN(uint32_t v, ReadU32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  RVAR_ASSIGN_OR_RETURN(uint64_t v, ReadU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  RVAR_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  RVAR_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > remaining()) {
+    pos_ -= 8;  // leave the cursor where the bad prefix started
+    return Status::OutOfRange(StrCat("string length ", n,
+                                     " exceeds remaining ", remaining() + 8,
+                                     " bytes"));
+  }
+  RVAR_ASSIGN_OR_RETURN(std::string_view b, Take(static_cast<size_t>(n)));
+  return std::string(b);
+}
+
+Result<std::vector<double>> BinaryReader::ReadDoubleVector() {
+  RVAR_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > remaining() / 8) {
+    pos_ -= 8;
+    return Status::OutOfRange(StrCat("vector length ", n,
+                                     " exceeds remaining buffer"));
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    RVAR_ASSIGN_OR_RETURN(double v, ReadDouble());
+    out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::vector<int>> BinaryReader::ReadI32Vector() {
+  RVAR_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > remaining() / 4) {
+    pos_ -= 8;
+    return Status::OutOfRange(StrCat("vector length ", n,
+                                     " exceeds remaining buffer"));
+  }
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    RVAR_ASSIGN_OR_RETURN(int32_t v, ReadI32());
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace io
+}  // namespace rvar

@@ -1,0 +1,89 @@
+// Copyright 2026 The rvar Authors.
+//
+// Little-endian binary encoding primitives shared by the snapshot and WAL
+// formats. The writer appends to a growable byte buffer; the reader is a
+// bounds-checked cursor over an immutable byte string that returns Status
+// on every malformed input (short buffer, oversized length prefix,
+// non-finite doubles where finiteness is required) instead of crashing —
+// the property the fuzz suite asserts.
+
+#ifndef RVAR_IO_CODEC_H_
+#define RVAR_IO_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rvar {
+namespace io {
+
+/// \brief Appends fixed-width little-endian scalars and length-prefixed
+/// containers to a byte buffer.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bit pattern; round-trips exactly, including NaN payloads.
+  void PutDouble(double v);
+  /// Raw bytes, no length prefix (format headers).
+  void PutRaw(std::string_view s);
+  /// u64 length prefix + raw bytes.
+  void PutString(std::string_view s);
+  /// u64 length prefix + packed doubles.
+  void PutDoubleVector(const std::vector<double>& v);
+  /// u64 length prefix + packed i32s.
+  void PutI32Vector(const std::vector<int>& v);
+
+  const std::string& bytes() const { return buffer_; }
+  std::string TakeBytes() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// \brief Bounds-checked cursor over a byte string.
+///
+/// The view must outlive the reader. Reads never advance past the end: a
+/// short buffer yields OutOfRange and leaves the cursor unchanged.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int32_t> ReadI32();
+  Result<int64_t> ReadI64();
+  Result<double> ReadDouble();
+  /// Length-prefixed string; rejects prefixes larger than the remaining
+  /// buffer before allocating.
+  Result<std::string> ReadString();
+  Result<std::vector<double>> ReadDoubleVector();
+  Result<std::vector<int>> ReadI32Vector();
+
+  /// Advances the cursor past `n` bytes, or fails without moving it.
+  Status Skip(size_t n);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  /// Takes `n` raw bytes or fails without moving the cursor.
+  Result<std::string_view> Take(size_t n);
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace io
+}  // namespace rvar
+
+#endif  // RVAR_IO_CODEC_H_

@@ -1,0 +1,52 @@
+#include "io/crc32.h"
+
+#include <array>
+
+namespace rvar {
+namespace io {
+namespace {
+
+// Reflected CRC-32 (polynomial 0xEDB88320), the zlib/IEEE variant.
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+constexpr uint32_t kMaskDelta = 0xA282EAD8u;
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes, uint32_t seed) {
+  const auto& table = Table();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : bytes) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t MaskCrc32(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+uint32_t UnmaskCrc32(uint32_t masked) {
+  const uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace io
+}  // namespace rvar

@@ -1,0 +1,91 @@
+// Copyright 2026 The rvar Authors.
+//
+// Save/Load for the serving-state components: the shape library, the
+// fitted ml models, the featurizer's per-group history, and the telemetry
+// store. Each type gets its own snapshot PayloadKind and record layout
+// (DESIGN.md §7); every Load goes through SnapshotReader (checksums) and
+// the type's Restore factory (semantic invariants), so a load either
+// reproduces the saved object exactly or returns a descriptive Status —
+// it never crashes and never yields a half-valid object.
+
+#ifndef RVAR_IO_SERIALIZE_H_
+#define RVAR_IO_SERIALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/featurizer.h"
+#include "core/shape_library.h"
+#include "io/snapshot.h"
+#include "ml/forest.h"
+#include "ml/gbdt.h"
+#include "sim/telemetry.h"
+
+namespace rvar {
+namespace io {
+
+// Each Encode* returns a complete snapshot file image (header + records);
+// Save* persists it atomically; Decode* validates the image and rebuilds
+// the object; Load* reads the file and decodes. Decode reports the
+// container-level defect through `defect` when non-null (kNone when the
+// container was intact but the payload failed semantic validation).
+
+std::string EncodeShapeLibrary(const core::ShapeLibrary& library);
+Status SaveShapeLibrary(const core::ShapeLibrary& library,
+                        const std::string& path);
+Result<core::ShapeLibrary> DecodeShapeLibrary(
+    std::string bytes, SnapshotDefect* defect = nullptr);
+Result<core::ShapeLibrary> LoadShapeLibrary(const std::string& path);
+
+std::string EncodeGbdtClassifier(const ml::GbdtClassifier& model);
+Status SaveGbdtClassifier(const ml::GbdtClassifier& model,
+                          const std::string& path);
+Result<ml::GbdtClassifier> DecodeGbdtClassifier(
+    std::string bytes, SnapshotDefect* defect = nullptr);
+Result<ml::GbdtClassifier> LoadGbdtClassifier(const std::string& path);
+
+std::string EncodeRandomForestClassifier(
+    const ml::RandomForestClassifier& model);
+Status SaveRandomForestClassifier(const ml::RandomForestClassifier& model,
+                                  const std::string& path);
+Result<ml::RandomForestClassifier> DecodeRandomForestClassifier(
+    std::string bytes, SnapshotDefect* defect = nullptr);
+Result<ml::RandomForestClassifier> LoadRandomForestClassifier(
+    const std::string& path);
+
+std::string EncodeRandomForestRegressor(
+    const ml::RandomForestRegressor& model);
+Status SaveRandomForestRegressor(const ml::RandomForestRegressor& model,
+                                 const std::string& path);
+Result<ml::RandomForestRegressor> DecodeRandomForestRegressor(
+    std::string bytes, SnapshotDefect* defect = nullptr);
+Result<ml::RandomForestRegressor> LoadRandomForestRegressor(
+    const std::string& path);
+
+/// The featurizer's learned per-group history (its only mutable state;
+/// the feature schema itself is rebuilt from the group/catalog specs).
+std::string EncodeFeaturizerState(const core::Featurizer& featurizer);
+Status SaveFeaturizerState(const core::Featurizer& featurizer,
+                           const std::string& path);
+/// Decodes into an already-constructed featurizer via RestoreHistory.
+Status DecodeFeaturizerState(std::string bytes, core::Featurizer* featurizer,
+                             SnapshotDefect* defect = nullptr);
+Status LoadFeaturizerState(const std::string& path,
+                           core::Featurizer* featurizer);
+
+/// Runs round-trip through Ingest on decode, so a snapshot whose records
+/// pass the checksums but hold semantically corrupt runs fails the load
+/// instead of silently indexing bad data. The audit trail (quarantined
+/// runs + per-reason counts) round-trips too.
+std::string EncodeTelemetryStore(const sim::TelemetryStore& store);
+Status SaveTelemetryStore(const sim::TelemetryStore& store,
+                          const std::string& path);
+Result<sim::TelemetryStore> DecodeTelemetryStore(
+    std::string bytes, SnapshotDefect* defect = nullptr);
+Result<sim::TelemetryStore> LoadTelemetryStore(const std::string& path);
+
+}  // namespace io
+}  // namespace rvar
+
+#endif  // RVAR_IO_SERIALIZE_H_

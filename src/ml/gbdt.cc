@@ -379,5 +379,54 @@ int GbdtClassifier::rounds_used() const {
   return trees_.empty() ? 0 : static_cast<int>(trees_[0].size());
 }
 
+Result<GbdtClassifier> GbdtClassifier::Restore(
+    const GbdtConfig& config, int num_classes,
+    std::vector<double> base_scores, std::vector<std::vector<Tree>> trees,
+    std::vector<double> importance) {
+  if (num_classes < 2) {
+    return Status::InvalidArgument(
+        StrCat("restore needs >= 2 classes, got ", num_classes));
+  }
+  const size_t kc = static_cast<size_t>(num_classes);
+  if (base_scores.size() != kc || trees.size() != kc) {
+    return Status::InvalidArgument(
+        StrCat("restore holds ", base_scores.size(), " base scores and ",
+               trees.size(), " tree stacks for ", num_classes, " classes"));
+  }
+  for (double s : base_scores) {
+    if (!std::isfinite(s)) {
+      return Status::InvalidArgument("base scores must be finite");
+    }
+  }
+  for (double g : importance) {
+    if (!std::isfinite(g) || g < 0.0) {
+      return Status::InvalidArgument(
+          "feature importance must be finite and >= 0");
+    }
+  }
+  const int num_features = static_cast<int>(importance.size());
+  const size_t rounds = trees[0].size();
+  for (size_t k = 0; k < kc; ++k) {
+    if (trees[k].size() != rounds) {
+      return Status::InvalidArgument(
+          StrCat("class ", k, " holds ", trees[k].size(),
+                 " rounds, class 0 holds ", rounds));
+    }
+    for (size_t r = 0; r < rounds; ++r) {
+      Status st = ValidateTree(trees[k][r], num_features, 1);
+      if (!st.ok()) {
+        return Status::InvalidArgument(StrCat("class ", k, " round ", r,
+                                              ": ", st.message()));
+      }
+    }
+  }
+  GbdtClassifier model(config);
+  model.num_classes_ = num_classes;
+  model.base_scores_ = std::move(base_scores);
+  model.trees_ = std::move(trees);
+  model.importance_ = std::move(importance);
+  return model;
+}
+
 }  // namespace ml
 }  // namespace rvar

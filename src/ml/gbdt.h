@@ -47,6 +47,17 @@ class GbdtClassifier : public Classifier {
  public:
   explicit GbdtClassifier(GbdtConfig config = {});
 
+  /// Reassembles a fitted classifier from persisted parts (io/serialize.h).
+  /// `trees[k][r]` is the round-r tree for class k (leaf values already
+  /// learning-rate scaled, as trees_for_class exposes them); `importance`
+  /// is sized to the feature count, which every tree is validated against.
+  /// Never crashes on hostile parts — malformed trees, size mismatches,
+  /// and non-finite scores all return InvalidArgument.
+  static Result<GbdtClassifier> Restore(
+      const GbdtConfig& config, int num_classes,
+      std::vector<double> base_scores, std::vector<std::vector<Tree>> trees,
+      std::vector<double> importance);
+
   Status Fit(const Dataset& d) override;
 
   /// Fit with early stopping monitored on `valid` (multiclass logloss).
@@ -74,6 +85,8 @@ class GbdtClassifier : public Classifier {
   /// Number of boosting rounds actually kept (== num_rounds unless early
   /// stopping truncated).
   int rounds_used() const;
+
+  const GbdtConfig& config() const { return config_; }
 
  private:
   Status FitImpl(const Dataset& train, const Dataset* valid);

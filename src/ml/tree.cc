@@ -402,5 +402,55 @@ Result<Tree> TrainRegressionTree(const BinnedDataset& data,
   return builder.Build(sample_idx);
 }
 
+Status ValidateTree(const Tree& tree, int num_features, size_t value_size) {
+  if (tree.empty()) {
+    return Status::InvalidArgument("tree has no nodes");
+  }
+  const int n = static_cast<int>(tree.nodes.size());
+  for (int i = 0; i < n; ++i) {
+    const TreeNode& node = tree.nodes[static_cast<size_t>(i)];
+    if (node.value.size() != value_size) {
+      return Status::InvalidArgument(
+          StrCat("node ", i, " value has ", node.value.size(),
+                 " entries, expected ", value_size));
+    }
+    for (double v : node.value) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument(
+            StrCat("node ", i, " holds a non-finite value"));
+      }
+    }
+    if (!std::isfinite(node.cover) || node.cover < 0.0) {
+      return Status::InvalidArgument(
+          StrCat("node ", i, " cover must be finite and >= 0"));
+    }
+    if (node.feature == -1) {
+      if (node.left != -1 || node.right != -1) {
+        return Status::InvalidArgument(
+            StrCat("leaf node ", i, " has children"));
+      }
+      continue;
+    }
+    if (node.feature < 0 || node.feature >= num_features) {
+      return Status::InvalidArgument(
+          StrCat("node ", i, " splits on unknown feature ", node.feature,
+                 " (model has ", num_features, ")"));
+    }
+    if (!std::isfinite(node.threshold)) {
+      return Status::InvalidArgument(
+          StrCat("node ", i, " threshold is non-finite"));
+    }
+    // Children must point strictly forward: this is how trained trees are
+    // laid out, and it makes traversal termination a static guarantee.
+    if (node.left <= i || node.left >= n || node.right <= i ||
+        node.right >= n || node.left == node.right) {
+      return Status::InvalidArgument(
+          StrCat("node ", i, " has malformed children (", node.left, ", ",
+                 node.right, ") in a ", n, "-node tree"));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace ml
 }  // namespace rvar

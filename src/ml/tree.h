@@ -53,6 +53,14 @@ struct Tree {
   int NumLeaves() const;
 };
 
+/// Structural validation for trees decoded from disk (io/serialize.h):
+/// non-empty, every node's value has `value_size` finite entries, internal
+/// nodes reference in-range features and children with indices strictly
+/// greater than their own (which guarantees FindLeaf terminates), leaves
+/// have no children. A tree that passes cannot crash prediction no matter
+/// what bytes it was decoded from.
+Status ValidateTree(const Tree& tree, int num_features, size_t value_size);
+
 /// \brief Hyper-parameters for tree induction.
 struct TreeConfig {
   int max_depth = 10;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/check.h"
 #include "common/hash.h"
 #include "common/strings.h"
 
@@ -16,6 +18,10 @@ constexpr uint64_t kSaltFaultFraction = 0x4646;  // "FF"
 constexpr uint64_t kSaltRevocation = 0x5256;     // "RV"
 constexpr uint64_t kSaltTelemetry = 0x544C;      // "TL"
 constexpr uint64_t kSaltReorder = 0x524F;        // "RO"
+constexpr uint64_t kSaltBitFlip = 0x4246;        // "BF"
+constexpr uint64_t kSaltTruncate = 0x5443;       // "TC"
+constexpr uint64_t kSaltDelivery = 0x444C;       // "DL"
+constexpr uint64_t kSaltDeliveryDup = 0x4444;    // "DD"
 
 // murmur3 finalizer: FNV mixes well upward but weakly downward; this makes
 // every output bit depend on every input bit.
@@ -108,6 +114,74 @@ FaultPlan::TelemetryFault FaultPlan::RunFault(int group_id,
   edge += config_.missing_columns_rate;
   if (u < edge) return TelemetryFault::kMissingColumns;
   return TelemetryFault::kNone;
+}
+
+double StorageFaultPlan::Uniform(uint64_t salt, int64_t a, int64_t b) const {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashCombine(h, seed_);
+  h = HashCombine(h, salt);
+  h = HashCombine(h, static_cast<uint64_t>(a));
+  h = HashCombine(h, static_cast<uint64_t>(b));
+  return static_cast<double>(Finalize(h) >> 11) * 0x1.0p-53;
+}
+
+std::string StorageFaultPlan::FlipBits(std::string bytes, int num_flips,
+                                       uint64_t salt) const {
+  RVAR_CHECK_GE(num_flips, 0);
+  if (bytes.empty()) return bytes;
+  const size_t num_bits = bytes.size() * 8;
+  for (int flip = 0; flip < num_flips; ++flip) {
+    const size_t bit = static_cast<size_t>(
+        Uniform(kSaltBitFlip + salt, flip, 0) *
+        static_cast<double>(num_bits));
+    bytes[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+  }
+  return bytes;
+}
+
+std::string StorageFaultPlan::TruncateTail(std::string bytes,
+                                           double max_fraction,
+                                           uint64_t salt) const {
+  RVAR_CHECK(RateValid(max_fraction));
+  if (bytes.empty() || max_fraction <= 0.0) return bytes;
+  const double drawn =
+      Uniform(kSaltTruncate + salt, static_cast<int64_t>(bytes.size()), 0) *
+      max_fraction * static_cast<double>(bytes.size());
+  const size_t cut =
+      std::max<size_t>(1, static_cast<size_t>(drawn));
+  bytes.resize(bytes.size() - std::min(cut, bytes.size()));
+  return bytes;
+}
+
+std::vector<size_t> StorageFaultPlan::DeliverySchedule(
+    size_t num_records, double duplicate_rate, int reorder_window,
+    uint64_t salt) const {
+  RVAR_CHECK(RateValid(duplicate_rate));
+  RVAR_CHECK_GE(reorder_window, 0);
+  // Jittered sort position per delivery; duplicates get an independent
+  // second position, so a redelivered record can land far from the first.
+  std::vector<std::pair<double, size_t>> keys;
+  keys.reserve(num_records);
+  const auto position = [&](size_t index, int64_t copy) {
+    const double jitter =
+        static_cast<double>(reorder_window) *
+        Uniform(kSaltDelivery + salt, static_cast<int64_t>(index), copy);
+    return static_cast<double>(index) + jitter;
+  };
+  for (size_t i = 0; i < num_records; ++i) {
+    keys.push_back({position(i, 0), i});
+    if (duplicate_rate > 0.0 &&
+        Uniform(kSaltDeliveryDup + salt, static_cast<int64_t>(i), 0) <
+            duplicate_rate) {
+      keys.push_back({position(i, 1), i});
+    }
+  }
+  std::stable_sort(keys.begin(), keys.end());
+  std::vector<size_t> schedule;
+  schedule.reserve(keys.size());
+  for (const auto& [pos, index] : keys) schedule.push_back(index);
+  return schedule;
 }
 
 std::vector<JobRun> FaultPlan::CorruptTelemetry(

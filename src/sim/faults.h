@@ -13,7 +13,9 @@
 #ifndef RVAR_SIM_FAULTS_H_
 #define RVAR_SIM_FAULTS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -124,6 +126,47 @@ class FaultPlan {
   double Uniform(uint64_t salt, int64_t a, int64_t b, int64_t c) const;
 
   FaultPlanConfig config_;
+};
+
+/// \brief Deterministic storage corruption for the crash-safety tests
+/// (io/): bit rot, torn writes, and at-least-once redelivery of WAL
+/// records. Like FaultPlan, every decision is a pure hash of (seed, salt,
+/// position), so the same plan reproduces byte-identical corruption.
+/// Operates on opaque bytes and record indices only — sim stays
+/// independent of the io on-disk formats.
+class StorageFaultPlan {
+ public:
+  explicit StorageFaultPlan(uint64_t seed) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// Flips `num_flips` deterministically chosen bits anywhere in `bytes`
+  /// (bit-rot model). Positions are drawn per (seed, salt, flip index);
+  /// flipping twice with the same arguments restores the original.
+  std::string FlipBits(std::string bytes, int num_flips,
+                       uint64_t salt = 0) const;
+
+  /// Removes a tail of `bytes`: a deterministic draw in (0, max_fraction]
+  /// of the length, at least one byte when the input is non-empty (torn
+  /// write model). `max_fraction` must be in [0, 1].
+  std::string TruncateTail(std::string bytes, double max_fraction,
+                           uint64_t salt = 0) const;
+
+  /// An at-least-once, possibly out-of-order delivery schedule for
+  /// `num_records` records: every index appears at least once, a
+  /// `duplicate_rate` fraction appear twice, and records are displaced by
+  /// up to `reorder_window` positions. With rate 0 and window 0, the
+  /// schedule is the identity.
+  std::vector<size_t> DeliverySchedule(size_t num_records,
+                                       double duplicate_rate,
+                                       int reorder_window,
+                                       uint64_t salt = 0) const;
+
+ private:
+  /// Uniform [0,1) draw keyed by (seed, salt, a, b).
+  double Uniform(uint64_t salt, int64_t a, int64_t b) const;
+
+  uint64_t seed_;
 };
 
 }  // namespace sim

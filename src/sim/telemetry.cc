@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <iterator>
 
 #include "common/check.h"
 #include "common/csv.h"
@@ -194,6 +195,134 @@ Status TelemetryStore::ExportCsv(
   if (!out) return Status::IOError("cannot open " + path);
   out << ToCsv(sku_names);
   if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+namespace {
+
+// The fixed (non-SKU) columns of ToCsv, in order.
+const char* const kCsvColumns[] = {
+    "group_id",      "instance_id",    "submit_time",
+    "runtime_s",     "rare_event",     "allocated_tokens",
+    "max_tokens",    "avg_tokens",     "avg_spare_tokens",
+    "input_gb",      "temp_data_gb",   "total_vertices",
+    "num_stages",    "cpu_util_mean",  "cpu_util_std",
+    "baseline_util", "spare_availability",
+    "machine_faults", "vertex_retries", "spare_revoked"};
+constexpr size_t kNumCsvColumns = std::size(kCsvColumns);
+
+}  // namespace
+
+Result<TelemetryStore> TelemetryStore::FromCsv(
+    const std::string& csv, const std::vector<std::string>& sku_names) {
+  RVAR_ASSIGN_OR_RETURN(CsvTable table, CsvTable::Parse(csv));
+
+  // The header must match the export layout exactly; a shifted or renamed
+  // column means the positional parse below would read the wrong fields.
+  std::vector<std::string> expected(kCsvColumns,
+                                    kCsvColumns + kNumCsvColumns);
+  for (const std::string& sku : sku_names) {
+    expected.push_back(StrCat("sku_frac_", sku));
+  }
+  for (const std::string& sku : sku_names) {
+    expected.push_back(StrCat("sku_util_", sku));
+  }
+  if (table.header() != expected) {
+    return Status::InvalidArgument(
+        StrCat("CSV header does not match the telemetry export layout for ",
+               sku_names.size(), " SKUs (", table.num_columns(),
+               " columns, expected ", expected.size(), ")"));
+  }
+
+  TelemetryStore store;
+  const size_t num_skus = sku_names.size();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    JobRun run;
+    size_t c = 0;
+    const auto next_int = [&]() -> Result<int64_t> {
+      return table.IntegerCell(r, c++);
+    };
+    const auto next_num = [&]() -> Result<double> {
+      return table.NumericCell(r, c++);
+    };
+    RVAR_ASSIGN_OR_RETURN(int64_t group_id, next_int());
+    run.group_id = static_cast<int>(group_id);
+    RVAR_ASSIGN_OR_RETURN(run.instance_id, next_int());
+    RVAR_ASSIGN_OR_RETURN(run.submit_time, next_num());
+    RVAR_ASSIGN_OR_RETURN(run.runtime_seconds, next_num());
+    RVAR_ASSIGN_OR_RETURN(int64_t rare, next_int());
+    run.rare_event = rare != 0;
+    RVAR_ASSIGN_OR_RETURN(int64_t allocated, next_int());
+    run.allocated_tokens = static_cast<int>(allocated);
+    RVAR_ASSIGN_OR_RETURN(int64_t max_tokens, next_int());
+    run.max_tokens_used = static_cast<int>(max_tokens);
+    RVAR_ASSIGN_OR_RETURN(run.avg_tokens_used, next_num());
+    RVAR_ASSIGN_OR_RETURN(run.avg_spare_tokens, next_num());
+    RVAR_ASSIGN_OR_RETURN(run.input_gb, next_num());
+    RVAR_ASSIGN_OR_RETURN(run.temp_data_gb, next_num());
+    RVAR_ASSIGN_OR_RETURN(int64_t vertices, next_int());
+    run.total_vertices = static_cast<int>(vertices);
+    RVAR_ASSIGN_OR_RETURN(int64_t stages, next_int());
+    run.num_stages = static_cast<int>(stages);
+    RVAR_ASSIGN_OR_RETURN(run.cpu_util_mean, next_num());
+    RVAR_ASSIGN_OR_RETURN(run.cpu_util_std, next_num());
+    RVAR_ASSIGN_OR_RETURN(run.cluster_baseline_util, next_num());
+    RVAR_ASSIGN_OR_RETURN(run.spare_availability, next_num());
+    RVAR_ASSIGN_OR_RETURN(int64_t faults, next_int());
+    run.machine_faults = static_cast<int>(faults);
+    RVAR_ASSIGN_OR_RETURN(int64_t retries, next_int());
+    run.vertex_retries = static_cast<int>(retries);
+    RVAR_ASSIGN_OR_RETURN(int64_t revoked, next_int());
+    run.spare_revoked = revoked != 0;
+    run.sku_vertex_fraction.reserve(num_skus);
+    for (size_t s = 0; s < num_skus; ++s) {
+      RVAR_ASSIGN_OR_RETURN(double f, next_num());
+      run.sku_vertex_fraction.push_back(f);
+    }
+    run.sku_cpu_util.reserve(num_skus);
+    for (size_t s = 0; s < num_skus; ++s) {
+      RVAR_ASSIGN_OR_RETURN(double u, next_num());
+      run.sku_cpu_util.push_back(u);
+    }
+    // Well-formed CSV, but the values may still be hostile (negative
+    // runtimes, duplicates): route through Ingest so they are quarantined
+    // with exact accounting instead of silently indexed.
+    (void)store.Ingest(std::move(run));
+  }
+  return store;
+}
+
+Result<TelemetryStore> TelemetryStore::ImportCsv(
+    const std::string& path, const std::vector<std::string>& sku_names) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string csv((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed for " + path);
+  return FromCsv(csv, sku_names);
+}
+
+Status TelemetryStore::RestoreAudit(
+    std::vector<JobRun> quarantined,
+    const std::array<int64_t, kNumQuarantineReasons>& counts) {
+  if (!quarantined_.empty()) {
+    return Status::FailedPrecondition(
+        "RestoreAudit requires a store with an empty audit trail");
+  }
+  int64_t total = 0;
+  for (int64_t count : counts) {
+    if (count < 0) {
+      return Status::InvalidArgument("quarantine counts must be >= 0");
+    }
+    total += count;
+  }
+  if (total != static_cast<int64_t>(quarantined.size())) {
+    return Status::InvalidArgument(
+        StrCat("quarantine counts sum to ", total, " but ",
+               quarantined.size(), " quarantined runs were restored"));
+  }
+  quarantined_ = std::move(quarantined);
+  quarantine_counts_ = counts;
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "sim/scheduler.h"
 
@@ -85,6 +86,25 @@ class TelemetryStore {
   /// Writes ToCsv() to a file.
   Status ExportCsv(const std::string& path,
                    const std::vector<std::string>& sku_names) const;
+
+  /// Parses a ToCsv()-format document back into a store (values at the
+  /// exported precision). Strict: a missing or reordered header, a ragged
+  /// row, or a non-numeric cell fails with InvalidArgument naming the
+  /// offending row and column — never a silent misparse. Rows are
+  /// installed via Ingest, so corrupt values in a well-formed CSV are
+  /// quarantined rather than indexed.
+  static Result<TelemetryStore> FromCsv(
+      const std::string& csv, const std::vector<std::string>& sku_names);
+
+  /// Reads FromCsv() from a file.
+  static Result<TelemetryStore> ImportCsv(
+      const std::string& path, const std::vector<std::string>& sku_names);
+
+  /// Reinstalls checkpointed audit state (io/serialize.h): quarantined
+  /// runs and their per-reason counts. Requires an empty audit (fresh
+  /// store) and counts that sum to the quarantined run count.
+  Status RestoreAudit(std::vector<JobRun> quarantined,
+                      const std::array<int64_t, kNumQuarantineReasons>& counts);
 
  private:
   /// True if the run is storable; otherwise sets `reason`.

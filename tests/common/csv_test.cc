@@ -1,0 +1,102 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rvar {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+TEST(CsvWriterTest, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::EscapeCell("plain"), "plain");
+  EXPECT_EQ(CsvWriter::EscapeCell("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::EscapeCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::EscapeCell("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(ParseCsvTest, RoundTripsThroughWriter) {
+  CsvWriter writer;
+  writer.AddRow({"name", "value"});
+  writer.AddRow({"with,comma", "with \"quotes\""});
+  writer.AddRow({"multi\nline", ""});
+  auto rows = ParseCsv(writer.contents());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, (Rows{{"name", "value"},
+                         {"with,comma", "with \"quotes\""},
+                         {"multi\nline", ""}}));
+}
+
+TEST(ParseCsvTest, HandlesCrlfAndMissingFinalNewline) {
+  auto rows = ParseCsv("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(*rows, (Rows{{"a", "b"}, {"c", "d"}}));
+}
+
+TEST(ParseCsvTest, RejectsMalformedQuoting) {
+  auto unterminated = ParseCsv("a,\"never closed");
+  EXPECT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("unterminated"),
+            std::string::npos);
+
+  auto trailing = ParseCsv("a,\"closed\"junk");
+  EXPECT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("closing quote"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseCsv("a,b\"c").ok());   // quote inside unquoted cell
+  EXPECT_FALSE(ParseCsv("a,b\rc,d").ok()); // bare carriage return
+}
+
+TEST(CsvTableTest, ParsesHeaderAndCells) {
+  auto table = CsvTable::Parse("x,y\n1,2.5\n3,-4\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_columns(), 2u);
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->ColumnIndex("y"), 1);
+  EXPECT_EQ(table->ColumnIndex("missing"), -1);
+  EXPECT_EQ(*table->NumericCell(0, 1), 2.5);
+  EXPECT_EQ(*table->IntegerCell(1, 0), 3);
+  EXPECT_EQ(*table->IntegerCell(1, 1), -4);
+}
+
+TEST(CsvTableTest, RejectsRaggedRows) {
+  auto table = CsvTable::Parse("a,b,c\n1,2,3\n4,5\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_TRUE(table.status().IsInvalidArgument());
+  // Names the offending 1-based line and both widths.
+  EXPECT_NE(table.status().message().find("line 3"), std::string::npos)
+      << table.status().ToString();
+  EXPECT_NE(table.status().message().find("2 cells"), std::string::npos);
+}
+
+TEST(CsvTableTest, RejectsEmptyDocument) {
+  EXPECT_FALSE(CsvTable::Parse("").ok());
+}
+
+TEST(CsvTableTest, NumericCellRejectsGarbage) {
+  auto table = CsvTable::Parse("v\nabc\n\n1e999\nnan\n12x\n");
+  // "" row parses as a single empty cell; widths agree (1 column).
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  for (size_t row = 0; row < table->num_rows(); ++row) {
+    auto v = table->NumericCell(row, 0);
+    EXPECT_FALSE(v.ok()) << "row " << row;
+    EXPECT_TRUE(v.status().IsInvalidArgument());
+    // The error names the column so the user can find the bad cell.
+    EXPECT_NE(v.status().message().find("\"v\""), std::string::npos);
+  }
+}
+
+TEST(CsvTableTest, IntegerCellRejectsFractionsAndOverflow) {
+  auto table = CsvTable::Parse("n\n1.5\n99999999999999999999\nseven\n7\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->IntegerCell(0, 0).ok());  // fractional
+  EXPECT_FALSE(table->IntegerCell(1, 0).ok());  // overflow
+  EXPECT_FALSE(table->IntegerCell(2, 0).ok());  // not a number
+  EXPECT_EQ(*table->IntegerCell(3, 0), 7);
+}
+
+}  // namespace
+}  // namespace rvar

@@ -1,0 +1,279 @@
+#include "io/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/normalization.h"
+#include "ml/dataset.h"
+#include "sim/datasets.h"
+#include "sim/faults.h"
+
+namespace rvar {
+namespace io {
+namespace {
+
+// --- Shared fixtures -----------------------------------------------------
+
+// Synthetic reference telemetry: three distinct shape families so the
+// library gets meaningfully different clusters.
+struct Reference {
+  sim::TelemetryStore store;
+  core::GroupMedians medians;
+};
+
+Reference MakeReference(int groups_per_family, int runs_per_group,
+                        uint64_t seed) {
+  Reference ref;
+  Rng rng(seed);
+  int gid = 0;
+  for (int g = 0; g < groups_per_family; ++g) {
+    for (int family = 0; family < 3; ++family) {
+      const double median = rng.Uniform(50.0, 500.0);
+      for (int i = 0; i < runs_per_group; ++i) {
+        double factor = 1.0;
+        if (family == 0) factor = std::max(0.1, rng.Normal(1.0, 0.03));
+        if (family == 1) factor = std::max(0.1, rng.Normal(1.0, 0.5));
+        if (family == 2) {
+          factor = rng.Bernoulli(0.3) ? rng.Normal(3.0, 0.1)
+                                      : rng.Normal(1.0, 0.05);
+          factor = std::max(0.1, factor);
+        }
+        sim::JobRun run;
+        run.group_id = gid;
+        run.runtime_seconds = median * factor;
+        ref.store.Add(run);
+      }
+      ref.medians.Set(gid, median);
+      ++gid;
+    }
+  }
+  return ref;
+}
+
+core::ShapeLibrary MakeLibrary(uint64_t seed = 7) {
+  Reference ref = MakeReference(8, 40, seed);
+  core::ShapeLibraryConfig config;
+  config.num_clusters = 3;
+  config.min_support = 10;
+  config.kmeans.num_restarts = 4;
+  auto library = core::ShapeLibrary::Build(ref.store, ref.medians, config);
+  EXPECT_TRUE(library.ok()) << library.status().ToString();
+  return *std::move(library);
+}
+
+ml::Dataset Blobs(int n_per_class, uint64_t seed) {
+  const double centers[3][2] = {{0.0, 0.0}, {4.0, 0.0}, {2.0, 4.0}};
+  Rng rng(seed);
+  ml::Dataset d;
+  d.feature_names = {"x0", "x1"};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < n_per_class; ++i) {
+      d.x.push_back({rng.Normal(centers[c][0], 0.6),
+                     rng.Normal(centers[c][1], 0.6)});
+      d.y.push_back(c);
+      d.target.push_back(centers[c][0] + centers[c][1] +
+                         rng.Normal(0.0, 0.1));
+    }
+  }
+  return d;
+}
+
+void ExpectLibrariesIdentical(const core::ShapeLibrary& a,
+                              const core::ShapeLibrary& b) {
+  ASSERT_EQ(a.num_clusters(), b.num_clusters());
+  for (int k = 0; k < a.num_clusters(); ++k) {
+    EXPECT_EQ(a.shape(k), b.shape(k)) << "cluster " << k;
+    EXPECT_EQ(a.stats(k).outlier_probability,
+              b.stats(k).outlier_probability);
+    EXPECT_EQ(a.stats(k).iqr, b.stats(k).iqr);
+    EXPECT_EQ(a.stats(k).p95, b.stats(k).p95);
+    EXPECT_EQ(a.stats(k).stddev, b.stats(k).stddev);
+    EXPECT_EQ(a.stats(k).num_samples, b.stats(k).num_samples);
+    EXPECT_EQ(a.stats(k).num_groups, b.stats(k).num_groups);
+  }
+  EXPECT_EQ(a.reference_groups(), b.reference_groups());
+  for (int gid : a.reference_groups()) {
+    EXPECT_EQ(a.ReferenceAssignment(gid), b.ReferenceAssignment(gid));
+  }
+  EXPECT_EQ(a.inertia(), b.inertia());
+  EXPECT_EQ(a.num_skipped_groups(), b.num_skipped_groups());
+}
+
+// --- ShapeLibrary --------------------------------------------------------
+
+TEST(SerializeShapeLibraryTest, RoundTripsBitIdentically) {
+  core::ShapeLibrary library = MakeLibrary();
+  const std::string image = EncodeShapeLibrary(library);
+  auto restored = DecodeShapeLibrary(image);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectLibrariesIdentical(library, *restored);
+  // The restored library re-encodes to the same bytes: encoding is
+  // canonical, which the recovery equivalence test relies on.
+  EXPECT_EQ(EncodeShapeLibrary(*restored), image);
+}
+
+TEST(SerializeShapeLibraryTest, SaveLoadFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rvar_lib_snapshot")
+          .string();
+  core::ShapeLibrary library = MakeLibrary();
+  ASSERT_TRUE(SaveShapeLibrary(library, path).ok());
+  auto restored = LoadShapeLibrary(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectLibrariesIdentical(library, *restored);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeShapeLibraryTest, RejectsWrongPayloadKind) {
+  core::ShapeLibrary library = MakeLibrary();
+  SnapshotDefect defect = SnapshotDefect::kNone;
+  auto as_gbdt = DecodeGbdtClassifier(EncodeShapeLibrary(library), &defect);
+  EXPECT_FALSE(as_gbdt.ok());
+  EXPECT_EQ(defect, SnapshotDefect::kWrongPayloadKind);
+}
+
+// --- Models --------------------------------------------------------------
+
+TEST(SerializeGbdtTest, RoundTripPredictsIdentically) {
+  ml::Dataset train = Blobs(120, 3);
+  ml::GbdtConfig config;
+  config.num_rounds = 12;
+  config.max_leaves = 8;
+  ml::GbdtClassifier model(config);
+  ASSERT_TRUE(model.Fit(train).ok());
+
+  auto restored = DecodeGbdtClassifier(EncodeGbdtClassifier(model));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_classes(), model.num_classes());
+  EXPECT_EQ(restored->rounds_used(), model.rounds_used());
+  EXPECT_EQ(restored->feature_importance(), model.feature_importance());
+  for (const auto& row : train.x) {
+    EXPECT_EQ(model.PredictRaw(row), restored->PredictRaw(row));
+  }
+}
+
+TEST(SerializeForestTest, ClassifierRoundTripPredictsIdentically) {
+  ml::Dataset train = Blobs(100, 4);
+  ml::ForestConfig config;
+  config.num_trees = 10;
+  ml::RandomForestClassifier model(config);
+  ASSERT_TRUE(model.Fit(train).ok());
+
+  auto restored =
+      DecodeRandomForestClassifier(EncodeRandomForestClassifier(model));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_classes(), model.num_classes());
+  for (const auto& row : train.x) {
+    EXPECT_EQ(model.PredictProba(row), restored->PredictProba(row));
+  }
+}
+
+TEST(SerializeForestTest, RegressorRoundTripPredictsIdentically) {
+  ml::Dataset train = Blobs(100, 5);
+  ml::ForestConfig config;
+  config.num_trees = 10;
+  ml::RandomForestRegressor model(config);
+  ASSERT_TRUE(model.Fit(train).ok());
+
+  auto restored =
+      DecodeRandomForestRegressor(EncodeRandomForestRegressor(model));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (const auto& row : train.x) {
+    EXPECT_EQ(model.Predict(row), restored->Predict(row));
+  }
+}
+
+TEST(SerializeGbdtTest, MutatedImageNeverRoundTrips) {
+  ml::Dataset train = Blobs(60, 6);
+  ml::GbdtConfig config;
+  config.num_rounds = 4;
+  ml::GbdtClassifier model(config);
+  ASSERT_TRUE(model.Fit(train).ok());
+  const std::string image = EncodeGbdtClassifier(model);
+
+  const sim::StorageFaultPlan faults(99);
+  for (int trial = 0; trial < 64; ++trial) {
+    auto mutated = DecodeGbdtClassifier(
+        faults.FlipBits(image, /*num_flips=*/1 + trial % 5, trial));
+    EXPECT_FALSE(mutated.ok());  // CRC catches every flip
+  }
+}
+
+// --- Featurizer history --------------------------------------------------
+
+TEST(SerializeFeaturizerTest, HistoryRoundTrips) {
+  sim::SuiteConfig config;
+  config.num_groups = 30;
+  config.d1_days = 2.0;
+  config.d2_days = 1.0;
+  config.d3_days = 0.5;
+  config.d1_support = 5;
+  auto suite = sim::BuildStudySuite(config);
+  ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+  const sim::SkuCatalog& catalog = suite->cluster->catalog();
+  core::Featurizer featurizer(&suite->groups, &catalog);
+  featurizer.SetHistory(suite->d1.telemetry);
+  ASSERT_FALSE(featurizer.history().empty());
+
+  core::Featurizer restored(&suite->groups, &catalog);
+  ASSERT_TRUE(
+      DecodeFeaturizerState(EncodeFeaturizerState(featurizer), &restored)
+          .ok());
+  ASSERT_EQ(restored.history().size(), featurizer.history().size());
+  for (const sim::JobRun& run : suite->d2.telemetry.runs()) {
+    auto a = featurizer.FeaturesFor(run);
+    auto b = restored.FeaturesFor(run);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+// --- TelemetryStore ------------------------------------------------------
+
+TEST(SerializeTelemetryTest, RoundTripsRunsAndAudit) {
+  sim::TelemetryStore store;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    sim::JobRun run;
+    run.group_id = i % 5;
+    run.instance_id = i;
+    run.runtime_seconds = rng.Uniform(10.0, 100.0);
+    run.skyline = {{0.0, 4}, {run.runtime_seconds / 2, 2}};
+    run.sku_vertex_fraction = {0.5, 0.5};
+    run.sku_cpu_util = {0.4, 0.6};
+    (void)store.Ingest(run);
+    if (i % 10 == 0) (void)store.Ingest(run);  // duplicate -> quarantined
+  }
+  sim::JobRun corrupt;
+  corrupt.group_id = 1;
+  corrupt.instance_id = 999;
+  corrupt.runtime_seconds = -5.0;
+  (void)store.Ingest(corrupt);
+
+  auto restored = DecodeTelemetryStore(EncodeTelemetryStore(store));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->NumRuns(), store.NumRuns());
+  ASSERT_EQ(restored->NumQuarantined(), store.NumQuarantined());
+  for (int reason = 0; reason < sim::kNumQuarantineReasons; ++reason) {
+    EXPECT_EQ(restored->QuarantineCount(
+                  static_cast<sim::QuarantineReason>(reason)),
+              store.QuarantineCount(
+                  static_cast<sim::QuarantineReason>(reason)));
+  }
+  for (size_t i = 0; i < store.NumRuns(); ++i) {
+    EXPECT_EQ(restored->run(i).instance_id, store.run(i).instance_id);
+    EXPECT_EQ(restored->run(i).runtime_seconds,
+              store.run(i).runtime_seconds);
+    EXPECT_EQ(restored->run(i).skyline, store.run(i).skyline);
+  }
+  EXPECT_EQ(restored->GroupIds(), store.GroupIds());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace rvar

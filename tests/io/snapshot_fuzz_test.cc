@@ -1,0 +1,165 @@
+// Fuzz-style robustness tests: the snapshot reader and every decoder must
+// survive arbitrary hostile bytes — random strings, mutated valid images,
+// truncations — without crashing, leaking, or reading out of bounds, and
+// must always return a descriptive Status. Run under -DRVAR_SANITIZE=ON
+// (ASan/UBSan) to make memory errors fatal; labeled `chaos` in ctest.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/shape_library.h"
+#include "io/serialize.h"
+#include "io/snapshot.h"
+#include "sim/faults.h"
+#include "sim/telemetry.h"
+
+namespace rvar {
+namespace io {
+namespace {
+
+// A valid ShapeLibrary image to mutate: built from three synthetic shape
+// families, same recipe as serialize_test.
+std::string ValidLibraryImage() {
+  sim::TelemetryStore store;
+  core::GroupMedians medians;
+  Rng rng(17);
+  int gid = 0;
+  for (int g = 0; g < 6; ++g) {
+    for (int family = 0; family < 3; ++family) {
+      const double median = rng.Uniform(50.0, 500.0);
+      for (int i = 0; i < 30; ++i) {
+        const double sigma = family == 0 ? 0.03 : (family == 1 ? 0.5 : 0.2);
+        sim::JobRun run;
+        run.group_id = gid;
+        run.runtime_seconds =
+            median * std::max(0.1, rng.Normal(1.0, sigma));
+        store.Add(run);
+      }
+      medians.Set(gid, median);
+      ++gid;
+    }
+  }
+  core::ShapeLibraryConfig config;
+  config.num_clusters = 3;
+  config.min_support = 10;
+  auto library = core::ShapeLibrary::Build(store, medians, config);
+  EXPECT_TRUE(library.ok()) << library.status().ToString();
+  return EncodeShapeLibrary(*library);
+}
+
+// Every decoder in io/serialize.h, driven over the same hostile input.
+// None may crash; each must return a non-OK Status with a message.
+void ExpectAllDecodersReject(const std::string& bytes) {
+  {
+    auto r = DecodeShapeLibrary(bytes);
+    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+  }
+  {
+    auto r = DecodeGbdtClassifier(bytes);
+    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+  }
+  {
+    auto r = DecodeRandomForestClassifier(bytes);
+    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+  }
+  {
+    auto r = DecodeRandomForestRegressor(bytes);
+    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+  }
+  {
+    auto r = DecodeTelemetryStore(bytes);
+    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+  }
+  {
+    SnapshotDefect defect = SnapshotDefect::kNone;
+    auto r = SnapshotReader::Open(bytes, PayloadKind::kShapeLibrary,
+                                  &defect);
+    if (!r.ok()) {
+      EXPECT_NE(defect, SnapshotDefect::kNone);
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+TEST(SnapshotFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int size = static_cast<int>(rng.UniformInt(0, 512));
+    std::string bytes(static_cast<size_t>(size), '\0');
+    for (char& b : bytes) {
+      b = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    ExpectAllDecodersReject(bytes);
+  }
+}
+
+TEST(SnapshotFuzzTest, RandomBytesWithValidMagicNeverCrash) {
+  // Start past the magic check so the record-walking code gets exercised.
+  Rng rng(4052);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int size = static_cast<int>(rng.UniformInt(4, 512));
+    std::string bytes = "RVSN";
+    for (int i = 4; i < size; ++i) {
+      bytes.push_back(static_cast<char>(rng.UniformInt(0, 255)));
+    }
+    ExpectAllDecodersReject(bytes);
+  }
+}
+
+TEST(SnapshotFuzzTest, MutatedValidImagesNeverCrash) {
+  const std::string image = ValidLibraryImage();
+  const sim::StorageFaultPlan faults(31);
+  for (int trial = 0; trial < 256; ++trial) {
+    std::string mutated =
+        faults.FlipBits(image, /*num_flips=*/1 + trial % 8, trial);
+    ExpectAllDecodersReject(mutated);
+    // A mutated image must never decode back to a library: either the CRC
+    // catches the flip, or (flips that cancel) it equals the original.
+    auto decoded = DecodeShapeLibrary(mutated);
+    if (decoded.ok()) {
+      EXPECT_EQ(EncodeShapeLibrary(*decoded), image)
+          << "mutated image decoded to different state, trial " << trial;
+    }
+  }
+}
+
+TEST(SnapshotFuzzTest, TruncatedValidImagesNeverCrash) {
+  const std::string image = ValidLibraryImage();
+  const sim::StorageFaultPlan faults(63);
+  for (int trial = 0; trial < 128; ++trial) {
+    const std::string torn =
+        faults.TruncateTail(image, /*max_fraction=*/0.9, trial);
+    ASSERT_LT(torn.size(), image.size());
+    SnapshotDefect defect = SnapshotDefect::kNone;
+    auto decoded = DecodeShapeLibrary(torn, &defect);
+    EXPECT_FALSE(decoded.ok());
+    EXPECT_NE(defect, SnapshotDefect::kNone);
+  }
+  // Every prefix of the header region, byte by byte.
+  for (size_t len = 0; len < 32 && len < image.size(); ++len) {
+    EXPECT_FALSE(DecodeShapeLibrary(image.substr(0, len)).ok());
+  }
+}
+
+TEST(SnapshotFuzzTest, SplicedRecordsNeverCrash) {
+  // Concatenations and interleavings of two valid images: framing survives
+  // and the decoder reports trailing garbage / CRC mismatches.
+  const std::string image = ValidLibraryImage();
+  ExpectAllDecodersReject(image + image);
+  ExpectAllDecodersReject(image.substr(0, image.size() / 2) + image);
+  std::string swapped = image;
+  if (swapped.size() > 64) {
+    std::swap(swapped[40], swapped[50]);
+  }
+  ExpectAllDecodersReject(swapped);
+  EXPECT_FALSE(DecodeShapeLibrary(image + image).ok());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace rvar

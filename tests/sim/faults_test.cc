@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <map>
+#include <string>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -384,6 +385,79 @@ TEST_F(FaultySchedulerTest, NullFaultPlanMatchesCleanScheduler) {
   auto rb = clean.Execute(group_, MakeInstance(1), &b);
   ASSERT_TRUE(ra.ok() && rb.ok());
   EXPECT_DOUBLE_EQ(ra->runtime_seconds, rb->runtime_seconds);
+}
+
+// --- StorageFaultPlan ----------------------------------------------------
+
+TEST(StorageFaultPlanTest, IsDeterministicPerSeedAndSalt) {
+  const std::string bytes(256, 'a');
+  StorageFaultPlan plan(7);
+  EXPECT_EQ(plan.FlipBits(bytes, 3, 1), plan.FlipBits(bytes, 3, 1));
+  EXPECT_NE(plan.FlipBits(bytes, 3, 1), plan.FlipBits(bytes, 3, 2));
+  EXPECT_NE(plan.FlipBits(bytes, 3, 1),
+            StorageFaultPlan(8).FlipBits(bytes, 3, 1));
+  EXPECT_EQ(plan.TruncateTail(bytes, 0.5, 4),
+            plan.TruncateTail(bytes, 0.5, 4));
+}
+
+TEST(StorageFaultPlanTest, FlippingTwiceRestoresTheOriginal) {
+  const std::string bytes = "snapshot payload with structure";
+  StorageFaultPlan plan(11);
+  const std::string once = plan.FlipBits(bytes, 5, 9);
+  EXPECT_NE(once, bytes);
+  EXPECT_EQ(plan.FlipBits(once, 5, 9), bytes);
+  // Zero flips is the identity.
+  EXPECT_EQ(plan.FlipBits(bytes, 0), bytes);
+  EXPECT_EQ(plan.FlipBits("", 3), "");
+}
+
+TEST(StorageFaultPlanTest, TruncateAlwaysCutsSomething) {
+  const std::string bytes(100, 'x');
+  StorageFaultPlan plan(13);
+  for (int salt = 0; salt < 32; ++salt) {
+    const std::string torn = plan.TruncateTail(bytes, 0.3, salt);
+    EXPECT_LT(torn.size(), bytes.size());
+    EXPECT_GE(torn.size(), 69u);  // at most 30% + the guaranteed byte
+    EXPECT_EQ(torn, bytes.substr(0, torn.size()));  // prefix, not rewrite
+  }
+  EXPECT_EQ(plan.TruncateTail("", 0.5), "");
+  EXPECT_EQ(plan.TruncateTail(bytes, 0.0), bytes);
+}
+
+TEST(StorageFaultPlanTest, DeliveryScheduleIsAtLeastOnce) {
+  StorageFaultPlan plan(17);
+  const auto schedule =
+      plan.DeliverySchedule(50, /*duplicate_rate=*/0.2, /*reorder_window=*/3);
+  EXPECT_GE(schedule.size(), 50u);
+  std::vector<bool> seen(50, false);
+  for (size_t index : schedule) {
+    ASSERT_LT(index, 50u);
+    seen[index] = true;
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "record " << i << " was never delivered";
+  }
+}
+
+TEST(StorageFaultPlanTest, CleanScheduleIsTheIdentity) {
+  StorageFaultPlan plan(19);
+  const auto schedule = plan.DeliverySchedule(20, 0.0, 0);
+  ASSERT_EQ(schedule.size(), 20u);
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i], i);
+  }
+}
+
+TEST(StorageFaultPlanTest, ScheduleWithWindowStaysNearHome) {
+  StorageFaultPlan plan(23);
+  const int window = 4;
+  const auto schedule = plan.DeliverySchedule(100, 0.0, window);
+  ASSERT_EQ(schedule.size(), 100u);
+  for (size_t pos = 0; pos < schedule.size(); ++pos) {
+    const double drift =
+        static_cast<double>(pos) - static_cast<double>(schedule[pos]);
+    EXPECT_LE(std::abs(drift), 2.0 * window) << "position " << pos;
+  }
 }
 
 }  // namespace
