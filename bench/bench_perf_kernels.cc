@@ -8,10 +8,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <filesystem>
 #include <functional>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "core/assigner.h"
 #include "core/shape_library.h"
 #include "io/recovery.h"
@@ -357,6 +359,52 @@ void WriteBenchIoJson() {
   std::filesystem::remove(wal_path);
 }
 
+// Thread-scaling sweep over the parallelized kernels (GBDT training and
+// shape-library builds), written to BENCH_parallel.json. The results are
+// bit-identical across thread counts by construction (common/parallel.h),
+// so the sweep measures pure wall-clock scaling; on a single-core host
+// every point degenerates to ~1x, which is why the detected hardware
+// concurrency is recorded alongside.
+void WriteBenchParallelJson() {
+  const int threads[] = {1, 2, 4, 8};
+  const ml::Dataset gbdt_data = MakeTabular(4000, 30, 3, 11);
+
+  double gbdt_s[4] = {0.0};
+  double library_s[4] = {0.0};
+  for (int t = 0; t < 4; ++t) {
+    SetParallelThreads(threads[t]);
+    gbdt_s[t] = SecondsOf([&] {
+      ml::GbdtClassifier model({.num_rounds = 10});
+      benchmark::DoNotOptimize(model.Fit(gbdt_data).ok());
+    });
+    library_s[t] = SecondsOf([&] {
+      core::ShapeLibrary library = MakeServingLibrary();
+      benchmark::DoNotOptimize(library.num_clusters());
+    });
+  }
+  SetParallelThreads(0);
+
+  std::FILE* out = std::fopen("BENCH_parallel.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"gbdt_train_seconds\": "
+                 "{\"1\": %.4f, \"2\": %.4f, \"4\": %.4f, \"8\": %.4f},\n"
+                 "  \"shape_library_build_seconds\": "
+                 "{\"1\": %.4f, \"2\": %.4f, \"4\": %.4f, \"8\": %.4f},\n"
+                 "  \"gbdt_speedup_at_4_threads\": %.2f,\n"
+                 "  \"shape_library_speedup_at_4_threads\": %.2f\n"
+                 "}\n",
+                 std::thread::hardware_concurrency(), gbdt_s[0], gbdt_s[1],
+                 gbdt_s[2], gbdt_s[3], library_s[0], library_s[1],
+                 library_s[2], library_s[3], gbdt_s[0] / gbdt_s[2],
+                 library_s[0] / library_s[2]);
+    std::fclose(out);
+    std::printf("thread-scaling summary written to BENCH_parallel.json\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -365,5 +413,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteBenchIoJson();
+  WriteBenchParallelJson();
   return 0;
 }

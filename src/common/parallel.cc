@@ -1,0 +1,169 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace rvar {
+namespace {
+
+// True on threads owned by the pool, and on a caller thread while it owns
+// an active region; nested regions run inline so a worker never blocks on
+// peers queued behind it and an owner never re-enters the region lock.
+thread_local bool t_pool_worker = false;
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("RVAR_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// A fixed pool running one parallel region at a time. The region owner
+// participates in chunk execution, so `configured` threads means the owner
+// plus (configured - 1) workers.
+class Pool {
+ public:
+  static Pool& Get() {
+    static Pool* pool = new Pool();  // leaked: workers may outlive statics
+    return *pool;
+  }
+
+  int threads() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return configured_;
+  }
+
+  void SetThreads(int n) {
+    RVAR_CHECK(!t_pool_worker) << "SetParallelThreads inside parallel region";
+    std::lock_guard<std::mutex> region(region_mu_);
+    StopWorkers();
+    std::lock_guard<std::mutex> lk(mu_);
+    configured_ = n <= 0 ? DefaultThreads() : n;
+  }
+
+  void Run(size_t num_chunks, const std::function<void(size_t)>& body) {
+    if (num_chunks == 0) return;
+    if (t_pool_worker || num_chunks == 1 || threads() <= 1) {
+      for (size_t c = 0; c < num_chunks; ++c) body(c);
+      return;
+    }
+    // One region at a time; concurrent callers (e.g. tests driving the
+    // ShapeService from many client threads) serialize here and each still
+    // computes its own chunked result.
+    std::lock_guard<std::mutex> region(region_mu_);
+    EnsureWorkers();
+    t_pool_worker = true;  // nested regions on this thread run inline
+
+    std::unique_lock<std::mutex> lk(mu_);
+    body_ = &body;
+    next_ = 0;
+    done_ = 0;
+    total_ = num_chunks;
+    work_cv_.notify_all();
+    // The owner drains chunks alongside the workers.
+    while (next_ < total_) {
+      const size_t c = next_++;
+      lk.unlock();
+      body(c);
+      lk.lock();
+      ++done_;
+    }
+    done_cv_.wait(lk, [&] { return done_ == total_; });
+    body_ = nullptr;
+    lk.unlock();
+    t_pool_worker = false;
+  }
+
+ private:
+  Pool() : configured_(DefaultThreads()) {}
+
+  // Called with region_mu_ held.
+  void EnsureWorkers() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const size_t want =
+        configured_ > 0 ? static_cast<size_t>(configured_ - 1) : 0;
+    while (workers_.size() < want) {
+      workers_.emplace_back([this] { WorkerMain(); });
+    }
+  }
+
+  void StopWorkers() {
+    std::vector<std::thread> stale;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      stale.swap(workers_);
+      work_cv_.notify_all();
+    }
+    for (std::thread& t : stale) t.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = false;
+  }
+
+  void WorkerMain() {
+    t_pool_worker = true;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      work_cv_.wait(lk, [&] {
+        return stop_ || (body_ != nullptr && next_ < total_);
+      });
+      if (stop_) return;
+      while (body_ != nullptr && next_ < total_) {
+        const size_t c = next_++;
+        const std::function<void(size_t)>* body = body_;
+        lk.unlock();
+        (*body)(c);
+        lk.lock();
+        if (++done_ == total_) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex region_mu_;  // serializes whole regions
+  std::mutex mu_;         // protects everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  int configured_;
+  bool stop_ = false;
+  const std::function<void(size_t)>* body_ = nullptr;
+  size_t next_ = 0;
+  size_t done_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace
+
+int ParallelThreads() { return Pool::Get().threads(); }
+
+void SetParallelThreads(int n) { Pool::Get().SetThreads(n); }
+
+namespace internal {
+
+std::vector<std::pair<size_t, size_t>> ChunkRanges(size_t n, size_t grain) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (n == 0) return ranges;
+  const size_t step = grain == 0 ? 1 : grain;
+  ranges.reserve((n + step - 1) / step);
+  for (size_t begin = 0; begin < n; begin += step) {
+    ranges.emplace_back(begin, std::min(n, begin + step));
+  }
+  return ranges;
+}
+
+void RunChunks(size_t num_chunks, const std::function<void(size_t)>& body) {
+  Pool::Get().Run(num_chunks, body);
+}
+
+}  // namespace internal
+}  // namespace rvar

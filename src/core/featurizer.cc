@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "stats/descriptive.h"
 
@@ -206,18 +207,40 @@ Result<std::vector<double>> Featurizer::FeaturesFor(
   return x;
 }
 
+Result<std::vector<std::vector<double>>> Featurizer::FeaturesForAll(
+    const std::vector<const sim::JobRun*>& runs) const {
+  // FeaturesFor only reads the group/catalog specs and the frozen history
+  // map, so rows build concurrently into indexed slots — identical output
+  // to the serial loop at every thread count.
+  std::vector<std::vector<double>> rows(runs.size());
+  std::vector<Status> row_status(runs.size(), Status::OK());
+  ParallelFor(runs.size(), /*grain=*/64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Result<std::vector<double>> x = FeaturesFor(*runs[i]);
+      if (x.ok()) {
+        rows[i] = std::move(*x);
+      } else {
+        row_status[i] = x.status();
+      }
+    }
+  });
+  for (const Status& st : row_status) RVAR_RETURN_NOT_OK(st);
+  return rows;
+}
+
 Result<ml::Dataset> Featurizer::BuildDataset(
     const sim::TelemetryStore& slice,
     const std::unordered_map<int, int>& group_labels) const {
   ml::Dataset d;
   d.feature_names = names_;
+  std::vector<const sim::JobRun*> selected;
   for (const sim::JobRun& run : slice.runs()) {
     const auto it = group_labels.find(run.group_id);
     if (it == group_labels.end()) continue;
-    RVAR_ASSIGN_OR_RETURN(std::vector<double> x, FeaturesFor(run));
-    d.x.push_back(std::move(x));
+    selected.push_back(&run);
     d.y.push_back(it->second);
   }
+  RVAR_ASSIGN_OR_RETURN(d.x, FeaturesForAll(selected));
   RVAR_RETURN_NOT_OK(d.Validate());
   return d;
 }
@@ -226,11 +249,12 @@ Result<ml::Dataset> Featurizer::BuildRegressionDataset(
     const sim::TelemetryStore& slice) const {
   ml::Dataset d;
   d.feature_names = names_;
+  std::vector<const sim::JobRun*> selected;
   for (const sim::JobRun& run : slice.runs()) {
-    RVAR_ASSIGN_OR_RETURN(std::vector<double> x, FeaturesFor(run));
-    d.x.push_back(std::move(x));
+    selected.push_back(&run);
     d.target.push_back(run.runtime_seconds);
   }
+  RVAR_ASSIGN_OR_RETURN(d.x, FeaturesForAll(selected));
   RVAR_RETURN_NOT_OK(d.Validate());
   return d;
 }

@@ -78,6 +78,12 @@ class Featurizer {
   /// Feature vector for one run (length FeatureNames().size()).
   Result<std::vector<double>> FeaturesFor(const sim::JobRun& run) const;
 
+  /// Feature vectors for a batch of runs, in order. Rows are built in
+  /// parallel (common/parallel.h) with output identical to calling
+  /// FeaturesFor in a loop; fails with the first failing row's status.
+  Result<std::vector<std::vector<double>>> FeaturesForAll(
+      const std::vector<const sim::JobRun*>& runs) const;
+
   /// Features + labels for every run of `slice` whose group appears in
   /// `group_labels`; runs of unlabeled groups are skipped.
   Result<ml::Dataset> BuildDataset(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/check.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "ml/feature_select.h"
 
@@ -95,8 +97,12 @@ Result<std::unique_ptr<VariationPredictor>> VariationPredictor::Train(
 
 std::vector<double> VariationPredictor::FullFeatureImportance() const {
   const std::vector<double>& kept_imp = model_->feature_importance();
+  // The model is fit on exactly the kept columns, so a length mismatch
+  // means the selection bookkeeping and the model disagree — a programmer
+  // error that must not silently drop importances.
+  RVAR_CHECK_EQ(kept_.size(), kept_imp.size());
   std::vector<double> full(featurizer_->FeatureNames().size(), 0.0);
-  for (size_t i = 0; i < kept_.size() && i < kept_imp.size(); ++i) {
+  for (size_t i = 0; i < kept_.size(); ++i) {
     full[kept_[i]] = kept_imp[i];
   }
   return full;
@@ -120,6 +126,27 @@ Result<int> VariationPredictor::PredictShape(const sim::JobRun& run) const {
   RVAR_ASSIGN_OR_RETURN(std::vector<double> x,
                         featurizer_->FeaturesFor(run));
   return PredictFromFeatures(x);
+}
+
+Result<std::vector<int>> VariationPredictor::PredictShapeBatch(
+    const std::vector<const sim::JobRun*>& runs) const {
+  // Featurization and GBDT inference are pure reads of the trained state;
+  // each run lands in its own output slot, so the batch result matches a
+  // serial PredictShape loop exactly at any thread count.
+  std::vector<int> predicted(runs.size(), -1);
+  std::vector<Status> run_status(runs.size(), Status::OK());
+  ParallelFor(runs.size(), /*grain=*/32, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Result<int> shape = PredictShape(*runs[i]);
+      if (shape.ok()) {
+        predicted[i] = *shape;
+      } else {
+        run_status[i] = shape.status();
+      }
+    }
+  });
+  for (const Status& st : run_status) RVAR_RETURN_NOT_OK(st);
+  return predicted;
 }
 
 Result<std::vector<double>> VariationPredictor::PredictProbaFromFeatures(
@@ -158,23 +185,30 @@ Result<PredictorEvaluation> VariationPredictor::Evaluate(
     return Status::FailedPrecondition("no labelable groups in test slice");
   }
 
-  std::vector<int> y_true, y_pred;
+  // Collect the labelable runs, predict them as one parallel batch, then
+  // aggregate serially in run order.
+  std::vector<const sim::JobRun*> selected;
+  std::vector<int> y_true;
+  for (const sim::JobRun& run : test_slice.runs()) {
+    const auto it = truth.find(run.group_id);
+    if (it == truth.end()) continue;
+    selected.push_back(&run);
+    y_true.push_back(it->second);
+  }
+  RVAR_ASSIGN_OR_RETURN(std::vector<int> y_pred,
+                        PredictShapeBatch(selected));
+
   struct PerGroup {
     int support = 0;
     int runs = 0;
     int hits = 0;
   };
   std::unordered_map<int, PerGroup> per_group;
-  for (const sim::JobRun& run : test_slice.runs()) {
-    const auto it = truth.find(run.group_id);
-    if (it == truth.end()) continue;
-    RVAR_ASSIGN_OR_RETURN(int predicted, PredictShape(run));
-    y_true.push_back(it->second);
-    y_pred.push_back(predicted);
-    PerGroup& pg = per_group[run.group_id];
-    pg.support = HistorySupport(run.group_id);
+  for (size_t i = 0; i < selected.size(); ++i) {
+    PerGroup& pg = per_group[selected[i]->group_id];
+    pg.support = HistorySupport(selected[i]->group_id);
     pg.runs++;
-    pg.hits += (predicted == it->second);
+    pg.hits += (y_pred[i] == y_true[i]);
   }
 
   PredictorEvaluation eval;

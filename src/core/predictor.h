@@ -83,6 +83,12 @@ class VariationPredictor {
   /// Predicted shape for one run.
   Result<int> PredictShape(const sim::JobRun& run) const;
 
+  /// Predicted shapes for a batch of runs, in order. Runs are featurized
+  /// and scored in parallel (common/parallel.h); the result is identical
+  /// to a serial PredictShape loop at any thread count.
+  Result<std::vector<int>> PredictShapeBatch(
+      const std::vector<const sim::JobRun*>& runs) const;
+
   /// Predicted shape probabilities from a FULL feature vector (the
   /// featurizer's layout; projection happens internally).
   Result<std::vector<double>> PredictProbaFromFeatures(

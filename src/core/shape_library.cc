@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "stats/descriptive.h"
 
@@ -44,30 +45,48 @@ Result<ShapeLibrary> ShapeLibrary::Build(
   // excluded — are skipped so one bad group cannot fail the whole build.
   const std::vector<int> candidates =
       reference.GroupsWithSupport(config.min_support);
+  // Per-group normalization + PMF construction only reads the telemetry
+  // store and medians, so candidates build concurrently into indexed slots;
+  // the compaction below walks them in candidate order, preserving the
+  // serial group ordering and skip counts.
+  struct BuiltGroup {
+    bool usable = false;
+    std::vector<double> pmf;
+    std::vector<double> finite;  // unclipped normalized runtimes
+  };
+  std::vector<BuiltGroup> built(candidates.size());
+  ParallelFor(candidates.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t g = begin; g < end; ++g) {
+      Result<std::vector<double>> normalized = NormalizedGroupRuntimes(
+          reference, candidates[g], medians, config.normalization);
+      if (!normalized.ok()) continue;
+      BuiltGroup& out = built[g];
+      out.finite.reserve(normalized->size());
+      for (double x : *normalized) {
+        if (std::isfinite(x)) out.finite.push_back(x);
+      }
+      if (static_cast<int>(out.finite.size()) < config.min_support) {
+        out.finite.clear();
+        continue;
+      }
+      out.pmf = lib.ObservationPmf(out.finite);
+      out.usable = true;
+    }
+  });
+
   std::vector<int> groups;
   std::vector<std::vector<double>> pmfs;
-  std::vector<std::vector<double>> raw;  // unclipped normalized runtimes
+  std::vector<std::vector<double>> raw;
   groups.reserve(candidates.size());
   pmfs.reserve(candidates.size());
-  for (int gid : candidates) {
-    Result<std::vector<double>> normalized = NormalizedGroupRuntimes(
-        reference, gid, medians, config.normalization);
-    if (!normalized.ok()) {
+  for (size_t g = 0; g < candidates.size(); ++g) {
+    if (!built[g].usable) {
       ++lib.num_skipped_groups_;
       continue;
     }
-    std::vector<double> finite;
-    finite.reserve(normalized->size());
-    for (double x : *normalized) {
-      if (std::isfinite(x)) finite.push_back(x);
-    }
-    if (static_cast<int>(finite.size()) < config.min_support) {
-      ++lib.num_skipped_groups_;
-      continue;
-    }
-    groups.push_back(gid);
-    pmfs.push_back(lib.ObservationPmf(finite));
-    raw.push_back(std::move(finite));
+    groups.push_back(candidates[g]);
+    pmfs.push_back(std::move(built[g].pmf));
+    raw.push_back(std::move(built[g].finite));
   }
   if (static_cast<int>(groups.size()) < config.num_clusters) {
     return Status::FailedPrecondition(

@@ -1,0 +1,139 @@
+#include "core/shape_service.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rvar {
+namespace core {
+
+ShapeService::ShapeService(const ShapeLibrary* library, Options options)
+    : library_(library),
+      options_(options),
+      num_stripes_(static_cast<size_t>(std::max(1, options.num_stripes))) {
+  options_.num_stripes = static_cast<int>(num_stripes_);
+  stripes_ = std::make_unique<Stripe[]>(num_stripes_);
+}
+
+Result<std::unique_ptr<ShapeService>> ShapeService::Make(
+    const ShapeLibrary* library, Options options) {
+  if (library == nullptr) {
+    return Status::InvalidArgument("null shape library");
+  }
+  if (library->num_clusters() < 1) {
+    return Status::InvalidArgument("shape library holds no clusters");
+  }
+  // Validate the tracker parameters once, up front, so per-group tracker
+  // creation inside Observe can never fail.
+  RVAR_RETURN_NOT_OK(
+      OnlineShapeTracker::Make(library, options.decay, options.pmf_floor)
+          .status());
+  return std::unique_ptr<ShapeService>(
+      new ShapeService(library, options));
+}
+
+ShapeService::Stripe& ShapeService::StripeFor(int group_id) const {
+  // Spread consecutive group ids across stripes; the multiplicative mix
+  // avoids pinning id ranges (gid % stripes would stripe-collide every
+  // `num_stripes`-th group of a sequential id space onto one lock).
+  const uint64_t h =
+      static_cast<uint64_t>(group_id) * 0x9E3779B97F4A7C15ULL;
+  return stripes_[(h >> 32) % num_stripes_];
+}
+
+Status ShapeService::Observe(int group_id, double normalized_runtime) {
+  if (group_id < 0) {
+    return Status::InvalidArgument(
+        StrCat("group_id must be >= 0, got ", group_id));
+  }
+  Stripe& stripe = StripeFor(group_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.trackers.find(group_id);
+  if (it == stripe.trackers.end()) {
+    it = stripe.trackers
+             .emplace(group_id,
+                      *OnlineShapeTracker::Make(library_, options_.decay,
+                                                options_.pmf_floor))
+             .first;
+  }
+  it->second.Observe(normalized_runtime);
+  return Status::OK();
+}
+
+std::vector<double> ShapeService::Posterior(int group_id) const {
+  Stripe& stripe = StripeFor(group_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.trackers.find(group_id);
+  if (it == stripe.trackers.end()) {
+    const size_t k = static_cast<size_t>(library_->num_clusters());
+    return std::vector<double>(k, 1.0 / static_cast<double>(k));
+  }
+  return it->second.Posterior();
+}
+
+int ShapeService::MostLikely(int group_id) const {
+  Stripe& stripe = StripeFor(group_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.trackers.find(group_id);
+  return it == stripe.trackers.end() ? -1 : it->second.MostLikely();
+}
+
+double ShapeService::ProbabilityOf(int group_id, int cluster) const {
+  RVAR_CHECK(cluster >= 0 && cluster < library_->num_clusters());
+  Stripe& stripe = StripeFor(group_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.trackers.find(group_id);
+  if (it == stripe.trackers.end()) {
+    return 1.0 / static_cast<double>(library_->num_clusters());
+  }
+  return it->second.ProbabilityOf(cluster);
+}
+
+int64_t ShapeService::GroupCount(int group_id) const {
+  Stripe& stripe = StripeFor(group_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.trackers.find(group_id);
+  return it == stripe.trackers.end() ? 0 : it->second.count();
+}
+
+int64_t ShapeService::TotalObservations() const {
+  int64_t total = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (const auto& [gid, tracker] : stripes_[s].trackers) {
+      total += tracker.count();
+    }
+  }
+  return total;
+}
+
+size_t ShapeService::NumGroups() const {
+  size_t total = 0;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    total += stripes_[s].trackers.size();
+  }
+  return total;
+}
+
+std::vector<int> ShapeService::TrackedGroups() const {
+  std::vector<int> groups;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (const auto& [gid, tracker] : stripes_[s].trackers) {
+      groups.push_back(gid);
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+bool ShapeService::Forget(int group_id) {
+  Stripe& stripe = StripeFor(group_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.trackers.erase(group_id) > 0;
+}
+
+}  // namespace core
+}  // namespace rvar

@@ -1,0 +1,102 @@
+// Copyright 2026 The rvar Authors.
+//
+// Thread-safe serving facade over per-group OnlineShapeTracker state
+// (DESIGN.md §8). The serving pipeline observes normalized runtimes for
+// many job groups from many client threads at once; trackers are sharded
+// across mutex stripes by group id, so observations for different groups
+// rarely contend and observations for one group serialize — preserving
+// the tracker's (deterministic) per-group observation order semantics.
+
+#ifndef RVAR_CORE_SHAPE_SERVICE_H_
+#define RVAR_CORE_SHAPE_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/online.h"
+#include "core/shape_library.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief Concurrent per-group shape tracking over a fixed library.
+///
+/// All methods are safe to call from any number of threads. Group state is
+/// created on first Observe; queries for never-observed groups answer from
+/// the uniform prior (the same answer a fresh tracker gives).
+class ShapeService {
+ public:
+  struct Options {
+    /// Per-observation decay on past log-likelihood mass (OnlineShapeTracker).
+    double decay = 1.0;
+    /// Probability floor before taking logs.
+    double pmf_floor = 1e-6;
+    /// Mutex stripes; more stripes = less cross-group contention. Clamped
+    /// to >= 1.
+    int num_stripes = 16;
+  };
+
+  /// \param library must outlive the service.
+  static Result<std::unique_ptr<ShapeService>> Make(const ShapeLibrary* library,
+                                                    Options options);
+  static Result<std::unique_ptr<ShapeService>> Make(
+      const ShapeLibrary* library) {
+    return Make(library, Options());
+  }
+
+  /// Incorporates one normalized runtime for `group_id`, creating the
+  /// group's tracker on first contact. Never blocks on other stripes.
+  Status Observe(int group_id, double normalized_runtime);
+
+  /// Posterior over shapes for the group; uniform for unknown groups.
+  std::vector<double> Posterior(int group_id) const;
+
+  /// Most likely shape for the group; -1 for unknown / unobserved groups.
+  int MostLikely(int group_id) const;
+
+  /// Drift score: posterior probability the group still follows `cluster`.
+  /// 1/K for unknown groups (uniform prior).
+  double ProbabilityOf(int group_id, int cluster) const;
+
+  /// Observations incorporated for the group (0 if unknown).
+  int64_t GroupCount(int group_id) const;
+
+  /// Total observations across all groups.
+  int64_t TotalObservations() const;
+
+  /// Number of groups with a tracker.
+  size_t NumGroups() const;
+
+  /// All tracked group ids, ascending.
+  std::vector<int> TrackedGroups() const;
+
+  /// Drops one group's state (e.g. after a group is decommissioned).
+  /// Returns true if the group had a tracker.
+  bool Forget(int group_id);
+
+  const ShapeLibrary& library() const { return *library_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<int, OnlineShapeTracker> trackers;
+  };
+
+  ShapeService(const ShapeLibrary* library, Options options);
+
+  Stripe& StripeFor(int group_id) const;
+
+  const ShapeLibrary* library_;
+  Options options_;
+  std::unique_ptr<Stripe[]> stripes_;
+  size_t num_stripes_;
+};
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_SHAPE_SERVICE_H_

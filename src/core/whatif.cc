@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace rvar {
@@ -25,20 +26,69 @@ Result<ScenarioResult> WhatIfEngine::Run(
   result.transition_counts.assign(static_cast<size_t>(k),
                                   std::vector<int>(static_cast<size_t>(k), 0));
 
+  // Each run's before/after prediction is independent; per-chunk count
+  // matrices merge in chunk order (integer sums, so the totals are exact).
   const Featurizer& featurizer = predictor_->featurizer();
-  for (const sim::JobRun& run : slice.runs()) {
-    RVAR_ASSIGN_OR_RETURN(std::vector<double> features,
-                          featurizer.FeaturesFor(run));
-    RVAR_ASSIGN_OR_RETURN(int before,
-                          predictor_->PredictFromFeatures(features));
-    transform(featurizer, &features);
-    RVAR_ASSIGN_OR_RETURN(int after,
-                          predictor_->PredictFromFeatures(features));
-    result.transition_counts[static_cast<size_t>(before)]
-                            [static_cast<size_t>(after)]++;
-    result.num_runs++;
-    if (before != after) result.num_changed++;
-  }
+  const std::vector<sim::JobRun>& runs = slice.runs();
+  struct Counts {
+    std::vector<std::vector<int>> transitions;
+    int num_runs = 0;
+    int num_changed = 0;
+    Status status = Status::OK();
+  };
+  Counts identity;
+  identity.transitions.assign(static_cast<size_t>(k),
+                              std::vector<int>(static_cast<size_t>(k), 0));
+  Counts merged = ParallelReduce<Counts>(
+      runs.size(), /*grain=*/32, std::move(identity),
+      [&](size_t begin, size_t end) {
+        Counts local;
+        local.transitions.assign(
+            static_cast<size_t>(k),
+            std::vector<int>(static_cast<size_t>(k), 0));
+        for (size_t i = begin; i < end; ++i) {
+          Result<std::vector<double>> features =
+              featurizer.FeaturesFor(runs[i]);
+          if (!features.ok()) {
+            local.status = features.status();
+            return local;
+          }
+          Result<int> before = predictor_->PredictFromFeatures(*features);
+          if (!before.ok()) {
+            local.status = before.status();
+            return local;
+          }
+          transform(featurizer, &*features);
+          Result<int> after = predictor_->PredictFromFeatures(*features);
+          if (!after.ok()) {
+            local.status = after.status();
+            return local;
+          }
+          local.transitions[static_cast<size_t>(*before)]
+                           [static_cast<size_t>(*after)]++;
+          local.num_runs++;
+          if (*before != *after) local.num_changed++;
+        }
+        return local;
+      },
+      [&](Counts acc, Counts part) {
+        if (!acc.status.ok()) return acc;
+        if (!part.status.ok()) return part;
+        for (int f = 0; f < k; ++f) {
+          for (int t = 0; t < k; ++t) {
+            acc.transitions[static_cast<size_t>(f)][static_cast<size_t>(t)] +=
+                part.transitions[static_cast<size_t>(f)]
+                                [static_cast<size_t>(t)];
+          }
+        }
+        acc.num_runs += part.num_runs;
+        acc.num_changed += part.num_changed;
+        return acc;
+      });
+  RVAR_RETURN_NOT_OK(merged.status);
+  result.transition_counts = std::move(merged.transitions);
+  result.num_runs = merged.num_runs;
+  result.num_changed = merged.num_changed;
 
   // Row totals for per-source fractions.
   std::vector<int> from_totals(static_cast<size_t>(k), 0);

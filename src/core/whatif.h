@@ -20,7 +20,10 @@ namespace rvar {
 namespace core {
 
 /// \brief Mutates a FULL feature vector in place. The featurizer resolves
-/// feature names to indices.
+/// feature names to indices. Scenario re-prediction runs in parallel
+/// (common/parallel.h), so transforms must be safe to invoke concurrently
+/// on distinct vectors — pure functions of their inputs, like the built-in
+/// scenarios below.
 using FeatureTransform =
     std::function<void(const Featurizer&, std::vector<double>*)>;
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace rvar {
@@ -71,20 +72,38 @@ Status RandomForestClassifier::Fit(const Dataset& d) {
         1, static_cast<int>(std::sqrt(static_cast<double>(d.NumFeatures()))));
   }
 
+  // Every tree gets a pre-split child Rng drawn serially from the seed, so
+  // its randomness is a pure function of (seed, tree index) — independent
+  // of which thread trains it or in what order.
   Rng rng(config_.seed);
-  trees_.clear();
-  trees_.reserve(static_cast<size_t>(config_.num_trees));
+  const size_t num_trees = static_cast<size_t>(config_.num_trees);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) tree_rngs.push_back(rng.Split());
+
+  std::vector<Tree> trained(num_trees);
+  std::vector<std::vector<double>> gains(num_trees);
+  std::vector<Status> tree_status(num_trees, Status::OK());
+  ParallelFor(num_trees, /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      const std::vector<size_t> idx =
+          Bootstrap(d.NumRows(), config_.bootstrap_fraction, &tree_rngs[t]);
+      Result<Tree> tree =
+          TrainClassificationTree(binned, d.y, num_classes_, idx,
+                                  tree_config, &tree_rngs[t], &gains[t]);
+      if (tree.ok()) {
+        trained[t] = std::move(*tree);
+      } else {
+        tree_status[t] = tree.status();
+      }
+    }
+  });
+  for (const Status& st : tree_status) RVAR_RETURN_NOT_OK(st);
+
+  trees_ = std::move(trained);
   importance_.assign(d.NumFeatures(), 0.0);
-  for (int t = 0; t < config_.num_trees; ++t) {
-    Rng tree_rng = rng.Split();
-    const std::vector<size_t> idx =
-        Bootstrap(d.NumRows(), config_.bootstrap_fraction, &tree_rng);
-    std::vector<double> gain;
-    RVAR_ASSIGN_OR_RETURN(
-        Tree tree, TrainClassificationTree(binned, d.y, num_classes_, idx,
-                                           tree_config, &tree_rng, &gain));
+  for (const std::vector<double>& gain : gains) {  // merge in tree order
     for (size_t f = 0; f < gain.size(); ++f) importance_[f] += gain[f];
-    trees_.push_back(std::move(tree));
   }
   NormalizeImportance(&importance_);
   return Status::OK();
@@ -155,20 +174,37 @@ Status RandomForestRegressor::Fit(const Dataset& d) {
         std::max(1, static_cast<int>(d.NumFeatures()) / 3);
   }
 
+  // Same pre-split Rng scheme as the classifier: tree t's randomness is a
+  // function of (seed, t) only, so parallel training stays deterministic.
   Rng rng(config_.seed);
-  trees_.clear();
-  trees_.reserve(static_cast<size_t>(config_.num_trees));
+  const size_t num_trees = static_cast<size_t>(config_.num_trees);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) tree_rngs.push_back(rng.Split());
+
+  std::vector<Tree> trained(num_trees);
+  std::vector<std::vector<double>> gains(num_trees);
+  std::vector<Status> tree_status(num_trees, Status::OK());
+  ParallelFor(num_trees, /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      const std::vector<size_t> idx =
+          Bootstrap(d.NumRows(), config_.bootstrap_fraction, &tree_rngs[t]);
+      Result<Tree> tree = TrainRegressionTree(binned, d.target, idx,
+                                              tree_config, &tree_rngs[t],
+                                              &gains[t]);
+      if (tree.ok()) {
+        trained[t] = std::move(*tree);
+      } else {
+        tree_status[t] = tree.status();
+      }
+    }
+  });
+  for (const Status& st : tree_status) RVAR_RETURN_NOT_OK(st);
+
+  trees_ = std::move(trained);
   importance_.assign(d.NumFeatures(), 0.0);
-  for (int t = 0; t < config_.num_trees; ++t) {
-    Rng tree_rng = rng.Split();
-    const std::vector<size_t> idx =
-        Bootstrap(d.NumRows(), config_.bootstrap_fraction, &tree_rng);
-    std::vector<double> gain;
-    RVAR_ASSIGN_OR_RETURN(Tree tree,
-                          TrainRegressionTree(binned, d.target, idx,
-                                              tree_config, &tree_rng, &gain));
+  for (const std::vector<double>& gain : gains) {  // merge in tree order
     for (size_t f = 0; f < gain.size(); ++f) importance_[f] += gain[f];
-    trees_.push_back(std::move(tree));
   }
   NormalizeImportance(&importance_);
   return Status::OK();

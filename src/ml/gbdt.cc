@@ -6,6 +6,7 @@
 #include <numeric>
 #include <queue>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace rvar {
@@ -116,6 +117,16 @@ class GbdtTreeBuilder {
     return 0.5 * (gl * gl / (hl + l) + gr * gr / (hr + l) - g * g / (h + l));
   }
 
+  // Best (gain, feature, bin) over a contiguous feature range; the split
+  // search below fans these out per feature and merges them in feature
+  // order so the winner matches the serial scan exactly (strictly greater
+  // gain replaces, so the lowest feature index wins ties).
+  struct SplitChoice {
+    double gain = -1.0;
+    int feature = -1;
+    int bin = -1;
+  };
+
   void FindBestSplit(LeafCandidate* cand) {
     cand->feature = -1;
     cand->gain = -1.0;
@@ -128,46 +139,63 @@ class GbdtTreeBuilder {
       node_h += hess_[idx_[i]];
     }
 
-    for (size_t f = 0; f < data_.columns.size(); ++f) {
-      if (!feature_mask_[f]) continue;
-      const int num_bins = data_.binner->NumBins(f);
-      if (num_bins < 2) continue;
+    // Per-feature histogram build + scan is independent across features;
+    // each chunk keeps its own histogram scratch.
+    const SplitChoice best = ParallelReduce<SplitChoice>(
+        data_.columns.size(), /*grain=*/2, SplitChoice{},
+        [&](size_t fbegin, size_t fend) {
+          SplitChoice local;
+          std::vector<double> hist_g, hist_h;
+          std::vector<int> hist_n;
+          for (size_t f = fbegin; f < fend; ++f) {
+            if (!feature_mask_[f]) continue;
+            const int num_bins = data_.binner->NumBins(f);
+            if (num_bins < 2) continue;
 
-      hist_g_.assign(static_cast<size_t>(num_bins), 0.0);
-      hist_h_.assign(static_cast<size_t>(num_bins), 0.0);
-      hist_n_.assign(static_cast<size_t>(num_bins), 0);
-      const std::vector<uint8_t>& col = data_.columns[f];
-      for (size_t i = cand->begin; i < cand->end; ++i) {
-        const size_t row = idx_[i];
-        const size_t b = col[row];
-        hist_g_[b] += grad_[row];
-        hist_h_[b] += hess_[row];
-        hist_n_[b] += 1;
-      }
+            hist_g.assign(static_cast<size_t>(num_bins), 0.0);
+            hist_h.assign(static_cast<size_t>(num_bins), 0.0);
+            hist_n.assign(static_cast<size_t>(num_bins), 0);
+            const std::vector<uint8_t>& col = data_.columns[f];
+            for (size_t i = cand->begin; i < cand->end; ++i) {
+              const size_t row = idx_[i];
+              const size_t b = col[row];
+              hist_g[b] += grad_[row];
+              hist_h[b] += hess_[row];
+              hist_n[b] += 1;
+            }
 
-      double gl = 0.0, hl = 0.0;
-      size_t nl = 0;
-      for (int b = 0; b + 1 < num_bins; ++b) {
-        gl += hist_g_[static_cast<size_t>(b)];
-        hl += hist_h_[static_cast<size_t>(b)];
-        nl += hist_n_[static_cast<size_t>(b)];
-        const size_t nr = n - nl;
-        if (nl < static_cast<size_t>(config_.min_samples_leaf) ||
-            nr < static_cast<size_t>(config_.min_samples_leaf)) {
-          continue;
-        }
-        const double hr = node_h - hl;
-        if (hl < config_.min_child_weight || hr < config_.min_child_weight) {
-          continue;
-        }
-        const double gain = SplitGain(gl, hl, node_g - gl, hr);
-        if (gain > cand->gain) {
-          cand->gain = gain;
-          cand->feature = static_cast<int>(f);
-          cand->bin = b;
-        }
-      }
-    }
+            double gl = 0.0, hl = 0.0;
+            size_t nl = 0;
+            for (int b = 0; b + 1 < num_bins; ++b) {
+              gl += hist_g[static_cast<size_t>(b)];
+              hl += hist_h[static_cast<size_t>(b)];
+              nl += hist_n[static_cast<size_t>(b)];
+              const size_t nr = n - nl;
+              if (nl < static_cast<size_t>(config_.min_samples_leaf) ||
+                  nr < static_cast<size_t>(config_.min_samples_leaf)) {
+                continue;
+              }
+              const double hr = node_h - hl;
+              if (hl < config_.min_child_weight ||
+                  hr < config_.min_child_weight) {
+                continue;
+              }
+              const double gain = SplitGain(gl, hl, node_g - gl, hr);
+              if (gain > local.gain) {
+                local.gain = gain;
+                local.feature = static_cast<int>(f);
+                local.bin = b;
+              }
+            }
+          }
+          return local;
+        },
+        [](SplitChoice acc, SplitChoice part) {
+          return part.gain > acc.gain ? part : acc;
+        });
+    cand->gain = best.gain;
+    cand->feature = best.feature;
+    cand->bin = best.bin;
   }
 
   const BinnedDataset& data_;
@@ -178,8 +206,6 @@ class GbdtTreeBuilder {
   std::vector<double>* importance_;
   std::vector<size_t> idx_;
   Tree tree_;
-  std::vector<double> hist_g_, hist_h_;
-  std::vector<int> hist_n_;
 };
 
 // Numerically stable in-place softmax.
@@ -290,27 +316,35 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
 
     // Class probabilities at the start of the round; all K trees of the
     // round fit gradients computed from these (standard multiclass GBDT).
+    // Row-wise work writes to disjoint slots, so it parallelizes without
+    // touching the deterministic-reduction machinery.
     std::vector<std::vector<double>> round_proba(n);
-    for (size_t i = 0; i < n; ++i) {
-      round_proba[i] = scores[i];
-      Softmax(&round_proba[i]);
-    }
+    ParallelFor(n, /*grain=*/512, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        round_proba[i] = scores[i];
+        Softmax(&round_proba[i]);
+      }
+    });
 
     for (size_t k = 0; k < kc; ++k) {
-      for (size_t i = 0; i < n; ++i) {
-        const double p = round_proba[i][k];
-        const double target =
-            static_cast<size_t>(train.y[i]) == k ? 1.0 : 0.0;
-        grad[i] = p - target;
-        hess[i] = std::max(p * (1.0 - p), 1e-9);
-      }
+      ParallelFor(n, /*grain=*/1024, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const double p = round_proba[i][k];
+          const double target =
+              static_cast<size_t>(train.y[i]) == k ? 1.0 : 0.0;
+          grad[i] = p - target;
+          hess[i] = std::max(p * (1.0 - p), 1e-9);
+        }
+      });
       GbdtTreeBuilder builder(binned, config_, grad, hess, feature_mask,
                               &importance_);
       Tree tree = builder.Build(sample_idx);
       // Update scores with the new tree (all rows, not just the bag).
-      for (size_t i = 0; i < n; ++i) {
-        scores[i][k] += tree.PredictScalar(train.x[i]);
-      }
+      ParallelFor(n, /*grain=*/512, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          scores[i][k] += tree.PredictScalar(train.x[i]);
+        }
+      });
       trees_[k].push_back(std::move(tree));
     }
 

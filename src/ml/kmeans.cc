@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "stats/distance.h"
 
@@ -39,37 +40,51 @@ std::vector<std::vector<double>> PlusPlusInit(
   return centroids;
 }
 
-KMeansModel RunOnce(const std::vector<std::vector<double>>& points,
-                    const KMeansConfig& config, Rng* rng) {
+// Lloyd iterations from the given initial centroids. The assignment step
+// is data-parallel (each point's nearest-centroid search is independent);
+// the update step stays serial, so one iteration's numbers are identical
+// at every thread count.
+KMeansModel LloydIterate(const std::vector<std::vector<double>>& points,
+                         std::vector<std::vector<double>> initial_centroids,
+                         const KMeansConfig& config) {
   const size_t n = points.size();
   const size_t dim = points[0].size();
-  const size_t k = static_cast<size_t>(config.k);
+  const size_t k = initial_centroids.size();
 
   KMeansModel model;
-  model.centroids = PlusPlusInit(points, config.k, rng);
+  model.centroids = std::move(initial_centroids);
   model.assignments.assign(n, -1);
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     model.iterations = iter + 1;
-    // Assignment step.
-    bool changed = false;
-    for (size_t i = 0; i < n; ++i) {
-      int best = 0;
-      double best_d = SquaredL2(points[i], model.centroids[0]);
-      for (size_t c = 1; c < k; ++c) {
-        const double d = SquaredL2(points[i], model.centroids[c]);
-        if (d < best_d) {
-          best_d = d;
-          best = static_cast<int>(c);
-        }
-      }
-      if (model.assignments[i] != best) {
-        model.assignments[i] = best;
-        changed = true;
-      }
-    }
+    // Assignment step: per-point writes are disjoint; the per-chunk
+    // "changed" flags combine with OR, which is order-independent.
+    const bool changed = ParallelReduce<uint8_t>(
+        n, /*grain=*/64, 0,
+        [&](size_t begin, size_t end) {
+          uint8_t chunk_changed = 0;
+          for (size_t i = begin; i < end; ++i) {
+            int best = 0;
+            double best_d = SquaredL2(points[i], model.centroids[0]);
+            for (size_t c = 1; c < k; ++c) {
+              const double d = SquaredL2(points[i], model.centroids[c]);
+              if (d < best_d) {
+                best_d = d;
+                best = static_cast<int>(c);
+              }
+            }
+            if (model.assignments[i] != best) {
+              model.assignments[i] = best;
+              chunk_changed = 1;
+            }
+          }
+          return chunk_changed;
+        },
+        [](uint8_t acc, uint8_t part) {
+          return static_cast<uint8_t>(acc | part);
+        }) != 0;
 
-    // Update step.
+    // Update step: means of the assigned points.
     std::vector<std::vector<double>> next(k, std::vector<double>(dim, 0.0));
     std::vector<double> counts(k, 0.0);
     for (size_t i = 0; i < n; ++i) {
@@ -77,25 +92,40 @@ KMeansModel RunOnce(const std::vector<std::vector<double>>& points,
       counts[c] += 1.0;
       for (size_t d = 0; d < dim; ++d) next[c][d] += points[i][d];
     }
-    double movement = 0.0;
+    std::vector<size_t> emptied;
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] > 0.0) {
         for (size_t d = 0; d < dim; ++d) next[c][d] /= counts[c];
       } else {
-        // Empty cluster: reseed at the point farthest from its centroid.
-        size_t far_i = 0;
+        emptied.push_back(c);
+      }
+    }
+    // Reseed emptied clusters one at a time at the point farthest from its
+    // own *updated* centroid, excluding points already taken as reseeds —
+    // so two clusters emptied in the same step land on distinct points.
+    // (A point's assigned cluster is never empty, so next[assignment] is a
+    // freshly computed mean.)
+    if (!emptied.empty()) {
+      std::vector<uint8_t> used(n, 0);
+      for (size_t c : emptied) {
+        size_t far_i = n;
         double far_d = -1.0;
         for (size_t i = 0; i < n; ++i) {
+          if (used[i]) continue;
           const double d = SquaredL2(
-              points[i],
-              model.centroids[static_cast<size_t>(model.assignments[i])]);
+              points[i], next[static_cast<size_t>(model.assignments[i])]);
           if (d > far_d) {
             far_d = d;
             far_i = i;
           }
         }
+        RVAR_CHECK(far_i < n);  // n >= k guarantees a free point per reseed
         next[c] = points[far_i];
+        used[far_i] = 1;
       }
+    }
+    double movement = 0.0;
+    for (size_t c = 0; c < k; ++c) {
       movement += SquaredL2(next[c], model.centroids[c]);
     }
     model.centroids = std::move(next);
@@ -108,6 +138,24 @@ KMeansModel RunOnce(const std::vector<std::vector<double>>& points,
         points[i], model.centroids[static_cast<size_t>(model.assignments[i])]);
   }
   return model;
+}
+
+KMeansModel RunOnce(const std::vector<std::vector<double>>& points,
+                    const KMeansConfig& config, Rng* rng) {
+  return LloydIterate(points, PlusPlusInit(points, config.k, rng), config);
+}
+
+Status ValidatePoints(const std::vector<std::vector<double>>& points) {
+  if (points.empty()) {
+    return Status::InvalidArgument("k-means on empty point set");
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("points have inconsistent dimensions");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -134,9 +182,7 @@ std::vector<int> KMeansModel::ClusterSizes() const {
 
 Result<KMeansModel> KMeans(const std::vector<std::vector<double>>& points,
                            const KMeansConfig& config) {
-  if (points.empty()) {
-    return Status::InvalidArgument("k-means on empty point set");
-  }
+  RVAR_RETURN_NOT_OK(ValidatePoints(points));
   if (config.k < 1) {
     return Status::InvalidArgument(StrCat("k must be >= 1, got ", config.k));
   }
@@ -144,26 +190,59 @@ Result<KMeansModel> KMeans(const std::vector<std::vector<double>>& points,
     return Status::InvalidArgument(
         StrCat("k=", config.k, " exceeds point count ", points.size()));
   }
-  const size_t dim = points[0].size();
-  for (const auto& p : points) {
-    if (p.size() != dim) {
-      return Status::InvalidArgument("points have inconsistent dimensions");
-    }
-  }
   if (config.num_restarts < 1 || config.max_iterations < 1) {
     return Status::InvalidArgument(
         "num_restarts and max_iterations must be >= 1");
   }
 
+  // Restarts run concurrently, each on its own pre-split Rng (the split
+  // order is the serial order, so restart r sees the same stream at every
+  // thread count). The winner scan keeps the first strictly-lowest
+  // inertia, matching the serial loop.
   Rng rng(config.seed);
+  const size_t restarts = static_cast<size_t>(config.num_restarts);
+  std::vector<Rng> run_rngs;
+  run_rngs.reserve(restarts);
+  for (size_t r = 0; r < restarts; ++r) run_rngs.push_back(rng.Split());
+
+  std::vector<KMeansModel> models(restarts);
+  ParallelFor(restarts, /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      models[r] = RunOnce(points, config, &run_rngs[r]);
+    }
+  });
+
   KMeansModel best;
   best.inertia = std::numeric_limits<double>::infinity();
-  for (int r = 0; r < config.num_restarts; ++r) {
-    Rng run_rng = rng.Split();
-    KMeansModel model = RunOnce(points, config, &run_rng);
+  for (KMeansModel& model : models) {
     if (model.inertia < best.inertia) best = std::move(model);
   }
   return best;
+}
+
+Result<KMeansModel> KMeansWithInitialCentroids(
+    const std::vector<std::vector<double>>& points,
+    std::vector<std::vector<double>> initial_centroids,
+    const KMeansConfig& config) {
+  RVAR_RETURN_NOT_OK(ValidatePoints(points));
+  if (initial_centroids.empty()) {
+    return Status::InvalidArgument("no initial centroids");
+  }
+  if (points.size() < initial_centroids.size()) {
+    return Status::InvalidArgument(
+        StrCat("k=", initial_centroids.size(), " exceeds point count ",
+               points.size()));
+  }
+  for (const auto& c : initial_centroids) {
+    if (c.size() != points[0].size()) {
+      return Status::InvalidArgument(
+          "centroids and points have inconsistent dimensions");
+    }
+  }
+  if (config.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  return LloydIterate(points, std::move(initial_centroids), config);
 }
 
 Result<std::vector<InertiaPoint>> InertiaSweep(

@@ -48,6 +48,15 @@ struct KMeansModel {
 Result<KMeansModel> KMeans(const std::vector<std::vector<double>>& points,
                            const KMeansConfig& config);
 
+/// Lloyd iterations from explicit initial centroids (no k-means++, no
+/// restarts; `config.k` and `config.seed` are ignored — k is the number of
+/// centroids given). Deterministic, so callers can reproduce — or force —
+/// specific iteration dynamics such as clusters emptying mid-run.
+Result<KMeansModel> KMeansWithInitialCentroids(
+    const std::vector<std::vector<double>>& points,
+    std::vector<std::vector<double>> initial_centroids,
+    const KMeansConfig& config);
+
 /// Inertia for each k in [k_min, k_max] — the elbow curve used to choose
 /// the number of clusters.
 struct InertiaPoint {

@@ -119,10 +119,13 @@ double PmfQuantile(const BinGrid& grid, const std::vector<double>& pmf,
   if (total <= 0.0) return grid.lo();
   const double target = q * total;
   for (int i = 0; i < grid.num_bins(); ++i) {
-    if (cdf[i] >= target) {
-      const double prev = i > 0 ? cdf[i - 1] : 0.0;
-      const double in_bin = cdf[i] - prev;
-      const double frac = in_bin > 0.0 ? (target - prev) / in_bin : 0.5;
+    const double prev = i > 0 ? cdf[i - 1] : 0.0;
+    const double in_bin = cdf[i] - prev;
+    // Only a bin that carries mass can hold the quantile. Without this
+    // guard, q=0 (target 0) satisfies cdf[0] >= 0 and lands on the left
+    // edge of bin 0 even when the leading bins are empty.
+    if (cdf[i] >= target && in_bin > 0.0) {
+      const double frac = (target - prev) / in_bin;
       const double left = grid.lo() + grid.bin_width() * i;
       return left + frac * grid.bin_width();
     }

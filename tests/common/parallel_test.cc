@@ -1,0 +1,142 @@
+// Tests for the deterministic parallel layer: exact index coverage,
+// bit-identical reductions across thread counts, machine-independent chunk
+// boundaries, and nested-region safety.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rvar {
+namespace {
+
+// Restores the default thread count after each test so ordering between
+// tests (and other suites in this binary) cannot leak configuration.
+class ParallelTest : public ::testing::Test {
+ protected:
+  ~ParallelTest() override { SetParallelThreads(0); }
+};
+
+TEST_F(ParallelTest, ChunkRangesCoverExactlyOnce) {
+  for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    for (size_t grain : {1u, 3u, 64u, 2000u}) {
+      const auto ranges = internal::ChunkRanges(n, grain);
+      std::vector<int> seen(n, 0);
+      size_t prev_end = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, prev_end);  // ordered, gapless
+        EXPECT_LT(begin, end);
+        EXPECT_LE(end - begin, grain == 0 ? 1 : grain);
+        for (size_t i = begin; i < end; ++i) seen[i]++;
+        prev_end = end;
+      }
+      EXPECT_EQ(prev_end, n);
+      for (int c : seen) EXPECT_EQ(c, 1);
+    }
+  }
+}
+
+TEST_F(ParallelTest, ChunkRangesIgnoreThreadCount) {
+  SetParallelThreads(1);
+  const auto one = internal::ChunkRanges(1000, 64);
+  SetParallelThreads(8);
+  const auto eight = internal::ChunkRanges(1000, 64);
+  EXPECT_EQ(one, eight);
+}
+
+TEST_F(ParallelTest, ParallelForVisitsEveryIndexOnce) {
+  for (int threads : {1, 2, 8}) {
+    SetParallelThreads(threads);
+    constexpr size_t kN = 10007;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h = 0;
+    ParallelFor(kN, 16, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i]++;
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelTest, ReduceIsBitIdenticalAcrossThreadCounts) {
+  // Non-associative floating-point sum: identical bits require identical
+  // chunking AND identical merge order.
+  Rng rng(17);
+  std::vector<double> xs(12345);
+  for (double& x : xs) x = rng.LogNormal(0.0, 2.0);
+
+  auto sum_with = [&](int threads) {
+    SetParallelThreads(threads);
+    return ParallelReduce<double>(
+        xs.size(), 128, 0.0,
+        [&](size_t begin, size_t end) {
+          double acc = 0.0;
+          for (size_t i = begin; i < end; ++i) acc += xs[i];
+          return acc;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+
+  const double serial = sum_with(1);
+  for (int threads : {2, 3, 8}) {
+    const double parallel = sum_with(threads);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;  // exact bits
+  }
+}
+
+TEST_F(ParallelTest, ReduceMergesInIndexOrder) {
+  SetParallelThreads(8);
+  // Concatenation is order-sensitive; the result must be index order.
+  const std::string cat = ParallelReduce<std::string>(
+      26, 3, std::string(),
+      [](size_t begin, size_t end) {
+        std::string s;
+        for (size_t i = begin; i < end; ++i) {
+          s.push_back(static_cast<char>('a' + i));
+        }
+        return s;
+      },
+      [](std::string acc, std::string part) { return acc + part; });
+  EXPECT_EQ(cat, "abcdefghijklmnopqrstuvwxyz");
+}
+
+TEST_F(ParallelTest, NestedRegionsRunInlineWithoutDeadlock) {
+  SetParallelThreads(4);
+  std::atomic<int> total{0};
+  ParallelFor(8, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // Nested region: must complete inline on the worker.
+      ParallelFor(100, 10, [&](size_t b, size_t e) {
+        total += static_cast<int>(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST_F(ParallelTest, EmptyRangeIsANoOp) {
+  SetParallelThreads(4);
+  bool called = false;
+  ParallelFor(0, 8, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+  const int r = ParallelReduce<int>(
+      0, 8, 42, [](size_t, size_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(r, 42);
+}
+
+TEST_F(ParallelTest, ThreadCountResolution) {
+  SetParallelThreads(3);
+  EXPECT_EQ(ParallelThreads(), 3);
+  SetParallelThreads(0);
+  EXPECT_GE(ParallelThreads(), 1);
+}
+
+}  // namespace
+}  // namespace rvar

@@ -1,0 +1,97 @@
+// FullFeatureImportance mapping tests, with feature selection both on and
+// off. Regression: a kept_/importance size mismatch used to be silently
+// truncated, leaving the remaining features with zero importance instead
+// of failing loudly — the mapping invariants below pin the contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/predictor.h"
+
+namespace rvar {
+namespace core {
+namespace {
+
+class FeatureImportanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::SuiteConfig config;
+    config.num_groups = 40;
+    config.d1_days = 3.0;
+    config.d2_days = 1.5;
+    config.d3_days = 0.5;
+    config.d1_support = 12;
+    config.seed = 77;
+    auto suite = sim::BuildStudySuite(config);
+    ASSERT_TRUE(suite.ok()) << suite.status().ToString();
+    suite_ = new sim::StudySuite(std::move(*suite));
+  }
+  static void TearDownTestSuite() {
+    delete suite_;
+    suite_ = nullptr;
+  }
+
+  static std::unique_ptr<VariationPredictor> TrainWithSelection(
+      bool apply_feature_selection) {
+    PredictorConfig pc;
+    pc.shape.num_clusters = 3;
+    pc.shape.min_support = 10;
+    pc.shape.kmeans.num_restarts = 4;
+    pc.gbdt.num_rounds = 20;
+    pc.apply_feature_selection = apply_feature_selection;
+    auto predictor = VariationPredictor::Train(*suite_, pc);
+    EXPECT_TRUE(predictor.ok()) << predictor.status().ToString();
+    return predictor.ok() ? std::move(*predictor) : nullptr;
+  }
+
+  static void CheckMapping(const VariationPredictor& predictor) {
+    const std::vector<double> full = predictor.FullFeatureImportance();
+    const std::vector<double>& kept_imp =
+        predictor.model().feature_importance();
+    const std::vector<size_t>& kept = predictor.kept_features();
+    ASSERT_EQ(full.size(), predictor.featurizer().FeatureNames().size());
+    ASSERT_EQ(kept.size(), kept_imp.size());
+    // Kept features carry exactly the classifier's importance; dropped
+    // features carry exactly zero.
+    std::vector<bool> is_kept(full.size(), false);
+    for (size_t i = 0; i < kept.size(); ++i) {
+      ASSERT_LT(kept[i], full.size());
+      EXPECT_EQ(full[kept[i]], kept_imp[i]) << "kept slot " << i;
+      is_kept[kept[i]] = true;
+    }
+    for (size_t f = 0; f < full.size(); ++f) {
+      if (!is_kept[f]) EXPECT_EQ(full[f], 0.0) << "dropped feature " << f;
+    }
+    const double total = std::accumulate(full.begin(), full.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+
+  static sim::StudySuite* suite_;
+};
+
+sim::StudySuite* FeatureImportanceTest::suite_ = nullptr;
+
+TEST_F(FeatureImportanceTest, SelectionOnMapsKeptImportancesBack) {
+  auto predictor = TrainWithSelection(true);
+  ASSERT_NE(predictor, nullptr);
+  // Selection dropped at least one correlated feature, so the mapping is
+  // a strict embedding.
+  EXPECT_LT(predictor->kept_features().size(),
+            predictor->featurizer().FeatureNames().size());
+  CheckMapping(*predictor);
+}
+
+TEST_F(FeatureImportanceTest, SelectionOffIsIdentityMapping) {
+  auto predictor = TrainWithSelection(false);
+  ASSERT_NE(predictor, nullptr);
+  const std::vector<size_t>& kept = predictor->kept_features();
+  ASSERT_EQ(kept.size(), predictor->featurizer().FeatureNames().size());
+  for (size_t i = 0; i < kept.size(); ++i) EXPECT_EQ(kept[i], i);
+  CheckMapping(*predictor);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rvar

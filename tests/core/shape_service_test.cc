@@ -1,0 +1,217 @@
+// ShapeService tests: single-threaded API behavior plus seeded
+// multi-threaded stress. The disjoint-groups stress asserts exact
+// equality against a serial tracker replay (per-group observation order
+// is deterministic when one thread owns the group); the contended-group
+// stress asserts observation accounting, and under -DRVAR_SANITIZE=thread
+// doubles as the data-race probe for the stripe locking.
+
+#include "core/shape_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/normalization.h"
+#include "core/online.h"
+#include "core/shape_library.h"
+
+namespace rvar {
+namespace core {
+namespace {
+
+// Library with two clearly distinct Ratio shapes: tight around 1 and
+// bimodal {1, 3}.
+class ShapeServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::TelemetryStore store;
+    GroupMedians medians;
+    Rng rng(41);
+    int gid = 0;
+    for (int family = 0; family < 2; ++family) {
+      for (int g = 0; g < 8; ++g) {
+        const double median = rng.Uniform(100.0, 300.0);
+        for (int i = 0; i < 60; ++i) {
+          const double factor =
+              family == 0 ? std::max(0.2, rng.Normal(1.0, 0.04))
+                          : (rng.Bernoulli(0.4) ? rng.Normal(3.0, 0.1)
+                                                : rng.Normal(1.0, 0.05));
+          sim::JobRun run;
+          run.group_id = gid;
+          run.runtime_seconds = median * std::max(0.05, factor);
+          store.Add(run);
+        }
+        medians.Set(gid, median);
+        ++gid;
+      }
+    }
+    ShapeLibraryConfig config;
+    config.num_clusters = 2;
+    config.min_support = 20;
+    config.kmeans.num_restarts = 6;
+    auto lib = ShapeLibrary::Build(store, medians, config);
+    ASSERT_TRUE(lib.ok()) << lib.status().ToString();
+    library_ = new ShapeLibrary(std::move(*lib));
+  }
+  static void TearDownTestSuite() {
+    delete library_;
+    library_ = nullptr;
+  }
+
+  // Deterministic per-group observation stream: a function of the group id
+  // only, so a serial replay reproduces it exactly.
+  static std::vector<double> StreamFor(int group_id, int n) {
+    Rng rng(1000 + static_cast<uint64_t>(group_id));
+    std::vector<double> xs;
+    xs.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const bool bimodal = group_id % 2 == 1;
+      xs.push_back(bimodal ? (rng.Bernoulli(0.4) ? rng.Normal(3.0, 0.1)
+                                                 : rng.Normal(1.0, 0.05))
+                           : std::max(0.2, rng.Normal(1.0, 0.04)));
+    }
+    return xs;
+  }
+
+  static ShapeLibrary* library_;
+};
+
+ShapeLibrary* ShapeServiceTest::library_ = nullptr;
+
+TEST_F(ShapeServiceTest, MakeRejectsBadArguments) {
+  EXPECT_FALSE(ShapeService::Make(nullptr).ok());
+  ShapeService::Options bad;
+  bad.decay = 0.0;
+  EXPECT_FALSE(ShapeService::Make(library_, bad).ok());
+  bad.decay = 1.0;
+  bad.pmf_floor = -1.0;
+  EXPECT_FALSE(ShapeService::Make(library_, bad).ok());
+}
+
+TEST_F(ShapeServiceTest, UnknownGroupsAnswerFromUniformPrior) {
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  const int k = library_->num_clusters();
+  EXPECT_EQ((*service)->MostLikely(123), -1);
+  EXPECT_EQ((*service)->GroupCount(123), 0);
+  EXPECT_EQ((*service)->NumGroups(), 0u);
+  EXPECT_EQ((*service)->TotalObservations(), 0);
+  const std::vector<double> p = (*service)->Posterior(123);
+  ASSERT_EQ(static_cast<int>(p.size()), k);
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 1.0 / k);
+  EXPECT_DOUBLE_EQ((*service)->ProbabilityOf(123, 0), 1.0 / k);
+}
+
+TEST_F(ShapeServiceTest, ObserveRoutesToPerGroupTrackers) {
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  EXPECT_FALSE((*service)->Observe(-1, 1.0).ok());
+  for (int gid : {3, 10, 17}) {
+    for (double x : StreamFor(gid, 40)) {
+      ASSERT_TRUE((*service)->Observe(gid, x).ok());
+    }
+  }
+  EXPECT_EQ((*service)->NumGroups(), 3u);
+  EXPECT_EQ((*service)->TotalObservations(), 120);
+  EXPECT_EQ((*service)->TrackedGroups(), (std::vector<int>{3, 10, 17}));
+  EXPECT_EQ((*service)->GroupCount(10), 40);
+  // Odd groups stream bimodal, even groups tight; they must disagree.
+  EXPECT_NE((*service)->MostLikely(3), (*service)->MostLikely(10));
+  EXPECT_EQ((*service)->MostLikely(3), (*service)->MostLikely(17));
+
+  EXPECT_TRUE((*service)->Forget(10));
+  EXPECT_FALSE((*service)->Forget(10));
+  EXPECT_EQ((*service)->NumGroups(), 2u);
+  EXPECT_EQ((*service)->MostLikely(10), -1);
+}
+
+TEST_F(ShapeServiceTest, ConcurrentDisjointGroupsMatchSerialReplay) {
+  constexpr int kThreads = 8;
+  constexpr int kGroups = 64;
+  constexpr int kObsPerGroup = 30;
+  ShapeService::Options options;
+  options.decay = 0.95;
+  options.num_stripes = 4;  // force stripe sharing across groups
+  auto service = ShapeService::Make(library_, options);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, t] {
+      for (int gid = t; gid < kGroups; gid += kThreads) {
+        for (double x : StreamFor(gid, kObsPerGroup)) {
+          ASSERT_TRUE((*service)->Observe(gid, x).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ((*service)->NumGroups(), static_cast<size_t>(kGroups));
+  EXPECT_EQ((*service)->TotalObservations(),
+            static_cast<int64_t>(kGroups) * kObsPerGroup);
+
+  // One thread owned each group, so per-group observation order equals the
+  // serial replay's and the posteriors must match bit for bit.
+  for (int gid = 0; gid < kGroups; ++gid) {
+    auto reference =
+        OnlineShapeTracker::Make(library_, options.decay, options.pmf_floor);
+    ASSERT_TRUE(reference.ok());
+    for (double x : StreamFor(gid, kObsPerGroup)) reference->Observe(x);
+    EXPECT_EQ((*service)->MostLikely(gid), reference->MostLikely());
+    const std::vector<double> got = (*service)->Posterior(gid);
+    const std::vector<double> want = reference->Posterior();
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t c = 0; c < got.size(); ++c) {
+      EXPECT_EQ(got[c], want[c]) << "group " << gid << " cluster " << c;
+    }
+  }
+}
+
+TEST_F(ShapeServiceTest, ContendedGroupCountsEveryObservation) {
+  constexpr int kThreads = 8;
+  constexpr int kObsPerThread = 500;
+  constexpr int kGroup = 7;
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, t] {
+      Rng rng(7000 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kObsPerThread; ++i) {
+        const double x = rng.Bernoulli(0.4) ? rng.Normal(3.0, 0.1)
+                                            : rng.Normal(1.0, 0.05);
+        ASSERT_TRUE((*service)->Observe(kGroup, x).ok());
+        // Interleave reads with the writes to stress the stripe lock.
+        if (i % 100 == 0) (*service)->Posterior(kGroup);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ((*service)->GroupCount(kGroup),
+            static_cast<int64_t>(kThreads) * kObsPerThread);
+  EXPECT_EQ((*service)->TotalObservations(),
+            static_cast<int64_t>(kThreads) * kObsPerThread);
+  EXPECT_EQ((*service)->NumGroups(), 1u);
+  // Every thread streamed bimodal data; the merged posterior must too.
+  const std::vector<double> p = (*service)->Posterior(kGroup);
+  const int best = (*service)->MostLikely(kGroup);
+  ASSERT_GE(best, 0);
+  EXPECT_GT(p[static_cast<size_t>(best)], 0.9);
+  double mass = 0.0;
+  for (double v : p) {
+    EXPECT_TRUE(std::isfinite(v));
+    mass += v;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace rvar

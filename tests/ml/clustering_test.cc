@@ -119,6 +119,67 @@ TEST(KMeansTest, DuplicatePointsHandled) {
   EXPECT_NEAR(model->inertia, 0.0, 1e-12);
 }
 
+// Regression: two clusters emptying in the same Lloyd step must reseed to
+// DISTINCT points. The old reseed picked "the farthest point" for each
+// empty cluster independently, so simultaneous empties collapsed onto one
+// point and the duplicate centroid could never separate again.
+TEST(KMeansTest, SimultaneouslyEmptiedClustersReseedToDistinctPoints) {
+  // All four points assign to the first centroid on iteration one, so the
+  // other two clusters both empty in the same step.
+  const std::vector<std::vector<double>> points = {
+      {0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  std::vector<std::vector<double>> init = {
+      {0.0, 0.0}, {100.0, 0.0}, {200.0, 0.0}};
+  KMeansConfig config;
+  config.max_iterations = 50;
+  auto model = KMeansWithInitialCentroids(points, std::move(init), config);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_EQ(model->centroids.size(), 3u);
+  for (size_t a = 0; a < model->centroids.size(); ++a) {
+    for (size_t b = a + 1; b < model->centroids.size(); ++b) {
+      EXPECT_NE(model->centroids[a], model->centroids[b])
+          << "clusters " << a << " and " << b
+          << " share a centroid after reseeding";
+    }
+  }
+  // Every cluster ends up owning at least one point.
+  const std::vector<int> sizes = model->ClusterSizes();
+  for (size_t c = 0; c < sizes.size(); ++c) {
+    EXPECT_GT(sizes[c], 0) << "cluster " << c << " is empty";
+  }
+  EXPECT_TRUE(std::isfinite(model->inertia));
+}
+
+TEST(KMeansTest, ReseedUsesUpdatedCentroidsNotStaleOnes) {
+  // One cluster empties; the reseed distance must be measured against the
+  // freshly updated centroid of the surviving cluster, not its stale
+  // pre-update position. All points land in cluster 0, whose centroid
+  // moves from 6 to 3; the farthest point from 3 is 9 (giving the optimal
+  // {0,1,2}/{9} split, inertia 2), while the farthest from the stale 6 is
+  // 0 (which converges to the much worse {0,1}/{2,9} split, inertia 25).
+  const std::vector<std::vector<double>> points = {
+      {0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}, {9.0, 0.0}};
+  std::vector<std::vector<double>> init = {{6.0, 0.0}, {50.0, 0.0}};
+  auto model = KMeansWithInitialCentroids(points, std::move(init), {});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NE(model->centroids[0], model->centroids[1]);
+  const std::vector<int> sizes = model->ClusterSizes();
+  EXPECT_GT(sizes[0], 0);
+  EXPECT_GT(sizes[1], 0);
+  EXPECT_NEAR(model->inertia, 2.0, 1e-9);  // {0,1,2} vs {9}
+}
+
+TEST(KMeansTest, WithInitialCentroidsRejectsBadArguments) {
+  const std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  EXPECT_FALSE(KMeansWithInitialCentroids({}, {{0.0}}, {}).ok());
+  EXPECT_FALSE(KMeansWithInitialCentroids(points, {}, {}).ok());
+  // More centroids than points.
+  EXPECT_FALSE(
+      KMeansWithInitialCentroids(points, {{0.0}, {0.5}, {1.0}}, {}).ok());
+  // Centroid dimension mismatch.
+  EXPECT_FALSE(KMeansWithInitialCentroids(points, {{0.0, 1.0}}, {}).ok());
+}
+
 TEST(InertiaSweepTest, MonotoneNonIncreasingWithElbow) {
   Rng rng(54);
   std::vector<int> truth;

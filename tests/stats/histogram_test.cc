@@ -124,6 +124,49 @@ TEST(PmfStatsTest, ZeroMassPmf) {
   EXPECT_EQ(PmfStdDev(g, pmf), 0.0);
 }
 
+// Regression: with empty leading bins, q=0 used to return the left edge of
+// bin 0 (cdf[0] >= 0 holds vacuously) instead of the left edge of the
+// first bin that actually carries mass.
+TEST(PmfStatsTest, QuantileZeroSkipsLeadingEmptyBins) {
+  BinGrid g = MakeGrid(0.0, 10.0, 10);
+  std::vector<double> pmf(10, 0.0);
+  pmf[4] = 0.7;
+  pmf[6] = 0.3;
+  // The support starts at bin 4 => [4, 5).
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 0.0), 4.0);
+  // Interior quantiles are untouched by the fix.
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 0.5), 4.0 + (0.5 / 0.7));
+}
+
+TEST(PmfStatsTest, QuantileOneStopsAtLastMassyBin) {
+  BinGrid g = MakeGrid(0.0, 10.0, 10);
+  std::vector<double> pmf(10, 0.0);
+  pmf[2] = 0.5;
+  pmf[5] = 0.5;
+  // The support ends at bin 5 => q=1 is its right edge, not grid.hi().
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 0.0), 2.0);
+}
+
+TEST(PmfStatsTest, QuantileEdgesOnFullSupport) {
+  BinGrid g = MakeGrid(0.0, 1.0, 4);
+  std::vector<double> pmf(4, 0.25);
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 1.0), 1.0);
+}
+
+// Empty bins strictly inside the support do not absorb quantile mass: the
+// quantile jumps across them.
+TEST(PmfStatsTest, QuantileSkipsInteriorEmptyBins) {
+  BinGrid g = MakeGrid(0.0, 10.0, 10);
+  std::vector<double> pmf(10, 0.0);
+  pmf[1] = 0.5;
+  pmf[8] = 0.5;
+  // q just past the first bin's mass lands in bin 8, not bins 2..7.
+  EXPECT_GE(PmfQuantile(g, pmf, 0.51), 8.0);
+  EXPECT_LE(PmfQuantile(g, pmf, 0.49), 2.0);
+}
+
 TEST(SamplePmfTest, SamplesFallInSupport) {
   BinGrid g = MakeGrid(0.0, 10.0, 10);
   std::vector<double> pmf(10, 0.0);
