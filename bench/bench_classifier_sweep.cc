@@ -21,6 +21,12 @@
 #include "ml/naive_bayes.h"
 #include "ml/tuning.h"
 
+rvar::ml::ForestConfig ForestWithTrees(int num_trees) {
+  rvar::ml::ForestConfig config;
+  config.num_trees = num_trees;
+  return config;
+}
+
 int main() {
   using namespace rvar;
   sim::StudySuite suite = bench::BuildSuiteOrDie();
@@ -43,7 +49,7 @@ int main() {
   auto make_voting = [] {
     auto voting = std::make_unique<ml::VotingClassifier>();
     voting->AddModel(std::make_unique<ml::RandomForestClassifier>(
-        ml::ForestConfig{.num_trees = 40}));
+        ForestWithTrees(40)));
     voting->AddModel(
         std::make_unique<ml::GbdtClassifier>(ml::GbdtConfig{
             .num_rounds = 30, .feature_fraction = 0.7}));
@@ -60,7 +66,7 @@ int main() {
   std::vector<Candidate> candidates;
   candidates.push_back({"RandomForestClassifier",
                         std::make_unique<ml::RandomForestClassifier>(
-                            ml::ForestConfig{.num_trees = 80})});
+                            ForestWithTrees(80))});
   candidates.push_back(
       {"GbdtClassifier (LightGBM-style)",
        std::make_unique<ml::GbdtClassifier>(ml::GbdtConfig{

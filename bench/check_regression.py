@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate over BENCH_kernels.json.
+
+Compares a freshly measured BENCH_kernels.json against the checked-in
+bench/baseline.json. Raw wall-clock is not comparable across runner
+generations, so every kernel time is first normalized by that run's
+calibration_seconds (a fixed deterministic spin measured on the same
+machine, same build); the gate then fires on the *normalized* ratio:
+
+    ratio = (current_kernel / current_calibration)
+          / (baseline_kernel / baseline_calibration)
+
+A kernel whose ratio exceeds 1 + tolerance fails the job. Kernels only
+present on one side are reported but never fail the gate (they appear when
+the kernel set evolves; refresh the baseline in the same PR).
+
+Usage:
+    check_regression.py --baseline bench/baseline.json \
+        --current BENCH_kernels.json [--tolerance 0.25]
+
+Refreshing the baseline after an intentional perf change:
+    ./bench/bench_perf_kernels --summaries_only
+    cp BENCH_kernels.json bench/baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    calibration = doc.get("calibration_seconds")
+    kernels = doc.get("kernels")
+    if not isinstance(calibration, (int, float)) or calibration <= 0:
+        sys.exit(f"{path}: missing or non-positive calibration_seconds")
+    if not isinstance(kernels, dict) or not kernels:
+        sys.exit(f"{path}: missing or empty kernels map")
+    for name, seconds in kernels.items():
+        if not isinstance(seconds, (int, float)) or seconds <= 0:
+            sys.exit(f"{path}: kernel {name!r} has non-positive time")
+    return calibration, kernels
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed normalized slowdown (0.25 = +25%%)")
+    args = parser.parse_args()
+
+    base_cal, base = load(args.baseline)
+    cur_cal, cur = load(args.current)
+
+    speed = cur_cal / base_cal
+    print(f"calibration: baseline {base_cal:.4f}s, current {cur_cal:.4f}s "
+          f"(machine speed factor {speed:.2f}x)")
+    print(f"{'kernel':<24} {'baseline':>10} {'current':>10} "
+          f"{'norm ratio':>10}  verdict")
+
+    regressions = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            print(f"{name:<24} {base[name]:>10.4f} {'-':>10} {'-':>10}  "
+                  "missing in current (not gated)")
+            continue
+        if name not in base:
+            print(f"{name:<24} {'-':>10} {cur[name]:>10.4f} {'-':>10}  "
+                  "new kernel (not gated)")
+            continue
+        ratio = (cur[name] / cur_cal) / (base[name] / base_cal)
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = f"REGRESSION (> +{args.tolerance:.0%})"
+            regressions.append((name, ratio))
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "improvement (consider refreshing baseline)"
+        print(f"{name:<24} {base[name]:>10.4f} {cur[name]:>10.4f} "
+              f"{ratio:>10.2f}  {verdict}")
+
+    if regressions:
+        print()
+        for name, ratio in regressions:
+            print(f"FAIL: {name} is {ratio:.2f}x its normalized baseline")
+        sys.exit(1)
+    print("\nbench-regression gate passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,12 +7,46 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "ml/feature_select.h"
+#include "obs/export.h"
 
 namespace rvar {
 namespace core {
 
+namespace {
+
+/// Cached handles into the process registry (obs/metrics.h); magic-static
+/// initialization keeps first use thread-safe.
+struct PredictorMetrics {
+  obs::Counter* train_total;
+  obs::Counter* train_rounds_total;
+  obs::Counter* predictions_total;
+  obs::Histogram* train_rows;
+  obs::Histogram* predict_batch_size;
+  obs::Histogram* train_latency;
+
+  static const PredictorMetrics& Get() {
+    static const PredictorMetrics metrics = [] {
+      obs::Registry& r = obs::Registry::Default();
+      // Row/batch-size histograms span counts, not seconds.
+      const obs::HistogramOptions sizes{1.0, 1e7, 35};
+      return PredictorMetrics{
+          r.GetCounter("predictor_train_total"),
+          r.GetCounter("predictor_train_rounds_total"),
+          r.GetCounter("predictor_predictions_total"),
+          r.GetHistogram("predictor_train_rows", sizes),
+          r.GetHistogram("predictor_predict_batch_size", sizes),
+          r.GetHistogram("predictor_train_latency_seconds")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
 Result<std::unique_ptr<VariationPredictor>> VariationPredictor::Train(
     const sim::StudySuite& suite, PredictorConfig config) {
+  obs::ScopedSpan span("predictor/train");
+  obs::ScopedLatencyTimer timer(PredictorMetrics::Get().train_latency);
   auto predictor = std::unique_ptr<VariationPredictor>(
       new VariationPredictor());
   predictor->config_ = config;
@@ -22,19 +56,23 @@ Result<std::unique_ptr<VariationPredictor>> VariationPredictor::Train(
   // Step 0: historic medians and shape library from D1.
   predictor->medians_ =
       GroupMedians::FromTelemetry(suite.d1.telemetry);
-  RVAR_ASSIGN_OR_RETURN(
-      ShapeLibrary shapes,
-      ShapeLibrary::Build(suite.d1.telemetry, predictor->medians_,
-                          config.shape));
-  predictor->shapes_ = std::make_unique<ShapeLibrary>(std::move(shapes));
+  {
+    obs::ScopedSpan phase("predictor/build_shape_library");
+    RVAR_ASSIGN_OR_RETURN(
+        ShapeLibrary shapes,
+        ShapeLibrary::Build(suite.d1.telemetry, predictor->medians_,
+                            config.shape));
+    predictor->shapes_ = std::make_unique<ShapeLibrary>(std::move(shapes));
+  }
   predictor->assigner_ = std::make_unique<PosteriorAssigner>(
       predictor->shapes_.get(), config.pmf_floor);
 
   // Step 1: label D2 groups by posterior likelihood.
-  using GroupLabels = std::unordered_map<int, int>;
-  RVAR_ASSIGN_OR_RETURN(
-      GroupLabels labels,
-      predictor->LabelGroups(suite.d2.telemetry, config.min_label_support));
+  RVAR_ASSIGN_OR_RETURN(auto labels, [&] {
+    obs::ScopedSpan phase("predictor/label_groups");
+    return predictor->LabelGroups(suite.d2.telemetry,
+                                  config.min_label_support);
+  }());
   std::set<int> distinct;
   for (const auto& [gid, label] : labels) distinct.insert(label);
   if (distinct.size() < 2) {
@@ -51,9 +89,10 @@ Result<std::unique_ptr<VariationPredictor>> VariationPredictor::Train(
   for (int gid : suite.d1.telemetry.GroupIds()) {
     predictor->history_support_[gid] = suite.d1.telemetry.Support(gid);
   }
-  RVAR_ASSIGN_OR_RETURN(
-      ml::Dataset train,
-      predictor->featurizer_->BuildDataset(suite.d2.telemetry, labels));
+  RVAR_ASSIGN_OR_RETURN(ml::Dataset train, [&] {
+    obs::ScopedSpan phase("predictor/featurize");
+    return predictor->featurizer_->BuildDataset(suite.d2.telemetry, labels);
+  }());
   if (train.NumRows() == 0) {
     return Status::FailedPrecondition("no labeled training rows");
   }
@@ -91,7 +130,14 @@ Result<std::unique_ptr<VariationPredictor>> VariationPredictor::Train(
   }
 
   predictor->model_ = std::make_unique<ml::GbdtClassifier>(config.gbdt);
-  RVAR_RETURN_NOT_OK(predictor->model_->Fit(train));
+  {
+    obs::ScopedSpan phase("predictor/fit_gbdt");
+    RVAR_RETURN_NOT_OK(predictor->model_->Fit(train));
+  }
+  const PredictorMetrics& metrics = PredictorMetrics::Get();
+  metrics.train_total->Increment();
+  metrics.train_rounds_total->Increment(config.gbdt.num_rounds);
+  metrics.train_rows->Observe(static_cast<double>(train.NumRows()));
   return predictor;
 }
 
@@ -123,6 +169,7 @@ Result<std::unordered_map<int, int>> VariationPredictor::LabelGroups(
 }
 
 Result<int> VariationPredictor::PredictShape(const sim::JobRun& run) const {
+  PredictorMetrics::Get().predictions_total->Increment();
   RVAR_ASSIGN_OR_RETURN(std::vector<double> x,
                         featurizer_->FeaturesFor(run));
   return PredictFromFeatures(x);
@@ -130,6 +177,9 @@ Result<int> VariationPredictor::PredictShape(const sim::JobRun& run) const {
 
 Result<std::vector<int>> VariationPredictor::PredictShapeBatch(
     const std::vector<const sim::JobRun*>& runs) const {
+  obs::ScopedSpan span("predictor/predict_batch");
+  PredictorMetrics::Get().predict_batch_size->Observe(
+      static_cast<double>(runs.size()));
   // Featurization and GBDT inference are pure reads of the trained state;
   // each run lands in its own output slot, so the batch result matches a
   // serial PredictShape loop exactly at any thread count.

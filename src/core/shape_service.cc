@@ -14,6 +14,17 @@ ShapeService::ShapeService(const ShapeLibrary* library, Options options)
       num_stripes_(static_cast<size_t>(std::max(1, options.num_stripes))) {
   options_.num_stripes = static_cast<int>(num_stripes_);
   stripes_ = std::make_unique<Stripe[]>(num_stripes_);
+  obs::Registry& registry = obs::Registry::Default();
+  observe_latency_ =
+      registry.GetHistogram("shape_service_observe_latency_seconds");
+  query_latency_ =
+      registry.GetHistogram("shape_service_query_latency_seconds");
+  observe_total_ = registry.GetCounter("shape_service_observe_total");
+  stripe_contention_.reserve(num_stripes_);
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    stripe_contention_.push_back(registry.GetCounter(
+        "shape_service_stripe_contention_total", "stripe", StrCat(s)));
+  }
 }
 
 Result<std::unique_ptr<ShapeService>> ShapeService::Make(
@@ -33,22 +44,40 @@ Result<std::unique_ptr<ShapeService>> ShapeService::Make(
       new ShapeService(library, options));
 }
 
-ShapeService::Stripe& ShapeService::StripeFor(int group_id) const {
+size_t ShapeService::StripeIndexFor(int group_id) const {
   // Spread consecutive group ids across stripes; the multiplicative mix
   // avoids pinning id ranges (gid % stripes would stripe-collide every
   // `num_stripes`-th group of a sequential id space onto one lock).
   const uint64_t h =
       static_cast<uint64_t>(group_id) * 0x9E3779B97F4A7C15ULL;
-  return stripes_[(h >> 32) % num_stripes_];
+  return (h >> 32) % num_stripes_;
+}
+
+ShapeService::Stripe& ShapeService::StripeFor(int group_id) const {
+  return stripes_[StripeIndexFor(group_id)];
+}
+
+std::unique_lock<std::mutex> ShapeService::LockStripe(
+    size_t stripe_index) const {
+  std::unique_lock<std::mutex> lock(stripes_[stripe_index].mu,
+                                    std::try_to_lock);
+  if (!lock.owns_lock()) {
+    stripe_contention_[stripe_index]->Increment();
+    lock.lock();
+  }
+  return lock;
 }
 
 Status ShapeService::Observe(int group_id, double normalized_runtime) {
+  obs::ScopedLatencyTimer timer(observe_latency_);
   if (group_id < 0) {
     return Status::InvalidArgument(
         StrCat("group_id must be >= 0, got ", group_id));
   }
-  Stripe& stripe = StripeFor(group_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  observe_total_->Increment();
+  const size_t stripe_index = StripeIndexFor(group_id);
+  Stripe& stripe = stripes_[stripe_index];
+  std::unique_lock<std::mutex> lock = LockStripe(stripe_index);
   auto it = stripe.trackers.find(group_id);
   if (it == stripe.trackers.end()) {
     it = stripe.trackers
@@ -62,8 +91,10 @@ Status ShapeService::Observe(int group_id, double normalized_runtime) {
 }
 
 std::vector<double> ShapeService::Posterior(int group_id) const {
-  Stripe& stripe = StripeFor(group_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  obs::ScopedLatencyTimer timer(query_latency_);
+  const size_t stripe_index = StripeIndexFor(group_id);
+  Stripe& stripe = stripes_[stripe_index];
+  std::unique_lock<std::mutex> lock = LockStripe(stripe_index);
   const auto it = stripe.trackers.find(group_id);
   if (it == stripe.trackers.end()) {
     const size_t k = static_cast<size_t>(library_->num_clusters());

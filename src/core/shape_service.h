@@ -18,6 +18,7 @@
 #include "common/result.h"
 #include "core/online.h"
 #include "core/shape_library.h"
+#include "obs/metrics.h"
 
 namespace rvar {
 namespace core {
@@ -88,12 +89,22 @@ class ShapeService {
 
   ShapeService(const ShapeLibrary* library, Options options);
 
+  size_t StripeIndexFor(int group_id) const;
   Stripe& StripeFor(int group_id) const;
+  /// Locks the stripe, counting the acquisition in the stripe's contention
+  /// counter when another thread already holds it.
+  std::unique_lock<std::mutex> LockStripe(size_t stripe_index) const;
 
   const ShapeLibrary* library_;
   Options options_;
   std::unique_ptr<Stripe[]> stripes_;
   size_t num_stripes_;
+
+  // Metrics (obs/metrics.h): write-only, never consulted for results.
+  obs::Histogram* observe_latency_;               ///< Observe() wall clock
+  obs::Histogram* query_latency_;                 ///< Posterior() wall clock
+  obs::Counter* observe_total_;
+  std::vector<obs::Counter*> stripe_contention_;  ///< contended lock grabs
 };
 
 }  // namespace core

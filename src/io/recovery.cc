@@ -9,12 +9,53 @@
 #include "common/strings.h"
 #include "io/codec.h"
 #include "io/serialize.h"
+#include "obs/export.h"
 
 namespace rvar {
 namespace io {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Cached handles into the process registry (obs/metrics.h). Recovery
+/// reasons are mirrored into labeled counters so a fleet can alert on
+/// corruption rates without parsing RecoveryReport strings.
+struct RecoveryMetrics {
+  rvar::obs::Counter* wal_appends_total;
+  rvar::obs::Counter* wal_append_bytes_total;
+  rvar::obs::Counter* checkpoints_total;
+  rvar::obs::Counter* snapshot_bytes_total;
+  rvar::obs::Counter* recover_total;
+  rvar::obs::Counter* wal_records_replayed_total;
+  rvar::obs::Counter* wal_bytes_truncated_total;
+  rvar::obs::Counter* snapshots_discarded_total;
+  rvar::obs::Histogram* checkpoint_latency;
+  rvar::obs::Counter* reasons[kNumRecoveryReasons];
+
+  static const RecoveryMetrics& Get() {
+    static const RecoveryMetrics metrics = [] {
+      rvar::obs::Registry& r = rvar::obs::Registry::Default();
+      RecoveryMetrics m{
+          r.GetCounter("recovery_wal_appends_total"),
+          r.GetCounter("recovery_wal_append_bytes_total"),
+          r.GetCounter("recovery_checkpoints_total"),
+          r.GetCounter("recovery_snapshot_bytes_total"),
+          r.GetCounter("recovery_recover_total"),
+          r.GetCounter("recovery_wal_records_replayed_total"),
+          r.GetCounter("recovery_wal_bytes_truncated_total"),
+          r.GetCounter("recovery_snapshots_discarded_total"),
+          r.GetHistogram("recovery_checkpoint_latency_seconds"),
+          {}};
+      for (int i = 0; i < kNumRecoveryReasons; ++i) {
+        m.reasons[i] =
+            r.GetCounter("recovery_reason_total", "reason",
+                         RecoveryReasonName(static_cast<RecoveryReason>(i)));
+      }
+      return m;
+    }();
+    return metrics;
+  }
+};
 
 constexpr char kSnapshotPrefix[] = "snapshot-";
 constexpr char kWalPrefix[] = "wal-";
@@ -265,6 +306,7 @@ Status RecoveryManager::Bootstrap(core::ShapeLibrary library) {
 }
 
 Result<RecoveryReport> RecoveryManager::Recover() {
+  rvar::obs::ScopedSpan span("recovery/recover");
   if (snapshot_generations_.empty()) {
     return Status::NotFound(StrCat(dir_, " holds no snapshot generation"));
   }
@@ -370,6 +412,16 @@ Result<RecoveryReport> RecoveryManager::Recover() {
   }
   report.wal_records_applied = static_cast<int64_t>(pending.size());
 
+  const RecoveryMetrics& metrics = RecoveryMetrics::Get();
+  metrics.recover_total->Increment();
+  metrics.wal_records_replayed_total->Increment(report.wal_records_applied);
+  metrics.wal_bytes_truncated_total->Increment(report.wal_bytes_truncated);
+  metrics.snapshots_discarded_total->Increment(report.num_snapshots_discarded);
+  for (int i = 0; i < kNumRecoveryReasons; ++i) {
+    const int64_t n = report.counts[static_cast<size_t>(i)];
+    if (n > 0) metrics.reasons[i]->Increment(n);
+  }
+
   // Post-recovery appends go to a fresh segment; the replayed ones stay
   // until the next checkpoint prunes them.
   RVAR_RETURN_NOT_OK(RotateWal());
@@ -395,8 +447,13 @@ Status RecoveryManager::Observe(int group_id, double normalized_runtime) {
         "Observe requires live state (Bootstrap() or Recover() first)");
   }
   const uint64_t seq = last_seq_ + 1;
-  RVAR_RETURN_NOT_OK(
-      wal_->Append(EncodeObservation(seq, group_id, normalized_runtime)));
+  const std::string record =
+      EncodeObservation(seq, group_id, normalized_runtime);
+  RVAR_RETURN_NOT_OK(wal_->Append(record));
+  const RecoveryMetrics& metrics = RecoveryMetrics::Get();
+  metrics.wal_appends_total->Increment();
+  metrics.wal_append_bytes_total->Increment(
+      static_cast<int64_t>(record.size()));
   last_seq_ = seq;
   return ApplyObservation(group_id, normalized_runtime);
 }
@@ -422,7 +479,10 @@ Status RecoveryManager::WriteSnapshot(int64_t generation,
     w.PutDoubleVector(tracker.log_likelihood());
     snap.AddRecord(w.bytes());
   }
-  return snap.WriteFile(SnapshotPath(generation));
+  const std::string image = snap.Finish();
+  RecoveryMetrics::Get().snapshot_bytes_total->Increment(
+      static_cast<int64_t>(image.size()));
+  return AtomicWriteFile(SnapshotPath(generation), image);
 }
 
 Status RecoveryManager::RotateWal() {
@@ -463,10 +523,14 @@ void RecoveryManager::Prune() {
 }
 
 Status RecoveryManager::Checkpoint() {
+  rvar::obs::ScopedSpan span("recovery/checkpoint");
+  rvar::obs::ScopedLatencyTimer timer(
+      RecoveryMetrics::Get().checkpoint_latency);
   if (!live_) {
     return Status::FailedPrecondition(
         "Checkpoint requires live state (Bootstrap() or Recover() first)");
   }
+  RecoveryMetrics::Get().checkpoints_total->Increment();
   const int64_t generation = latest_generation_ + 1;
   RVAR_RETURN_NOT_OK(WriteSnapshot(generation, next_segment_id_));
   snapshot_generations_.push_back(generation);

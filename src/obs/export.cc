@@ -1,0 +1,184 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rvar {
+namespace obs {
+
+namespace {
+
+/// Shortest-ish deterministic rendering of a double ("%.9g"): integers
+/// print without a decimal point, which keeps counter-like values exact in
+/// goldens while bucket bounds stay compact.
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string Num(int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+/// `name{existing,le="x"}` or `name{le="x"}`.
+std::string BucketSeries(const Registry::HistogramValue& h,
+                         const std::string& le) {
+  std::string out = h.name;
+  out += "_bucket{";
+  if (!h.label.empty()) {
+    out += h.label;
+    out += ",";
+  }
+  out += "le=\"";
+  out += le;
+  out += "\"}";
+  return out;
+}
+
+/// JSON string escaping for metric keys (quotes and backslashes only;
+/// metric names are ASCII by construction).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const Registry::Snapshot& snapshot) {
+  std::string out;
+  std::string last_typed;
+  auto type_line = [&](const std::string& name, const char* type) {
+    if (name == last_typed) return;  // one TYPE comment per family
+    out += "# TYPE ";
+    out += name;
+    out += " ";
+    out += type;
+    out += "\n";
+    last_typed = name;
+  };
+
+  for (const auto& c : snapshot.counters) {
+    type_line(c.name, "counter");
+    out += c.key;
+    out += " ";
+    out += Num(c.value);
+    out += "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    type_line(g.name, "gauge");
+    out += g.key;
+    out += " ";
+    out += Num(g.value);
+    out += "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    type_line(h.name, "histogram");
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      // The last bucket already absorbs every overflow observation, so it
+      // renders as the +Inf bucket rather than its finite bound.
+      const std::string le = i + 1 == h.counts.size()
+                                 ? std::string("+Inf")
+                                 : Num(h.upper_bounds[i]);
+      out += BucketSeries(h, le);
+      out += " ";
+      out += Num(cumulative);
+      out += "\n";
+    }
+    out += h.name;
+    out += "_sum";
+    if (!h.label.empty()) out += "{" + h.label + "}";
+    out += " ";
+    out += Num(h.sum);
+    out += "\n";
+    out += h.name;
+    out += "_count";
+    if (!h.label.empty()) out += "{" + h.label + "}";
+    out += " ";
+    out += Num(h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const Registry::Snapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(snapshot.counters[i].key) +
+           "\": " + Num(snapshot.counters[i].value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(snapshot.gauges[i].key) +
+           "\": " + Num(snapshot.gauges[i].value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(h.key) + "\": {";
+    out += "\"count\": " + Num(h.count);
+    out += ", \"sum\": " + Num(h.sum);
+    out += ", \"p50\": " + Num(h.p50);
+    out += ", \"p90\": " + Num(h.p90);
+    out += ", \"p99\": " + Num(h.p99);
+    // Only occupied buckets are listed; a 50-bucket histogram with three
+    // occupied buckets exports three entries.
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"le\": " + Num(h.upper_bounds[b]) +
+             ", \"count\": " + Num(h.counts[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string SpansToJson(const std::vector<SpanRecord>& spans) {
+  std::string out = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"name\": \"" + JsonEscape(s.name) + "\"";
+    out += ", \"span_id\": " + Num(static_cast<int64_t>(s.span_id));
+    out += ", \"parent_id\": " + Num(static_cast<int64_t>(s.parent_id));
+    out += ", \"depth\": " + Num(static_cast<int64_t>(s.depth));
+    out += ", \"start_seconds\": " + Num(s.start_seconds);
+    out += ", \"duration_seconds\": " + Num(s.duration_seconds);
+    out += "}";
+  }
+  out += spans.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string DumpPrometheusText() {
+  return ToPrometheusText(Registry::Default().Snap());
+}
+
+std::string DumpJson() { return ToJson(Registry::Default().Snap()); }
+
+std::string DumpSpansJson() {
+  return SpansToJson(Tracer::Default().Snapshot());
+}
+
+}  // namespace obs
+}  // namespace rvar

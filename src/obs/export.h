@@ -1,0 +1,40 @@
+// Copyright 2026 The rvar Authors.
+//
+// Exporters for the obs registry and tracer: Prometheus text exposition
+// format (for scraping) and JSON (for tests, benches, and CI artifacts).
+// Both render a Registry::Snapshot, so one consistent point-in-time view
+// feeds every sink; output order is deterministic (keys ascending,
+// spans in completion order).
+
+#ifndef RVAR_OBS_EXPORT_H_
+#define RVAR_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rvar {
+namespace obs {
+
+/// Prometheus text exposition format: `# TYPE` comments, `_bucket{le=...}`
+/// cumulative histogram series, `_sum`/`_count` companions.
+std::string ToPrometheusText(const Registry::Snapshot& snapshot);
+
+/// JSON object with "counters", "gauges", and "histograms" sections;
+/// histograms carry bucket bounds/counts plus p50/p90/p99.
+std::string ToJson(const Registry::Snapshot& snapshot);
+
+/// JSON array of span objects (name, ids, depth, start, duration).
+std::string SpansToJson(const std::vector<SpanRecord>& spans);
+
+/// Convenience dumps of the process-wide registry / tracer.
+std::string DumpPrometheusText();
+std::string DumpJson();
+std::string DumpSpansJson();
+
+}  // namespace obs
+}  // namespace rvar
+
+#endif  // RVAR_OBS_EXPORT_H_

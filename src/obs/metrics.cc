@@ -1,0 +1,196 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rvar {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_sampling{true};
+
+/// Full metric key: `name` or `name{key="value"}`.
+std::string MetricKey(std::string_view name, std::string_view label_key,
+                      std::string_view label_value) {
+  if (label_key.empty()) return std::string(name);
+  return StrCat(name, "{", label_key, "=\"", label_value, "\"}");
+}
+
+BinGrid MakeLogGrid(const HistogramOptions& options) {
+  RVAR_CHECK(options.min_value > 0.0 && options.max_value > options.min_value)
+      << "histogram range must satisfy 0 < min < max";
+  return *BinGrid::Make(std::log10(options.min_value),
+                        std::log10(options.max_value), options.num_buckets);
+}
+
+}  // namespace
+
+void SetSampling(bool enabled) {
+  g_sampling.store(enabled, std::memory_order_relaxed);
+}
+
+bool SamplingEnabled() {
+  return g_sampling.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(const HistogramOptions& options)
+    : options_(options),
+      grid_(MakeLogGrid(options)),
+      buckets_(static_cast<size_t>(options.num_buckets)) {}
+
+void Histogram::Observe(double value) {
+  // log10 of zero/negative is -inf/NaN; BinGrid clips both into bucket 0,
+  // so degenerate values are counted rather than dropped.
+  const int bin = grid_.BinIndex(std::log10(value));
+  buckets_[static_cast<size_t>(bin)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double clamped = std::isfinite(value) ? value : 0.0;
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + clamped,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::BucketUpperBound(int i) const {
+  RVAR_CHECK(i >= 0 && i < grid_.num_bins());
+  return std::pow(10.0, grid_.lo() + grid_.bin_width() * (i + 1));
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  std::vector<double> pmf(counts.size());
+  double total = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    pmf[i] = static_cast<double>(counts[i]);
+    total += pmf[i];
+  }
+  if (total <= 0.0) return options_.min_value;
+  return std::pow(10.0, PmfQuantile(grid_, pmf, q));
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+template <typename T>
+T* Registry::GetIn(
+    std::map<std::string, std::pair<std::string, std::unique_ptr<T>>>* metrics,
+    std::string_view name, std::string_view label_key,
+    std::string_view label_value) {
+  const std::string key = MetricKey(name, label_key, label_value);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics->find(key);
+  if (it == metrics->end()) {
+    it = metrics
+             ->emplace(key, std::make_pair(std::string(name),
+                                           std::unique_ptr<T>(new T())))
+             .first;
+  }
+  return it->second.second.get();
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  return GetCounter(name, "", "");
+}
+
+Counter* Registry::GetCounter(std::string_view name,
+                              std::string_view label_key,
+                              std::string_view label_value) {
+  return GetIn(&counters_, name, label_key, label_value);
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  return GetGauge(name, "", "");
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view label_key,
+                          std::string_view label_value) {
+  return GetIn(&gauges_, name, label_key, label_value);
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  const HistogramOptions& options) {
+  return GetHistogram(name, "", "", options);
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view label_key,
+                                  std::string_view label_value,
+                                  const HistogramOptions& options) {
+  const std::string key = MetricKey(name, label_key, label_value);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    HistogramEntry entry;
+    entry.name = std::string(name);
+    entry.label = label_key.empty()
+                      ? std::string()
+                      : StrCat(label_key, "=\"", label_value, "\"");
+    entry.histogram.reset(new Histogram(options));
+    it = histograms_.emplace(key, std::move(entry)).first;
+  }
+  return it->second.histogram.get();
+}
+
+Registry::Snapshot Registry::Snap() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : counters_) {
+    snap.counters.push_back({key, entry.first, entry.second->Value()});
+  }
+  for (const auto& [key, entry] : gauges_) {
+    snap.gauges.push_back({key, entry.first, entry.second->Value()});
+  }
+  for (const auto& [key, entry] : histograms_) {
+    const Histogram& h = *entry.histogram;
+    HistogramValue hv;
+    hv.key = key;
+    hv.name = entry.name;
+    hv.label = entry.label;
+    hv.counts = h.BucketCounts();
+    hv.upper_bounds.reserve(hv.counts.size());
+    for (int i = 0; i < static_cast<int>(hv.counts.size()); ++i) {
+      hv.upper_bounds.push_back(h.BucketUpperBound(i));
+    }
+    hv.count = h.Count();
+    hv.sum = h.Sum();
+    hv.p50 = h.Quantile(0.50);
+    hv.p90 = h.Quantile(0.90);
+    hv.p99 = h.Quantile(0.99);
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : counters_) {
+    entry.second->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [key, entry] : gauges_) {
+    entry.second->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [key, entry] : histograms_) {
+    Histogram& h = *entry.histogram;
+    for (auto& bucket : h.buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    h.count_.store(0, std::memory_order_relaxed);
+    h.sum_.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs
+}  // namespace rvar

@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include "common/check.h"
+
+namespace rvar {
+namespace obs {
+
+namespace {
+
+/// Ids of the spans open on this thread, outermost first. Plain ids (not
+/// frames): ScopedSpan itself carries the timing state, so nesting only
+/// needs to know who the parent is.
+thread_local std::vector<uint64_t> tls_span_stack;
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Record(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[first_] = span;
+    first_ = (first_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(first_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+int64_t Tracer::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+int64_t Tracer::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - static_cast<int64_t>(ring_.size());
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  first_ = 0;
+  total_ = 0;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Tracer* tracer)
+    : tracer_(tracer), name_(name), active_(SamplingEnabled()) {
+  if (!active_) return;
+  span_id_ = tracer_->NextId();
+  if (!tls_span_stack.empty()) {
+    parent_id_ = tls_span_stack.back();
+    depth_ = static_cast<int>(tls_span_stack.size());
+  }
+  tls_span_stack.push_back(span_id_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  RVAR_CHECK(!tls_span_stack.empty() && tls_span_stack.back() == span_id_)
+      << "span stack corrupted: ScopedSpans must strictly nest";
+  tls_span_stack.pop_back();
+  SpanRecord record;
+  record.name = name_;
+  record.span_id = span_id_;
+  record.parent_id = parent_id_;
+  record.depth = depth_;
+  record.start_seconds =
+      std::chrono::duration<double>(start_ - tracer_->epoch()).count();
+  record.duration_seconds =
+      std::chrono::duration<double>(end - start_).count();
+  tracer_->Record(record);
+}
+
+}  // namespace obs
+}  // namespace rvar

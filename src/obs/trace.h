@@ -1,0 +1,100 @@
+// Copyright 2026 The rvar Authors.
+//
+// Lightweight trace spans (DESIGN.md §9): RAII ScopedSpan measures a region
+// with the steady clock, parent/child nesting comes from a thread-local
+// span stack, and completed spans land in a bounded in-memory ring buffer
+// (oldest spans are overwritten, never reallocated). Span names must be
+// string literals (static storage) — the records store the pointer.
+//
+// When sampling is off (obs::SetSampling(false)) a ScopedSpan costs one
+// relaxed atomic load and records nothing.
+
+#ifndef RVAR_OBS_TRACE_H_
+#define RVAR_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rvar {
+namespace obs {
+
+/// \brief One completed span.
+struct SpanRecord {
+  const char* name = "";
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  ///< 0 for root spans
+  int depth = 0;           ///< 0 for root spans
+  double start_seconds = 0.0;  ///< steady-clock offset from the tracer epoch
+  double duration_seconds = 0.0;
+};
+
+/// \brief Bounded sink of completed spans.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 4096);
+
+  /// The process-wide tracer the library's spans report to.
+  static Tracer& Default();
+
+  void Record(const SpanRecord& span);
+
+  /// Retained spans, oldest first (at most `capacity`, in completion
+  /// order — a child span completes before its parent).
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Spans recorded over the tracer's lifetime, including overwritten ones.
+  int64_t TotalRecorded() const;
+  /// Spans lost to ring overwrite.
+  int64_t Dropped() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Empties the ring and zeroes the drop accounting (ids keep rising).
+  void Clear();
+
+  uint64_t NextId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;  ///< ring_[ (first_ + i) % capacity_ ]
+  size_t first_ = 0;
+  int64_t total_ = 0;
+};
+
+/// \brief RAII span: times its scope and records on destruction.
+class ScopedSpan {
+ public:
+  /// `name` must have static storage duration (string literal).
+  explicit ScopedSpan(const char* name, Tracer* tracer = &Tracer::Default());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  uint64_t span_id() const { return span_id_; }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  uint64_t span_id_ = 0;
+  uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  bool active_;
+};
+
+}  // namespace obs
+}  // namespace rvar
+
+#endif  // RVAR_OBS_TRACE_H_

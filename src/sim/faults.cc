@@ -7,10 +7,20 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace rvar {
 namespace sim {
 namespace {
+
+/// Injected-fault counter (one per channel) in the process registry. The
+/// surfaced-side counters live in telemetry.cc (quarantine) and
+/// scheduler.cc (retries/abandons); comparing the two ends is exactly the
+/// injected-vs-surfaced audit the chaos tests do by hand.
+obs::Counter* InjectedCounter(const char* kind) {
+  return obs::Registry::Default().GetCounter("faults_injected_total", "kind",
+                                             kind);
+}
 
 // Distinct salts per fault channel so their draws are independent.
 constexpr uint64_t kSaltMachineFault = 0x4D46;   // "MF"
@@ -240,6 +250,19 @@ std::vector<JobRun> FaultPlan::CorruptTelemetry(
     }
     out.push_back(std::move(run));
   }
+  static obs::Counter* const dropped = InjectedCounter("drop");
+  static obs::Counter* const duplicated = InjectedCounter("duplicate");
+  static obs::Counter* const nan_runtime = InjectedCounter("nan-runtime");
+  static obs::Counter* const negative = InjectedCounter("negative-runtime");
+  static obs::Counter* const missing = InjectedCounter("missing-columns");
+  static obs::Counter* const reordered = InjectedCounter("reordered");
+  dropped->Increment(local.dropped);
+  duplicated->Increment(local.duplicated);
+  nan_runtime->Increment(local.nan_runtime);
+  negative->Increment(local.negative_runtime);
+  missing->Increment(local.missing_columns);
+  reordered->Increment(local.reordered);
+
   if (stats != nullptr) *stats = local;
   return out;
 }

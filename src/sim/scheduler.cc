@@ -4,11 +4,40 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "sim/faults.h"
 #include "stats/descriptive.h"
 
 namespace rvar {
 namespace sim {
+
+namespace {
+
+/// Surfaced-fault accounting: what the executed workload actually felt, as
+/// opposed to what the FaultPlan injected (faults.cc). Abandons are the
+/// runs that never became telemetry.
+struct SchedulerMetrics {
+  obs::Counter* jobs_total;
+  obs::Counter* machine_faults_total;
+  obs::Counter* vertex_retries_total;
+  obs::Counter* jobs_abandoned_total;
+  obs::Counter* spare_revocations_total;
+
+  static const SchedulerMetrics& Get() {
+    static const SchedulerMetrics metrics = [] {
+      obs::Registry& r = obs::Registry::Default();
+      return SchedulerMetrics{
+          r.GetCounter("scheduler_jobs_total"),
+          r.GetCounter("scheduler_machine_faults_total"),
+          r.GetCounter("scheduler_vertex_retries_total"),
+          r.GetCounter("scheduler_jobs_abandoned_total"),
+          r.GetCounter("scheduler_spare_revocations_total")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 TokenScheduler::TokenScheduler(const Cluster* cluster, SchedulerConfig config,
                                const FaultPlan* faults)
@@ -111,6 +140,7 @@ Result<JobRun> TokenScheduler::Execute(const JobGroupSpec& group,
     if (faults_ != nullptr && !run.spare_revoked && spare_tokens > 0 &&
         faults_->SpareRevocation(instance.instance_id, s)) {
       run.spare_revoked = true;
+      SchedulerMetrics::Get().spare_revocations_total->Increment();
     }
     const int tokens_now =
         run.spare_revoked ? group.allocated_tokens : total_tokens;
@@ -182,13 +212,16 @@ Result<JobRun> TokenScheduler::Execute(const JobGroupSpec& group,
           static_cast<double>(
               std::max(0, parallelism - group.allocated_tokens)) *
           lost;
+      SchedulerMetrics::Get().machine_faults_total->Increment();
       if (attempt >= config_.max_vertex_retries) {
+        SchedulerMetrics::Get().jobs_abandoned_total->Increment();
         return Status::ResourceExhausted(StrCat(
             "instance ", instance.instance_id, " of group ", group.group_id,
             " abandoned after ", attempt + 1, " machine faults in stage ",
             s));
       }
       elapsed += config_.retry_backoff_seconds * std::pow(2.0, attempt);
+      SchedulerMetrics::Get().vertex_retries_total->Increment();
       ++run.vertex_retries;
     }
 
@@ -225,6 +258,7 @@ Result<JobRun> TokenScheduler::Execute(const JobGroupSpec& group,
     spare_token_seconds *= factor;
   }
 
+  SchedulerMetrics::Get().jobs_total->Increment();
   run.runtime_seconds = elapsed;
   run.avg_tokens_used =
       elapsed > 0.0 ? token_seconds / elapsed : 0.0;

@@ -9,9 +9,29 @@
 #include "common/csv.h"
 #include "common/hash.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace rvar {
 namespace sim {
+
+namespace {
+
+/// Per-reason quarantine counters in the process registry, labeled with
+/// the same reason names RecoveryReport-style accounting prints.
+obs::Counter* QuarantineCounter(QuarantineReason reason) {
+  static const std::array<obs::Counter*, kNumQuarantineReasons> counters = [] {
+    std::array<obs::Counter*, kNumQuarantineReasons> c{};
+    for (int i = 0; i < kNumQuarantineReasons; ++i) {
+      c[static_cast<size_t>(i)] = obs::Registry::Default().GetCounter(
+          "telemetry_quarantined_total", "reason",
+          QuarantineReasonName(static_cast<QuarantineReason>(i)));
+    }
+    return c;
+  }();
+  return counters[static_cast<size_t>(reason)];
+}
+
+}  // namespace
 
 const std::vector<size_t> TelemetryStore::kEmpty;
 
@@ -78,11 +98,15 @@ bool TelemetryStore::Validate(const JobRun& run,
 }
 
 Status TelemetryStore::Ingest(JobRun run) {
+  static obs::Counter* const ingest_total =
+      obs::Registry::Default().GetCounter("telemetry_ingest_total");
+  ingest_total->Increment();
   QuarantineReason reason;
   if (Validate(run, &reason)) {
     Add(std::move(run));
     return Status::OK();
   }
+  QuarantineCounter(reason)->Increment();
   quarantine_counts_[static_cast<size_t>(reason)]++;
   const std::string message =
       StrCat("run (group ", run.group_id, ", instance ", run.instance_id,

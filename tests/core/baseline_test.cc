@@ -51,8 +51,10 @@ sim::StudySuite* BaselineTest::suite_ = nullptr;
 VariationPredictor* BaselineTest::predictor_ = nullptr;
 
 TEST_F(BaselineTest, PredictsPositiveRuntimesOfRightScale) {
-  auto baseline = RegressionBaseline::Train(*suite_, *predictor_,
-                                            ml::ForestConfig{.num_trees = 25});
+  ml::ForestConfig forest_config;
+  forest_config.num_trees = 25;
+  auto baseline =
+      RegressionBaseline::Train(*suite_, *predictor_, forest_config);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   // Point predictions should land within a factor of ~3 of the truth for
   // most runs (log-space regression on strongly informative features).
@@ -70,8 +72,10 @@ TEST_F(BaselineTest, PredictsPositiveRuntimesOfRightScale) {
 }
 
 TEST_F(BaselineTest, ComparisonProducesCompleteArtifacts) {
-  auto baseline = RegressionBaseline::Train(*suite_, *predictor_,
-                                            ml::ForestConfig{.num_trees = 25});
+  ml::ForestConfig forest_config;
+  forest_config.num_trees = 25;
+  auto baseline =
+      RegressionBaseline::Train(*suite_, *predictor_, forest_config);
   ASSERT_TRUE(baseline.ok());
   Rng rng(1);
   auto cmp = CompareReconstruction(suite_->d3.telemetry, *predictor_,

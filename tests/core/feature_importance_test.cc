@@ -62,7 +62,9 @@ class FeatureImportanceTest : public ::testing::Test {
       is_kept[kept[i]] = true;
     }
     for (size_t f = 0; f < full.size(); ++f) {
-      if (!is_kept[f]) EXPECT_EQ(full[f], 0.0) << "dropped feature " << f;
+      if (!is_kept[f]) {
+        EXPECT_EQ(full[f], 0.0) << "dropped feature " << f;
+      }
     }
     const double total = std::accumulate(full.begin(), full.end(), 0.0);
     EXPECT_NEAR(total, 1.0, 1e-6);

@@ -110,13 +110,17 @@ TEST_F(PipelineTest, FeatureImportanceMapsBackToFullSpace) {
   std::vector<bool> kept(imp.size(), false);
   for (size_t f : predictor_->kept_features()) kept[f] = true;
   for (size_t f = 0; f < imp.size(); ++f) {
-    if (!kept[f]) EXPECT_EQ(imp[f], 0.0);
+    if (!kept[f]) {
+      EXPECT_EQ(imp[f], 0.0);
+    }
   }
 }
 
 TEST_F(PipelineTest, BaselineComparisonFavorsProposedOnKs) {
-  auto baseline = RegressionBaseline::Train(
-      *suite_, *predictor_, ml::ForestConfig{.num_trees = 40});
+  ml::ForestConfig forest_config;
+  forest_config.num_trees = 40;
+  auto baseline =
+      RegressionBaseline::Train(*suite_, *predictor_, forest_config);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
   Rng rng(5);
   auto cmp = CompareReconstruction(suite_->d3.telemetry, *predictor_,

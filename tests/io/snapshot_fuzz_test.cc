@@ -57,23 +57,33 @@ std::string ValidLibraryImage() {
 void ExpectAllDecodersReject(const std::string& bytes) {
   {
     auto r = DecodeShapeLibrary(bytes);
-    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty());
+    }
   }
   {
     auto r = DecodeGbdtClassifier(bytes);
-    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty());
+    }
   }
   {
     auto r = DecodeRandomForestClassifier(bytes);
-    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty());
+    }
   }
   {
     auto r = DecodeRandomForestRegressor(bytes);
-    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty());
+    }
   }
   {
     auto r = DecodeTelemetryStore(bytes);
-    if (!r.ok()) EXPECT_FALSE(r.status().message().empty());
+    if (!r.ok()) {
+      EXPECT_FALSE(r.status().message().empty());
+    }
   }
   {
     SnapshotDefect defect = SnapshotDefect::kNone;

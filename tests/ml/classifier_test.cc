@@ -18,6 +18,12 @@ namespace rvar {
 namespace ml {
 namespace {
 
+ForestConfig ForestWithTrees(int num_trees) {
+  ForestConfig config;
+  config.num_trees = num_trees;
+  return config;
+}
+
 // Three Gaussian blobs in 2D (easily separable, slight overlap).
 Dataset Blobs(int n_per_class, double spread, Rng* rng) {
   const double centers[3][2] = {{0.0, 0.0}, {4.0, 0.0}, {2.0, 4.0}};
@@ -93,7 +99,7 @@ TEST(RandomForestClassifierTest, ImportanceIgnoresNoiseFeature) {
 TEST(RandomForestClassifierTest, ProbabilitiesSumToOne) {
   Rng rng(24);
   Dataset train = Blobs(60, 0.8, &rng);
-  RandomForestClassifier rf({.num_trees = 10});
+  RandomForestClassifier rf(ForestWithTrees(10));
   ASSERT_TRUE(rf.Fit(train).ok());
   const auto p = rf.PredictProba({2.0, 1.5});
   ASSERT_EQ(p.size(), 3u);
@@ -108,7 +114,7 @@ TEST(RandomForestClassifierTest, ProbabilitiesSumToOne) {
 TEST(RandomForestClassifierTest, RejectsBadConfigAndData) {
   Rng rng(25);
   Dataset train = Blobs(20, 0.5, &rng);
-  RandomForestClassifier bad_trees({.num_trees = 0});
+  RandomForestClassifier bad_trees(ForestWithTrees(0));
   EXPECT_FALSE(bad_trees.Fit(train).ok());
   RandomForestClassifier rf;
   Dataset no_labels = train;
@@ -291,7 +297,7 @@ TEST(VotingClassifierTest, CombinesModels) {
   Dataset test = Blobs(40, 0.7, &rng);
   VotingClassifier voting;
   voting.AddModel(std::make_unique<RandomForestClassifier>(
-      ForestConfig{.num_trees = 15}));
+      ForestWithTrees(15)));
   voting.AddModel(std::make_unique<GbdtClassifier>(
       GbdtConfig{.num_rounds = 15}));
   voting.AddModel(std::make_unique<GaussianNaiveBayes>());
@@ -319,7 +325,7 @@ TEST(VotingClassifierTest, WeightsShiftTheVote) {
   VotingClassifier voting;
   voting.AddModel(std::make_unique<GaussianNaiveBayes>(), 100.0);
   voting.AddModel(std::make_unique<RandomForestClassifier>(
-                      ForestConfig{.num_trees = 5}),
+                      ForestWithTrees(5)),
                   0.01);
   ASSERT_TRUE(voting.Fit(train).ok());
   GaussianNaiveBayes solo;

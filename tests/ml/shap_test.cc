@@ -162,7 +162,9 @@ TEST(ShapForForestTest, LocalAccuracyInProbabilitySpace) {
     d.x.push_back({a, rng.Uniform(-1.0, 1.0)});
     d.y.push_back(a > 0.0 ? 1 : 0);
   }
-  RandomForestClassifier model({.num_trees = 12});
+  ForestConfig forest_config;
+  forest_config.num_trees = 12;
+  RandomForestClassifier model(forest_config);
   ASSERT_TRUE(model.Fit(d).ok());
   for (int trial = 0; trial < 15; ++trial) {
     const std::vector<double> x = {rng.Uniform(-1.0, 1.0),

@@ -1,0 +1,114 @@
+// Golden-output tests for the exporters: the exact Prometheus text and
+// JSON a fixed registry renders to, plus span JSON. The goldens pin the
+// wire format — a diff here means scrapers/CI artifact parsers break.
+
+#include "obs/export.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace rvar {
+namespace obs {
+namespace {
+
+/// A small fixed registry: two counter series in one family, a gauge, and
+/// a one-decade-per-bucket histogram whose bounds render exactly.
+Registry& GoldenRegistry() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    r->GetCounter("ingest_total")->Increment(7);
+    r->GetCounter("quarantined_total", "reason", "duplicate")->Increment(2);
+    r->GetCounter("quarantined_total", "reason", "nan")->Increment(1);
+    r->GetGauge("queue_depth")->Set(3);
+    Histogram* h =
+        r->GetHistogram("latency_seconds", HistogramOptions{1e-3, 1e3, 6});
+    h->Observe(0.5);
+    h->Observe(0.25);
+    h->Observe(50.0);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(PrometheusExport, GoldenOutput) {
+  const std::string expected =
+      "# TYPE ingest_total counter\n"
+      "ingest_total 7\n"
+      "# TYPE quarantined_total counter\n"
+      "quarantined_total{reason=\"duplicate\"} 2\n"
+      "quarantined_total{reason=\"nan\"} 1\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth 3\n"
+      "# TYPE latency_seconds histogram\n"
+      "latency_seconds_bucket{le=\"0.01\"} 0\n"
+      "latency_seconds_bucket{le=\"0.1\"} 0\n"
+      "latency_seconds_bucket{le=\"1\"} 2\n"
+      "latency_seconds_bucket{le=\"10\"} 2\n"
+      "latency_seconds_bucket{le=\"100\"} 3\n"
+      "latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "latency_seconds_sum 50.75\n"
+      "latency_seconds_count 3\n";
+  EXPECT_EQ(ToPrometheusText(GoldenRegistry().Snap()), expected);
+}
+
+TEST(JsonExport, GoldenOutput) {
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"ingest_total\": 7,\n"
+      "    \"quarantined_total{reason=\\\"duplicate\\\"}\": 2,\n"
+      "    \"quarantined_total{reason=\\\"nan\\\"}\": 1\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"queue_depth\": 3\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"latency_seconds\": {\"count\": 3, \"sum\": 50.75, "
+      "\"p50\": 0.562341325, \"p90\": 50.1187234, \"p99\": 93.3254301, "
+      "\"buckets\": [{\"le\": 1, \"count\": 2}, "
+      "{\"le\": 100, \"count\": 1}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(ToJson(GoldenRegistry().Snap()), expected);
+}
+
+TEST(JsonExport, EmptyRegistry) {
+  Registry registry;
+  EXPECT_EQ(ToJson(registry.Snap()),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+  EXPECT_EQ(ToPrometheusText(registry.Snap()), "");
+}
+
+TEST(SpanExport, GoldenShape) {
+  SpanRecord span;
+  span.name = "predictor/train";
+  span.span_id = 3;
+  span.parent_id = 1;
+  span.depth = 1;
+  span.start_seconds = 0.5;
+  span.duration_seconds = 0.25;
+  const std::string expected =
+      "[\n"
+      "  {\"name\": \"predictor/train\", \"span_id\": 3, \"parent_id\": 1, "
+      "\"depth\": 1, \"start_seconds\": 0.5, \"duration_seconds\": 0.25}\n"
+      "]\n";
+  EXPECT_EQ(SpansToJson({span}), expected);
+  EXPECT_EQ(SpansToJson({}), "[]\n");
+}
+
+TEST(PrometheusExport, HistogramWithLabelSplicesLe) {
+  Registry registry;
+  registry.GetHistogram("lat", "op", "observe", HistogramOptions{1e-3, 1e3, 6})
+      ->Observe(0.5);
+  const std::string text = ToPrometheusText(registry.Snap());
+  EXPECT_NE(text.find("lat_bucket{op=\"observe\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_sum{op=\"observe\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_count{op=\"observe\"} 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rvar
