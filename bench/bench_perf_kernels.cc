@@ -576,6 +576,55 @@ void WriteBenchKernelsJson() {
   std::printf("kernel timing summary written to BENCH_kernels.json\n");
 }
 
+// GBDT engine kernels (histogram-cache training and flattened batch
+// inference), written to BENCH_gbdt.json for the CI regression gate.
+// Training is timed at 1 and 4 configured threads over the same workload
+// as the BENCH_parallel.json sweep, so the two reports stay comparable;
+// the batch-predict kernel reuses one scratch buffer across all rows the
+// way the serving paths (PredictShapeBatch, what-if) do.
+void WriteBenchGbdtJson() {
+  const ml::Dataset train_data = MakeTabular(4000, 30, 3, 11);
+  const ml::Dataset predict_data = MakeTabular(3000, 30, 3, 35);
+  ml::GbdtClassifier predict_model({.num_rounds = 30});
+  benchmark::DoNotOptimize(predict_model.Fit(predict_data).ok());
+
+  SetParallelThreads(1);
+  const double train_1t = BestSecondsOf([&] {
+    ml::GbdtClassifier model({.num_rounds = 10});
+    benchmark::DoNotOptimize(model.Fit(train_data).ok());
+  });
+  SetParallelThreads(4);
+  const double train_4t = BestSecondsOf([&] {
+    ml::GbdtClassifier model({.num_rounds = 10});
+    benchmark::DoNotOptimize(model.Fit(train_data).ok());
+  });
+  SetParallelThreads(0);
+
+  const double predict_batch = BestSecondsOf([&] {
+    std::vector<double> proba;
+    for (size_t i = 0; i < 20000; ++i) {
+      predict_model.PredictProbaInto(
+          predict_data.x[i % predict_data.NumRows()], &proba);
+      benchmark::DoNotOptimize(proba.data());
+    }
+  });
+
+  const double calibration = CalibrationSeconds();
+  std::FILE* out = std::fopen("BENCH_gbdt.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\n"
+               "  \"calibration_seconds\": %.6f,\n"
+               "  \"kernels\": {\n"
+               "    \"gbdt_train_1t\": %.6f,\n"
+               "    \"gbdt_train_4t\": %.6f,\n"
+               "    \"gbdt_predict_batch\": %.6f\n"
+               "  }\n}\n",
+               calibration, train_1t, train_4t, predict_batch);
+  std::fclose(out);
+  std::printf("gbdt engine summary written to BENCH_gbdt.json\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -598,5 +647,6 @@ int main(int argc, char** argv) {
   WriteBenchIoJson();
   WriteBenchParallelJson();
   WriteBenchKernelsJson();
+  WriteBenchGbdtJson();
   return 0;
 }

@@ -13,21 +13,19 @@ PosteriorAssigner::PosteriorAssigner(const ShapeLibrary* library,
     : library_(library) {
   RVAR_CHECK(library != nullptr);
   RVAR_CHECK_GT(pmf_floor, 0.0);
-  const int k = library->num_clusters();
-  const int bins = library->grid().num_bins();
-  log_pmf_.resize(static_cast<size_t>(k));
-  for (int c = 0; c < k; ++c) {
-    std::vector<double> floored = library->shape(c);
+  num_clusters_ = static_cast<size_t>(library->num_clusters());
+  num_bins_ = static_cast<size_t>(library->grid().num_bins());
+  log_pmf_.resize(num_clusters_ * num_bins_);
+  for (size_t c = 0; c < num_clusters_; ++c) {
+    std::vector<double> floored = library->shape(static_cast<int>(c));
     double mass = 0.0;
     for (double& v : floored) {
       v = std::max(v, pmf_floor);
       mass += v;
     }
-    std::vector<double>& lp = log_pmf_[static_cast<size_t>(c)];
-    lp.resize(static_cast<size_t>(bins));
-    for (int h = 0; h < bins; ++h) {
-      lp[static_cast<size_t>(h)] =
-          std::log(floored[static_cast<size_t>(h)] / mass);
+    double* lp = log_pmf_.data() + c * num_bins_;
+    for (size_t h = 0; h < num_bins_; ++h) {
+      lp[h] = std::log(floored[h] / mass);
     }
   }
 }
@@ -54,12 +52,13 @@ Result<std::vector<ClusterLikelihood>> PosteriorAssigner::LogLikelihoods(
         "all observations are non-finite; cannot compute likelihoods");
   }
   std::vector<ClusterLikelihood> out;
-  out.reserve(log_pmf_.size());
-  for (size_t c = 0; c < log_pmf_.size(); ++c) {
+  out.reserve(num_clusters_);
+  for (size_t c = 0; c < num_clusters_; ++c) {
+    const double* lp = log_pmf_.data() + c * num_bins_;
     double ll = 0.0;
     for (size_t h = 0; h < counts.size(); ++h) {
       if (counts[h] > 0) {
-        ll += static_cast<double>(counts[h]) * log_pmf_[c][h];
+        ll += static_cast<double>(counts[h]) * lp[h];
       }
     }
     out.push_back({static_cast<int>(c), ll});

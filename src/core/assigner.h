@@ -47,8 +47,12 @@ class PosteriorAssigner {
 
  private:
   const ShapeLibrary* library_;
-  /// log of floored+renormalized cluster PMFs, [cluster][bin].
-  std::vector<std::vector<double>> log_pmf_;
+  /// log of floored+renormalized cluster PMFs, flattened row-major as
+  /// [cluster * num_bins_ + bin] so Equation 9's per-cluster score is one
+  /// contiguous dot product over the counts.
+  std::vector<double> log_pmf_;
+  size_t num_clusters_ = 0;
+  size_t num_bins_ = 0;
 };
 
 }  // namespace core

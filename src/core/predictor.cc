@@ -182,12 +182,22 @@ Result<std::vector<int>> VariationPredictor::PredictShapeBatch(
       static_cast<double>(runs.size()));
   // Featurization and GBDT inference are pure reads of the trained state;
   // each run lands in its own output slot, so the batch result matches a
-  // serial PredictShape loop exactly at any thread count.
+  // serial PredictShape loop exactly at any thread count. Each chunk keeps
+  // one PredictScratch, so inference over the flattened forest allocates
+  // only the per-run feature vector.
   std::vector<int> predicted(runs.size(), -1);
   std::vector<Status> run_status(runs.size(), Status::OK());
+  obs::Counter* predictions = PredictorMetrics::Get().predictions_total;
   ParallelFor(runs.size(), /*grain=*/32, [&](size_t begin, size_t end) {
+    PredictScratch scratch;
     for (size_t i = begin; i < end; ++i) {
-      Result<int> shape = PredictShape(*runs[i]);
+      predictions->Increment();
+      Result<std::vector<double>> x = featurizer_->FeaturesFor(*runs[i]);
+      if (!x.ok()) {
+        run_status[i] = x.status();
+        continue;
+      }
+      Result<int> shape = PredictFromFeatures(*x, &scratch);
       if (shape.ok()) {
         predicted[i] = *shape;
       } else {
@@ -199,23 +209,31 @@ Result<std::vector<int>> VariationPredictor::PredictShapeBatch(
   return predicted;
 }
 
-Result<std::vector<double>> VariationPredictor::PredictProbaFromFeatures(
-    const std::vector<double>& full_features) const {
+Status VariationPredictor::PredictProbaFromFeatures(
+    const std::vector<double>& full_features, PredictScratch* scratch) const {
   if (full_features.size() != featurizer_->FeatureNames().size()) {
     return Status::InvalidArgument(
         StrCat("expected ", featurizer_->FeatureNames().size(),
                " features, got ", full_features.size()));
   }
-  std::vector<double> projected;
-  projected.reserve(kept_.size());
-  for (size_t f : kept_) projected.push_back(full_features[f]);
-  return model_->PredictProba(projected);
+  scratch->projected.clear();
+  scratch->projected.reserve(kept_.size());
+  for (size_t f : kept_) scratch->projected.push_back(full_features[f]);
+  model_->PredictProbaInto(scratch->projected, &scratch->proba);
+  return Status::OK();
+}
+
+Result<std::vector<double>> VariationPredictor::PredictProbaFromFeatures(
+    const std::vector<double>& full_features) const {
+  PredictScratch scratch;
+  RVAR_RETURN_NOT_OK(PredictProbaFromFeatures(full_features, &scratch));
+  return std::move(scratch.proba);
 }
 
 Result<int> VariationPredictor::PredictFromFeatures(
-    const std::vector<double>& full_features) const {
-  RVAR_ASSIGN_OR_RETURN(std::vector<double> proba,
-                        PredictProbaFromFeatures(full_features));
+    const std::vector<double>& full_features, PredictScratch* scratch) const {
+  RVAR_RETURN_NOT_OK(PredictProbaFromFeatures(full_features, scratch));
+  const std::vector<double>& proba = scratch->proba;
   int best = 0;
   for (size_t k = 1; k < proba.size(); ++k) {
     if (proba[k] > proba[static_cast<size_t>(best)]) {
@@ -223,6 +241,12 @@ Result<int> VariationPredictor::PredictFromFeatures(
     }
   }
   return best;
+}
+
+Result<int> VariationPredictor::PredictFromFeatures(
+    const std::vector<double>& full_features) const {
+  PredictScratch scratch;
+  return PredictFromFeatures(full_features, &scratch);
 }
 
 Result<PredictorEvaluation> VariationPredictor::Evaluate(

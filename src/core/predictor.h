@@ -52,6 +52,14 @@ struct PredictorEvaluation {
   std::vector<SupportBucket> by_support;
 };
 
+/// \brief Reusable buffers for the scratch-based prediction overloads.
+/// Hot batch loops keep one instance per thread and reuse it across rows,
+/// so projection and softmax scoring allocate nothing in steady state.
+struct PredictScratch {
+  std::vector<double> projected;
+  std::vector<double> proba;
+};
+
 /// \brief The trained 2-step model.
 class VariationPredictor {
  public:
@@ -94,9 +102,17 @@ class VariationPredictor {
   Result<std::vector<double>> PredictProbaFromFeatures(
       const std::vector<double>& full_features) const;
 
+  /// Allocation-free variant: probabilities land in scratch->proba.
+  Status PredictProbaFromFeatures(const std::vector<double>& full_features,
+                                  PredictScratch* scratch) const;
+
   /// Predicted shape from a FULL feature vector.
   Result<int> PredictFromFeatures(
       const std::vector<double>& full_features) const;
+
+  /// Allocation-free variant reusing `scratch` across calls.
+  Result<int> PredictFromFeatures(const std::vector<double>& full_features,
+                                  PredictScratch* scratch) const;
 
   /// Figure 7 evaluation on a test slice.
   Result<PredictorEvaluation> Evaluate(

@@ -46,6 +46,9 @@ Result<ScenarioResult> WhatIfEngine::Run(
         local.transitions.assign(
             static_cast<size_t>(k),
             std::vector<int>(static_cast<size_t>(k), 0));
+        // One scratch per chunk: both re-predictions of every run in the
+        // chunk reuse the same projection/softmax buffers.
+        PredictScratch scratch;
         for (size_t i = begin; i < end; ++i) {
           Result<std::vector<double>> features =
               featurizer.FeaturesFor(runs[i]);
@@ -53,13 +56,15 @@ Result<ScenarioResult> WhatIfEngine::Run(
             local.status = features.status();
             return local;
           }
-          Result<int> before = predictor_->PredictFromFeatures(*features);
+          Result<int> before =
+              predictor_->PredictFromFeatures(*features, &scratch);
           if (!before.ok()) {
             local.status = before.status();
             return local;
           }
           transform(featurizer, &*features);
-          Result<int> after = predictor_->PredictFromFeatures(*features);
+          Result<int> after =
+              predictor_->PredictFromFeatures(*features, &scratch);
           if (!after.ok()) {
             local.status = after.status();
             return local;

@@ -153,11 +153,33 @@ double FeatureBinner::UpperEdge(size_t f, int b) const {
 std::vector<std::vector<uint8_t>> FeatureBinner::BinColumns(
     const Dataset& d) const {
   RVAR_CHECK_EQ(d.NumFeatures(), edges_.size());
+  const size_t rows = d.NumRows();
   std::vector<std::vector<uint8_t>> cols(edges_.size());
-  for (size_t f = 0; f < edges_.size(); ++f) {
-    cols[f].resize(d.NumRows());
-    for (size_t i = 0; i < d.NumRows(); ++i) {
-      cols[f][i] = Bin(f, d.x[i][f]);
+  for (size_t f = 0; f < edges_.size(); ++f) cols[f].resize(rows);
+  // Row-outer iteration visits each dataset row once while it is cache
+  // resident; the inner search is the same lower_bound index Bin(f, v)
+  // computes, written as a branch-free halving loop (each step is a
+  // conditional move, not an unpredictable branch). This is the training
+  // hot path: every row x feature is binned once per Fit.
+  for (size_t i = 0; i < rows; ++i) {
+    const std::vector<double>& x = d.x[i];
+    for (size_t f = 0; f < edges_.size(); ++f) {
+      const std::vector<double>& e = edges_[f];
+      const size_t ne = e.size();
+      if (ne == 0) {
+        cols[f][i] = 0;
+        continue;
+      }
+      const double v = x[f];
+      const double* base = e.data();
+      size_t len = ne;
+      while (len > 1) {
+        const size_t half = len / 2;
+        if (base[half - 1] < v) base += half;
+        len -= half;
+      }
+      cols[f][i] = static_cast<uint8_t>((base - e.data()) +
+                                        static_cast<size_t>(base[0] < v));
     }
   }
   return cols;

@@ -101,6 +101,8 @@ Status RandomForestClassifier::Fit(const Dataset& d) {
   for (const Status& st : tree_status) RVAR_RETURN_NOT_OK(st);
 
   trees_ = std::move(trained);
+  flat_ = FlatForest();
+  for (const Tree& tree : trees_) flat_.Add(tree);
   importance_.assign(d.NumFeatures(), 0.0);
   for (const std::vector<double>& gain : gains) {  // merge in tree order
     for (size_t f = 0; f < gain.size(); ++f) importance_[f] += gain[f];
@@ -113,8 +115,11 @@ std::vector<double> RandomForestClassifier::PredictProba(
     const std::vector<double>& row) const {
   RVAR_CHECK(!trees_.empty()) << "PredictProba before Fit";
   std::vector<double> proba(static_cast<size_t>(num_classes_), 0.0);
-  for (const Tree& tree : trees_) {
-    const std::vector<double>& leaf = tree.PredictValue(row);
+  // Accumulate leaf distributions over the flat layout in tree order —
+  // the same additions in the same order as walking trees_, bit-identical.
+  const double* x = row.data();
+  for (size_t t = 0; t < flat_.num_trees(); ++t) {
+    const double* leaf = flat_.Values(t, x);
     for (size_t k = 0; k < proba.size(); ++k) proba[k] += leaf[k];
   }
   const double inv = 1.0 / static_cast<double>(trees_.size());
@@ -149,6 +154,7 @@ Result<RandomForestClassifier> RandomForestClassifier::Restore(
   RandomForestClassifier model(config);
   model.num_classes_ = num_classes;
   model.trees_ = std::move(trees);
+  for (const Tree& tree : model.trees_) model.flat_.Add(tree);
   model.importance_ = std::move(importance);
   return model;
 }
@@ -202,6 +208,8 @@ Status RandomForestRegressor::Fit(const Dataset& d) {
   for (const Status& st : tree_status) RVAR_RETURN_NOT_OK(st);
 
   trees_ = std::move(trained);
+  flat_ = FlatForest();
+  for (const Tree& tree : trees_) flat_.Add(tree);
   importance_.assign(d.NumFeatures(), 0.0);
   for (const std::vector<double>& gain : gains) {  // merge in tree order
     for (size_t f = 0; f < gain.size(); ++f) importance_[f] += gain[f];
@@ -213,7 +221,10 @@ Status RandomForestRegressor::Fit(const Dataset& d) {
 double RandomForestRegressor::Predict(const std::vector<double>& row) const {
   RVAR_CHECK(!trees_.empty()) << "Predict before Fit";
   double acc = 0.0;
-  for (const Tree& tree : trees_) acc += tree.PredictScalar(row);
+  const double* x = row.data();
+  for (size_t t = 0; t < flat_.num_trees(); ++t) {
+    acc += flat_.PredictScalar(t, x);
+  }
   return acc / static_cast<double>(trees_.size());
 }
 
@@ -238,6 +249,7 @@ Result<RandomForestRegressor> RandomForestRegressor::Restore(
   }
   RandomForestRegressor model(config);
   model.trees_ = std::move(trees);
+  for (const Tree& tree : model.trees_) model.flat_.Add(tree);
   model.importance_ = std::move(importance);
   return model;
 }

@@ -62,6 +62,8 @@ class RandomForestClassifier : public Classifier {
   ForestConfig config_;
   int num_classes_ = 0;
   std::vector<Tree> trees_;
+  // Compiled SoA view of trees_ for prediction; derived, never serialized.
+  FlatForest flat_;
   std::vector<double> importance_;
 };
 
@@ -88,6 +90,8 @@ class RandomForestRegressor : public Regressor {
  private:
   ForestConfig config_;
   std::vector<Tree> trees_;
+  // Compiled SoA view of trees_ for prediction; derived, never serialized.
+  FlatForest flat_;
   std::vector<double> importance_;
 };
 

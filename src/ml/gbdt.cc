@@ -1,17 +1,23 @@
 #include "ml/gbdt.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <queue>
+#include <utility>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 
 namespace rvar {
 namespace ml {
 namespace {
+
+constexpr size_t kNoHist = static_cast<size_t>(-1);
 
 // A grown-but-unexpanded leaf with its best split precomputed.
 struct LeafCandidate {
@@ -21,6 +27,14 @@ struct LeafCandidate {
   double gain;
   int feature;
   int bin;
+  // Node grad/hess totals, threaded down from the parent's split scan so
+  // they are never re-summed over rows.
+  double node_g, node_h;
+  // Prefix sums at the winning bin == the left child's totals.
+  double left_g, left_h;
+  // Handle of this node's cached histogram in the builder's pool; kNoHist
+  // when the node was never eligible for a split search.
+  size_t hist;
 
   bool operator<(const LeafCandidate& other) const {
     return gain < other.gain;  // max-heap on gain
@@ -29,8 +43,28 @@ struct LeafCandidate {
 
 // Trains one Newton tree on (grad, hess) with leaf-wise growth.
 // Leaf values are -G/(H+lambda) * learning_rate.
+//
+// Split finding works on cached per-node histograms (DESIGN.md §10): each
+// heap candidate owns a pooled buffer holding, for every feature, per-bin
+// (grad, hess, count) sums in one contiguous allocation. When a node is
+// expanded, only the smaller child's histogram is accumulated from rows;
+// the larger child's is derived by elementwise subtraction from the
+// parent's buffer (which it then reuses) — about half the histogram work
+// of building both children. Which child is built directly depends only on
+// the partition sizes, and every row scan walks idx_ in index order, so
+// the result is bit-identical at any thread count.
 class GbdtTreeBuilder {
  public:
+  struct BuiltTree {
+    Tree tree;
+    // split_bin[node] is the bin index behind tree.nodes[node].threshold;
+    // meaningful only where feature >= 0. Lets training-time score updates
+    // traverse by uint8 bin comparisons over BinnedDataset columns, which
+    // route identically to threshold comparisons on the raw doubles
+    // (dataset.h: Bin(f, v) <= b exactly when v <= UpperEdge(f, b)).
+    std::vector<uint8_t> split_bin;
+  };
+
   GbdtTreeBuilder(const BinnedDataset& data, const GbdtConfig& config,
                   const std::vector<double>& grad,
                   const std::vector<double>& hess,
@@ -41,17 +75,46 @@ class GbdtTreeBuilder {
         grad_(grad),
         hess_(hess),
         feature_mask_(feature_mask),
-        importance_(importance) {}
+        importance_(importance) {
+    // Histogram layout: feature f's bins start at 3 * offset_[f], with the
+    // (grad, hess, count) triple of bin b interleaved at 3 * b — one cache
+    // line per sample update instead of three plane-strided ones.
+    const size_t nf = data_.columns.size();
+    offset_.resize(nf);
+    size_t total = 0;
+    size_t max_bins = 0;
+    for (size_t f = 0; f < nf; ++f) {
+      offset_[f] = total;
+      const size_t nb = static_cast<size_t>(data_.binner->NumBins(f));
+      total += nb;
+      max_bins = std::max(max_bins, nb);
+    }
+    total_bins_ = total;
+    mask_stride_ = (max_bins + 63) / 64;
+  }
 
-  Tree Build(std::vector<size_t> sample_idx) {
+  BuiltTree Build(std::vector<size_t> sample_idx) {
     idx_ = std::move(sample_idx);
     tree_.nodes.clear();
+    split_bin_.clear();
+    // A tree with L leaves holds 2L-1 nodes; reserving up front keeps
+    // NewLeaf from reallocating the node vector mid-growth.
+    const size_t max_nodes =
+        2 * static_cast<size_t>(std::max(config_.max_leaves, 1)) - 1;
+    tree_.nodes.reserve(max_nodes);
+    split_bin_.reserve(max_nodes);
 
     std::priority_queue<LeafCandidate> heap;
-    const int root = NewLeaf(0, idx_.size());
-    LeafCandidate root_cand{root, 0, idx_.size(), 0, 0.0, -1, -1};
-    FindBestSplit(&root_cand);
-    if (root_cand.feature >= 0) heap.push(root_cand);
+    const auto [root_g, root_h] = SpanTotals(0, idx_.size());
+    const int root = NewLeaf(root_g, root_h);
+    LeafCandidate root_cand{root,   0,      idx_.size(), 0,   0.0, -1, -1,
+                            root_g, root_h, 0.0,         0.0, kNoHist};
+    if (SpanCanSplit(idx_.size())) {
+      root_cand.hist = AcquireHist();
+      BuildHistogram(0, idx_.size(), root_cand.hist);
+      FindBestSplit(&root_cand);
+    }
+    PushOrRelease(&heap, root_cand);
 
     int num_leaves = 1;
     while (!heap.empty() && num_leaves < config_.max_leaves) {
@@ -67,47 +130,282 @@ class GbdtTreeBuilder {
           idx_.begin() + static_cast<ptrdiff_t>(cand.end),
           [&](size_t row) { return col[row] <= static_cast<uint8_t>(cand.bin); });
       const size_t mid = static_cast<size_t>(mid_it - idx_.begin());
-      if (mid == cand.begin || mid == cand.end) continue;  // degenerate
+      if (mid == cand.begin || mid == cand.end) {  // degenerate
+        ReleaseHist(cand.hist);
+        continue;
+      }
 
       if (importance_ != nullptr) {
         (*importance_)[static_cast<size_t>(cand.feature)] += cand.gain;
       }
 
-      TreeNode& node = tree_.nodes[static_cast<size_t>(cand.node_id)];
-      node.feature = cand.feature;
-      node.threshold = data_.binner->UpperEdge(
+      const size_t node_id = static_cast<size_t>(cand.node_id);
+      tree_.nodes[node_id].feature = cand.feature;
+      tree_.nodes[node_id].threshold = data_.binner->UpperEdge(
           static_cast<size_t>(cand.feature), cand.bin);
-      const int left = NewLeaf(cand.begin, mid);
-      const int right = NewLeaf(mid, cand.end);
-      tree_.nodes[static_cast<size_t>(cand.node_id)].left = left;
-      tree_.nodes[static_cast<size_t>(cand.node_id)].right = right;
+      split_bin_[node_id] = static_cast<uint8_t>(cand.bin);
+      const double right_g = cand.node_g - cand.left_g;
+      const double right_h = cand.node_h - cand.left_h;
+      const int left = NewLeaf(cand.left_g, cand.left_h);
+      const int right = NewLeaf(right_g, right_h);
+      tree_.nodes[node_id].left = left;
+      tree_.nodes[node_id].right = right;
       ++num_leaves;
 
-      if (cand.depth + 1 < config_.max_depth) {
-        LeafCandidate lc{left, cand.begin, mid, cand.depth + 1, 0.0, -1, -1};
+      LeafCandidate lc{left,        cand.begin,  mid, cand.depth + 1,
+                       0.0,         -1,          -1,  cand.left_g,
+                       cand.left_h, 0.0,         0.0, kNoHist};
+      LeafCandidate rc{right,   mid,     cand.end, cand.depth + 1,
+                       0.0,     -1,      -1,       right_g,
+                       right_h, 0.0,     0.0,      kNoHist};
+      const bool deep_ok = cand.depth + 1 < config_.max_depth;
+      const bool l_ok = deep_ok && SpanCanSplit(mid - cand.begin);
+      const bool r_ok = deep_ok && SpanCanSplit(cand.end - mid);
+      if (l_ok && r_ok) {
+        // Build the smaller child's histogram from rows; the sibling's is
+        // the parent's minus it, computed in place in the parent's buffer
+        // (ties build the left child — a pure function of the partition).
+        LeafCandidate* small =
+            (mid - cand.begin <= cand.end - mid) ? &lc : &rc;
+        LeafCandidate* large = (small == &lc) ? &rc : &lc;
+        small->hist = AcquireHist();
+        BuildHistogram(small->begin, small->end, small->hist);
+        large->hist = cand.hist;
+        if (config_.use_hist_subtraction) {
+          SubtractHistogram(large->hist, small->hist);
+        } else {
+          BuildHistogram(large->begin, large->end, large->hist);
+        }
         FindBestSplit(&lc);
-        if (lc.feature >= 0) heap.push(lc);
-        LeafCandidate rc{right, mid, cand.end, cand.depth + 1, 0.0, -1, -1};
         FindBestSplit(&rc);
-        if (rc.feature >= 0) heap.push(rc);
+      } else if (l_ok || r_ok) {
+        // Only one child can ever split; build it directly into the
+        // parent's buffer.
+        LeafCandidate* only = l_ok ? &lc : &rc;
+        only->hist = cand.hist;
+        BuildHistogram(only->begin, only->end, only->hist);
+        FindBestSplit(only);
+      } else {
+        ReleaseHist(cand.hist);
       }
+      PushOrRelease(&heap, lc);
+      PushOrRelease(&heap, rc);
     }
-    return std::move(tree_);
+    BuiltTree out;
+    out.tree = std::move(tree_);
+    out.split_bin = std::move(split_bin_);
+    return out;
   }
 
  private:
-  // Creates a leaf node covering idx_[begin, end); returns its id.
-  int NewLeaf(size_t begin, size_t end) {
-    double g = 0.0, h = 0.0;
-    for (size_t i = begin; i < end; ++i) {
-      g += grad_[idx_[i]];
-      h += hess_[idx_[i]];
-    }
+  bool SpanCanSplit(size_t n) const {
+    return n >= 2 * static_cast<size_t>(config_.min_samples_leaf);
+  }
+
+  // Appends a leaf with the given grad/hess totals; returns its id.
+  int NewLeaf(double g, double h) {
     TreeNode node;
     node.value = {-g / (h + config_.lambda_l2) * config_.learning_rate};
     node.cover = h;
     tree_.nodes.push_back(std::move(node));
+    split_bin_.push_back(0);
     return static_cast<int>(tree_.nodes.size()) - 1;
+  }
+
+  // Pushes a searchable candidate; otherwise returns its buffer (if any)
+  // to the pool.
+  void PushOrRelease(std::priority_queue<LeafCandidate>* heap,
+                     const LeafCandidate& cand) {
+    if (cand.feature >= 0) {
+      heap->push(cand);
+    } else {
+      ReleaseHist(cand.hist);
+    }
+  }
+
+  // Deterministic chunked grad/hess totals over idx_[begin, end); used
+  // once per tree for the root (children inherit theirs from the parent's
+  // winning-bin prefix sums).
+  std::pair<double, double> SpanTotals(size_t begin, size_t end) const {
+    struct GH {
+      double g = 0.0, h = 0.0;
+    };
+    const GH t = ParallelReduce<GH>(
+        end - begin, /*grain=*/8192, GH{},
+        [&](size_t b, size_t e) {
+          GH local;
+          for (size_t i = begin + b; i < begin + e; ++i) {
+            local.g += grad_[idx_[i]];
+            local.h += hess_[idx_[i]];
+          }
+          return local;
+        },
+        [](GH acc, GH part) {
+          acc.g += part.g;
+          acc.h += part.h;
+          return acc;
+        });
+    return {t.g, t.h};
+  }
+
+  size_t AcquireHist() {
+    if (!free_.empty()) {
+      const size_t h = free_.back();
+      free_.pop_back();
+      return h;
+    }
+    // Fresh buffers are all-zero with an empty mask, which satisfies the
+    // occupancy invariant (cells outside the mask are exactly zero).
+    pool_.emplace_back(3 * total_bins_);
+    pool_mask_.emplace_back(data_.columns.size() * mask_stride_, 0);
+    return pool_.size() - 1;
+  }
+
+  void ReleaseHist(size_t h) {
+    if (h != kNoHist) free_.push_back(h);
+  }
+
+  // Fan-out policy: a pool dispatch costs tens of microseconds, so a chunk
+  // must carry at least a few thousand row-updates (builds) or bin reads
+  // (scans) to amortize it. Both cutoffs are pure functions of the node
+  // size and the dataset shape — never the thread count — so chunking, and
+  // with it every result, is identical at any parallelism level.
+  static constexpr size_t kMinRowsPerBuildChunk = 4096;
+  static constexpr size_t kMinBinsPerScanChunk = 16384;
+
+  // Feature grain for histogram accumulation over `span_rows` rows: one
+  // inline chunk for small nodes, otherwise chunks sized so each covers at
+  // least kMinRowsPerBuildChunk rows' worth of updates.
+  size_t BuildGrain(size_t span_rows) const {
+    const size_t nf = data_.columns.size();
+    const size_t chunks = std::min(nf, span_rows / kMinRowsPerBuildChunk);
+    return chunks <= 1 ? nf : (nf + chunks - 1) / chunks;
+  }
+
+  // Feature grain for split scans, whose cost tracks the bin count, not
+  // the node size; typical layouts (tens of features x 256 bins) are far
+  // cheaper than a dispatch and run as one inline chunk.
+  size_t ScanGrain() const {
+    const size_t nf = data_.columns.size();
+    const size_t chunks = std::min(nf, total_bins_ / kMinBinsPerScanChunk);
+    return chunks <= 1 ? nf : (nf + chunks - 1) / chunks;
+  }
+
+  // Accumulates the (grad, hess, count) histogram of idx_[begin, end) into
+  // pool buffer h. Features are independent, so the build fans out over
+  // deterministic feature chunks (each feature's region is written by
+  // exactly one chunk, so any grouping yields identical contents); within
+  // a feature, rows are accumulated in index order, so the contents never
+  // depend on the thread count.
+  //
+  // Every pool buffer carries a per-feature occupancy bitmask upholding
+  // one invariant: cells outside the mask are exactly zero. Recycled
+  // buffers are therefore cleared by walking the previous occupant's set
+  // bits instead of zero-filling whole regions, and downstream work
+  // (subtraction, split scans) touches only occupied bins — the cost of a
+  // node scales with how many bins its rows actually hit, not with the
+  // full bin layout.
+  void BuildHistogram(size_t begin, size_t end, size_t h) {
+    std::vector<double>& buf = pool_[h];
+    std::vector<uint64_t>& mask = pool_mask_[h];
+    ParallelFor(data_.columns.size(), BuildGrain(end - begin),
+                [&](size_t fbegin, size_t fend) {
+      for (size_t f = fbegin; f < fend; ++f) {
+        const size_t nb = static_cast<size_t>(data_.binner->NumBins(f));
+        double* region = buf.data() + 3 * offset_[f];
+        uint64_t* m = mask.data() + f * mask_stride_;
+        // Clear the previous occupant's cells: sparse mask words walk
+        // their set bits, dense words blast the whole 64-bin range with a
+        // contiguous fill (cells outside the mask are already zero, so
+        // overwriting them is exact).
+        for (size_t w = 0; w < mask_stride_; ++w) {
+          uint64_t bits = m[w];
+          if (bits == 0) continue;
+          if (std::popcount(bits) >= 16) {
+            const size_t lo = w * 64;
+            const size_t hi = std::min(nb, lo + 64);
+            std::fill(region + 3 * lo, region + 3 * hi, 0.0);
+          } else {
+            while (bits != 0) {
+              const size_t b =
+                  w * 64 + static_cast<size_t>(std::countr_zero(bits));
+              bits &= bits - 1;
+              double* cell = region + 3 * b;
+              cell[0] = 0.0;
+              cell[1] = 0.0;
+              cell[2] = 0.0;
+            }
+          }
+          m[w] = 0;
+        }
+        if (!feature_mask_[f] || nb < 2) continue;
+        // Column-outer accumulation keeps the working set L1-resident:
+        // one feature's ~2KB region plus the grad/hess arrays. Each
+        // sample's (g, h, n) update lands on one interleaved cache line.
+        const std::vector<uint8_t>& col = data_.columns[f];
+        if (end - begin >= 2 * nb) {
+          // Dense node: nearly every bin gets hit, so a full-range mask
+          // is as good as an exact one (it is a valid superset) and the
+          // per-sample bit updates can be skipped entirely.
+          for (size_t i = begin; i < end; ++i) {
+            const size_t row = idx_[i];
+            double* cell = region + 3 * static_cast<size_t>(col[row]);
+            cell[0] += grad_[row];
+            cell[1] += hess_[row];
+            cell[2] += 1.0;
+          }
+          for (size_t w = 0; w * 64 < nb; ++w) {
+            const size_t bins_left = nb - w * 64;
+            m[w] = bins_left >= 64 ? ~uint64_t{0}
+                                   : (uint64_t{1} << bins_left) - 1;
+          }
+        } else {
+          for (size_t i = begin; i < end; ++i) {
+            const size_t row = idx_[i];
+            const size_t b = col[row];
+            double* cell = region + 3 * b;
+            cell[0] += grad_[row];
+            cell[1] += hess_[row];
+            cell[2] += 1.0;
+            m[b >> 6] |= uint64_t{1} << (b & 63);
+          }
+        }
+      }
+    });
+  }
+
+  // large -= small over the small child's occupied cells only — cells
+  // outside its mask are exactly zero (the pool invariant), so skipping
+  // them is not an approximation. The large buffer keeps the parent's
+  // mask: the small child's rows are a subset of the parent's, so its
+  // occupancy is covered, and the superset stays a valid mask for the
+  // derived result. Counts are exact integers in double, so sample-count
+  // split constraints are unaffected by the derivation; grad/hess pick up
+  // O(1e-12) relative cancellation noise, which is deterministic (fixed
+  // operand order).
+  void SubtractHistogram(size_t large, size_t small) {
+    std::vector<double>& l = pool_[large];
+    const std::vector<double>& s = pool_[small];
+    const std::vector<uint64_t>& sm = pool_mask_[small];
+    const size_t nf = data_.columns.size();
+    for (size_t f = 0; f < nf; ++f) {
+      double* lregion = l.data() + 3 * offset_[f];
+      const double* sregion = s.data() + 3 * offset_[f];
+      const uint64_t* m = sm.data() + f * mask_stride_;
+      for (size_t w = 0; w < mask_stride_; ++w) {
+        uint64_t bits = m[w];
+        while (bits != 0) {
+          const size_t b =
+              w * 64 + static_cast<size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          double* lc = lregion + 3 * b;
+          const double* sc = sregion + 3 * b;
+          lc[0] -= sc[0];
+          lc[1] -= sc[1];
+          lc[2] -= sc[2];
+        }
+      }
+    }
   }
 
   // XGBoost split gain: 1/2 [GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)].
@@ -117,85 +415,131 @@ class GbdtTreeBuilder {
     return 0.5 * (gl * gl / (hl + l) + gr * gr / (hr + l) - g * g / (h + l));
   }
 
-  // Best (gain, feature, bin) over a contiguous feature range; the split
-  // search below fans these out per feature and merges them in feature
-  // order so the winner matches the serial scan exactly (strictly greater
-  // gain replaces, so the lowest feature index wins ties).
+  // Best split over a contiguous feature range. The maximized objective is
+  // the variable part of the gain, score = GL^2/(HL+l) + GR^2/(HR+l), kept
+  // as the exact rational num/den (den > 0):
+  //   num = GL^2*(HR+l) + GR^2*(HL+l),   den = (HL+l)*(HR+l).
+  // Candidates compare by cross-multiplication, which keeps the per-bin
+  // loop division-free; the winner's true gain is derived once at the end.
+  // Merges happen in chunk-index order (common/parallel.h), so the same
+  // comparison sequence runs at every thread count and the lowest feature
+  // index wins ties (strictly-greater replacement).
   struct SplitChoice {
-    double gain = -1.0;
+    double num = -1.0, den = 1.0;  // sentinel: loses to any real candidate
     int feature = -1;
     int bin = -1;
+    double left_g = 0.0, left_h = 0.0;
   };
 
+  // Scans cand's cached histogram for the best split; requires cand->hist.
   void FindBestSplit(LeafCandidate* cand) {
     cand->feature = -1;
     cand->gain = -1.0;
     const size_t n = cand->end - cand->begin;
-    if (n < 2 * static_cast<size_t>(config_.min_samples_leaf)) return;
+    const std::vector<double>& buf = pool_[cand->hist];
+    const double min_leaf = static_cast<double>(config_.min_samples_leaf);
+    // The parent contribution to the gain is constant across the node; it
+    // only enters the winner's final gain, never the per-bin comparison.
+    const double lambda = config_.lambda_l2;
+    const double parent_term =
+        cand->node_g * cand->node_g / (cand->node_h + lambda);
 
-    double node_g = 0.0, node_h = 0.0;
-    for (size_t i = cand->begin; i < cand->end; ++i) {
-      node_g += grad_[idx_[i]];
-      node_h += hess_[idx_[i]];
-    }
-
-    // Per-feature histogram build + scan is independent across features;
-    // each chunk keeps its own histogram scratch.
     const SplitChoice best = ParallelReduce<SplitChoice>(
-        data_.columns.size(), /*grain=*/2, SplitChoice{},
+        data_.columns.size(), ScanGrain(), SplitChoice{},
         [&](size_t fbegin, size_t fend) {
           SplitChoice local;
-          std::vector<double> hist_g, hist_h;
-          std::vector<int> hist_n;
+          const std::vector<uint64_t>& mask = pool_mask_[cand->hist];
           for (size_t f = fbegin; f < fend; ++f) {
             if (!feature_mask_[f]) continue;
             const int num_bins = data_.binner->NumBins(f);
             if (num_bins < 2) continue;
-
-            hist_g.assign(static_cast<size_t>(num_bins), 0.0);
-            hist_h.assign(static_cast<size_t>(num_bins), 0.0);
-            hist_n.assign(static_cast<size_t>(num_bins), 0);
-            const std::vector<uint8_t>& col = data_.columns[f];
-            for (size_t i = cand->begin; i < cand->end; ++i) {
-              const size_t row = idx_[i];
-              const size_t b = col[row];
-              hist_g[b] += grad_[row];
-              hist_h[b] += hess_[row];
-              hist_n[b] += 1;
-            }
+            const double* hist = buf.data() + 3 * offset_[f];
+            const uint64_t* m = mask.data() + f * mask_stride_;
+            // The last bin is never a split point; set bits come out in
+            // ascending order, so stop the walk there.
+            const size_t last = static_cast<size_t>(num_bins) - 1;
 
             double gl = 0.0, hl = 0.0;
-            size_t nl = 0;
-            for (int b = 0; b + 1 < num_bins; ++b) {
-              gl += hist_g[static_cast<size_t>(b)];
-              hl += hist_h[static_cast<size_t>(b)];
-              nl += hist_n[static_cast<size_t>(b)];
-              const size_t nr = n - nl;
-              if (nl < static_cast<size_t>(config_.min_samples_leaf) ||
-                  nr < static_cast<size_t>(config_.min_samples_leaf)) {
-                continue;
-              }
+            double nl = 0.0;  // exact: integer counts in double
+            const double node_g = cand->node_g;
+            const double node_h = cand->node_h;
+            const double min_cw = config_.min_child_weight;
+            const double n_d = static_cast<double>(n);
+            const auto scan_bin = [&](size_t b) {
+              const double* cell = hist + 3 * b;
+              if (cell[2] == 0.0) return;
+              gl += cell[0];
+              hl += cell[1];
+              nl += cell[2];
+              const double nr = n_d - nl;
+              if (nl < min_leaf || nr < min_leaf) return;
               const double hr = node_h - hl;
-              if (hl < config_.min_child_weight ||
-                  hr < config_.min_child_weight) {
-                continue;
-              }
-              const double gain = SplitGain(gl, hl, node_g - gl, hr);
-              if (gain > local.gain) {
-                local.gain = gain;
+              if (hl < min_cw || hr < min_cw) return;
+              const double gr = node_g - gl;
+              const double bl = hl + lambda;
+              const double br = hr + lambda;
+              const double num = (gl * gl) * br + (gr * gr) * bl;
+              const double den = bl * br;
+              if (num * local.den > local.num * den) {
+                local.num = num;
+                local.den = den;
                 local.feature = static_cast<int>(f);
-                local.bin = b;
+                local.bin = static_cast<int>(b);
+                local.left_g = gl;
+                local.left_h = hl;
+              }
+            };
+            // Only occupied bins move the prefix sums or can win (an empty
+            // bin's gain ties the previous candidate's, and the
+            // strictly-greater comparison never picks a tie), so the scan
+            // walks the mask's set bits instead of the full bin range. A
+            // derived (subtraction) histogram carries the parent's mask —
+            // a superset — so bins the subtraction emptied still show up;
+            // their exact-zero counts skip them, which also keeps ~1e-17
+            // grad/hess cancellation residue out of the prefix sums.
+            // Fully-set words (the common case for large nodes) walk their
+            // bins contiguously, avoiding the bit-scan dependency chain.
+            for (size_t w = 0; w < mask_stride_; ++w) {
+              const uint64_t bits = m[w];
+              if (bits == 0) continue;
+              const size_t base = w * 64;
+              if (base >= last) break;
+              if (bits == ~uint64_t{0}) {
+                const size_t hi = std::min(base + 64, last);
+                for (size_t b = base; b < hi; ++b) scan_bin(b);
+              } else {
+                uint64_t rest = bits;
+                while (rest != 0) {
+                  const size_t b =
+                      base + static_cast<size_t>(std::countr_zero(rest));
+                  rest &= rest - 1;
+                  if (b >= last) {
+                    w = mask_stride_ - 1;  // terminate the outer walk too
+                    break;
+                  }
+                  scan_bin(b);
+                }
               }
             }
           }
           return local;
         },
+        // Chunks merge in feature order with strictly-greater replacement,
+        // so the lowest feature index wins ties under any chunk grouping.
         [](SplitChoice acc, SplitChoice part) {
-          return part.gain > acc.gain ? part : acc;
+          return part.num * acc.den > acc.num * part.den ? part : acc;
         });
-    cand->gain = best.gain;
     cand->feature = best.feature;
     cand->bin = best.bin;
+    cand->left_g = best.left_g;
+    cand->left_h = best.left_h;
+    if (best.feature >= 0) {
+      // The winner's true gain, computed once from its prefix sums.
+      const double gr = cand->node_g - best.left_g;
+      const double hr = cand->node_h - best.left_h;
+      cand->gain = 0.5 * (best.left_g * best.left_g / (best.left_h + lambda) +
+                          gr * gr / (hr + lambda) - parent_term);
+    }
   }
 
   const BinnedDataset& data_;
@@ -206,18 +550,49 @@ class GbdtTreeBuilder {
   std::vector<double>* importance_;
   std::vector<size_t> idx_;
   Tree tree_;
+  std::vector<uint8_t> split_bin_;  // aligned with tree_.nodes
+  // Histogram pool: buffers of 3*total_bins_ doubles holding interleaved
+  // (grad, hess, count) triples, recycled across nodes and trees via the
+  // free list. pool_mask_[h] is buffer h's per-feature occupancy bitmask
+  // (mask_stride_ words per feature); cells outside the mask are exactly
+  // zero, which lets clears, subtraction, and split scans walk only the
+  // occupied bins.
+  std::vector<size_t> offset_;
+  size_t total_bins_ = 0;
+  size_t mask_stride_ = 0;
+  std::vector<std::vector<double>> pool_;
+  std::vector<std::vector<uint64_t>> pool_mask_;
+  std::vector<size_t> free_;
 };
 
-// Numerically stable in-place softmax.
-void Softmax(std::vector<double>* scores) {
+// Numerically stable in-place softmax over k contiguous scores.
+void SoftmaxInPlace(double* p, size_t k) {
   double mx = -std::numeric_limits<double>::infinity();
-  for (double s : *scores) mx = std::max(mx, s);
+  for (size_t i = 0; i < k; ++i) mx = std::max(mx, p[i]);
   double sum = 0.0;
-  for (double& s : *scores) {
-    s = std::exp(s - mx);
-    sum += s;
+  for (size_t i = 0; i < k; ++i) {
+    p[i] = std::exp(p[i] - mx);
+    sum += p[i];
   }
-  for (double& s : *scores) s /= sum;
+  for (size_t i = 0; i < k; ++i) p[i] /= sum;
+}
+
+// Leaf value reached by `row` when traversing by bin index over the binned
+// columns. Routes identically to Tree::FindLeaf on the raw doubles
+// (dataset.h: Bin(f, v) <= b iff v <= UpperEdge(f, b)) but compares a
+// uint8 per node instead of re-deriving the comparison from doubles.
+double PredictBinned(const Tree& tree, const std::vector<uint8_t>& split_bin,
+                     const std::vector<std::vector<uint8_t>>& columns,
+                     size_t row) {
+  const TreeNode* nodes = tree.nodes.data();
+  size_t i = 0;
+  while (nodes[i].feature >= 0) {
+    i = static_cast<size_t>(
+        columns[static_cast<size_t>(nodes[i].feature)][row] <= split_bin[i]
+            ? nodes[i].left
+            : nodes[i].right);
+  }
+  return nodes[i].value[0];
 }
 
 }  // namespace
@@ -275,16 +650,36 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
     }
   }
 
-  // Raw scores per row per class.
-  std::vector<std::vector<double>> scores(n,
-                                          std::vector<double>(kc, 0.0));
-  for (size_t i = 0; i < n; ++i) scores[i] = base_scores_;
+  // Contiguous n x K raw scores and per-round probabilities, allocated
+  // once and reused across rounds (row i's slots start at i*kc).
+  std::vector<double> scores(n * kc);
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(base_scores_.begin(), base_scores_.end(),
+              scores.begin() + static_cast<ptrdiff_t>(i * kc));
+  }
+  std::vector<double> round_proba(n * kc);
 
   trees_.assign(kc, {});
   importance_.assign(nf, 0.0);
   Rng rng(config_.seed);
 
   std::vector<double> grad(n), hess(n);
+
+  // Early-stopping state: validation rows are binned once, and their raw
+  // scores advance incrementally with each round's K new trees — O(rounds)
+  // tree traversals in total instead of O(rounds^2) re-predictions.
+  const bool track_valid =
+      valid != nullptr && config_.early_stopping_rounds > 0;
+  BinnedDataset valid_binned;
+  std::vector<double> valid_scores;
+  if (track_valid) {
+    RVAR_ASSIGN_OR_RETURN(valid_binned, BinnedDataset::Make(binner, *valid));
+    valid_scores.resize(valid->NumRows() * kc);
+    for (size_t i = 0; i < valid->NumRows(); ++i) {
+      std::copy(base_scores_.begin(), base_scores_.end(),
+                valid_scores.begin() + static_cast<ptrdiff_t>(i * kc));
+    }
+  }
 
   double best_valid_loss = std::numeric_limits<double>::infinity();
   int best_round = 0;
@@ -318,18 +713,19 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
     // round fit gradients computed from these (standard multiclass GBDT).
     // Row-wise work writes to disjoint slots, so it parallelizes without
     // touching the deterministic-reduction machinery.
-    std::vector<std::vector<double>> round_proba(n);
-    ParallelFor(n, /*grain=*/512, [&](size_t begin, size_t end) {
+    ParallelFor(n, /*grain=*/2048, [&](size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
-        round_proba[i] = scores[i];
-        Softmax(&round_proba[i]);
+        double* p = round_proba.data() + i * kc;
+        std::copy(scores.begin() + static_cast<ptrdiff_t>(i * kc),
+                  scores.begin() + static_cast<ptrdiff_t>((i + 1) * kc), p);
+        SoftmaxInPlace(p, kc);
       }
     });
 
     for (size_t k = 0; k < kc; ++k) {
-      ParallelFor(n, /*grain=*/1024, [&](size_t begin, size_t end) {
+      ParallelFor(n, /*grain=*/2048, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          const double p = round_proba[i][k];
+          const double p = round_proba[i * kc + k];
           const double target =
               static_cast<size_t>(train.y[i]) == k ? 1.0 : 0.0;
           grad[i] = p - target;
@@ -338,25 +734,50 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
       });
       GbdtTreeBuilder builder(binned, config_, grad, hess, feature_mask,
                               &importance_);
-      Tree tree = builder.Build(sample_idx);
-      // Update scores with the new tree (all rows, not just the bag).
-      ParallelFor(n, /*grain=*/512, [&](size_t begin, size_t end) {
+      GbdtTreeBuilder::BuiltTree built = builder.Build(sample_idx);
+      // Update scores with the new tree (all rows, not just the bag) by
+      // bin-index traversal over the already-binned columns.
+      ParallelFor(n, /*grain=*/2048, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
-          scores[i][k] += tree.PredictScalar(train.x[i]);
+          scores[i * kc + k] +=
+              PredictBinned(built.tree, built.split_bin, binned.columns, i);
         }
       });
-      trees_[k].push_back(std::move(tree));
+      if (track_valid) {
+        ParallelFor(valid->NumRows(), /*grain=*/512,
+                    [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            valid_scores[i * kc + k] += PredictBinned(
+                built.tree, built.split_bin, valid_binned.columns, i);
+          }
+        });
+      }
+      trees_[k].push_back(std::move(built.tree));
     }
 
-    if (valid != nullptr && config_.early_stopping_rounds > 0) {
-      double loss = 0.0;
-      for (size_t i = 0; i < valid->NumRows(); ++i) {
-        std::vector<double> p = PredictProba(valid->x[i]);
-        const double py =
-            std::max(p[static_cast<size_t>(valid->y[i])], 1e-12);
-        loss -= std::log(py);
-      }
-      loss /= static_cast<double>(valid->NumRows());
+    if (track_valid) {
+      const size_t nv = valid->NumRows();
+      // Logloss as a deterministic chunked reduction; each chunk reuses
+      // one kc-wide softmax scratch across its rows.
+      const double loss_sum = ParallelReduce<double>(
+          nv, /*grain=*/512, 0.0,
+          [&](size_t begin, size_t end) {
+            double local = 0.0;
+            std::vector<double> p(kc);
+            for (size_t i = begin; i < end; ++i) {
+              std::copy(
+                  valid_scores.begin() + static_cast<ptrdiff_t>(i * kc),
+                  valid_scores.begin() + static_cast<ptrdiff_t>((i + 1) * kc),
+                  p.begin());
+              SoftmaxInPlace(p.data(), kc);
+              const double py =
+                  std::max(p[static_cast<size_t>(valid->y[i])], 1e-12);
+              local -= std::log(py);
+            }
+            return local;
+          },
+          [](double acc, double part) { return acc + part; });
+      const double loss = loss_sum / static_cast<double>(nv);
       if (loss < best_valid_loss - 1e-9) {
         best_valid_loss = loss;
         best_round = round + 1;
@@ -377,25 +798,49 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
   if (total > 0.0) {
     for (double& v : importance_) v /= total;
   }
+  CompileFlatForest();
   return Status::OK();
+}
+
+void GbdtClassifier::CompileFlatForest() {
+  flat_ = FlatForest();
+  for (const std::vector<Tree>& class_trees : trees_) {
+    for (const Tree& tree : class_trees) flat_.Add(tree);
+  }
+}
+
+void GbdtClassifier::PredictRawInto(const std::vector<double>& row,
+                                    std::vector<double>* out) const {
+  RVAR_CHECK(!trees_.empty()) << "PredictRaw before Fit";
+  RVAR_CHECK_GE(row.size(), flat_.num_features());
+  out->assign(base_scores_.begin(), base_scores_.end());
+  const double* x = row.data();
+  size_t t = 0;
+  for (size_t k = 0; k < trees_.size(); ++k) {
+    double& score = (*out)[k];
+    for (size_t r = 0; r < trees_[k].size(); ++r) {
+      score += flat_.PredictScalar(t++, x);
+    }
+  }
+}
+
+void GbdtClassifier::PredictProbaInto(const std::vector<double>& row,
+                                      std::vector<double>* out) const {
+  PredictRawInto(row, out);
+  SoftmaxInPlace(out->data(), out->size());
 }
 
 std::vector<double> GbdtClassifier::PredictRaw(
     const std::vector<double>& row) const {
-  RVAR_CHECK(!trees_.empty()) << "PredictRaw before Fit";
-  std::vector<double> scores = base_scores_;
-  for (size_t k = 0; k < trees_.size(); ++k) {
-    for (const Tree& tree : trees_[k]) {
-      scores[k] += tree.PredictScalar(row);
-    }
-  }
+  std::vector<double> scores;
+  PredictRawInto(row, &scores);
   return scores;
 }
 
 std::vector<double> GbdtClassifier::PredictProba(
     const std::vector<double>& row) const {
-  std::vector<double> scores = PredictRaw(row);
-  Softmax(&scores);
+  std::vector<double> scores;
+  PredictProbaInto(row, &scores);
   return scores;
 }
 
@@ -459,6 +904,7 @@ Result<GbdtClassifier> GbdtClassifier::Restore(
   model.base_scores_ = std::move(base_scores);
   model.trees_ = std::move(trees);
   model.importance_ = std::move(importance);
+  model.CompileFlatForest();
   return model;
 }
 

@@ -35,7 +35,9 @@ double Tree::PredictScalar(const std::vector<double>& row, int k) const {
 int Tree::Depth() const {
   if (nodes.empty()) return -1;
   int max_depth = 0;
-  std::vector<std::pair<int, int>> stack = {{0, 0}};
+  std::vector<std::pair<int, int>> stack;
+  stack.reserve(nodes.size());
+  stack.push_back({0, 0});
   while (!stack.empty()) {
     auto [i, d] = stack.back();
     stack.pop_back();
@@ -53,6 +55,31 @@ int Tree::NumLeaves() const {
   int leaves = 0;
   for (const TreeNode& n : nodes) leaves += (n.feature < 0);
   return leaves;
+}
+
+void FlatForest::Add(const Tree& tree) {
+  RVAR_CHECK(!tree.empty());
+  if (roots_.empty()) {
+    value_stride_ = tree.nodes[0].value.size();
+    RVAR_CHECK_GT(value_stride_, 0u);
+  }
+  const int32_t base = static_cast<int32_t>(feature_.size());
+  roots_.push_back(base);
+  feature_.reserve(feature_.size() + tree.nodes.size());
+  for (const TreeNode& node : tree.nodes) {
+    RVAR_CHECK_EQ(node.value.size(), value_stride_);
+    feature_.push_back(node.feature);
+    threshold_.push_back(node.threshold);
+    // Children are tree-local indices; relocate to forest-wide ones. A
+    // leaf's children stay -1 and are never followed.
+    left_.push_back(node.feature >= 0 ? base + node.left : -1);
+    right_.push_back(node.feature >= 0 ? base + node.right : -1);
+    value_.insert(value_.end(), node.value.begin(), node.value.end());
+    if (node.feature >= 0) {
+      num_features_ = std::max(num_features_,
+                               static_cast<size_t>(node.feature) + 1);
+    }
+  }
 }
 
 Result<BinnedDataset> BinnedDataset::Make(const FeatureBinner& binner,

@@ -53,6 +53,67 @@ struct Tree {
   int NumLeaves() const;
 };
 
+/// \brief Structure-of-arrays forest layout compiled from trained `Tree`s
+/// for the serving hot path (DESIGN.md §10).
+///
+/// `Tree` keeps a heap-allocated `std::vector<double>` per node, so a
+/// traversal chases a pointer per node and a prediction allocates nothing
+/// only by luck of the caller. FlatForest re-lays an entire ensemble into
+/// five contiguous arrays (feature / threshold / children / node-major leaf
+/// values), making a prediction a handful of sequential array reads with
+/// zero allocation. Traversal performs the same comparisons in the same
+/// order as Tree::FindLeaf, so predictions are bit-identical to the
+/// tree-walking path — `Tree` remains the source of truth for training,
+/// serialization, and SHAP; FlatForest is a derived, compiled view.
+class FlatForest {
+ public:
+  /// Appends a tree. Every added tree must share one leaf-value width;
+  /// the first Add fixes value_stride(). The tree must already satisfy
+  /// ValidateTree's structural invariants (trained trees do).
+  void Add(const Tree& tree);
+
+  bool empty() const { return roots_.empty(); }
+  size_t num_trees() const { return roots_.size(); }
+  /// Leaf values per node (1 for boosting/regression trees, K for
+  /// classification forests). 0 until the first Add.
+  size_t value_stride() const { return value_stride_; }
+  /// 1 + the largest feature index any tree splits on; rows passed to the
+  /// predict calls must hold at least this many values.
+  size_t num_features() const { return num_features_; }
+
+  /// Forest-wide index of the leaf `row` reaches in tree `t`.
+  size_t FindLeaf(size_t t, const double* row) const {
+    size_t i = static_cast<size_t>(roots_[t]);
+    int f = feature_[i];
+    while (f >= 0) {
+      i = static_cast<size_t>(row[static_cast<size_t>(f)] <= threshold_[i]
+                                  ? left_[i]
+                                  : right_[i]);
+      f = feature_[i];
+    }
+    return i;
+  }
+
+  /// The value_stride() leaf values `row` reaches in tree `t`.
+  const double* Values(size_t t, const double* row) const {
+    return &value_[FindLeaf(t, row) * value_stride_];
+  }
+
+  /// Element `k` of the leaf values `row` reaches in tree `t`.
+  double PredictScalar(size_t t, const double* row, size_t k = 0) const {
+    return Values(t, row)[k];
+  }
+
+ private:
+  std::vector<int32_t> feature_;    // -1 marks a leaf
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_, right_;  // forest-wide node indices
+  std::vector<double> value_;       // node-major, value_stride_ per node
+  std::vector<int32_t> roots_;      // first node of each tree
+  size_t value_stride_ = 0;
+  size_t num_features_ = 0;
+};
+
 /// Structural validation for trees decoded from disk (io/serialize.h):
 /// non-empty, every node's value has `value_size` finite entries, internal
 /// nodes reference in-range features and children with indices strictly

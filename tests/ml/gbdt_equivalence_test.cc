@@ -1,0 +1,115 @@
+// Sibling-subtraction equivalence: training with the derived (parent minus
+// smaller child) histograms must choose exactly the same splits as building
+// every child histogram directly from rows, because the count plane is
+// integer-exact and the grad/hess planes drift only by FP cancellation
+// noise. The trees must match structurally node for node; leaf values and
+// covers (both derived from histogram sums) must agree to 1e-9.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/gbdt.h"
+
+namespace rvar {
+namespace ml {
+namespace {
+
+Dataset MakeTabular(int rows, int features, uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  for (int i = 0; i < rows; ++i) {
+    std::vector<double> row(static_cast<size_t>(features));
+    for (double& v : row) v = rng.Normal(0.0, 1.0);
+    const double score = row[0] + 0.5 * row[1] - 0.25 * row[2];
+    d.y.push_back(score > 0.5 ? 2 : (score > -0.5 ? 1 : 0));
+    d.x.push_back(std::move(row));
+  }
+  return d;
+}
+
+GbdtClassifier TrainWith(const Dataset& d, GbdtConfig config,
+                         bool subtraction) {
+  config.use_hist_subtraction = subtraction;
+  GbdtClassifier model(config);
+  EXPECT_TRUE(model.Fit(d).ok());
+  return model;
+}
+
+void ExpectEquivalentModels(const GbdtClassifier& derived,
+                            const GbdtClassifier& direct) {
+  ASSERT_EQ(derived.num_classes(), direct.num_classes());
+  ASSERT_EQ(derived.rounds_used(), direct.rounds_used());
+  for (int k = 0; k < derived.num_classes(); ++k) {
+    const std::vector<Tree>& a = derived.trees_for_class(k);
+    const std::vector<Tree>& b = direct.trees_for_class(k);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t r = 0; r < a.size(); ++r) {
+      ASSERT_EQ(a[r].nodes.size(), b[r].nodes.size())
+          << "class " << k << " round " << r;
+      for (size_t n = 0; n < a[r].nodes.size(); ++n) {
+        const TreeNode& na = a[r].nodes[n];
+        const TreeNode& nb = b[r].nodes[n];
+        // Split decisions are exact: same feature, same bin (hence the
+        // same threshold double), same children.
+        EXPECT_EQ(na.feature, nb.feature) << "node " << n;
+        EXPECT_EQ(na.threshold, nb.threshold) << "node " << n;
+        EXPECT_EQ(na.left, nb.left) << "node " << n;
+        EXPECT_EQ(na.right, nb.right) << "node " << n;
+        // Values and covers come from histogram grad/hess sums, where the
+        // subtraction path picks up bounded cancellation noise.
+        ASSERT_EQ(na.value.size(), nb.value.size());
+        for (size_t v = 0; v < na.value.size(); ++v) {
+          EXPECT_NEAR(na.value[v], nb.value[v], 1e-9) << "node " << n;
+        }
+        EXPECT_NEAR(na.cover, nb.cover, 1e-9) << "node " << n;
+      }
+    }
+  }
+}
+
+TEST(GbdtHistSubtractionTest, MatchesDirectBuildOnSeededData) {
+  const Dataset d = MakeTabular(800, 12, 41);
+  GbdtConfig config;
+  config.num_rounds = 15;
+  const GbdtClassifier derived = TrainWith(d, config, true);
+  const GbdtClassifier direct = TrainWith(d, config, false);
+  ExpectEquivalentModels(derived, direct);
+}
+
+TEST(GbdtHistSubtractionTest, MatchesDirectBuildUnderSubsampling) {
+  // Bagging makes partitions uneven and feature subsampling leaves masked
+  // (all-zero) histogram regions; the subtraction must stay consistent
+  // over both.
+  const Dataset d = MakeTabular(600, 10, 42);
+  GbdtConfig config;
+  config.num_rounds = 12;
+  config.bagging_fraction = 0.7;
+  config.feature_fraction = 0.6;
+  const GbdtClassifier derived = TrainWith(d, config, true);
+  const GbdtClassifier direct = TrainWith(d, config, false);
+  ExpectEquivalentModels(derived, direct);
+}
+
+TEST(GbdtHistSubtractionTest, PredictionsAgreeWithinTolerance) {
+  const Dataset d = MakeTabular(500, 8, 43);
+  GbdtConfig config;
+  config.num_rounds = 10;
+  const GbdtClassifier derived = TrainWith(d, config, true);
+  const GbdtClassifier direct = TrainWith(d, config, false);
+  for (size_t i = 0; i < d.NumRows(); i += 17) {
+    const std::vector<double> pa = derived.PredictRaw(d.x[i]);
+    const std::vector<double> pb = direct.PredictRaw(d.x[i]);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t k = 0; k < pa.size(); ++k) {
+      EXPECT_NEAR(pa[k], pb[k], 1e-7) << "row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace rvar
