@@ -17,7 +17,9 @@
 
 #include "common/parallel.h"
 #include "core/assigner.h"
+#include "core/model_lifecycle.h"
 #include "core/shape_library.h"
+#include "io/model_registry.h"
 #include "io/recovery.h"
 #include "io/serialize.h"
 #include "io/snapshot.h"
@@ -625,6 +627,88 @@ void WriteBenchGbdtJson() {
   std::printf("gbdt engine summary written to BENCH_gbdt.json\n");
 }
 
+// Online model lifecycle timings (cold + warm retrain wall-time, the
+// gate-and-swap phase, rollback), written to BENCH_lifecycle.json and
+// uploaded by the CI bench job next to the other summaries. These are
+// informational (filesystem-bound, not regression-gated): the number that
+// matters operationally is the swap/rollback latency the serving path
+// observes, not the training time.
+void WriteBenchLifecycleJson() {
+  const std::string dir = BenchTempPath("lifecycle_registry");
+  std::filesystem::remove_all(dir);
+  core::ModelLifecycleOptions options;
+  options.dir = dir;
+  options.gbdt.num_rounds = 10;
+  options.seed = 17;
+  auto lifecycle = core::ModelLifecycle::Open(options);
+  if (!lifecycle.ok()) return;
+
+  const ml::Dataset window_a = MakeTabular(2000, 20, 3, 41);
+  const ml::Dataset window_b = MakeTabular(2000, 20, 3, 42);
+
+  // Cold cycle (no parent), then a warm cycle (warm-started from v1).
+  const double cold_s = SecondsOf([&] {
+    benchmark::DoNotOptimize(
+        (*lifecycle)->RetrainAndSwap(window_a, 0, 2000).ok());
+  });
+  const double warm_s = SecondsOf([&] {
+    benchmark::DoNotOptimize(
+        (*lifecycle)->RetrainAndSwap(window_b, 2000, 4000).ok());
+  });
+
+  // Gate + swap alone: train phase 1 outside the timer.
+  auto version = (*lifecycle)->TrainCandidate(window_a, 4000, 6000);
+  double swap_s = 0.0;
+  if (version.ok()) {
+    swap_s = SecondsOf([&] {
+      benchmark::DoNotOptimize(
+          (*lifecycle)->ValidateAndSwap(*version, window_a).ok());
+    });
+  }
+
+  // Rollback latency: alternate between the two newest retained versions.
+  const std::vector<int64_t> versions = (*lifecycle)->registry().Versions();
+  double rollback_s = 0.0;
+  if (versions.size() >= 2) {
+    constexpr int kReps = 10;
+    const int64_t live = (*lifecycle)->live_version();
+    int64_t other = -1;
+    for (int64_t v : versions) {
+      auto manifest = (*lifecycle)->registry().Manifest(v);
+      if (manifest.ok() && manifest->state == io::ModelState::kRetired) {
+        other = v;
+      }
+    }
+    if (other >= 0) {
+      rollback_s = SecondsOf([&] {
+                     for (int i = 0; i < kReps; ++i) {
+                       benchmark::DoNotOptimize(
+                           (*lifecycle)
+                               ->Rollback(i % 2 == 0 ? other : live)
+                               .ok());
+                     }
+                   }) /
+                   kReps;
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_lifecycle.json", "w");
+  if (out != nullptr) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"retrain_cold_seconds\": %.6f,\n"
+                 "  \"retrain_warm_seconds\": %.6f,\n"
+                 "  \"validate_and_swap_seconds\": %.6f,\n"
+                 "  \"rollback_seconds\": %.6f,\n"
+                 "  \"window_rows\": %zu\n"
+                 "}\n",
+                 cold_s, warm_s, swap_s, rollback_s, window_a.NumRows());
+    std::fclose(out);
+    std::printf("lifecycle summary written to BENCH_lifecycle.json\n");
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -648,5 +732,6 @@ int main(int argc, char** argv) {
   WriteBenchParallelJson();
   WriteBenchKernelsJson();
   WriteBenchGbdtJson();
+  WriteBenchLifecycleJson();
   return 0;
 }

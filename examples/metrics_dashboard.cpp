@@ -11,17 +11,25 @@
 //   2. the JSON snapshot — counters/gauges/histograms with quantiles,
 //   3. the span buffer — the predictor's phase timing tree.
 //
+// A model-lifecycle loop (retrain → gate → hot swap, an injected
+// corrupt candidate, a rollback) runs as well, so the lifecycle_* swap,
+// quarantine-by-reason, and rollback counters land on all surfaces.
+//
 // Build & run:  ./build/examples/metrics_dashboard
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "core/model_lifecycle.h"
 #include "core/predictor.h"
 #include "core/shape_library.h"
 #include "core/shape_service.h"
+#include "io/model_registry.h"
+#include "ml/dataset.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "sim/datasets.h"
@@ -112,6 +120,54 @@ int main() {
   predictor_config.shape.min_support = 20;
   auto predictor = core::VariationPredictor::Train(*suite, predictor_config);
   if (!predictor.ok()) return 1;
+
+  // --- 4. Model lifecycle: swap, quarantine, and rollback counters. --------
+  {
+    const std::string registry_dir =
+        (std::filesystem::temp_directory_path() / "rvar_dashboard_registry")
+            .string();
+    std::filesystem::remove_all(registry_dir);
+    core::ModelLifecycleOptions lifecycle_options;
+    lifecycle_options.dir = registry_dir;
+    lifecycle_options.gbdt.num_rounds = 6;
+    auto lifecycle = core::ModelLifecycle::Open(lifecycle_options);
+    if (!lifecycle.ok()) return 1;
+    // The lifecycle mirrors every published epoch into the shape
+    // service's model slot, bumping its swap counter too.
+    (*lifecycle)->AttachShapeService(service->get());
+
+    auto window = [&](uint64_t seed) {
+      ml::Dataset d;
+      d.feature_names = {"x0", "x1"};
+      Rng wrng(seed);
+      for (int c = 0; c < 2; ++c) {
+        for (int i = 0; i < 50; ++i) {
+          d.x.push_back({wrng.Normal(c * 3.0, 0.6),
+                         wrng.Normal(c * 3.0 + 1.0, 0.6)});
+          d.y.push_back(c);
+          d.target.push_back(0.0);
+        }
+      }
+      return d;
+    };
+    // Two clean cycles (cold, then warm-started), one candidate hit by
+    // injected bit rot between training and the gate, then a rollback.
+    (void)(*lifecycle)->RetrainAndSwap(window(1), 0, 100);
+    (void)(*lifecycle)->RetrainAndSwap(window(2), 100, 200);
+    auto candidate = (*lifecycle)->TrainCandidate(window(3), 200, 300);
+    if (candidate.ok()) {
+      const sim::StorageFaultPlan storage_faults(91);
+      (void)storage_faults.CorruptFile(
+          (*lifecycle)->registry().ModelPath(*candidate), 4, 0.0);
+      (void)(*lifecycle)->ValidateAndSwap(*candidate, window(3));
+    }
+    (void)(*lifecycle)->Rollback(1);
+    std::printf(
+        "lifecycle: serving v%lld of %zu registered versions\n\n",
+        static_cast<long long>((*lifecycle)->live_version()),
+        (*lifecycle)->registry().Versions().size());
+    std::filesystem::remove_all(registry_dir);
+  }
 
   // --- The three export surfaces. ------------------------------------------
   std::printf("================ Prometheus text exposition ================\n");

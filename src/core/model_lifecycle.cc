@@ -1,0 +1,428 @@
+#include "core/model_lifecycle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "io/serialize.h"
+#include "obs/export.h"
+
+namespace rvar {
+namespace core {
+namespace {
+
+/// Mean multiclass logloss of `model` over `d`. Labels outside the
+/// model's class range (possible across model generations) score the
+/// probability floor instead of crashing.
+double MeanLogloss(const ml::GbdtClassifier& model, const ml::Dataset& d) {
+  const size_t kc = static_cast<size_t>(model.num_classes());
+  std::vector<double> proba;
+  double sum = 0.0;
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    model.PredictProbaInto(d.x[i], &proba);
+    const size_t label = static_cast<size_t>(d.y[i]);
+    const double p = label < kc ? std::max(proba[label], 1e-12) : 1e-12;
+    sum -= std::log(p);
+  }
+  return sum / static_cast<double>(d.NumRows());
+}
+
+int Argmax(const std::vector<double>& p) {
+  int best = 0;
+  for (size_t k = 1; k < p.size(); ++k) {
+    if (p[k] > p[static_cast<size_t>(best)]) best = static_cast<int>(k);
+  }
+  return best;
+}
+
+/// Fraction of rows where both models pick the same shape.
+double ShapeAgreement(const ml::GbdtClassifier& a, const ml::GbdtClassifier& b,
+                      const ml::Dataset& d) {
+  std::vector<double> pa, pb;
+  size_t hits = 0;
+  for (size_t i = 0; i < d.NumRows(); ++i) {
+    a.PredictProbaInto(d.x[i], &pa);
+    b.PredictProbaInto(d.x[i], &pb);
+    hits += (Argmax(pa) == Argmax(pb));
+  }
+  return static_cast<double>(hits) / static_cast<double>(d.NumRows());
+}
+
+uint64_t CandidateSeed(uint64_t base, int64_t version) {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashCombine(h, base);
+  h = HashCombine(h, static_cast<uint64_t>(version));
+  return h;
+}
+
+}  // namespace
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kHoldoutLogloss:
+      return "holdout-logloss";
+    case RejectReason::kLoglossRegression:
+      return "logloss-regression";
+    case RejectReason::kAgreement:
+      return "agreement";
+    case RejectReason::kArtifactCorrupt:
+      return "artifact-corrupt";
+    case RejectReason::kOrphaned:
+      return "orphaned";
+  }
+  return "unknown";
+}
+
+ModelLifecycle::ModelLifecycle(ModelLifecycleOptions options,
+                               io::ModelRegistry registry)
+    : options_(std::move(options)), registry_(std::move(registry)) {
+  obs::Registry& r = obs::Registry::Default();
+  swaps_total_ = r.GetCounter("lifecycle_swaps_total");
+  rollbacks_total_ = r.GetCounter("lifecycle_rollbacks_total");
+  candidates_total_ = r.GetCounter("lifecycle_candidates_total");
+  rejected_total_.reserve(kNumRejectReasons);
+  for (int reason = 0; reason < kNumRejectReasons; ++reason) {
+    rejected_total_.push_back(
+        r.GetCounter("lifecycle_candidates_rejected_total", "reason",
+                     RejectReasonName(static_cast<RejectReason>(reason))));
+  }
+  retrain_latency_ = r.GetHistogram("lifecycle_retrain_latency_seconds");
+  swap_latency_ = r.GetHistogram("lifecycle_swap_latency_seconds");
+}
+
+Result<std::unique_ptr<ModelLifecycle>> ModelLifecycle::Open(
+    ModelLifecycleOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("lifecycle registry dir must be set");
+  }
+  if (!(options.holdout_fraction > 0.0) || options.holdout_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        StrCat("holdout_fraction must be in (0, 1), got ",
+               options.holdout_fraction));
+  }
+  if (!std::isfinite(options.max_holdout_logloss) ||
+      !std::isfinite(options.max_logloss_regression)) {
+    return Status::InvalidArgument("logloss gates must be finite");
+  }
+  if (!(options.min_agreement >= 0.0) || options.min_agreement > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("min_agreement must be in [0, 1], got ",
+               options.min_agreement));
+  }
+  if (options.keep_retired < 0) {
+    return Status::InvalidArgument("keep_retired must be >= 0");
+  }
+
+  RVAR_ASSIGN_OR_RETURN(io::ModelRegistry registry,
+                        io::ModelRegistry::Open(options.dir));
+  auto lifecycle = std::unique_ptr<ModelLifecycle>(
+      new ModelLifecycle(std::move(options), std::move(registry)));
+
+  // A candidate on disk means a retrain crashed between training and the
+  // gate; it never passed validation, so it must never serve. Quarantine
+  // keeps the artifact for forensics while making the state terminal.
+  for (int64_t v : lifecycle->registry_.Versions()) {
+    RVAR_ASSIGN_OR_RETURN(io::ModelManifest manifest,
+                          lifecycle->registry_.Manifest(v));
+    if (manifest.state == io::ModelState::kCandidate) {
+      lifecycle->rejected_total_[static_cast<size_t>(RejectReason::kOrphaned)]
+          ->Increment();
+      RVAR_RETURN_NOT_OK(lifecycle->registry_.Quarantine(
+          v, StrCat(RejectReasonName(RejectReason::kOrphaned),
+                    ": crash during retrain left an unvalidated candidate")));
+    }
+  }
+
+  // Restore serving from the ACTIVE pointer; a corrupt active artifact
+  // falls back to the newest loadable retired version.
+  const int64_t active = lifecycle->registry_.active_version();
+  if (active >= 0) {
+    Result<ml::GbdtClassifier> model = lifecycle->registry_.LoadModel(active);
+    if (model.ok()) {
+      lifecycle->Publish(active, std::make_shared<const ml::GbdtClassifier>(
+                                     std::move(*model)));
+    } else {
+      std::vector<int64_t> versions = lifecycle->registry_.Versions();
+      for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+        if (*it == active) continue;
+        RVAR_ASSIGN_OR_RETURN(io::ModelManifest manifest,
+                              lifecycle->registry_.Manifest(*it));
+        if (manifest.state != io::ModelState::kRetired) continue;
+        Result<ml::GbdtClassifier> fallback =
+            lifecycle->registry_.LoadModel(*it);
+        if (!fallback.ok()) continue;
+        RVAR_RETURN_NOT_OK(lifecycle->registry_.Activate(*it));
+        RVAR_RETURN_NOT_OK(lifecycle->registry_.Quarantine(
+            active, StrCat("artifact-corrupt: ", model.status().message())));
+        lifecycle->rejected_total_[static_cast<size_t>(
+                                       RejectReason::kArtifactCorrupt)]
+            ->Increment();
+        lifecycle->Publish(*it, std::make_shared<const ml::GbdtClassifier>(
+                                    std::move(*fallback)));
+        break;
+      }
+      // No loadable fallback: nothing serves (live_version() == -1); the
+      // corrupt version stays pointed-at until the next successful swap
+      // retires it. Callers observe the gap through live_version().
+    }
+  }
+  return lifecycle;
+}
+
+std::shared_ptr<const ml::GbdtClassifier> ModelLifecycle::LiveModel() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  return live_;
+}
+
+int64_t ModelLifecycle::live_version() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  return live_version_;
+}
+
+void ModelLifecycle::AttachShapeService(ShapeService* service) {
+  shape_service_ = service;
+  if (service != nullptr) {
+    service->SwapModel(LiveModel());
+  }
+}
+
+void ModelLifecycle::Publish(
+    int64_t version, std::shared_ptr<const ml::GbdtClassifier> model) {
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    live_ = model;
+    live_version_ = version;
+  }
+  if (shape_service_ != nullptr) {
+    shape_service_->SwapModel(std::move(model));
+  }
+}
+
+Status ModelLifecycle::Reject(int64_t version, RejectReason reason,
+                              std::string detail) {
+  rejected_total_[static_cast<size_t>(reason)]->Increment();
+  std::string full = StrCat(RejectReasonName(reason), ": ", detail);
+  RVAR_RETURN_NOT_OK(registry_.Quarantine(version, full));
+  return Status::FailedPrecondition(
+      StrCat("candidate v", version, " rejected (", full, ")"));
+}
+
+void ModelLifecycle::SplitWindow(const ml::Dataset& window, int64_t version,
+                                 ml::Dataset* train,
+                                 ml::Dataset* holdout) const {
+  const size_t n = window.NumRows();
+  RVAR_CHECK_GE(n, 2u);
+  size_t num_holdout = static_cast<size_t>(
+      options_.holdout_fraction * static_cast<double>(n));
+  num_holdout = std::clamp<size_t>(num_holdout, 1, n - 1);
+  // The permutation is keyed by (seed, version) only — both phases and
+  // every thread count derive the identical split.
+  Rng rng(CandidateSeed(options_.seed, version));
+  const std::vector<size_t> perm = rng.Permutation(n);
+  std::vector<size_t> holdout_idx(perm.begin(),
+                                  perm.begin() + static_cast<ptrdiff_t>(
+                                                     num_holdout));
+  std::vector<size_t> train_idx(perm.begin() + static_cast<ptrdiff_t>(
+                                                   num_holdout),
+                                perm.end());
+  // Sorted subsets keep row order stable, so training sees rows in window
+  // order regardless of the permutation's internal layout.
+  std::sort(holdout_idx.begin(), holdout_idx.end());
+  std::sort(train_idx.begin(), train_idx.end());
+  *holdout = window.Subset(holdout_idx);
+  *train = window.Subset(train_idx);
+}
+
+Result<int64_t> ModelLifecycle::TrainCandidate(const ml::Dataset& window,
+                                               uint64_t window_begin,
+                                               uint64_t window_end) {
+  obs::ScopedSpan span("lifecycle/train_candidate");
+  obs::ScopedLatencyTimer timer(retrain_latency_);
+  RVAR_RETURN_NOT_OK(window.Validate());
+  if (window.NumRows() < 2) {
+    return Status::InvalidArgument(
+        StrCat("retrain window holds ", window.NumRows(),
+               " rows; need >= 2 for a holdout split"));
+  }
+  if (window_end < window_begin) {
+    return Status::InvalidArgument("window_end must be >= window_begin");
+  }
+  const int64_t version = registry_.next_version();
+
+  ml::Dataset train, holdout;
+  SplitWindow(window, version, &train, &holdout);
+
+  ml::GbdtConfig config = options_.gbdt;
+  config.seed = CandidateSeed(options_.seed, version);
+  ml::GbdtClassifier candidate(config);
+  const std::shared_ptr<const ml::GbdtClassifier> parent = LiveModel();
+  if (parent != nullptr) {
+    RVAR_RETURN_NOT_OK(candidate.FitWarmStart(train, *parent));
+  } else {
+    RVAR_RETURN_NOT_OK(candidate.Fit(train));
+  }
+
+  io::ModelManifest manifest;
+  manifest.version = version;
+  manifest.parent_version = parent != nullptr ? live_version() : -1;
+  manifest.seed = config.seed;
+  manifest.window_begin = window_begin;
+  manifest.window_end = window_end;
+  manifest.num_rows = window.NumRows();
+  RVAR_ASSIGN_OR_RETURN(
+      const int64_t assigned,
+      registry_.PutCandidate(std::move(manifest),
+                             io::EncodeGbdtClassifier(candidate)));
+  candidates_total_->Increment();
+  return assigned;
+}
+
+Status ModelLifecycle::ValidateAndSwap(int64_t version,
+                                       const ml::Dataset& window) {
+  obs::ScopedSpan span("lifecycle/validate_and_swap");
+  RVAR_ASSIGN_OR_RETURN(io::ModelManifest manifest,
+                        registry_.Manifest(version));
+  if (manifest.state != io::ModelState::kCandidate) {
+    return Status::FailedPrecondition(
+        StrCat("version ", version, " is ", io::ModelStateName(manifest.state),
+               ", only candidates pass the gate"));
+  }
+  if (manifest.num_rows != window.NumRows()) {
+    return Status::InvalidArgument(
+        StrCat("validation window holds ", window.NumRows(),
+               " rows, candidate was trained on ", manifest.num_rows));
+  }
+
+  // Re-read from disk through the CRC + decode path: corruption that
+  // landed after training (torn write, bit rot, an injected fault) is
+  // caught here, before the gate even runs.
+  Result<ml::GbdtClassifier> loaded = registry_.LoadModel(version);
+  if (!loaded.ok()) {
+    return Reject(version, RejectReason::kArtifactCorrupt,
+                  loaded.status().message());
+  }
+
+  ml::Dataset train, holdout;
+  SplitWindow(window, version, &train, &holdout);
+
+  const double logloss = MeanLogloss(*loaded, holdout);
+  const std::shared_ptr<const ml::GbdtClassifier> live = LiveModel();
+  double agreement = 1.0;
+  if (logloss > options_.max_holdout_logloss) {
+    return Reject(version, RejectReason::kHoldoutLogloss,
+                  StrCat("holdout logloss ", logloss, " above gate ",
+                         options_.max_holdout_logloss));
+  }
+  if (live != nullptr) {
+    const double live_logloss = MeanLogloss(*live, holdout);
+    if (logloss > live_logloss + options_.max_logloss_regression) {
+      RVAR_RETURN_NOT_OK(
+          registry_.RecordValidation(version, logloss, agreement));
+      return Reject(version, RejectReason::kLoglossRegression,
+                    StrCat("holdout logloss ", logloss, " regresses live ",
+                           live_logloss, " beyond budget ",
+                           options_.max_logloss_regression));
+    }
+    agreement = ShapeAgreement(*loaded, *live, holdout);
+    if (agreement < options_.min_agreement) {
+      RVAR_RETURN_NOT_OK(
+          registry_.RecordValidation(version, logloss, agreement));
+      return Reject(version, RejectReason::kAgreement,
+                    StrCat("shape agreement ", agreement, " below gate ",
+                           options_.min_agreement));
+    }
+  }
+  RVAR_RETURN_NOT_OK(registry_.RecordValidation(version, logloss, agreement));
+
+  // The swap itself: activate on disk (ACTIVE pointer last), then publish
+  // the epoch. Readers snapshotting mid-swap get either the old or the
+  // new version, never a mix.
+  {
+    obs::ScopedLatencyTimer timer(swap_latency_);
+    RVAR_RETURN_NOT_OK(registry_.Activate(version));
+    Publish(version,
+            std::make_shared<const ml::GbdtClassifier>(std::move(*loaded)));
+  }
+  swaps_total_->Increment();
+  RVAR_RETURN_NOT_OK(registry_.Prune(options_.keep_retired).status());
+  return Status::OK();
+}
+
+Status ModelLifecycle::RetrainAndSwap(const ml::Dataset& window,
+                                      uint64_t window_begin,
+                                      uint64_t window_end) {
+  RVAR_ASSIGN_OR_RETURN(const int64_t version,
+                        TrainCandidate(window, window_begin, window_end));
+  return ValidateAndSwap(version, window);
+}
+
+Status ModelLifecycle::Rollback(int64_t version) {
+  obs::ScopedSpan span("lifecycle/rollback");
+  RVAR_ASSIGN_OR_RETURN(io::ModelManifest manifest,
+                        registry_.Manifest(version));
+  if (version == live_version()) return Status::OK();
+  if (manifest.state != io::ModelState::kRetired) {
+    return Status::FailedPrecondition(
+        StrCat("version ", version, " is ", io::ModelStateName(manifest.state),
+               "; only retired versions can be rolled back to"));
+  }
+  // Load before touching any registry state: a rollback target that fails
+  // its CRC must leave serving exactly where it is.
+  RVAR_ASSIGN_OR_RETURN(ml::GbdtClassifier model,
+                        registry_.LoadModel(version));
+  {
+    obs::ScopedLatencyTimer timer(swap_latency_);
+    RVAR_RETURN_NOT_OK(registry_.Activate(version));
+    Publish(version,
+            std::make_shared<const ml::GbdtClassifier>(std::move(model)));
+  }
+  rollbacks_total_->Increment();
+  return Status::OK();
+}
+
+BackgroundRetrainer::~BackgroundRetrainer() {
+  if (worker_.joinable()) worker_.join();
+}
+
+bool BackgroundRetrainer::StartCycle(ml::Dataset window,
+                                     uint64_t window_begin,
+                                     uint64_t window_end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return false;
+  if (worker_.joinable()) worker_.join();  // reap the finished cycle
+  running_ = true;
+  worker_ = std::thread([this, window = std::move(window), window_begin,
+                         window_end]() mutable {
+    Status status =
+        lifecycle_->RetrainAndSwap(window, window_begin, window_end);
+    std::lock_guard<std::mutex> inner(mu_);
+    last_ = std::move(status);
+    running_ = false;
+  });
+  return true;
+}
+
+bool BackgroundRetrainer::busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+Status BackgroundRetrainer::Wait() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    worker = std::move(worker_);
+  }
+  if (worker.joinable()) worker.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  Status status = last_;
+  last_ = Status::OK();
+  return status;
+}
+
+}  // namespace core
+}  // namespace rvar

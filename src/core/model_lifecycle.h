@@ -1,0 +1,209 @@
+// Copyright 2026 The rvar Authors.
+//
+// Fail-safe online model lifecycle (DESIGN.md §11): the streaming-ingest →
+// background-retrain → atomic-hot-swap loop of ROADMAP item 2. A
+// ModelLifecycle owns a versioned on-disk registry (io/model_registry.h)
+// and the in-memory serving epoch: an immutable shared_ptr to the live
+// GBDT that readers snapshot without ever blocking on retraining. Every
+// candidate is trained deterministically (same window + seed ⇒
+// byte-identical artifact at any thread count), persisted as a candidate
+// first, then re-read through the CRC path and pushed through a validation
+// gate (holdout logloss + shape-assignment agreement vs the live model)
+// before it can serve; failures are quarantined on disk with a reason.
+// Rollback re-activates any retained version atomically. Crash anywhere —
+// mid-train, mid-validate, or with a corrupted candidate — leaves serving
+// on the last good version, which the lifecycle chaos tests prove by
+// killing and reopening the registry at every phase boundary.
+
+#ifndef RVAR_CORE_MODEL_LIFECYCLE_H_
+#define RVAR_CORE_MODEL_LIFECYCLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/shape_service.h"
+#include "io/model_registry.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "obs/metrics.h"
+
+namespace rvar {
+namespace core {
+
+/// \brief Gate thresholds and training knobs of the lifecycle.
+struct ModelLifecycleOptions {
+  /// Registry directory (created if missing).
+  std::string dir;
+  /// Base GBDT config for candidates. The per-candidate seed is derived as
+  /// HashCombine(seed, version), so each version trains differently but
+  /// reproducibly; config.seed itself is ignored.
+  ml::GbdtConfig gbdt;
+  /// Base seed for candidate training and the holdout split.
+  uint64_t seed = 17;
+  /// Fraction of the window held out for the validation gate, in (0, 1).
+  double holdout_fraction = 0.2;
+  /// Absolute gate: candidate holdout logloss must be <= this.
+  double max_holdout_logloss = 10.0;
+  /// Regression gate: candidate holdout logloss may exceed the live
+  /// model's by at most this much (ignored for the first model).
+  double max_logloss_regression = 0.05;
+  /// Agreement gate: fraction of holdout rows where the candidate's
+  /// argmax shape matches the live model's must be >= this (ignored for
+  /// the first model).
+  double min_agreement = 0.5;
+  /// Retired versions kept for rollback; older ones are pruned after each
+  /// successful swap.
+  int keep_retired = 4;
+};
+
+/// \brief Why a candidate was rejected; mirrored into the quarantine
+/// reason on disk and the per-reason rejection counter.
+enum class RejectReason : int {
+  kHoldoutLogloss = 0,  ///< absolute holdout logloss above the gate
+  kLoglossRegression,   ///< worse than the live model beyond the budget
+  kAgreement,           ///< disagrees with the live model too often
+  kArtifactCorrupt,     ///< candidate bytes failed CRC / decode on re-read
+  kOrphaned,            ///< candidate left behind by a crashed retrain
+};
+inline constexpr int kNumRejectReasons = 5;
+const char* RejectReasonName(RejectReason reason);
+
+/// \brief Owns the serving model epoch and drives retrain → gate → swap.
+///
+/// Thread-safety: LiveModel()/live_version() may be called from any
+/// thread and never block on training; the mutating calls (TrainCandidate,
+/// ValidateAndSwap, Rollback, Prune) must be externally serialized — the
+/// intended topology is one retrain loop (see BackgroundRetrainer) plus
+/// any number of serving readers.
+class ModelLifecycle {
+ public:
+  /// Opens (or creates) the registry and restores serving state:
+  /// - the ACTIVE version's artifact is loaded through the CRC path and
+  ///   published as the live epoch;
+  /// - if the active artifact is corrupt, serving falls back to the
+  ///   newest loadable retired version (re-activated atomically) and the
+  ///   corrupt version is quarantined;
+  /// - candidates left behind by a crashed retrain are quarantined.
+  /// A fresh directory starts with no live model (live_version() == -1).
+  static Result<std::unique_ptr<ModelLifecycle>> Open(
+      ModelLifecycleOptions options);
+
+  /// The serving model epoch: an immutable snapshot readers hold across a
+  /// whole batch. Null when nothing has been activated yet.
+  std::shared_ptr<const ml::GbdtClassifier> LiveModel() const;
+
+  /// Version backing LiveModel(); -1 when nothing serves.
+  int64_t live_version() const;
+
+  /// Phase 1: trains a candidate on `window` (warm-started from the live
+  /// model when one exists), writes it to the registry as kCandidate, and
+  /// returns its version. Deterministic: the candidate's bytes are a pure
+  /// function of (window, options.seed, version) — identical at any
+  /// thread count. [window_begin, window_end) is provenance recorded in
+  /// the manifest. Does NOT touch serving.
+  Result<int64_t> TrainCandidate(const ml::Dataset& window,
+                                 uint64_t window_begin, uint64_t window_end);
+
+  /// Phase 2: re-reads the candidate's artifact from disk (CRC-verified —
+  /// corruption between the phases is caught here), evaluates the
+  /// validation gate on the deterministic holdout split of `window`, and
+  /// either activates + publishes the candidate or quarantines it with
+  /// the failing gate as the reason. Returns FailedPrecondition on gate
+  /// rejection (serving is untouched). Retired versions beyond
+  /// keep_retired are pruned after a successful swap.
+  Status ValidateAndSwap(int64_t version, const ml::Dataset& window);
+
+  /// TrainCandidate + ValidateAndSwap in one call — the retrain loop body.
+  Status RetrainAndSwap(const ml::Dataset& window, uint64_t window_begin,
+                        uint64_t window_end);
+
+  /// Re-activates a retained (retired) version atomically and publishes
+  /// it as the serving epoch. The displaced version is retired and stays
+  /// eligible for rollback. Quarantined versions are refused.
+  Status Rollback(int64_t version);
+
+  /// Registry access for inspection (manifests, versions, paths).
+  const io::ModelRegistry& registry() const { return registry_; }
+
+  /// When set, every publish (swap, rollback, restore) also installs the
+  /// epoch into the service's model slot, so ShapeService readers follow
+  /// the lifecycle. `service` must outlive the lifecycle.
+  void AttachShapeService(ShapeService* service);
+
+  const ModelLifecycleOptions& options() const { return options_; }
+
+ private:
+  ModelLifecycle(ModelLifecycleOptions options, io::ModelRegistry registry);
+
+  /// Deterministic holdout split of `window`: a seeded permutation keyed
+  /// by (options.seed, version), so phase 2 re-derives exactly the split
+  /// phase 1 trained against.
+  void SplitWindow(const ml::Dataset& window, int64_t version,
+                   ml::Dataset* train, ml::Dataset* holdout) const;
+
+  /// Installs `model` as the serving epoch (and mirrors it into the
+  /// attached ShapeService).
+  void Publish(int64_t version,
+               std::shared_ptr<const ml::GbdtClassifier> model);
+
+  /// Quarantines `version` and bumps the per-reason rejection counter.
+  Status Reject(int64_t version, RejectReason reason, std::string detail);
+
+  ModelLifecycleOptions options_;
+  io::ModelRegistry registry_;
+  ShapeService* shape_service_ = nullptr;
+
+  mutable std::mutex live_mu_;  ///< guards the epoch pointer copy only
+  std::shared_ptr<const ml::GbdtClassifier> live_;
+  int64_t live_version_ = -1;
+
+  // Metrics (obs/metrics.h).
+  obs::Counter* swaps_total_;
+  obs::Counter* rollbacks_total_;
+  obs::Counter* candidates_total_;
+  std::vector<obs::Counter*> rejected_total_;  ///< indexed by RejectReason
+  obs::Histogram* retrain_latency_;
+  obs::Histogram* swap_latency_;
+};
+
+/// \brief Runs one retrain → gate → swap cycle on a worker thread, so the
+/// serving path never waits on training. At most one cycle in flight; the
+/// destructor joins.
+class BackgroundRetrainer {
+ public:
+  explicit BackgroundRetrainer(ModelLifecycle* lifecycle)
+      : lifecycle_(lifecycle) {}
+  ~BackgroundRetrainer();
+
+  BackgroundRetrainer(const BackgroundRetrainer&) = delete;
+  BackgroundRetrainer& operator=(const BackgroundRetrainer&) = delete;
+
+  /// Starts a cycle over `window`; false if one is already running.
+  bool StartCycle(ml::Dataset window, uint64_t window_begin,
+                  uint64_t window_end);
+
+  /// True while a cycle is in flight.
+  bool busy() const;
+
+  /// Joins the in-flight cycle (if any) and returns its Status; OK when
+  /// no cycle ran since the last Wait.
+  Status Wait();
+
+ private:
+  ModelLifecycle* lifecycle_;
+  mutable std::mutex mu_;
+  std::thread worker_;
+  bool running_ = false;
+  Status last_ = Status::OK();
+};
+
+}  // namespace core
+}  // namespace rvar
+
+#endif  // RVAR_CORE_MODEL_LIFECYCLE_H_

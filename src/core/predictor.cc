@@ -20,6 +20,7 @@ struct PredictorMetrics {
   obs::Counter* train_total;
   obs::Counter* train_rounds_total;
   obs::Counter* predictions_total;
+  obs::Counter* model_swaps_total;
   obs::Histogram* train_rows;
   obs::Histogram* predict_batch_size;
   obs::Histogram* train_latency;
@@ -33,6 +34,7 @@ struct PredictorMetrics {
           r.GetCounter("predictor_train_total"),
           r.GetCounter("predictor_train_rounds_total"),
           r.GetCounter("predictor_predictions_total"),
+          r.GetCounter("predictor_model_swaps_total"),
           r.GetHistogram("predictor_train_rows", sizes),
           r.GetHistogram("predictor_predict_batch_size", sizes),
           r.GetHistogram("predictor_train_latency_seconds")};
@@ -129,11 +131,12 @@ Result<std::unique_ptr<VariationPredictor>> VariationPredictor::Train(
     }
   }
 
-  predictor->model_ = std::make_unique<ml::GbdtClassifier>(config.gbdt);
+  auto model = std::make_shared<ml::GbdtClassifier>(config.gbdt);
   {
     obs::ScopedSpan phase("predictor/fit_gbdt");
-    RVAR_RETURN_NOT_OK(predictor->model_->Fit(train));
+    RVAR_RETURN_NOT_OK(model->Fit(train));
   }
+  predictor->model_ = std::move(model);
   const PredictorMetrics& metrics = PredictorMetrics::Get();
   metrics.train_total->Increment();
   metrics.train_rounds_total->Increment(config.gbdt.num_rounds);
@@ -141,8 +144,44 @@ Result<std::unique_ptr<VariationPredictor>> VariationPredictor::Train(
   return predictor;
 }
 
+Status VariationPredictor::SwapModel(
+    std::shared_ptr<const ml::GbdtClassifier> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("SwapModel requires a non-null model");
+  }
+  if (model->num_classes() != shapes_->num_clusters()) {
+    return Status::InvalidArgument(
+        StrCat("replacement model predicts ", model->num_classes(),
+               " classes but the shape library has ",
+               shapes_->num_clusters()));
+  }
+  if (model->feature_importance().size() != kept_.size()) {
+    return Status::InvalidArgument(
+        StrCat("replacement model expects ",
+               model->feature_importance().size(), " features but ",
+               kept_.size(), " are kept after selection"));
+  }
+  std::shared_ptr<const ml::GbdtClassifier> displaced;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    displaced = std::move(model_);
+    model_ = std::move(model);
+  }
+  // `displaced` releases outside the lock: if this thread holds the last
+  // reference, the forest's destructor must not run under model_mu_.
+  PredictorMetrics::Get().model_swaps_total->Increment();
+  return Status::OK();
+}
+
+std::shared_ptr<const ml::GbdtClassifier> VariationPredictor::ModelSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
 std::vector<double> VariationPredictor::FullFeatureImportance() const {
-  const std::vector<double>& kept_imp = model_->feature_importance();
+  const std::shared_ptr<const ml::GbdtClassifier> model = ModelSnapshot();
+  const std::vector<double>& kept_imp = model->feature_importance();
   // The model is fit on exactly the kept columns, so a length mismatch
   // means the selection bookkeeping and the model disagree — a programmer
   // error that must not silently drop importances.
@@ -188,6 +227,10 @@ Result<std::vector<int>> VariationPredictor::PredictShapeBatch(
   std::vector<int> predicted(runs.size(), -1);
   std::vector<Status> run_status(runs.size(), Status::OK());
   obs::Counter* predictions = PredictorMetrics::Get().predictions_total;
+  // Pin the model epoch once for the whole batch: a concurrent SwapModel
+  // cannot split the batch across versions, and no chunk ever touches the
+  // model slot again.
+  const std::shared_ptr<const ml::GbdtClassifier> model = ModelSnapshot();
   ParallelFor(runs.size(), /*grain=*/32, [&](size_t begin, size_t end) {
     PredictScratch scratch;
     for (size_t i = begin; i < end; ++i) {
@@ -197,7 +240,7 @@ Result<std::vector<int>> VariationPredictor::PredictShapeBatch(
         run_status[i] = x.status();
         continue;
       }
-      Result<int> shape = PredictFromFeatures(*x, &scratch);
+      Result<int> shape = PredictFromFeatures(*model, *x, &scratch);
       if (shape.ok()) {
         predicted[i] = *shape;
       } else {
@@ -211,6 +254,13 @@ Result<std::vector<int>> VariationPredictor::PredictShapeBatch(
 
 Status VariationPredictor::PredictProbaFromFeatures(
     const std::vector<double>& full_features, PredictScratch* scratch) const {
+  const std::shared_ptr<const ml::GbdtClassifier> model = ModelSnapshot();
+  return PredictProbaWithModel(*model, full_features, scratch);
+}
+
+Status VariationPredictor::PredictProbaWithModel(
+    const ml::GbdtClassifier& model,
+    const std::vector<double>& full_features, PredictScratch* scratch) const {
   if (full_features.size() != featurizer_->FeatureNames().size()) {
     return Status::InvalidArgument(
         StrCat("expected ", featurizer_->FeatureNames().size(),
@@ -219,7 +269,7 @@ Status VariationPredictor::PredictProbaFromFeatures(
   scratch->projected.clear();
   scratch->projected.reserve(kept_.size());
   for (size_t f : kept_) scratch->projected.push_back(full_features[f]);
-  model_->PredictProbaInto(scratch->projected, &scratch->proba);
+  model.PredictProbaInto(scratch->projected, &scratch->proba);
   return Status::OK();
 }
 
@@ -232,7 +282,14 @@ Result<std::vector<double>> VariationPredictor::PredictProbaFromFeatures(
 
 Result<int> VariationPredictor::PredictFromFeatures(
     const std::vector<double>& full_features, PredictScratch* scratch) const {
-  RVAR_RETURN_NOT_OK(PredictProbaFromFeatures(full_features, scratch));
+  const std::shared_ptr<const ml::GbdtClassifier> model = ModelSnapshot();
+  return PredictFromFeatures(*model, full_features, scratch);
+}
+
+Result<int> VariationPredictor::PredictFromFeatures(
+    const ml::GbdtClassifier& model, const std::vector<double>& full_features,
+    PredictScratch* scratch) const {
+  RVAR_RETURN_NOT_OK(PredictProbaWithModel(model, full_features, scratch));
   const std::vector<double>& proba = scratch->proba;
   int best = 0;
   for (size_t k = 1; k < proba.size(); ++k) {

@@ -11,6 +11,7 @@
 #define RVAR_CORE_PREDICTOR_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -73,8 +74,22 @@ class VariationPredictor {
   const ShapeLibrary& shapes() const { return *shapes_; }
   const Featurizer& featurizer() const { return *featurizer_; }
   const PosteriorAssigner& assigner() const { return *assigner_; }
+  /// The current classifier. Stable only while no concurrent SwapModel;
+  /// threaded readers take ModelSnapshot() instead.
   const ml::GbdtClassifier& model() const { return *model_; }
   const GroupMedians& medians() const { return medians_; }
+
+  /// Atomically replaces the classifier epoch (RCU-style): the pointer
+  /// copy happens under a micro-mutex, in-flight batches finish on the
+  /// snapshot they took, and the displaced model is released outside the
+  /// lock. The replacement must be fitted and shape-compatible (same
+  /// class count as the shape library, same feature count as the kept
+  /// projection); InvalidArgument otherwise, with serving untouched.
+  Status SwapModel(std::shared_ptr<const ml::GbdtClassifier> model);
+
+  /// The classifier epoch readers hold across a whole batch; never blocks
+  /// on more than the pointer copy.
+  std::shared_ptr<const ml::GbdtClassifier> ModelSnapshot() const;
 
   /// Feature indices (into the featurizer's full vector) kept after
   /// selection; identity when selection is disabled.
@@ -114,6 +129,13 @@ class VariationPredictor {
   Result<int> PredictFromFeatures(const std::vector<double>& full_features,
                                   PredictScratch* scratch) const;
 
+  /// Epoch-pinned variant: scores against `model` (a snapshot the caller
+  /// took once for the batch), so a concurrent SwapModel cannot split a
+  /// batch across model versions.
+  Result<int> PredictFromFeatures(const ml::GbdtClassifier& model,
+                                  const std::vector<double>& full_features,
+                                  PredictScratch* scratch) const;
+
   /// Figure 7 evaluation on a test slice.
   Result<PredictorEvaluation> Evaluate(
       const sim::TelemetryStore& test_slice) const;
@@ -127,6 +149,11 @@ class VariationPredictor {
  private:
   VariationPredictor() = default;
 
+  /// Projection + softmax scoring against an explicit model epoch.
+  Status PredictProbaWithModel(const ml::GbdtClassifier& model,
+                               const std::vector<double>& full_features,
+                               PredictScratch* scratch) const;
+
   PredictorConfig config_;
   // Owned copies so the featurizer's pointers stay valid.
   std::vector<sim::JobGroupSpec> groups_;
@@ -135,7 +162,9 @@ class VariationPredictor {
   std::unique_ptr<ShapeLibrary> shapes_;
   std::unique_ptr<PosteriorAssigner> assigner_;
   std::unique_ptr<Featurizer> featurizer_;
-  std::unique_ptr<ml::GbdtClassifier> model_;
+  /// Serving epoch: immutable once published; replaced whole by SwapModel.
+  mutable std::mutex model_mu_;  ///< guards the pointer copy only
+  std::shared_ptr<const ml::GbdtClassifier> model_;
   std::vector<size_t> kept_;
   std::unordered_map<int, int> history_support_;
 };

@@ -20,6 +20,7 @@ ShapeService::ShapeService(const ShapeLibrary* library, Options options)
   query_latency_ =
       registry.GetHistogram("shape_service_query_latency_seconds");
   observe_total_ = registry.GetCounter("shape_service_observe_total");
+  model_swaps_total_ = registry.GetCounter("shape_service_model_swaps_total");
   stripe_contention_.reserve(num_stripes_);
   for (size_t s = 0; s < num_stripes_; ++s) {
     stripe_contention_.push_back(registry.GetCounter(
@@ -34,6 +35,23 @@ Result<std::unique_ptr<ShapeService>> ShapeService::Make(
   }
   if (library->num_clusters() < 1) {
     return Status::InvalidArgument("shape library holds no clusters");
+  }
+  // Explicit option validation (mirrors OnlineShapeTracker::Make) so the
+  // error names the service option, not a tracker internals message.
+  if (!(options.decay > 0.0) || options.decay > 1.0) {
+    return Status::InvalidArgument(
+        StrCat("ShapeService options.decay must be in (0, 1], got ",
+               options.decay));
+  }
+  if (!(options.pmf_floor > 0.0)) {
+    return Status::InvalidArgument(
+        StrCat("ShapeService options.pmf_floor must be > 0, got ",
+               options.pmf_floor));
+  }
+  if (options.num_stripes < 1) {
+    return Status::InvalidArgument(
+        StrCat("ShapeService options.num_stripes must be >= 1, got ",
+               options.num_stripes));
   }
   // Validate the tracker parameters once, up front, so per-group tracker
   // creation inside Observe can never fail.
@@ -164,6 +182,87 @@ bool ShapeService::Forget(int group_id) {
   Stripe& stripe = StripeFor(group_id);
   std::lock_guard<std::mutex> lock(stripe.mu);
   return stripe.trackers.erase(group_id) > 0;
+}
+
+void ShapeService::SwapModel(
+    std::shared_ptr<const ml::GbdtClassifier> model) {
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    model_.swap(model);
+  }
+  // The displaced version is released outside the lock: if this thread
+  // holds the last reference, the destructor runs without stalling
+  // readers trying to snapshot.
+  model_swaps_total_->Increment();
+}
+
+std::shared_ptr<const ml::GbdtClassifier> ShapeService::ModelSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
+std::vector<ShapeService::GroupState> ShapeService::ExportState() const {
+  // Lock every stripe (in index order, the only order used) so the export
+  // is a point-in-time cut: no concurrent Observe lands halfway.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_stripes_);
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    locks.push_back(LockStripe(s));
+  }
+  std::vector<GroupState> states;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    for (const auto& [gid, tracker] : stripes_[s].trackers) {
+      GroupState state;
+      state.group_id = gid;
+      state.log_likelihood = tracker.log_likelihood();
+      state.count = tracker.count();
+      state.num_clamped = tracker.num_clamped();
+      states.push_back(std::move(state));
+    }
+  }
+  std::sort(states.begin(), states.end(),
+            [](const GroupState& a, const GroupState& b) {
+              return a.group_id < b.group_id;
+            });
+  return states;
+}
+
+Status ShapeService::RestoreState(const std::vector<GroupState>& states) {
+  // Validate and build every tracker before touching the live stripes, so
+  // a corrupt entry leaves the service exactly as it was.
+  std::vector<std::pair<int, OnlineShapeTracker>> restored;
+  restored.reserve(states.size());
+  for (const GroupState& state : states) {
+    if (state.group_id < 0) {
+      return Status::InvalidArgument(
+          StrCat("restored group_id must be >= 0, got ", state.group_id));
+    }
+    auto tracker =
+        OnlineShapeTracker::Make(library_, options_.decay, options_.pmf_floor);
+    RVAR_RETURN_NOT_OK(tracker.status());
+    RVAR_RETURN_NOT_OK(tracker->RestoreState(state.log_likelihood,
+                                             state.count, state.num_clamped));
+    restored.emplace_back(state.group_id, std::move(*tracker));
+  }
+  for (size_t i = 1; i < restored.size(); ++i) {
+    if (restored[i].first <= restored[i - 1].first) {
+      return Status::InvalidArgument(
+          "restored group states must be strictly ascending by group id");
+    }
+  }
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_stripes_);
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    locks.push_back(LockStripe(s));
+  }
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    stripes_[s].trackers.clear();
+  }
+  for (auto& [gid, tracker] : restored) {
+    stripes_[StripeIndexFor(gid)].trackers.emplace(gid, std::move(tracker));
+  }
+  return Status::OK();
 }
 
 }  // namespace core

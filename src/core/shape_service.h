@@ -18,6 +18,7 @@
 #include "common/result.h"
 #include "core/online.h"
 #include "core/shape_library.h"
+#include "ml/gbdt.h"
 #include "obs/metrics.h"
 
 namespace rvar {
@@ -35,12 +36,14 @@ class ShapeService {
     double decay = 1.0;
     /// Probability floor before taking logs.
     double pmf_floor = 1e-6;
-    /// Mutex stripes; more stripes = less cross-group contention. Clamped
-    /// to >= 1.
+    /// Mutex stripes; more stripes = less cross-group contention. Must be
+    /// >= 1.
     int num_stripes = 16;
   };
 
-  /// \param library must outlive the service.
+  /// \param library must outlive the service. Rejects decay outside
+  /// (0, 1], non-positive pmf_floor, and num_stripes < 1 up front, so
+  /// per-group tracker creation inside Observe can never fail.
   static Result<std::unique_ptr<ShapeService>> Make(const ShapeLibrary* library,
                                                     Options options);
   static Result<std::unique_ptr<ShapeService>> Make(
@@ -78,6 +81,35 @@ class ShapeService {
   /// Returns true if the group had a tracker.
   bool Forget(int group_id);
 
+  /// Atomically publishes `model` as the serving classifier (RCU via
+  /// shared_ptr: readers holding a snapshot keep the previous version
+  /// alive until they drop it, so a swap never blocks or invalidates an
+  /// in-flight prediction). Null clears the slot. Thread-safe.
+  void SwapModel(std::shared_ptr<const ml::GbdtClassifier> model);
+
+  /// The currently published model; null until the first SwapModel. The
+  /// returned pointer is an immutable epoch — callers score a whole batch
+  /// against one snapshot for version consistency.
+  std::shared_ptr<const ml::GbdtClassifier> ModelSnapshot() const;
+
+  /// One tracker's checkpointable state (io/serialize.h codec).
+  struct GroupState {
+    int group_id = 0;
+    std::vector<double> log_likelihood;  ///< per-cluster discounted sums
+    int64_t count = 0;
+    int64_t num_clamped = 0;
+  };
+
+  /// Point-in-time snapshot of every tracker, ascending by group id (all
+  /// stripes locked together, so concurrent Observes land entirely before
+  /// or entirely after the export).
+  std::vector<GroupState> ExportState() const;
+
+  /// Replaces all tracker state with `states` (the restart path). Fully
+  /// validated before anything is touched: on error the service is
+  /// unchanged.
+  Status RestoreState(const std::vector<GroupState>& states);
+
   const ShapeLibrary& library() const { return *library_; }
   const Options& options() const { return options_; }
 
@@ -100,10 +132,17 @@ class ShapeService {
   std::unique_ptr<Stripe[]> stripes_;
   size_t num_stripes_;
 
+  // The published classifier. The mutex guards only the pointer copy
+  // (nanoseconds); the pointee is immutable, so readers work lock-free
+  // after the snapshot.
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const ml::GbdtClassifier> model_;
+
   // Metrics (obs/metrics.h): write-only, never consulted for results.
   obs::Histogram* observe_latency_;               ///< Observe() wall clock
   obs::Histogram* query_latency_;                 ///< Posterior() wall clock
   obs::Counter* observe_total_;
+  obs::Counter* model_swaps_total_;               ///< SwapModel() calls
   std::vector<obs::Counter*> stripe_contention_;  ///< contended lock grabs
 };
 

@@ -1,0 +1,158 @@
+// Copyright 2026 The rvar Authors.
+//
+// Versioned on-disk model registry (DESIGN.md §11): the artifact store
+// behind the online model lifecycle. Each version is a CRC'd snapshot of a
+// fitted GBDT plus a manifest carrying its provenance (parent version,
+// training seed, telemetry-window bounds) and its lifecycle state
+// (candidate → active → retired, or quarantined with a reason). The ACTIVE
+// pointer file — written last, atomically — is the single source of truth
+// for what serves; every crash window therefore resolves to "keep serving
+// the last good version", which the lifecycle chaos tests prove.
+
+#ifndef RVAR_IO_MODEL_REGISTRY_H_
+#define RVAR_IO_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ml/gbdt.h"
+
+namespace rvar {
+namespace io {
+
+/// \brief Lifecycle state of one registered model version.
+enum class ModelState : uint32_t {
+  kCandidate = 0,   ///< written by a retrainer, not yet validated
+  kActive = 1,      ///< the serving version (at most one)
+  kRetired = 2,     ///< previously validated; eligible for rollback
+  kQuarantined = 3, ///< failed validation or integrity; never served
+};
+const char* ModelStateName(ModelState state);
+
+/// \brief Provenance and state of one model version. Everything in the
+/// manifest is deterministic given the training inputs (no wall-clock
+/// fields), so identical retrains produce byte-identical registries.
+struct ModelManifest {
+  int64_t version = 0;
+  /// Version the candidate warm-started from; -1 for a cold start.
+  int64_t parent_version = -1;
+  /// Seed the candidate was trained with.
+  uint64_t seed = 0;
+  /// Telemetry-window provenance: ingest sequence numbers [begin, end).
+  uint64_t window_begin = 0;
+  uint64_t window_end = 0;
+  /// Rows in the training window (train + holdout).
+  uint64_t num_rows = 0;
+  ModelState state = ModelState::kCandidate;
+  /// Why the version was quarantined (empty otherwise).
+  std::string reason;
+  /// Validation-gate measurements; 0 until RecordValidation.
+  double holdout_logloss = 0.0;
+  double agreement = 0.0;
+  /// Integrity cross-check of the model artifact file.
+  uint32_t model_crc = 0;
+  uint64_t model_size = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Owns a directory of `model-NNNNNN` artifacts, `manifest-NNNNNN`
+/// sidecars, and the atomic `ACTIVE` pointer.
+///
+/// Version ids are monotonic: the next id is one past the largest id ever
+/// seen on disk, and pruning never removes the largest id (quarantined
+/// manifests are retained as tombstones), so an id is never reused.
+///
+/// Not thread-safe; the ModelLifecycle serializes access. All writes are
+/// atomic (snapshot temp+fsync+rename), so readers of the directory never
+/// observe a torn manifest or artifact.
+class ModelRegistry {
+ public:
+  /// Creates the directory if needed and loads every intact manifest.
+  /// Corrupt manifests are skipped and counted (their versions still bump
+  /// the high-water mark so ids are not reused). Reconciles manifest
+  /// states against the ACTIVE pointer: the pointer wins every dispute.
+  static Result<ModelRegistry> Open(const std::string& dir);
+
+  ModelRegistry(ModelRegistry&&) = default;
+  ModelRegistry& operator=(ModelRegistry&&) = default;
+
+  const std::string& dir() const { return dir_; }
+
+  /// The serving version; -1 when nothing has been activated.
+  int64_t active_version() const { return active_version_; }
+
+  /// The id the next PutCandidate will assign.
+  int64_t next_version() const { return next_version_; }
+
+  /// Versions with an intact manifest, ascending.
+  std::vector<int64_t> Versions() const;
+
+  Result<ModelManifest> Manifest(int64_t version) const;
+
+  /// Writes the model artifact and its manifest atomically (artifact
+  /// first, manifest last — a manifest on disk always describes a complete
+  /// artifact). The manifest's version must be next_version() (or 0 to
+  /// auto-assign); its state is forced to kCandidate and its CRC/size are
+  /// computed here. Returns the assigned version.
+  Result<int64_t> PutCandidate(ModelManifest manifest,
+                               const std::string& model_bytes);
+
+  /// Reads a version's artifact and verifies it against the manifest's
+  /// size and CRC. IOError on any mismatch — bit rot and torn writes are
+  /// caught here, before a byte reaches a decoder.
+  Result<std::string> LoadModelBytes(int64_t version) const;
+
+  /// LoadModelBytes + full decode through the snapshot checksums and
+  /// GbdtClassifier::Restore invariants.
+  Result<ml::GbdtClassifier> LoadModel(int64_t version) const;
+
+  /// Records validation-gate measurements in the manifest.
+  Status RecordValidation(int64_t version, double holdout_logloss,
+                          double agreement);
+
+  /// Makes `version` (a candidate or a retired version — rollback) the
+  /// serving version. The previous active version is retired. Ordering:
+  /// manifests first, ACTIVE pointer last, so a crash anywhere leaves the
+  /// pointer on a version whose artifact is intact on disk.
+  Status Activate(int64_t version);
+
+  /// Marks a version quarantined with a reason. Quarantined versions are
+  /// never served and never activated; their files are kept for forensics.
+  /// The active version cannot be quarantined while it is active.
+  Status Quarantine(int64_t version, std::string reason);
+
+  /// Deletes retired versions beyond the newest `keep_retired`, oldest
+  /// first (artifact + manifest). Never touches the active version,
+  /// candidates, quarantined tombstones, or the largest id on disk.
+  /// Returns the pruned versions, ascending.
+  Result<std::vector<int64_t>> Prune(int keep_retired);
+
+  /// Manifest files that failed validation during Open.
+  int num_corrupt_manifests() const { return num_corrupt_manifests_; }
+
+  std::string ModelPath(int64_t version) const;
+  std::string ManifestPath(int64_t version) const;
+  std::string ActivePath() const;
+
+ private:
+  explicit ModelRegistry(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Persists one manifest atomically and updates the in-memory map.
+  Status WriteManifest(const ModelManifest& manifest);
+
+  std::string dir_;
+  std::map<int64_t, ModelManifest> manifests_;
+  int64_t active_version_ = -1;
+  int64_t next_version_ = 1;
+  int num_corrupt_manifests_ = 0;
+};
+
+}  // namespace io
+}  // namespace rvar
+
+#endif  // RVAR_IO_MODEL_REGISTRY_H_

@@ -668,6 +668,75 @@ Result<sim::TelemetryStore> DecodeTelemetryImage(std::string bytes,
   return store;
 }
 
+// --- ShapeServiceState ---------------------------------------------------
+//
+// record 0: number of group states
+// record 1..n: group id, observation count, clamp count, ll sums
+
+std::string EncodeShapeServiceImage(const core::ShapeService& service) {
+  const std::vector<core::ShapeService::GroupState> states =
+      service.ExportState();
+  SnapshotWriter snap(PayloadKind::kShapeServiceState);
+  {
+    BinaryWriter w;
+    w.PutU64(states.size());
+    snap.AddRecord(w.bytes());
+  }
+  for (const core::ShapeService::GroupState& state : states) {
+    BinaryWriter w;
+    w.PutI32(state.group_id);
+    w.PutI64(state.count);
+    w.PutI64(state.num_clamped);
+    w.PutDoubleVector(state.log_likelihood);
+    snap.AddRecord(w.bytes());
+  }
+  return snap.Finish();
+}
+
+Result<std::vector<core::ShapeService::GroupState>> DecodeShapeServiceImage(
+    std::string bytes, SnapshotDefect* defect) {
+  RVAR_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      OpenSnapshot(std::move(bytes), PayloadKind::kShapeServiceState, 1,
+                   defect));
+  uint64_t num_groups = 0;
+  {
+    RVAR_ASSIGN_OR_RETURN(std::string_view rec, reader.Record(0));
+    BinaryReader r(rec);
+    RVAR_ASSIGN_OR_RETURN(num_groups, r.ReadU64());
+    RVAR_RETURN_NOT_OK(ExpectRecordEnd(r, "shape-service header"));
+  }
+  if (reader.num_records() != num_groups + 1) {
+    return Status::InvalidArgument(
+        StrCat("snapshot promises ", num_groups, " group states but holds ",
+               reader.num_records(), " records"));
+  }
+  std::vector<core::ShapeService::GroupState> states;
+  states.reserve(static_cast<size_t>(num_groups));
+  for (uint64_t i = 0; i < num_groups; ++i) {
+    RVAR_ASSIGN_OR_RETURN(std::string_view rec,
+                          reader.Record(static_cast<size_t>(i) + 1));
+    BinaryReader r(rec);
+    core::ShapeService::GroupState state;
+    RVAR_ASSIGN_OR_RETURN(state.group_id, r.ReadI32());
+    RVAR_ASSIGN_OR_RETURN(state.count, r.ReadI64());
+    RVAR_ASSIGN_OR_RETURN(state.num_clamped, r.ReadI64());
+    RVAR_ASSIGN_OR_RETURN(state.log_likelihood, r.ReadDoubleVector());
+    RVAR_RETURN_NOT_OK(ExpectRecordEnd(r, "group state"));
+    if (state.group_id < 0) {
+      return Status::InvalidArgument(
+          StrCat("group state ", i, " holds negative group id ",
+                 state.group_id));
+    }
+    if (i > 0 && state.group_id <= states.back().group_id) {
+      return Status::InvalidArgument(
+          "group states must be strictly ascending by group id");
+    }
+    states.push_back(std::move(state));
+  }
+  return states;
+}
+
 }  // namespace
 
 // --- Public wrappers -----------------------------------------------------
@@ -785,6 +854,23 @@ Result<sim::TelemetryStore> DecodeTelemetryStore(std::string bytes,
 Result<sim::TelemetryStore> LoadTelemetryStore(const std::string& path) {
   RVAR_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
   return DecodeTelemetryStore(std::move(bytes));
+}
+
+std::string EncodeShapeServiceState(const core::ShapeService& service) {
+  return EncodeShapeServiceImage(service);
+}
+Status SaveShapeServiceState(const core::ShapeService& service,
+                             const std::string& path) {
+  return AtomicWriteFile(path, EncodeShapeServiceState(service));
+}
+Result<std::vector<core::ShapeService::GroupState>> DecodeShapeServiceState(
+    std::string bytes, SnapshotDefect* defect) {
+  return DecodeShapeServiceImage(std::move(bytes), defect);
+}
+Result<std::vector<core::ShapeService::GroupState>> LoadShapeServiceState(
+    const std::string& path) {
+  RVAR_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return DecodeShapeServiceState(std::move(bytes));
 }
 
 }  // namespace io

@@ -12,11 +12,13 @@
 #define RVAR_IO_SERIALIZE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "core/featurizer.h"
 #include "core/shape_library.h"
+#include "core/shape_service.h"
 #include "io/snapshot.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
@@ -84,6 +86,20 @@ Status SaveTelemetryStore(const sim::TelemetryStore& store,
 Result<sim::TelemetryStore> DecodeTelemetryStore(
     std::string bytes, SnapshotDefect* defect = nullptr);
 Result<sim::TelemetryStore> LoadTelemetryStore(const std::string& path);
+
+/// The ShapeService's per-group OnlineShapeTracker state (discounted
+/// log-likelihood sums plus observation/clamp counters), so online serving
+/// state survives restart alongside the model. Encode exports a
+/// point-in-time cut of the live service; Decode yields the group states
+/// in the form ShapeService::RestoreState takes, validated down to
+/// finiteness by the restore path.
+std::string EncodeShapeServiceState(const core::ShapeService& service);
+Status SaveShapeServiceState(const core::ShapeService& service,
+                             const std::string& path);
+Result<std::vector<core::ShapeService::GroupState>> DecodeShapeServiceState(
+    std::string bytes, SnapshotDefect* defect = nullptr);
+Result<std::vector<core::ShapeService::GroupState>> LoadShapeServiceState(
+    const std::string& path);
 
 }  // namespace io
 }  // namespace rvar

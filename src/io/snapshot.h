@@ -38,6 +38,9 @@ enum class PayloadKind : uint32_t {
   kFeaturizerState = 5,
   kTelemetryStore = 6,
   kServingState = 7,
+  kModelManifest = 8,
+  kActivePointer = 9,
+  kShapeServiceState = 10,
 };
 
 /// \brief The first defect a snapshot validator encountered; kNone for an

@@ -610,7 +610,23 @@ Status GbdtClassifier::FitWithValidation(const Dataset& train,
   return FitImpl(train, &valid);
 }
 
-Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
+Status GbdtClassifier::FitWarmStart(const Dataset& train,
+                                    const GbdtClassifier& parent,
+                                    const Dataset* valid) {
+  if (parent.num_classes_ < 2 || parent.trees_.empty()) {
+    return Status::InvalidArgument("warm-start parent has not been fitted");
+  }
+  if (valid != nullptr) {
+    RVAR_RETURN_NOT_OK(valid->Validate());
+    if (valid->y.size() != valid->NumRows() || valid->NumRows() == 0) {
+      return Status::InvalidArgument("validation set requires labels");
+    }
+  }
+  return FitImpl(train, valid, &parent);
+}
+
+Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid,
+                               const GbdtClassifier* parent) {
   RVAR_RETURN_NOT_OK(train.Validate());
   if (train.NumRows() == 0) {
     return Status::InvalidArgument("cannot fit GBDT on empty dataset");
@@ -627,6 +643,23 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
         "feature_fraction and bagging_fraction must be in (0,1]");
   }
   num_classes_ = train.NumClasses();
+  if (parent != nullptr) {
+    // A sliding retrain window may miss rare classes entirely; the parent's
+    // class count is authoritative as long as no label exceeds it.
+    if (num_classes_ > parent->num_classes_) {
+      return Status::InvalidArgument(
+          StrCat("training window holds ", num_classes_,
+                 " classes, warm-start parent was fitted with ",
+                 parent->num_classes_));
+    }
+    num_classes_ = parent->num_classes_;
+    if (train.NumFeatures() != parent->importance_.size()) {
+      return Status::InvalidArgument(
+          StrCat("training window holds ", train.NumFeatures(),
+                 " features, warm-start parent was fitted with ",
+                 parent->importance_.size()));
+    }
+  }
   if (num_classes_ < 2) {
     return Status::InvalidArgument("need at least 2 classes");
   }
@@ -640,9 +673,14 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
   RVAR_ASSIGN_OR_RETURN(BinnedDataset binned,
                         BinnedDataset::Make(binner, train));
 
-  // Base scores: log class priors.
-  base_scores_.assign(kc, 0.0);
-  {
+  if (parent != nullptr) {
+    // Continue the parent's additive expansion: its base scores and trees
+    // carry over, and each row starts from its full raw prediction so new
+    // trees fit only the residual gradients.
+    base_scores_ = parent->base_scores_;
+  } else {
+    // Base scores: log class priors.
+    base_scores_.assign(kc, 0.0);
     std::vector<double> prior(kc, 1e-9);
     for (int label : train.y) prior[static_cast<size_t>(label)] += 1.0;
     for (size_t k = 0; k < kc; ++k) {
@@ -651,16 +689,39 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
   }
 
   // Contiguous n x K raw scores and per-round probabilities, allocated
-  // once and reused across rounds (row i's slots start at i*kc).
+  // once and reused across rounds (row i's slots start at i*kc). Rows
+  // write disjoint slots, so the warm-start initialization parallelizes
+  // without any cross-thread accumulation.
   std::vector<double> scores(n * kc);
-  for (size_t i = 0; i < n; ++i) {
-    std::copy(base_scores_.begin(), base_scores_.end(),
-              scores.begin() + static_cast<ptrdiff_t>(i * kc));
+  if (parent != nullptr) {
+    ParallelFor(n, /*grain=*/512, [&](size_t begin, size_t end) {
+      std::vector<double> raw;
+      for (size_t i = begin; i < end; ++i) {
+        parent->PredictRawInto(train.x[i], &raw);
+        std::copy(raw.begin(), raw.end(),
+                  scores.begin() + static_cast<ptrdiff_t>(i * kc));
+      }
+    });
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      std::copy(base_scores_.begin(), base_scores_.end(),
+                scores.begin() + static_cast<ptrdiff_t>(i * kc));
+    }
   }
   std::vector<double> round_proba(n * kc);
 
-  trees_.assign(kc, {});
-  importance_.assign(nf, 0.0);
+  const size_t parent_rounds =
+      parent != nullptr ? parent->trees_[0].size() : 0;
+  if (parent != nullptr) {
+    trees_ = parent->trees_;
+    // Inherited gains stay attributed: the parent's normalized importance
+    // seeds the accumulator and new split gains add on top before the
+    // final renormalization.
+    importance_ = parent->importance_;
+  } else {
+    trees_.assign(kc, {});
+    importance_.assign(nf, 0.0);
+  }
   Rng rng(config_.seed);
 
   std::vector<double> grad(n), hess(n);
@@ -675,9 +736,21 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
   if (track_valid) {
     RVAR_ASSIGN_OR_RETURN(valid_binned, BinnedDataset::Make(binner, *valid));
     valid_scores.resize(valid->NumRows() * kc);
-    for (size_t i = 0; i < valid->NumRows(); ++i) {
-      std::copy(base_scores_.begin(), base_scores_.end(),
-                valid_scores.begin() + static_cast<ptrdiff_t>(i * kc));
+    if (parent != nullptr) {
+      ParallelFor(valid->NumRows(), /*grain=*/512,
+                  [&](size_t begin, size_t end) {
+        std::vector<double> raw;
+        for (size_t i = begin; i < end; ++i) {
+          parent->PredictRawInto(valid->x[i], &raw);
+          std::copy(raw.begin(), raw.end(),
+                    valid_scores.begin() + static_cast<ptrdiff_t>(i * kc));
+        }
+      });
+    } else {
+      for (size_t i = 0; i < valid->NumRows(); ++i) {
+        std::copy(base_scores_.begin(), base_scores_.end(),
+                  valid_scores.begin() + static_cast<ptrdiff_t>(i * kc));
+      }
     }
   }
 
@@ -784,8 +857,10 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid) {
         rounds_without_improvement = 0;
       } else if (++rounds_without_improvement >=
                  config_.early_stopping_rounds) {
+        // Early stopping truncates only rounds added by this fit; the
+        // inherited parent rounds are model state, not candidates.
         for (auto& class_trees : trees_) {
-          class_trees.resize(static_cast<size_t>(best_round));
+          class_trees.resize(parent_rounds + static_cast<size_t>(best_round));
         }
         break;
       }

@@ -72,6 +72,18 @@ class GbdtClassifier : public Classifier {
   /// Fit with early stopping monitored on `valid` (multiclass logloss).
   Status FitWithValidation(const Dataset& train, const Dataset& valid);
 
+  /// Boosts `config().num_rounds` additional rounds on top of `parent`:
+  /// the parent's trees and base scores are copied in, each row's initial
+  /// raw score is the parent's prediction, and new trees fit the residual
+  /// gradients — the online-lifecycle retrain path, where a candidate
+  /// continues from the serving model instead of relearning it. `train`
+  /// must present the parent's feature count and no labels beyond its
+  /// class count. Deterministic: same parent + data + config (seed) gives
+  /// a bit-identical model at any thread count. The optional `valid` set
+  /// enables early stopping, which truncates only the newly added rounds.
+  Status FitWarmStart(const Dataset& train, const GbdtClassifier& parent,
+                      const Dataset* valid = nullptr);
+
   std::vector<double> PredictProba(
       const std::vector<double>& row) const override;
   int num_classes() const override { return num_classes_; }
@@ -107,7 +119,8 @@ class GbdtClassifier : public Classifier {
   const GbdtConfig& config() const { return config_; }
 
  private:
-  Status FitImpl(const Dataset& train, const Dataset* valid);
+  Status FitImpl(const Dataset& train, const Dataset* valid,
+                 const GbdtClassifier* parent = nullptr);
 
   /// Rebuilds flat_ from trees_ (class-major: all rounds of class 0, then
   /// class 1, ...). Called at the end of Fit and Restore.

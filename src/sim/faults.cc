@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/check.h"
@@ -192,6 +194,39 @@ std::vector<size_t> StorageFaultPlan::DeliverySchedule(
   schedule.reserve(keys.size());
   for (const auto& [pos, index] : keys) schedule.push_back(index);
   return schedule;
+}
+
+Status StorageFaultPlan::CorruptFile(const std::string& path, int num_flips,
+                                     double truncate_fraction,
+                                     uint64_t salt) const {
+  RVAR_CHECK_GE(num_flips, 0);
+  RVAR_CHECK(RateValid(truncate_fraction));
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IOError(StrCat("cannot read ", path));
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  if (num_flips > 0) bytes = FlipBits(std::move(bytes), num_flips, salt);
+  if (truncate_fraction > 0.0) {
+    bytes = TruncateTail(std::move(bytes), truncate_fraction, salt);
+  }
+  // Deliberately non-atomic (truncating overwrite, no fsync/rename): the
+  // point is to model the torn on-disk states AtomicWriteFile prevents.
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError(StrCat("cannot write ", path));
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) {
+    return Status::IOError(StrCat("short write to ", path));
+  }
+  return Status::OK();
 }
 
 std::vector<JobRun> FaultPlan::CorruptTelemetry(

@@ -162,6 +162,14 @@ class StorageFaultPlan {
                                        int reorder_window,
                                        uint64_t salt = 0) const;
 
+  /// In-place file corruption for the crash-safety chaos tests: reads
+  /// `path`, applies FlipBits (when `num_flips` > 0) then TruncateTail
+  /// (when `truncate_fraction` > 0), and rewrites the file with a plain
+  /// non-atomic stream — a corrupted or torn artifact is exactly what the
+  /// recovery path must survive. Deterministic per (seed, salt, size).
+  Status CorruptFile(const std::string& path, int num_flips,
+                     double truncate_fraction, uint64_t salt = 0) const;
+
  private:
   /// Uniform [0,1) draw keyed by (seed, salt, a, b).
   double Uniform(uint64_t salt, int64_t a, int64_t b) const;

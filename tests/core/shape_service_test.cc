@@ -10,7 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +22,8 @@
 #include "core/normalization.h"
 #include "core/online.h"
 #include "core/shape_library.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
 
 namespace rvar {
 namespace core {
@@ -84,12 +90,38 @@ ShapeLibrary* ShapeServiceTest::library_ = nullptr;
 
 TEST_F(ShapeServiceTest, MakeRejectsBadArguments) {
   EXPECT_FALSE(ShapeService::Make(nullptr).ok());
-  ShapeService::Options bad;
-  bad.decay = 0.0;
-  EXPECT_FALSE(ShapeService::Make(library_, bad).ok());
-  bad.decay = 1.0;
-  bad.pmf_floor = -1.0;
-  EXPECT_FALSE(ShapeService::Make(library_, bad).ok());
+
+  // Each rejected option names itself in the message, so misconfiguration
+  // reads as "which knob", not a tracker internals error.
+  for (double decay : {0.0, -0.5, 1.5,
+                       std::numeric_limits<double>::quiet_NaN()}) {
+    ShapeService::Options bad;
+    bad.decay = decay;
+    auto service = ShapeService::Make(library_, bad);
+    ASSERT_FALSE(service.ok()) << "decay=" << decay;
+    EXPECT_NE(service.status().message().find("options.decay"),
+              std::string::npos)
+        << service.status().ToString();
+  }
+  for (double floor : {0.0, -1.0,
+                       std::numeric_limits<double>::quiet_NaN()}) {
+    ShapeService::Options bad;
+    bad.pmf_floor = floor;
+    auto service = ShapeService::Make(library_, bad);
+    ASSERT_FALSE(service.ok()) << "pmf_floor=" << floor;
+    EXPECT_NE(service.status().message().find("options.pmf_floor"),
+              std::string::npos)
+        << service.status().ToString();
+  }
+  for (int stripes : {0, -4}) {
+    ShapeService::Options bad;
+    bad.num_stripes = stripes;
+    auto service = ShapeService::Make(library_, bad);
+    ASSERT_FALSE(service.ok()) << "num_stripes=" << stripes;
+    EXPECT_NE(service.status().message().find("options.num_stripes"),
+              std::string::npos)
+        << service.status().ToString();
+  }
 }
 
 TEST_F(ShapeServiceTest, UnknownGroupsAnswerFromUniformPrior) {
@@ -210,6 +242,126 @@ TEST_F(ShapeServiceTest, ContendedGroupCountsEveryObservation) {
     mass += v;
   }
   EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST_F(ShapeServiceTest, StateRoundTripsThroughExportRestore) {
+  ShapeService::Options options;
+  options.decay = 0.9;
+  auto service = ShapeService::Make(library_, options);
+  ASSERT_TRUE(service.ok());
+  for (int gid : {1, 4, 9}) {
+    for (double x : StreamFor(gid, 25)) {
+      ASSERT_TRUE((*service)->Observe(gid, x).ok());
+    }
+  }
+
+  const std::vector<ShapeService::GroupState> states =
+      (*service)->ExportState();
+  ASSERT_EQ(states.size(), 3u);
+
+  auto restored = ShapeService::Make(library_, options);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->RestoreState(states).ok());
+  EXPECT_EQ((*restored)->NumGroups(), 3u);
+  for (int gid : {1, 4, 9}) {
+    EXPECT_EQ((*restored)->GroupCount(gid), 25);
+    EXPECT_EQ((*restored)->MostLikely(gid), (*service)->MostLikely(gid));
+    EXPECT_EQ((*restored)->Posterior(gid), (*service)->Posterior(gid));
+  }
+
+  // Restore is all-or-nothing: a malformed state leaves the target as-is.
+  std::vector<ShapeService::GroupState> bad = states;
+  bad[1].group_id = -3;
+  auto target = ShapeService::Make(library_, options);
+  ASSERT_TRUE(target.ok());
+  ASSERT_TRUE((*target)->Observe(2, 1.0).ok());
+  EXPECT_FALSE((*target)->RestoreState(bad).ok());
+  EXPECT_EQ((*target)->NumGroups(), 1u);
+  EXPECT_EQ((*target)->GroupCount(2), 1);
+}
+
+// Satellite stress for the lifecycle hot swap: one writer flips the model
+// slot between two fitted GBDTs while readers snapshot + score and other
+// writers stream observations. Under -DRVAR_SANITIZE=thread this is the
+// data-race probe for the epoch swap; in any build it asserts every
+// reader saw a fully-published model (never a mix, never a torn pointer).
+TEST_F(ShapeServiceTest, ModelSwapUnderConcurrentLoad) {
+  ml::Dataset train;
+  train.feature_names = {"x0", "x1"};
+  Rng data_rng(83);
+  const double centers[2][2] = {{0.0, 0.0}, {3.0, 3.0}};
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 80; ++i) {
+      train.x.push_back({data_rng.Normal(centers[c][0], 0.5),
+                         data_rng.Normal(centers[c][1], 0.5)});
+      train.y.push_back(c);
+      train.target.push_back(0.0);
+    }
+  }
+  ml::GbdtConfig config_a;
+  config_a.num_rounds = 6;
+  config_a.max_leaves = 4;
+  ml::GbdtConfig config_b = config_a;
+  config_b.num_rounds = 10;
+  auto model_a = std::make_shared<ml::GbdtClassifier>(config_a);
+  auto model_b = std::make_shared<ml::GbdtClassifier>(config_b);
+  ASSERT_TRUE(model_a->Fit(train).ok());
+  ASSERT_TRUE(model_b->Fit(train).ok());
+
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  (*service)->SwapModel(model_a);
+
+  constexpr int kSwaps = 400;
+  constexpr int kReaders = 4;
+  constexpr int kObservers = 2;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // writer
+    for (int i = 0; i < kSwaps; ++i) {
+      (*service)->SwapModel(i % 2 == 0 ? model_b : model_a);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(500 + static_cast<uint64_t>(t));
+      std::vector<double> proba;
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::shared_ptr<const ml::GbdtClassifier> snapshot =
+            (*service)->ModelSnapshot();
+        if (snapshot != model_a && snapshot != model_b) {
+          torn.fetch_add(1);
+          continue;
+        }
+        // The snapshot pins the epoch: scoring stays valid even if the
+        // writer swaps mid-batch.
+        const std::vector<double> row = {rng.Normal(1.5, 1.0),
+                                         rng.Normal(1.5, 1.0)};
+        snapshot->PredictProbaInto(row, &proba);
+        if (proba.size() != 2u) torn.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < kObservers; ++t) {
+    threads.emplace_back([&, t] {
+      int gid = t;
+      while (!stop.load(std::memory_order_acquire)) {
+        for (double x : StreamFor(gid, 10)) {
+          ASSERT_TRUE((*service)->Observe(gid, x).ok());
+        }
+        gid = (gid + kObservers) % 16;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  const std::shared_ptr<const ml::GbdtClassifier> last =
+      (*service)->ModelSnapshot();
+  EXPECT_TRUE(last == model_a || last == model_b);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "core/normalization.h"
+#include "core/shape_service.h"
 #include "ml/dataset.h"
 #include "sim/datasets.h"
 #include "sim/faults.h"
@@ -272,6 +273,72 @@ TEST(SerializeTelemetryTest, RoundTripsRunsAndAudit) {
     EXPECT_EQ(restored->run(i).skyline, store.run(i).skyline);
   }
   EXPECT_EQ(restored->GroupIds(), store.GroupIds());
+}
+
+// --- ShapeService online state -------------------------------------------
+
+TEST(SerializeShapeServiceTest, StateRoundTripsBitIdentically) {
+  core::ShapeLibrary library = MakeLibrary();
+  auto service = core::ShapeService::Make(&library);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  Rng rng(23);
+  for (int gid : {0, 3, 5, 11}) {
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(
+          (*service)
+              ->Observe(gid, std::max(0.05, rng.Normal(1.0, 0.4)))
+              .ok());
+    }
+  }
+
+  const std::string image = EncodeShapeServiceState(**service);
+  auto states = DecodeShapeServiceState(image);
+  ASSERT_TRUE(states.ok()) << states.status().ToString();
+  ASSERT_EQ(states->size(), 4u);
+
+  auto restored = core::ShapeService::Make(&library);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->RestoreState(*states).ok());
+  for (int gid : {0, 3, 5, 11}) {
+    EXPECT_EQ((*restored)->GroupCount(gid), (*service)->GroupCount(gid));
+    EXPECT_EQ((*restored)->Posterior(gid), (*service)->Posterior(gid));
+    EXPECT_EQ((*restored)->MostLikely(gid), (*service)->MostLikely(gid));
+  }
+  // Canonical encoding: the restored service re-encodes to the same
+  // bytes, so recovery equivalence holds transitively.
+  EXPECT_EQ(EncodeShapeServiceState(**restored), image);
+}
+
+TEST(SerializeShapeServiceTest, SaveLoadFileAndDefects) {
+  core::ShapeLibrary library = MakeLibrary();
+  auto service = core::ShapeService::Make(&library);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Observe(2, 1.1).ok());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rvar_shape_service_state")
+          .string();
+  ASSERT_TRUE(SaveShapeServiceState(**service, path).ok());
+  auto states = LoadShapeServiceState(path);
+  ASSERT_TRUE(states.ok()) << states.status().ToString();
+  ASSERT_EQ(states->size(), 1u);
+  EXPECT_EQ((*states)[0].group_id, 2);
+  EXPECT_EQ((*states)[0].count, 1);
+  std::filesystem::remove(path);
+
+  // Corruption anywhere in the image is caught by the snapshot CRCs.
+  const std::string image = EncodeShapeServiceState(**service);
+  const sim::StorageFaultPlan faults(31);
+  for (int trial = 0; trial < 32; ++trial) {
+    auto mutated =
+        DecodeShapeServiceState(faults.FlipBits(image, 1 + trial % 3,
+                                                trial));
+    EXPECT_FALSE(mutated.ok());
+  }
+  // Wrong payload kind is rejected before any decode.
+  SnapshotDefect defect = SnapshotDefect::kNone;
+  auto as_library = DecodeShapeLibrary(image, &defect);
+  EXPECT_FALSE(as_library.ok());
+  EXPECT_EQ(defect, SnapshotDefect::kWrongPayloadKind);
 }
 
 }  // namespace

@@ -336,6 +336,90 @@ TEST(VotingClassifierTest, WeightsShiftTheVote) {
   for (size_t k = 0; k < pv.size(); ++k) EXPECT_NEAR(pv[k], ps[k], 0.01);
 }
 
+// --- GBDT warm start (the lifecycle retrain path) ------------------------
+
+TEST(GbdtWarmStartTest, ExtendsParentForestAndStaysAccurate) {
+  Rng rng(50);
+  Dataset history = Blobs(120, 0.6, &rng);
+  Dataset window = Blobs(80, 0.6, &rng);
+  Dataset test = Blobs(50, 0.6, &rng);
+
+  GbdtConfig parent_config;
+  parent_config.num_rounds = 10;
+  GbdtClassifier parent(parent_config);
+  ASSERT_TRUE(parent.Fit(history).ok());
+
+  GbdtConfig child_config;
+  child_config.num_rounds = 5;
+  GbdtClassifier child(child_config);
+  ASSERT_TRUE(child.FitWarmStart(window, parent).ok());
+  // The child keeps the parent's forest and appends its own rounds.
+  EXPECT_EQ(child.rounds_used(), 15);
+  EXPECT_EQ(child.num_classes(), parent.num_classes());
+  EXPECT_GT(EvalAccuracy(child, test), 0.9);
+}
+
+TEST(GbdtWarmStartTest, DeterministicGivenParentWindowAndSeed) {
+  Rng rng(51);
+  Dataset history = Blobs(100, 0.6, &rng);
+  Dataset window = Blobs(60, 0.6, &rng);
+  GbdtClassifier parent({.num_rounds = 8});
+  ASSERT_TRUE(parent.Fit(history).ok());
+
+  GbdtConfig config;
+  config.num_rounds = 6;
+  config.seed = 99;
+  GbdtClassifier a(config), b(config);
+  ASSERT_TRUE(a.FitWarmStart(window, parent).ok());
+  ASSERT_TRUE(b.FitWarmStart(window, parent).ok());
+  for (const auto& row : window.x) {
+    EXPECT_EQ(a.PredictRaw(row), b.PredictRaw(row));
+  }
+  EXPECT_EQ(a.feature_importance(), b.feature_importance());
+}
+
+TEST(GbdtWarmStartTest, KeepsParentClassesWhenWindowMissesSome) {
+  Rng rng(52);
+  Dataset history = Blobs(100, 0.6, &rng);  // 3 classes
+  GbdtClassifier parent({.num_rounds = 8});
+  ASSERT_TRUE(parent.Fit(history).ok());
+
+  // The retrain window only observed classes 0 and 1; the warm-started
+  // model must keep predicting over the parent's full class space.
+  Dataset window = Blobs(60, 0.6, &rng);
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < window.NumRows(); ++i) {
+    if (window.y[i] < 2) keep.push_back(i);
+  }
+  window = window.Subset(keep);
+  GbdtClassifier child({.num_rounds = 4});
+  ASSERT_TRUE(child.FitWarmStart(window, parent).ok());
+  EXPECT_EQ(child.num_classes(), 3);
+  EXPECT_EQ(child.PredictProba(window.x[0]).size(), 3u);
+}
+
+TEST(GbdtWarmStartTest, RejectsUnfittedParentAndMismatchedWindows) {
+  Rng rng(53);
+  Dataset history = Blobs(80, 0.6, &rng);
+  GbdtClassifier parent({.num_rounds = 6});
+  GbdtClassifier child({.num_rounds = 4});
+
+  // Unfitted parent.
+  EXPECT_FALSE(child.FitWarmStart(history, parent).ok());
+  ASSERT_TRUE(parent.Fit(history).ok());
+
+  // Feature-count mismatch.
+  Dataset wrong_features = history;
+  wrong_features.feature_names = {"x0", "x1", "extra"};
+  for (auto& row : wrong_features.x) row.push_back(0.0);
+  EXPECT_FALSE(child.FitWarmStart(wrong_features, parent).ok());
+
+  // Window with labels outside the parent's class space.
+  Dataset wrong_labels = history;
+  wrong_labels.y[0] = 7;
+  EXPECT_FALSE(child.FitWarmStart(wrong_labels, parent).ok());
+}
+
 }  // namespace
 }  // namespace ml
 }  // namespace rvar
