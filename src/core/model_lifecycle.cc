@@ -84,6 +84,8 @@ ModelLifecycle::ModelLifecycle(ModelLifecycleOptions options,
   swaps_total_ = r.GetCounter("lifecycle_swaps_total");
   rollbacks_total_ = r.GetCounter("lifecycle_rollbacks_total");
   candidates_total_ = r.GetCounter("lifecycle_candidates_total");
+  forced_quarantines_total_ =
+      r.GetCounter("lifecycle_forced_quarantines_total");
   rejected_total_.reserve(kNumRejectReasons);
   for (int reason = 0; reason < kNumRejectReasons; ++reason) {
     rejected_total_.push_back(
@@ -381,6 +383,48 @@ Status ModelLifecycle::Rollback(int64_t version) {
             std::make_shared<const ml::GbdtClassifier>(std::move(model)));
   }
   rollbacks_total_->Increment();
+  return Status::OK();
+}
+
+Status ModelLifecycle::QuarantineLive(std::string reason) {
+  obs::ScopedSpan span("lifecycle/quarantine_live");
+  const int64_t version = live_version();
+  if (version < 0) {
+    return Status::FailedPrecondition(
+        "no live model to quarantine (live_version() == -1)");
+  }
+  // Prefer rolling back onto the newest loadable retired version, so the
+  // kill switch degrades serving by one epoch rather than to nothing.
+  std::vector<int64_t> versions = registry_.Versions();
+  int64_t fallback_version = -1;
+  ml::GbdtClassifier fallback_model;
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if (*it == version) continue;
+    RVAR_ASSIGN_OR_RETURN(io::ModelManifest manifest,
+                          registry_.Manifest(*it));
+    if (manifest.state != io::ModelState::kRetired) continue;
+    Result<ml::GbdtClassifier> loaded = registry_.LoadModel(*it);
+    if (!loaded.ok()) continue;  // CRC-bad rollback target: keep looking
+    fallback_version = *it;
+    fallback_model = std::move(*loaded);
+    break;
+  }
+  if (fallback_version >= 0) {
+    // Activate retires the displaced version, which unblocks Quarantine
+    // (an active version can never be quarantined directly).
+    RVAR_RETURN_NOT_OK(registry_.Activate(fallback_version));
+    RVAR_RETURN_NOT_OK(registry_.Quarantine(version, std::move(reason)));
+    Publish(fallback_version, std::make_shared<const ml::GbdtClassifier>(
+                                  std::move(fallback_model)));
+  } else {
+    // Nothing to fall back to: clear serving entirely. Publishing the null
+    // epoch mirrors into the attached ShapeService, so serving front-ends
+    // drop down their degradation ladder instead of scoring a sick model.
+    RVAR_RETURN_NOT_OK(registry_.Deactivate());
+    RVAR_RETURN_NOT_OK(registry_.Quarantine(version, std::move(reason)));
+    Publish(-1, nullptr);
+  }
+  forced_quarantines_total_->Increment();
   return Status::OK();
 }
 

@@ -128,6 +128,15 @@ class ModelLifecycle {
   /// eligible for rollback. Quarantined versions are refused.
   Status Rollback(int64_t version);
 
+  /// Operator kill switch: quarantines the LIVE version with `reason`.
+  /// Falls back to the newest loadable retired version when one exists;
+  /// otherwise clears serving entirely (live_version() == -1, null epoch
+  /// published — an attached ShapeService sees its model slot go null and
+  /// serving front-ends degrade to their prior rung). FailedPrecondition
+  /// when nothing is live. Counted in
+  /// lifecycle_forced_quarantines_total.
+  Status QuarantineLive(std::string reason);
+
   /// Registry access for inspection (manifests, versions, paths).
   const io::ModelRegistry& registry() const { return registry_; }
 
@@ -167,6 +176,7 @@ class ModelLifecycle {
   obs::Counter* swaps_total_;
   obs::Counter* rollbacks_total_;
   obs::Counter* candidates_total_;
+  obs::Counter* forced_quarantines_total_;  ///< QuarantineLive successes
   std::vector<obs::Counter*> rejected_total_;  ///< indexed by RejectReason
   obs::Histogram* retrain_latency_;
   obs::Histogram* swap_latency_;

@@ -224,32 +224,62 @@ Result<std::vector<int>> VariationPredictor::PredictShapeBatch(
   // serial PredictShape loop exactly at any thread count. Each chunk keeps
   // one PredictScratch, so inference over the flattened forest allocates
   // only the per-run feature vector.
-  std::vector<int> predicted(runs.size(), -1);
-  std::vector<Status> run_status(runs.size(), Status::OK());
-  obs::Counter* predictions = PredictorMetrics::Get().predictions_total;
+  std::vector<int> predicted;
+  std::vector<Status> run_status;
   // Pin the model epoch once for the whole batch: a concurrent SwapModel
   // cannot split the batch across versions, and no chunk ever touches the
   // model slot again.
   const std::shared_ptr<const ml::GbdtClassifier> model = ModelSnapshot();
+  RVAR_RETURN_NOT_OK(
+      PredictShapeBatchInto(*model, runs, &predicted, &run_status));
+  for (const Status& st : run_status) RVAR_RETURN_NOT_OK(st);
+  return predicted;
+}
+
+Status VariationPredictor::PredictShapeBatchInto(
+    const ml::GbdtClassifier& model,
+    const std::vector<const sim::JobRun*>& runs, std::vector<int>* shapes,
+    std::vector<Status>* run_status) const {
+  // Batch-level compatibility first: a wrong-shaped epoch (e.g. a stale
+  // snapshot trained against an older library) must fail the whole batch
+  // before any per-run work, so the caller can fall to the next rung.
+  if (model.num_classes() != shapes_->num_clusters()) {
+    return Status::InvalidArgument(
+        StrCat("model predicts ", model.num_classes(),
+               " classes but the shape library has ",
+               shapes_->num_clusters()));
+  }
+  if (model.feature_importance().size() != kept_.size()) {
+    return Status::InvalidArgument(
+        StrCat("model expects ", model.feature_importance().size(),
+               " features but ", kept_.size(),
+               " are kept after selection"));
+  }
+  shapes->assign(runs.size(), -1);
+  run_status->assign(runs.size(), Status::OK());
+  obs::Counter* predictions = PredictorMetrics::Get().predictions_total;
   ParallelFor(runs.size(), /*grain=*/32, [&](size_t begin, size_t end) {
     PredictScratch scratch;
     for (size_t i = begin; i < end; ++i) {
       predictions->Increment();
-      Result<std::vector<double>> x = featurizer_->FeaturesFor(*runs[i]);
-      if (!x.ok()) {
-        run_status[i] = x.status();
+      if (runs[i] == nullptr) {
+        (*run_status)[i] = Status::InvalidArgument("null run in batch");
         continue;
       }
-      Result<int> shape = PredictFromFeatures(*model, *x, &scratch);
+      Result<std::vector<double>> x = featurizer_->FeaturesFor(*runs[i]);
+      if (!x.ok()) {
+        (*run_status)[i] = x.status();
+        continue;
+      }
+      Result<int> shape = PredictFromFeatures(model, *x, &scratch);
       if (shape.ok()) {
-        predicted[i] = *shape;
+        (*shapes)[i] = *shape;
       } else {
-        run_status[i] = shape.status();
+        (*run_status)[i] = shape.status();
       }
     }
   });
-  for (const Status& st : run_status) RVAR_RETURN_NOT_OK(st);
-  return predicted;
+  return Status::OK();
 }
 
 Status VariationPredictor::PredictProbaFromFeatures(

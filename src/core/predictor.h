@@ -112,6 +112,19 @@ class VariationPredictor {
   Result<std::vector<int>> PredictShapeBatch(
       const std::vector<const sim::JobRun*>& runs) const;
 
+  /// Epoch-pinned batch variant for serving: scores every run against
+  /// `model` (a snapshot the caller pinned, possibly a stale epoch the
+  /// predictor no longer holds) and reports per-run outcomes instead of
+  /// folding them into one batch error. Returns non-OK only for
+  /// batch-level incompatibility (model/shape-library class-count or
+  /// feature-count mismatch), in which case no output is written. On OK,
+  /// shapes[i] is the prediction (-1 when run_status[i] is non-OK, e.g. a
+  /// featurization failure for that run alone).
+  Status PredictShapeBatchInto(const ml::GbdtClassifier& model,
+                               const std::vector<const sim::JobRun*>& runs,
+                               std::vector<int>* shapes,
+                               std::vector<Status>* run_status) const;
+
   /// Predicted shape probabilities from a FULL feature vector (the
   /// featurizer's layout; projection happens internally).
   Result<std::vector<double>> PredictProbaFromFeatures(

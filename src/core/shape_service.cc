@@ -1,6 +1,7 @@
 #include "core/shape_service.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -20,6 +21,7 @@ ShapeService::ShapeService(const ShapeLibrary* library, Options options)
   query_latency_ =
       registry.GetHistogram("shape_service_query_latency_seconds");
   observe_total_ = registry.GetCounter("shape_service_observe_total");
+  observe_rejected_ = registry.GetCounter("shape_service_observe_rejected");
   model_swaps_total_ = registry.GetCounter("shape_service_model_swaps_total");
   stripe_contention_.reserve(num_stripes_);
   for (size_t s = 0; s < num_stripes_; ++s) {
@@ -91,6 +93,14 @@ Status ShapeService::Observe(int group_id, double normalized_runtime) {
   if (group_id < 0) {
     return Status::InvalidArgument(
         StrCat("group_id must be >= 0, got ", group_id));
+  }
+  if (!std::isfinite(normalized_runtime)) {
+    // Reject at the service boundary: the tracker would clamp or drop the
+    // sample silently while the caller saw OK, hiding a corrupt feed.
+    observe_rejected_->Increment();
+    return Status::InvalidArgument(
+        StrCat("normalized_runtime must be finite, got ",
+               normalized_runtime));
   }
   observe_total_->Increment();
   const size_t stripe_index = StripeIndexFor(group_id);

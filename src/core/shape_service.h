@@ -53,6 +53,8 @@ class ShapeService {
 
   /// Incorporates one normalized runtime for `group_id`, creating the
   /// group's tracker on first contact. Never blocks on other stripes.
+  /// Non-finite runtimes are rejected with InvalidArgument (and counted in
+  /// shape_service_observe_rejected) rather than clamped or dropped.
   Status Observe(int group_id, double normalized_runtime);
 
   /// Posterior over shapes for the group; uniform for unknown groups.
@@ -142,6 +144,7 @@ class ShapeService {
   obs::Histogram* observe_latency_;               ///< Observe() wall clock
   obs::Histogram* query_latency_;                 ///< Posterior() wall clock
   obs::Counter* observe_total_;
+  obs::Counter* observe_rejected_;  ///< non-finite samples refused
   obs::Counter* model_swaps_total_;               ///< SwapModel() calls
   std::vector<obs::Counter*> stripe_contention_;  ///< contended lock grabs
 };

@@ -336,6 +336,26 @@ Status ModelRegistry::Quarantine(int64_t version, std::string reason) {
   return WriteManifest(manifest);
 }
 
+Status ModelRegistry::Deactivate() {
+  if (active_version_ < 0) return Status::OK();
+  RVAR_ASSIGN_OR_RETURN(ModelManifest manifest, Manifest(active_version_));
+  manifest.state = ModelState::kRetired;
+  RVAR_RETURN_NOT_OK(WriteManifest(manifest));
+  // Removing the pointer is the commit point. A crash between the manifest
+  // retire and the removal leaves the pointer in place, and the pointer
+  // wins Open's reconcile — the version simply stays active, which is the
+  // safe direction for a kill switch that is about to quarantine it anyway
+  // (the caller retries).
+  std::error_code ec;
+  fs::remove(ActivePath(), ec);
+  if (ec) {
+    return Status::IOError(
+        StrCat("removing ACTIVE pointer: ", ec.message()));
+  }
+  active_version_ = -1;
+  return Status::OK();
+}
+
 Result<std::vector<int64_t>> ModelRegistry::Prune(int keep_retired) {
   if (keep_retired < 0) {
     return Status::InvalidArgument("keep_retired must be >= 0");

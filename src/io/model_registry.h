@@ -126,6 +126,13 @@ class ModelRegistry {
   /// The active version cannot be quarantined while it is active.
   Status Quarantine(int64_t version, std::string reason);
 
+  /// Clears the serving version: the active manifest is retired and the
+  /// ACTIVE pointer file removed, leaving nothing serving (the registry
+  /// state a fresh directory starts in). No-op when nothing is active.
+  /// Exists for the forced-quarantine kill switch: quarantining the live
+  /// version requires it to stop being active first.
+  Status Deactivate();
+
   /// Deletes retired versions beyond the newest `keep_retired`, oldest
   /// first (artifact + manifest). Never touches the active version,
   /// candidates, quarantined tombstones, or the largest id on disk.

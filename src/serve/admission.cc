@@ -1,0 +1,160 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rvar {
+namespace serve {
+
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kStandard:
+      return "standard";
+    case Priority::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
+const char* DegradationLevelName(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::kFullModel:
+      return "full-model";
+    case DegradationLevel::kStaleModel:
+      return "stale-model";
+    case DegradationLevel::kPrior:
+      return "prior";
+  }
+  return "unknown";
+}
+
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone:
+      return "none";
+    case ShedReason::kQueueFull:
+      return "queue-full";
+    case ShedReason::kWatermark:
+      return "watermark";
+    case ShedReason::kTokens:
+      return "tokens";
+    case ShedReason::kDeadline:
+      return "deadline";
+    case ShedReason::kShutdown:
+      return "shutdown";
+    case ShedReason::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+TokenBucket::TokenBucket(TokenBucketOptions options)
+    : options_(options), tokens_(options.burst) {}
+
+void TokenBucket::RefillLocked(
+    std::chrono::steady_clock::time_point now) const {
+  if (!primed_) {
+    last_ = now;
+    primed_ = true;
+    return;
+  }
+  const double elapsed = std::chrono::duration<double>(now - last_).count();
+  if (elapsed <= 0.0) return;  // stale or equal timestamp: refill nothing
+  tokens_ = std::min(options_.burst,
+                     tokens_ + elapsed * options_.rate_per_second);
+  last_ = now;
+}
+
+bool TokenBucket::TryAcquire(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::AvailableAt(
+    std::chrono::steady_clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now);
+  return tokens_;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options), bucket_(options.bucket) {
+  RVAR_CHECK(ValidateOptions(options_).ok());
+  obs::Registry& registry = obs::Registry::Default();
+  admitted_total_.reserve(kNumPriorities);
+  for (int p = 0; p < kNumPriorities; ++p) {
+    admitted_total_.push_back(
+        registry.GetCounter("serve_admitted_total", "priority",
+                            PriorityName(static_cast<Priority>(p))));
+  }
+  shed_total_.reserve(kNumShedReasons);
+  for (int r = 0; r < kNumShedReasons; ++r) {
+    shed_total_.push_back(
+        registry.GetCounter("serve_shed_total", "reason",
+                            ShedReasonName(static_cast<ShedReason>(r))));
+  }
+}
+
+Status AdmissionController::ValidateOptions(const AdmissionOptions& options) {
+  if (!(options.bucket.rate_per_second > 0.0)) {
+    return Status::InvalidArgument(
+        StrCat("token bucket rate_per_second must be > 0, got ",
+               options.bucket.rate_per_second));
+  }
+  if (!(options.bucket.burst >= 1.0)) {
+    return Status::InvalidArgument(
+        StrCat("token bucket burst must be >= 1, got ",
+               options.bucket.burst));
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (options.best_effort_watermark > options.standard_watermark) {
+    return Status::InvalidArgument(
+        StrCat("best_effort_watermark (", options.best_effort_watermark,
+               ") must be <= standard_watermark (",
+               options.standard_watermark, ")"));
+  }
+  if (options.standard_watermark > options.queue_capacity) {
+    return Status::InvalidArgument(
+        StrCat("standard_watermark (", options.standard_watermark,
+               ") must be <= queue_capacity (", options.queue_capacity,
+               ")"));
+  }
+  return Status::OK();
+}
+
+ShedReason AdmissionController::Admit(
+    Priority priority, size_t queue_depth,
+    std::chrono::steady_clock::time_point now) {
+  ShedReason verdict = ShedReason::kNone;
+  if (queue_depth >= options_.queue_capacity) {
+    verdict = ShedReason::kQueueFull;
+  } else if (priority == Priority::kBestEffort &&
+             queue_depth >= options_.best_effort_watermark) {
+    verdict = ShedReason::kWatermark;
+  } else if (priority == Priority::kStandard &&
+             queue_depth >= options_.standard_watermark) {
+    verdict = ShedReason::kWatermark;
+  } else if (priority != Priority::kInteractive && !bucket_.TryAcquire(now)) {
+    // Interactive traffic never pays tokens: the bucket's purpose is to
+    // cap the lower tiers so interactive headroom survives a spike.
+    verdict = ShedReason::kTokens;
+  }
+  if (verdict == ShedReason::kNone) {
+    admitted_total_[static_cast<size_t>(priority)]->Increment();
+  } else {
+    shed_total_[static_cast<size_t>(verdict)]->Increment();
+  }
+  return verdict;
+}
+
+}  // namespace serve
+}  // namespace rvar

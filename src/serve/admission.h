@@ -1,0 +1,106 @@
+// Copyright 2026 The rvar Authors.
+//
+// Admission control for the serving front-end (DESIGN.md §12): a token
+// bucket caps the aggregate rate the lower tiers may inject, and
+// queue-depth watermarks shed by priority tier *before* the bounded queue
+// grows into its deadline budget. Shedding early keeps queue wait — the
+// dominant tail-latency term under overload ("Runtime Variation in Big
+// Data Analytics" §5–6 frames exactly this contention-driven tail) —
+// bounded and predictable instead of letting every request time out.
+//
+// All decisions take the clock as an argument, so unit tests drive the
+// controller with synthetic time and the decisions stay deterministic.
+
+#ifndef RVAR_SERVE_ADMISSION_H_
+#define RVAR_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "serve/request.h"
+
+namespace rvar {
+namespace serve {
+
+/// \brief Classic token bucket: refills continuously at `rate_per_second`
+/// up to `burst` tokens; each admission costs one token. Thread-safe.
+struct TokenBucketOptions {
+  double rate_per_second = 50000.0;
+  double burst = 1000.0;
+};
+
+class TokenBucket {
+ public:
+  explicit TokenBucket(TokenBucketOptions options);
+
+  /// Takes one token if available at `now`; false when the bucket is dry.
+  /// Monotonic `now` values are expected; a stale `now` simply refills
+  /// nothing.
+  bool TryAcquire(std::chrono::steady_clock::time_point now);
+
+  /// Tokens available at `now` (refilled but not taken).
+  double AvailableAt(std::chrono::steady_clock::time_point now) const;
+
+  const TokenBucketOptions& options() const { return options_; }
+
+ private:
+  void RefillLocked(std::chrono::steady_clock::time_point now) const;
+
+  TokenBucketOptions options_;
+  mutable std::mutex mu_;
+  mutable double tokens_;
+  mutable std::chrono::steady_clock::time_point last_;
+  mutable bool primed_ = false;  ///< last_ is valid after the first call
+};
+
+/// \brief Shed-by-tier policy: queue-depth watermarks plus the bucket.
+struct AdmissionOptions {
+  TokenBucketOptions bucket;
+  /// Bounded queue capacity; every tier is shed at this depth.
+  size_t queue_capacity = 1024;
+  /// kBestEffort is shed once the queue reaches this depth.
+  size_t best_effort_watermark = 256;
+  /// kStandard is shed once the queue reaches this depth.
+  size_t standard_watermark = 768;
+};
+
+/// \brief Decides admit-or-shed for one request. Stateless apart from the
+/// token bucket; the caller passes the current queue depth so the decision
+/// and the enqueue can happen under one lock.
+///
+/// Holds a token bucket (and therefore a mutex), so it is constructed in
+/// place: call ValidateOptions first; the constructor checks it.
+class AdmissionController {
+ public:
+  /// Positive rate, burst >= 1, capacity >= 1, and
+  /// best_effort_watermark <= standard_watermark <= queue_capacity.
+  static Status ValidateOptions(const AdmissionOptions& options);
+
+  /// Requires ValidateOptions(options).ok().
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// kNone = admit. Shed order: queue-full (all tiers), then the tier's
+  /// watermark, then the token bucket (kInteractive never pays tokens —
+  /// its headroom is exactly what the bucket preserves).
+  ShedReason Admit(Priority priority, size_t queue_depth,
+                   std::chrono::steady_clock::time_point now);
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  TokenBucket bucket_;
+
+  // Metrics (obs/metrics.h): write-only, never consulted for decisions.
+  std::vector<obs::Counter*> admitted_total_;  ///< indexed by Priority
+  std::vector<obs::Counter*> shed_total_;      ///< indexed by ShedReason
+};
+
+}  // namespace serve
+}  // namespace rvar
+
+#endif  // RVAR_SERVE_ADMISSION_H_

@@ -1,0 +1,132 @@
+#include "serve/circuit_breaker.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rvar {
+namespace serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+Status CircuitBreaker::ValidateOptions(const CircuitBreakerOptions& options) {
+  if (options.failure_threshold < 1) {
+    return Status::InvalidArgument(
+        StrCat("breaker failure_threshold must be >= 1, got ",
+               options.failure_threshold));
+  }
+  if (options.close_threshold < 1) {
+    return Status::InvalidArgument(
+        StrCat("breaker close_threshold must be >= 1, got ",
+               options.close_threshold));
+  }
+  if (!(options.cooldown_seconds > 0.0) ||
+      !std::isfinite(options.cooldown_seconds)) {
+    return Status::InvalidArgument(
+        StrCat("breaker cooldown_seconds must be positive and finite, got ",
+               options.cooldown_seconds));
+  }
+  return Status::OK();
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  RVAR_CHECK(ValidateOptions(options_).ok());
+  obs::Registry& registry = obs::Registry::Default();
+  for (int s = 0; s < 3; ++s) {
+    transitions_to_[s] =
+        registry.GetCounter("serve_breaker_transitions_total", "to",
+                            BreakerStateName(static_cast<BreakerState>(s)));
+  }
+  state_gauge_ = registry.GetGauge("serve_breaker_state");
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState to) {
+  state_ = to;
+  transitions_to_[static_cast<size_t>(to)]->Increment();
+  state_gauge_->Set(static_cast<double>(to));
+}
+
+bool CircuitBreaker::AllowRequest(
+    std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const double open_for =
+          std::chrono::duration<double>(now - opened_at_).count();
+      if (open_for < options_.cooldown_seconds) return false;
+      TransitionLocked(BreakerState::kHalfOpen);
+      half_open_successes_ = 0;
+      probe_in_flight_ = true;
+      return true;
+    }
+    case BreakerState::kHalfOpen:
+      // One probe at a time: concurrent callers fail fast until the probe
+      // reports back through RecordSuccess/RecordFailure.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      return;
+    case BreakerState::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= options_.close_threshold) {
+        TransitionLocked(BreakerState::kClosed);
+        consecutive_failures_ = 0;
+      }
+      return;
+    case BreakerState::kOpen:
+      // A straggler from before the trip; the cooldown still applies.
+      return;
+  }
+}
+
+void CircuitBreaker::RecordFailure(
+    std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        TransitionLocked(BreakerState::kOpen);
+        opened_at_ = now;
+      }
+      return;
+    case BreakerState::kHalfOpen:
+      // The probe failed: back to open with a fresh cooldown.
+      probe_in_flight_ = false;
+      TransitionLocked(BreakerState::kOpen);
+      opened_at_ = now;
+      return;
+    case BreakerState::kOpen:
+      return;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+}  // namespace serve
+}  // namespace rvar

@@ -1,0 +1,93 @@
+// Copyright 2026 The rvar Authors.
+//
+// Circuit breaker for the predictor path (DESIGN.md §12). The classic
+// three-state machine: kClosed passes traffic and counts consecutive
+// failures; crossing the threshold trips to kOpen, which fails fast (the
+// front-end drops to the next degradation rung) for a cooldown; after the
+// cooldown one probe is let through (kHalfOpen) — success closes the
+// breaker, failure re-opens it with a fresh cooldown. Health failures of
+// the model lifecycle (quarantined / mid-swap / never-trained epochs)
+// feed RecordFailure, so a sick model stops being *asked* instead of
+// timing every request out against it.
+//
+// The clock is always an argument: tests drive transitions with synthetic
+// time, and the front-end passes one timestamp per batch.
+
+#ifndef RVAR_SERVE_CIRCUIT_BREAKER_H_
+#define RVAR_SERVE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <mutex>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace rvar {
+namespace serve {
+
+enum class BreakerState : int {
+  kClosed = 0,    ///< healthy: requests flow to the full model
+  kOpen = 1,      ///< tripped: fail fast until the cooldown elapses
+  kHalfOpen = 2,  ///< probing: one request tests the model
+};
+const char* BreakerStateName(BreakerState state);
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip kClosed -> kOpen.
+  int failure_threshold = 3;
+  /// Seconds in kOpen before a probe is allowed.
+  double cooldown_seconds = 0.5;
+  /// Consecutive probe successes that close the breaker again.
+  int close_threshold = 1;
+};
+
+/// \brief Thread-safe breaker; all transitions are recorded in the
+/// serve_breaker_transitions_total{to=...} counter.
+///
+/// Holds a mutex, so it is constructed in place (no Result<CircuitBreaker>
+/// factory): call ValidateOptions first; the constructor checks it.
+class CircuitBreaker {
+ public:
+  /// Thresholds must be >= 1 and the cooldown positive and finite.
+  static Status ValidateOptions(const CircuitBreakerOptions& options);
+
+  /// Requires ValidateOptions(options).ok().
+  explicit CircuitBreaker(CircuitBreakerOptions options);
+
+  /// True when a request may try the full-model rung at `now`. In kOpen,
+  /// flips to kHalfOpen (and returns true) once the cooldown has elapsed;
+  /// while kHalfOpen only one caller at a time holds the probe slot.
+  bool AllowRequest(std::chrono::steady_clock::time_point now);
+
+  /// The guarded call succeeded. Closes a half-open breaker after
+  /// close_threshold successes; resets the failure streak when closed.
+  void RecordSuccess();
+
+  /// The guarded call failed (predict error or model health probe down).
+  /// Trips a closed breaker at failure_threshold; re-opens a half-open
+  /// breaker immediately.
+  void RecordFailure(std::chrono::steady_clock::time_point now);
+
+  BreakerState state() const;
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  void TransitionLocked(BreakerState to);
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  std::chrono::steady_clock::time_point opened_at_{};
+
+  // Metrics (obs/metrics.h): write-only.
+  obs::Counter* transitions_to_[3] = {nullptr, nullptr, nullptr};
+  obs::Gauge* state_gauge_;  ///< numeric BreakerState for dashboards
+};
+
+}  // namespace serve
+}  // namespace rvar
+
+#endif  // RVAR_SERVE_CIRCUIT_BREAKER_H_

@@ -1,0 +1,324 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "obs/trace.h"
+
+namespace rvar {
+namespace serve {
+
+ServingFrontend::ServingFrontend(const core::ShapeService* service,
+                                 const core::VariationPredictor* predictor,
+                                 FrontendOptions options)
+    : service_(service),
+      predictor_(predictor),
+      options_(std::move(options)),
+      admission_(options_.admission),
+      breaker_(options_.breaker) {
+  obs::Registry& registry = obs::Registry::Default();
+  requests_total_ = registry.GetCounter("serve_requests_total");
+  served_total_.reserve(kNumDegradationLevels);
+  for (int level = 0; level < kNumDegradationLevels; ++level) {
+    served_total_.push_back(registry.GetCounter(
+        "serve_served_total", "level",
+        DegradationLevelName(static_cast<DegradationLevel>(level))));
+  }
+  shed_total_.reserve(kNumShedReasons);
+  for (int reason = 0; reason < kNumShedReasons; ++reason) {
+    shed_total_.push_back(
+        registry.GetCounter("serve_shed_total", "reason",
+                            ShedReasonName(static_cast<ShedReason>(reason))));
+  }
+  latency_ = registry.GetHistogram("serve_request_latency_seconds");
+  queue_wait_ = registry.GetHistogram("serve_queue_wait_seconds");
+  batch_size_ = registry.GetHistogram("serve_batch_size");
+  depth_gauge_ = registry.GetGauge("serve_queue_depth");
+
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Result<std::unique_ptr<ServingFrontend>> ServingFrontend::Make(
+    const core::ShapeService* service,
+    const core::VariationPredictor* predictor, FrontendOptions options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("null shape service");
+  }
+  RVAR_RETURN_NOT_OK(AdmissionController::ValidateOptions(options.admission));
+  RVAR_RETURN_NOT_OK(CircuitBreaker::ValidateOptions(options.breaker));
+  if (options.max_batch < 1) {
+    return Status::InvalidArgument(
+        StrCat("max_batch must be >= 1, got ", options.max_batch));
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument(
+        StrCat("num_workers must be >= 1, got ", options.num_workers));
+  }
+  if (options.batch_linger.count() < 0) {
+    return Status::InvalidArgument("batch_linger must be >= 0");
+  }
+  if (options.default_deadline.count() <= 0) {
+    return Status::InvalidArgument("default_deadline must be > 0");
+  }
+  return std::unique_ptr<ServingFrontend>(
+      new ServingFrontend(service, predictor, std::move(options)));
+}
+
+ServingFrontend::~ServingFrontend() { Shutdown(); }
+
+std::function<bool()> ServingFrontend::LifecycleHealthProbe(
+    const core::ModelLifecycle* lifecycle) {
+  RVAR_CHECK(lifecycle != nullptr);
+  return [lifecycle] { return lifecycle->live_version() >= 0; };
+}
+
+std::future<PredictResponse> ServingFrontend::Submit(PredictRequest request) {
+  const auto now = std::chrono::steady_clock::now();
+  requests_total_->Increment();
+
+  Pending pending;
+  pending.submitted = now;
+  std::future<PredictResponse> future = pending.promise.get_future();
+
+  if (request.run == nullptr) {
+    shed_total_[static_cast<size_t>(ShedReason::kInvalid)]->Increment();
+    RespondShed(&pending, ShedReason::kInvalid);
+    return future;
+  }
+  if (request.deadline == std::chrono::steady_clock::time_point{}) {
+    request.deadline = now + options_.default_deadline;
+  }
+  pending.request = request;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      lock.unlock();
+      shed_total_[static_cast<size_t>(ShedReason::kShutdown)]->Increment();
+      RespondShed(&pending, ShedReason::kShutdown);
+      return future;
+    }
+    // Admission under the queue lock: the depth the decision saw is the
+    // depth the enqueue extends, so watermarks are exact, not racy.
+    const ShedReason verdict =
+        admission_.Admit(request.priority, queue_.size(), now);
+    if (verdict != ShedReason::kNone) {
+      lock.unlock();
+      // The admission controller already counted this shed.
+      RespondShed(&pending, verdict);
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+PredictResponse ServingFrontend::Predict(
+    const sim::JobRun& run, Priority priority,
+    std::chrono::steady_clock::duration budget) {
+  PredictRequest request;
+  request.run = &run;
+  request.priority = priority;
+  request.deadline = std::chrono::steady_clock::now() + budget;
+  return Submit(request).get();
+}
+
+void ServingFrontend::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Anything still queued (workers shed on drain, but be exhaustive).
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    depth_gauge_->Set(0.0);
+  }
+  for (Pending& pending : leftover) {
+    shed_total_[static_cast<size_t>(ShedReason::kShutdown)]->Increment();
+    RespondShed(&pending, ShedReason::kShutdown);
+  }
+}
+
+size_t ServingFrontend::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+BreakerState ServingFrontend::breaker_state() const {
+  return breaker_.state();
+}
+
+void ServingFrontend::WorkerLoop() {
+  std::vector<Pending> batch;
+  while (PopBatch(&batch)) {
+    ServeBatch(&batch);
+    batch.clear();
+  }
+}
+
+bool ServingFrontend::PopBatch(std::vector<Pending>* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stopping and drained
+  const size_t max_batch = static_cast<size_t>(options_.max_batch);
+  if (!stop_ && options_.batch_linger.count() > 0 &&
+      queue_.size() < max_batch) {
+    // Linger briefly so light traffic still amortizes inference; under
+    // overload the queue is already >= max_batch and this never waits.
+    const auto linger_until =
+        std::chrono::steady_clock::now() + options_.batch_linger;
+    cv_.wait_until(lock, linger_until, [this, max_batch] {
+      return stop_ || queue_.size() >= max_batch;
+    });
+  }
+  const size_t take = std::min(queue_.size(), max_batch);
+  batch->reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch->push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  depth_gauge_->Set(static_cast<double>(queue_.size()));
+  if (stop_ && !queue_.empty()) cv_.notify_one();  // let peers drain too
+  return true;
+}
+
+void ServingFrontend::ServeBatch(std::vector<Pending>* batch) {
+  obs::ScopedSpan span("serve/batch");
+  batch_size_->Observe(static_cast<double>(batch->size()));
+  const auto now = std::chrono::steady_clock::now();
+  for (Pending& pending : *batch) {
+    queue_wait_->Observe(
+        std::chrono::duration<double>(now - pending.submitted).count());
+  }
+
+  bool stopping;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping = stop_;
+  }
+
+  // Deadline pass: expired (or shutdown-drained) requests are shed with a
+  // labeled response — never served late, never silently dropped.
+  std::vector<Pending> live;
+  live.reserve(batch->size());
+  for (Pending& pending : *batch) {
+    if (stopping) {
+      shed_total_[static_cast<size_t>(ShedReason::kShutdown)]->Increment();
+      RespondShed(&pending, ShedReason::kShutdown);
+    } else if (now >= pending.request.deadline) {
+      shed_total_[static_cast<size_t>(ShedReason::kDeadline)]->Increment();
+      RespondShed(&pending, ShedReason::kDeadline);
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  // Rung 1: the live model epoch published on the ShapeService (the slot
+  // the model lifecycle feeds). Unavailable or probe-failed epochs count
+  // as breaker failures so recovery goes through the half-open probe.
+  std::shared_ptr<const ml::GbdtClassifier> live_model =
+      service_->ModelSnapshot();
+  const bool healthy =
+      predictor_ != nullptr && live_model != nullptr &&
+      (options_.health_probe == nullptr || options_.health_probe());
+  if (healthy) {
+    if (breaker_.AllowRequest(now)) {
+      if (TryServeWithModel(*live_model, &live,
+                            DegradationLevel::kFullModel)) {
+        breaker_.RecordSuccess();
+        std::lock_guard<std::mutex> lock(stale_mu_);
+        stale_ = std::move(live_model);
+        return;
+      }
+      breaker_.RecordFailure(now);
+    }
+  } else {
+    breaker_.RecordFailure(now);
+  }
+
+  // Rung 2: the pinned last-known-good epoch.
+  std::shared_ptr<const ml::GbdtClassifier> stale;
+  {
+    std::lock_guard<std::mutex> lock(stale_mu_);
+    stale = stale_;
+  }
+  if (predictor_ != nullptr && stale != nullptr &&
+      TryServeWithModel(*stale, &live, DegradationLevel::kStaleModel)) {
+    return;
+  }
+
+  // Rung 3: the tracker posterior (uniform prior for unknown groups).
+  for (Pending& pending : live) RespondPrior(&pending);
+}
+
+bool ServingFrontend::TryServeWithModel(const ml::GbdtClassifier& model,
+                                        std::vector<Pending>* batch,
+                                        DegradationLevel level) {
+  std::vector<const sim::JobRun*> runs;
+  runs.reserve(batch->size());
+  for (const Pending& pending : *batch) runs.push_back(pending.request.run);
+  std::vector<int> shapes;
+  std::vector<Status> run_status;
+  if (!predictor_->PredictShapeBatchInto(model, runs, &shapes, &run_status)
+           .ok()) {
+    return false;  // batch-level incompatibility: next rung serves everyone
+  }
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Pending& pending = (*batch)[i];
+    if (run_status[i].ok()) {
+      PredictResponse response;
+      response.shape = shapes[i];
+      response.level = level;
+      Respond(&pending, response);
+    } else {
+      // A run the featurizer rejects still gets a degraded answer.
+      RespondPrior(&pending);
+    }
+  }
+  return true;
+}
+
+void ServingFrontend::RespondPrior(Pending* pending) {
+  PredictResponse response;
+  // MostLikely is the posterior argmax; -1 for never-observed groups,
+  // where even the prior carries no information.
+  response.shape = service_->MostLikely(pending->request.run->group_id);
+  response.level = DegradationLevel::kPrior;
+  Respond(pending, response);
+}
+
+void ServingFrontend::RespondShed(Pending* pending, ShedReason reason) {
+  PredictResponse response;
+  response.shed = reason;
+  response.shape = -1;
+  Respond(pending, std::move(response));
+}
+
+void ServingFrontend::Respond(Pending* pending, PredictResponse response) {
+  response.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pending->submitted)
+          .count();
+  if (response.served()) {
+    served_total_[static_cast<size_t>(response.level)]->Increment();
+  }
+  latency_->Observe(response.latency_seconds);
+  pending->promise.set_value(std::move(response));
+}
+
+}  // namespace serve
+}  // namespace rvar

@@ -1,0 +1,170 @@
+// Copyright 2026 The rvar Authors.
+//
+// Overload-resilient serving front-end (DESIGN.md §12) in front of
+// core::ShapeService + core::VariationPredictor. Every request carries a
+// deadline budget and a priority tier; an admission controller (token
+// bucket + queue-depth watermarks, serve/admission.h) sheds load by tier
+// *before* the bounded queue grows; worker threads drain the queue in
+// micro-batches so GBDT inference amortizes over the flattened forest the
+// way PredictShapeBatch already allows; and a circuit breaker
+// (serve/circuit_breaker.h) wired to model-lifecycle health drives an
+// explicit degradation ladder:
+//
+//   full model  ->  pinned stale model epoch  ->  library-prior posterior
+//
+// so a sick, quarantined, or mid-swap model yields *degraded answers,
+// never errors or blocking*. Expired requests are shed with a labeled
+// response instead of being served late. Every admission decision, shed,
+// breaker transition, and degradation level lands on the obs metrics
+// surfaces (serve_* counters/histograms/gauges).
+
+#ifndef RVAR_SERVE_FRONTEND_H_
+#define RVAR_SERVE_FRONTEND_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model_lifecycle.h"
+#include "core/predictor.h"
+#include "core/shape_service.h"
+#include "obs/metrics.h"
+#include "serve/admission.h"
+#include "serve/circuit_breaker.h"
+#include "serve/request.h"
+
+namespace rvar {
+namespace serve {
+
+/// \brief Front-end knobs.
+struct FrontendOptions {
+  AdmissionOptions admission;
+  CircuitBreakerOptions breaker;
+  /// Requests scored per predictor call; queue drains in batches of up to
+  /// this many.
+  int max_batch = 64;
+  /// How long a worker waits for the batch to fill before serving a
+  /// partial one. Zero serves whatever is queued immediately.
+  std::chrono::microseconds batch_linger{200};
+  /// Deadline budget applied when a request does not set its own.
+  std::chrono::milliseconds default_deadline{50};
+  int num_workers = 1;
+  /// Optional extra model-health signal ANDed with "the service's model
+  /// slot is non-null" — see LifecycleHealthProbe. Must be thread-safe;
+  /// called once per batch.
+  std::function<bool()> health_probe;
+};
+
+/// \brief Deadline-aware, admission-controlled, micro-batching front-end.
+///
+/// Thread-safe: Submit/Predict may be called from any number of threads.
+/// The full-model rung scores batches against the ShapeService's published
+/// model epoch (the slot ModelLifecycle::AttachShapeService feeds), so a
+/// lifecycle swap, rollback, or quarantine is picked up on the next batch
+/// without any front-end involvement.
+class ServingFrontend {
+ public:
+  /// `service` must outlive the front-end. `predictor` (used for
+  /// featurization and epoch-pinned scoring) may be null, in which case
+  /// every answer comes from the prior rung. Validates all options.
+  static Result<std::unique_ptr<ServingFrontend>> Make(
+      const core::ShapeService* service,
+      const core::VariationPredictor* predictor, FrontendOptions options);
+
+  ~ServingFrontend();
+
+  ServingFrontend(const ServingFrontend&) = delete;
+  ServingFrontend& operator=(const ServingFrontend&) = delete;
+
+  /// Admission-checks and enqueues one request. The future always
+  /// resolves: served, shed (labeled with the reason), or shut down —
+  /// a request is never silently dropped and never blocks indefinitely.
+  std::future<PredictResponse> Submit(PredictRequest request);
+
+  /// Submit + wait, with the deadline derived from `budget`. The wait is
+  /// bounded: the worker sheds expired requests instead of serving them
+  /// late.
+  PredictResponse Predict(const sim::JobRun& run, Priority priority,
+                          std::chrono::steady_clock::duration budget);
+
+  /// Stops the workers; queued requests resolve as shed(kShutdown).
+  /// Idempotent; also run by the destructor.
+  void Shutdown();
+
+  size_t queue_depth() const;
+  BreakerState breaker_state() const;
+  const FrontendOptions& options() const { return options_; }
+
+  /// Health probe bound to a model lifecycle: healthy while some version
+  /// serves (live_version() >= 0). A forced quarantine with no rollback
+  /// target clears the live version, which trips the breaker here and
+  /// drops the front-end onto the stale rung. `lifecycle` must outlive
+  /// the returned function.
+  static std::function<bool()> LifecycleHealthProbe(
+      const core::ModelLifecycle* lifecycle);
+
+ private:
+  struct Pending {
+    PredictRequest request;
+    std::promise<PredictResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  ServingFrontend(const core::ShapeService* service,
+                  const core::VariationPredictor* predictor,
+                  FrontendOptions options);
+
+  void WorkerLoop();
+  /// Blocks for work; false when stopping and the queue is drained.
+  bool PopBatch(std::vector<Pending>* batch);
+  void ServeBatch(std::vector<Pending>* batch);
+  /// Scores `batch` against one model epoch; false on batch-level
+  /// incompatibility (nothing responded, next rung takes over). Per-run
+  /// featurization failures degrade that run to the prior rung.
+  bool TryServeWithModel(const ml::GbdtClassifier& model,
+                         std::vector<Pending>* batch,
+                         DegradationLevel level);
+  void RespondPrior(Pending* pending);
+  void RespondShed(Pending* pending, ShedReason reason);
+  void Respond(Pending* pending, PredictResponse response);
+
+  const core::ShapeService* service_;
+  const core::VariationPredictor* predictor_;
+  FrontendOptions options_;
+
+  AdmissionController admission_;
+  CircuitBreaker breaker_;
+
+  mutable std::mutex mu_;  ///< guards queue_ and stop_
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+
+  /// Last epoch that served a full-model batch successfully; the stale
+  /// rung of the ladder. Never reset — stale answers beat no answers.
+  mutable std::mutex stale_mu_;
+  std::shared_ptr<const ml::GbdtClassifier> stale_;
+
+  std::vector<std::thread> workers_;
+
+  // Metrics (obs/metrics.h): write-only, never consulted for results.
+  obs::Counter* requests_total_;
+  std::vector<obs::Counter*> served_total_;  ///< indexed by DegradationLevel
+  std::vector<obs::Counter*> shed_total_;    ///< indexed by ShedReason
+  obs::Histogram* latency_;     ///< submit -> response wall clock
+  obs::Histogram* queue_wait_;  ///< submit -> dequeue wall clock
+  obs::Histogram* batch_size_;
+  obs::Gauge* depth_gauge_;
+};
+
+}  // namespace serve
+}  // namespace rvar
+
+#endif  // RVAR_SERVE_FRONTEND_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "sim/faults.h"
@@ -220,7 +221,23 @@ Result<JobRun> TokenScheduler::Execute(const JobGroupSpec& group,
             " abandoned after ", attempt + 1, " machine faults in stage ",
             s));
       }
-      elapsed += config_.retry_backoff_seconds * std::pow(2.0, attempt);
+      double backoff = config_.retry_backoff_seconds * std::pow(2.0, attempt);
+      const double j = std::clamp(config_.retry_jitter, 0.0, 0.99);
+      if (j > 0.0) {
+        // A dedicated Rng keyed by the retry identity, not the simulation
+        // stream: the main stream's draw sequence is untouched (replay of
+        // fault-free runs is byte-identical to a jitter-free build), yet
+        // the same (seed, instance, stage, attempt) always jitters the
+        // same way.
+        Rng jitter_rng(HashCombine(
+            HashCombine(HashCombine(kFnvOffsetBasis,
+                                    static_cast<uint64_t>(instance.instance_id)),
+                        static_cast<uint64_t>(group.group_id)),
+            (static_cast<uint64_t>(s) << 32) |
+                static_cast<uint64_t>(attempt)));
+        backoff *= jitter_rng.Uniform(1.0 - j, 1.0 + j);
+      }
+      elapsed += backoff;
       SchedulerMetrics::Get().vertex_retries_total->Increment();
       ++run.vertex_retries;
     }

@@ -59,6 +59,13 @@ struct SchedulerConfig {
   /// Base of the exponential retry backoff, simulated seconds: retry k is
   /// re-dispatched after retry_backoff_seconds * 2^k.
   double retry_backoff_seconds = 8.0;
+  /// Jitter half-width on the backoff, in [0, 0.99]: each retry's wait is
+  /// scaled by a uniform draw from [1 - j, 1 + j], so simultaneous fault
+  /// victims decorrelate instead of retrying as one storm. The draw comes
+  /// from a dedicated Rng keyed by (instance, stage, attempt) — NOT the
+  /// simulation stream — so replay stays bit-identical: the same seed
+  /// yields the same jitter, and non-fault paths draw nothing at all.
+  double retry_jitter = 0.5;
 };
 
 /// \brief Everything observed about one executed job instance: the ground

@@ -201,6 +201,58 @@ TEST_F(ModelLifecycleTest, RollbackReactivatesRetainedVersion) {
   EXPECT_FALSE((*lifecycle)->Rollback(99).ok());
 }
 
+TEST_F(ModelLifecycleTest, QuarantineLiveFallsBackToNewestRetired) {
+  auto lifecycle = ModelLifecycle::Open(Options());
+  ASSERT_TRUE(lifecycle.ok());
+  // Nothing live yet: the kill switch has nothing to kill.
+  EXPECT_TRUE((*lifecycle)->QuarantineLive("nothing").IsFailedPrecondition());
+
+  ASSERT_TRUE((*lifecycle)->RetrainAndSwap(Window(0, 60, 5), 0, 120).ok());
+  ASSERT_TRUE(
+      (*lifecycle)->RetrainAndSwap(Window(1, 60, 6), 120, 240).ok());
+  ASSERT_EQ((*lifecycle)->live_version(), 2);
+
+  // v1 is retired, so killing v2 rolls serving back one epoch.
+  ASSERT_TRUE((*lifecycle)->QuarantineLive("operator: bad output").ok());
+  EXPECT_EQ((*lifecycle)->live_version(), 1);
+  ASSERT_NE((*lifecycle)->LiveModel(), nullptr);
+  EXPECT_EQ((*lifecycle)->registry().Manifest(2)->state,
+            io::ModelState::kQuarantined);
+  EXPECT_NE((*lifecycle)->registry().Manifest(2)->reason.find("bad output"),
+            std::string::npos);
+  EXPECT_EQ((*lifecycle)->registry().Manifest(1)->state,
+            io::ModelState::kActive);
+  // The quarantined version can never serve again.
+  EXPECT_FALSE((*lifecycle)->Rollback(2).ok());
+}
+
+TEST_F(ModelLifecycleTest, QuarantineLiveWithNoFallbackClearsServing) {
+  auto lifecycle = ModelLifecycle::Open(Options());
+  ASSERT_TRUE(lifecycle.ok());
+  ASSERT_TRUE((*lifecycle)->RetrainAndSwap(Window(0, 60, 5), 0, 120).ok());
+  ASSERT_EQ((*lifecycle)->live_version(), 1);
+
+  // The only version on disk is the live one: the kill switch must still
+  // work, leaving nothing serving rather than a sick model.
+  ASSERT_TRUE((*lifecycle)->QuarantineLive("chaos").ok());
+  EXPECT_EQ((*lifecycle)->live_version(), -1);
+  EXPECT_EQ((*lifecycle)->LiveModel(), nullptr);
+  EXPECT_EQ((*lifecycle)->registry().active_version(), -1);
+  EXPECT_EQ((*lifecycle)->registry().Manifest(1)->state,
+            io::ModelState::kQuarantined);
+  // Nothing live -> a second kill is refused.
+  EXPECT_TRUE((*lifecycle)->QuarantineLive("again").IsFailedPrecondition());
+
+  // The cleared state survives a crash-and-reopen, and retraining resumes
+  // with a fresh id.
+  auto reopened = ModelLifecycle::Open(Options());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->live_version(), -1);
+  EXPECT_EQ((*reopened)->LiveModel(), nullptr);
+  ASSERT_TRUE((*reopened)->RetrainAndSwap(Window(1, 60, 6), 120, 240).ok());
+  EXPECT_EQ((*reopened)->live_version(), 2);
+}
+
 TEST_F(ModelLifecycleTest, CandidateBytesIdenticalAtAnyThreadCount) {
   const ml::Dataset window = Window(0, 80, 9);
   std::vector<std::string> images;

@@ -124,6 +124,26 @@ TEST_F(ShapeServiceTest, MakeRejectsBadArguments) {
   }
 }
 
+TEST_F(ShapeServiceTest, ObserveRejectsNonFiniteRuntimes) {
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Observe(5, 1.0).ok());
+
+  // Non-finite samples must be refused at the boundary with a status the
+  // caller can see — never clamped or silently dropped inside the tracker.
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    const Status status = (*service)->Observe(5, bad);
+    ASSERT_FALSE(status.ok()) << "value=" << bad;
+    EXPECT_NE(status.message().find("finite"), std::string::npos)
+        << status.ToString();
+  }
+  // Rejected samples touch neither the counts nor the posterior.
+  EXPECT_EQ((*service)->GroupCount(5), 1);
+  EXPECT_EQ((*service)->TotalObservations(), 1);
+}
+
 TEST_F(ShapeServiceTest, UnknownGroupsAnswerFromUniformPrior) {
   auto service = ShapeService::Make(library_);
   ASSERT_TRUE(service.ok());

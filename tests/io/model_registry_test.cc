@@ -155,6 +155,34 @@ TEST_F(ModelRegistryTest, ActivateRetiresPreviousAndSurvivesReopen) {
   EXPECT_EQ(reopened->Manifest(2)->state, ModelState::kRetired);
 }
 
+TEST_F(ModelRegistryTest, DeactivateClearsServingAndSurvivesReopen) {
+  auto registry = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(registry.ok());
+  // Nothing active: Deactivate is a no-op, not an error.
+  EXPECT_TRUE(registry->Deactivate().ok());
+  EXPECT_EQ(registry->active_version(), -1);
+
+  ASSERT_TRUE(registry->PutCandidate(Candidate(1), ModelImage(1)).ok());
+  ASSERT_TRUE(registry->Activate(1).ok());
+  ASSERT_TRUE(std::filesystem::exists(registry->ActivePath()));
+
+  ASSERT_TRUE(registry->Deactivate().ok());
+  EXPECT_EQ(registry->active_version(), -1);
+  EXPECT_FALSE(std::filesystem::exists(registry->ActivePath()));
+  EXPECT_EQ(registry->Manifest(1)->state, ModelState::kRetired);
+  // Deactivation unblocks quarantining the ex-live version — the kill
+  // switch sequence the lifecycle runs.
+  EXPECT_TRUE(registry->Quarantine(1, "kill switch").ok());
+
+  // Reopen sees an empty serving slot, and the retired-then-quarantined
+  // manifest, from disk alone.
+  auto reopened = ModelRegistry::Open(dir_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->active_version(), -1);
+  EXPECT_EQ(reopened->Manifest(1)->state, ModelState::kQuarantined);
+  EXPECT_EQ(reopened->next_version(), 2);
+}
+
 TEST_F(ModelRegistryTest, QuarantineBlocksActivationAndServing) {
   auto registry = ModelRegistry::Open(dir_);
   ASSERT_TRUE(registry.ok());
