@@ -257,6 +257,38 @@ int main() {
   }
   (*spike_frontend)->Shutdown();
 
+  // --- Mixed-group Observe throughput: 1 shard vs 4 shards --------------
+  // The acceptance bar for the share-nothing refactor: concurrent writers
+  // spraying observations across many groups must get strictly more
+  // throughput once the tracker maps stop sharing a lock. Ungated (lands
+  // in the "serving" section) because the absolute numbers are
+  // machine-dependent; the 4-shard-vs-1-shard ratio is the signal.
+  constexpr int kObserveThreads = 4;
+  constexpr int kObservePerThread = 30000;
+  constexpr int kObserveGroups = 64;
+  auto observe_qps = [&](int num_shards) -> double {
+    core::ShapeService::Options options;
+    options.num_shards = num_shards;
+    auto contended = core::ShapeService::Make(&(*predictor)->shapes(), options);
+    if (!contended.ok()) return 0.0;
+    const double seconds = BestSecondsOf([&] {
+      std::vector<std::thread> writers;
+      for (int t = 0; t < kObserveThreads; ++t) {
+        writers.emplace_back([&, t] {
+          for (int i = 0; i < kObservePerThread; ++i) {
+            const int gid = (t * kObservePerThread + i * 7) % kObserveGroups;
+            (void)(*contended)->Observe(gid, 1.0 + 0.001 * (i % 9));
+          }
+        });
+      }
+      for (std::thread& t : writers) t.join();
+      g_sink = static_cast<uint64_t>((*contended)->TotalObservations());
+    });
+    return kObserveThreads * kObservePerThread / seconds;
+  };
+  const double observe_qps_1shard = observe_qps(1);
+  const double observe_qps_4shard = observe_qps(4);
+
   const double calibration = CalibrationSeconds();
   std::FILE* out = std::fopen("BENCH_serving.json", "w");
   if (out == nullptr) {
@@ -286,7 +318,10 @@ int main() {
       "    \"shed_queue_full\": %lld,\n"
       "    \"shed_watermark\": %lld,\n"
       "    \"shed_tokens\": %lld,\n"
-      "    \"shed_deadline\": %lld\n"
+      "    \"shed_deadline\": %lld,\n"
+      "    \"observe_qps_1shard\": %.0f,\n"
+      "    \"observe_qps_4shard\": %.0f,\n"
+      "    \"observe_shard_speedup\": %.3f\n"
       "  }\n"
       "}\n",
       calibration, batch_predict_s, closed_loop_s, kClosedTotal,
@@ -302,12 +337,18 @@ int main() {
       static_cast<long long>(
           stats.shed_by_reason[static_cast<int>(serve::ShedReason::kTokens)]),
       static_cast<long long>(
-          stats.shed_by_reason[static_cast<int>(serve::ShedReason::kDeadline)]));
+          stats.shed_by_reason[static_cast<int>(serve::ShedReason::kDeadline)]),
+      observe_qps_1shard, observe_qps_4shard,
+      observe_qps_1shard > 0.0 ? observe_qps_4shard / observe_qps_1shard
+                               : 0.0);
   std::fclose(out);
   std::printf(
       "serving summary written to BENCH_serving.json "
-      "(closed-loop %.0f qps, p99 %.4fs, spike shed rate %.2f%%)\n",
+      "(closed-loop %.0f qps, p99 %.4fs, spike shed rate %.2f%%, "
+      "observe 4-shard/1-shard %.2fx)\n",
       closed_loop_qps, p99,
-      100.0 * static_cast<double>(stats.shed) / kSpikeTotal);
+      100.0 * static_cast<double>(stats.shed) / kSpikeTotal,
+      observe_qps_1shard > 0.0 ? observe_qps_4shard / observe_qps_1shard
+                               : 0.0);
   return 0;
 }

@@ -3,8 +3,9 @@
 // The example drives the instrumented pipeline the way production would:
 // corrupt telemetry flows through TelemetryStore::Ingest (quarantine
 // counters), a shape library is built and served by ShapeService from
-// several client threads at once (latency histograms, stripe-contention
-// counters), and a predictor trains over a simulated study (phase trace
+// several client threads at once (latency histograms, per-shard
+// observe and contention counters), and a predictor trains over a
+// simulated study (phase trace
 // spans). It then prints the three export surfaces:
 //
 //   1. Prometheus text exposition — what a scrape of /metrics returns,
@@ -95,7 +96,7 @@ int main() {
     clients.emplace_back([&service, t] {
       Rng client_rng(900 + static_cast<uint64_t>(t));
       for (int i = 0; i < 5000; ++i) {
-        // Overlapping group sets across threads, so stripes contend.
+        // Overlapping group sets across threads, so shards contend.
         const int group = (t * 5 + i) % 24;
         (void)(*service)->Observe(group, client_rng.Uniform(0.5, 3.5));
         if (i % 8 == 0) (void)(*service)->Posterior(group);

@@ -176,13 +176,11 @@ Result<std::unique_ptr<ModelLifecycle>> ModelLifecycle::Open(
 }
 
 std::shared_ptr<const ml::GbdtClassifier> ModelLifecycle::LiveModel() const {
-  std::lock_guard<std::mutex> lock(live_mu_);
-  return live_;
+  return std::atomic_load(&live_);
 }
 
 int64_t ModelLifecycle::live_version() const {
-  std::lock_guard<std::mutex> lock(live_mu_);
-  return live_version_;
+  return live_version_.load(std::memory_order_acquire);
 }
 
 void ModelLifecycle::AttachShapeService(ShapeService* service) {
@@ -194,11 +192,14 @@ void ModelLifecycle::AttachShapeService(ShapeService* service) {
 
 void ModelLifecycle::Publish(
     int64_t version, std::shared_ptr<const ml::GbdtClassifier> model) {
-  {
-    std::lock_guard<std::mutex> lock(live_mu_);
-    live_ = model;
-    live_version_ = version;
-  }
+  // Version first, then the epoch, both lock-free: a reader pairing the
+  // two calls can transiently see the new version with the old epoch —
+  // the same benign window the old mutex had between separate LiveModel()
+  // and live_version() calls. The attached ShapeService fans the epoch
+  // out to every shard's replica (ShapeService::SwapModel), so serving
+  // front-ends pick the swap up shard-locally on their next batch.
+  live_version_.store(version, std::memory_order_release);
+  std::atomic_store(&live_, model);
   if (shape_service_ != nullptr) {
     shape_service_->SwapModel(std::move(model));
   }

@@ -18,6 +18,7 @@
 #ifndef RVAR_CORE_MODEL_LIFECYCLE_H_
 #define RVAR_CORE_MODEL_LIFECYCLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -157,7 +158,7 @@ class ModelLifecycle {
                    ml::Dataset* train, ml::Dataset* holdout) const;
 
   /// Installs `model` as the serving epoch (and mirrors it into the
-  /// attached ShapeService).
+  /// attached ShapeService, which fans it out to every shard replica).
   void Publish(int64_t version,
                std::shared_ptr<const ml::GbdtClassifier> model);
 
@@ -168,9 +169,10 @@ class ModelLifecycle {
   io::ModelRegistry registry_;
   ShapeService* shape_service_ = nullptr;
 
-  mutable std::mutex live_mu_;  ///< guards the epoch pointer copy only
+  // Serving epoch: atomic shared_ptr access only — LiveModel() readers
+  // never take a lock, matching the lock-free model slot in ShapeService.
   std::shared_ptr<const ml::GbdtClassifier> live_;
-  int64_t live_version_ = -1;
+  std::atomic<int64_t> live_version_{-1};
 
   // Metrics (obs/metrics.h).
   obs::Counter* swaps_total_;

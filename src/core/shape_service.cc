@@ -12,9 +12,9 @@ namespace core {
 ShapeService::ShapeService(const ShapeLibrary* library, Options options)
     : library_(library),
       options_(options),
-      num_stripes_(static_cast<size_t>(std::max(1, options.num_stripes))) {
-  options_.num_stripes = static_cast<int>(num_stripes_);
-  stripes_ = std::make_unique<Stripe[]>(num_stripes_);
+      num_shards_(static_cast<size_t>(std::max(1, options.num_shards))) {
+  options_.num_shards = static_cast<int>(num_shards_);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
   obs::Registry& registry = obs::Registry::Default();
   observe_latency_ =
       registry.GetHistogram("shape_service_observe_latency_seconds");
@@ -23,10 +23,21 @@ ShapeService::ShapeService(const ShapeLibrary* library, Options options)
   observe_total_ = registry.GetCounter("shape_service_observe_total");
   observe_rejected_ = registry.GetCounter("shape_service_observe_rejected");
   model_swaps_total_ = registry.GetCounter("shape_service_model_swaps_total");
-  stripe_contention_.reserve(num_stripes_);
-  for (size_t s = 0; s < num_stripes_; ++s) {
-    stripe_contention_.push_back(registry.GetCounter(
-        "shape_service_stripe_contention_total", "stripe", StrCat(s)));
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_[s].observe_total = registry.GetCounter(
+        "shape_service_shard_observe_total", "shard", StrCat(s));
+    shards_[s].contention = registry.GetCounter(
+        "shape_service_shard_contention_total", "shard", StrCat(s));
+  }
+  // Global prior: the cluster with the most pooled reference samples.
+  // Ties (and all-zero stats, e.g. a synthetic library) resolve to the
+  // lowest index, so the answer is always a valid cluster.
+  int64_t best_mass = -1;
+  for (int k = 0; k < library_->num_clusters(); ++k) {
+    if (library_->stats(k).num_samples > best_mass) {
+      best_mass = library_->stats(k).num_samples;
+      global_prior_shape_ = k;
+    }
   }
 }
 
@@ -50,10 +61,10 @@ Result<std::unique_ptr<ShapeService>> ShapeService::Make(
         StrCat("ShapeService options.pmf_floor must be > 0, got ",
                options.pmf_floor));
   }
-  if (options.num_stripes < 1) {
+  if (options.num_shards < 1) {
     return Status::InvalidArgument(
-        StrCat("ShapeService options.num_stripes must be >= 1, got ",
-               options.num_stripes));
+        StrCat("ShapeService options.num_shards must be >= 1, got ",
+               options.num_shards));
   }
   // Validate the tracker parameters once, up front, so per-group tracker
   // creation inside Observe can never fail.
@@ -64,25 +75,25 @@ Result<std::unique_ptr<ShapeService>> ShapeService::Make(
       new ShapeService(library, options));
 }
 
-size_t ShapeService::StripeIndexFor(int group_id) const {
-  // Spread consecutive group ids across stripes; the multiplicative mix
-  // avoids pinning id ranges (gid % stripes would stripe-collide every
-  // `num_stripes`-th group of a sequential id space onto one lock).
+size_t ShapeService::ShardIndexFor(int group_id) const {
+  // Spread consecutive group ids across shards; the multiplicative mix
+  // avoids pinning id ranges (gid % shards would shard-collide every
+  // `num_shards`-th group of a sequential id space onto one shard).
   const uint64_t h =
       static_cast<uint64_t>(group_id) * 0x9E3779B97F4A7C15ULL;
-  return (h >> 32) % num_stripes_;
+  return (h >> 32) % num_shards_;
 }
 
-ShapeService::Stripe& ShapeService::StripeFor(int group_id) const {
-  return stripes_[StripeIndexFor(group_id)];
+ShapeService::Shard& ShapeService::ShardFor(int group_id) const {
+  return shards_[ShardIndexFor(group_id)];
 }
 
-std::unique_lock<std::mutex> ShapeService::LockStripe(
-    size_t stripe_index) const {
-  std::unique_lock<std::mutex> lock(stripes_[stripe_index].mu,
+std::unique_lock<std::mutex> ShapeService::LockShard(
+    size_t shard_index) const {
+  std::unique_lock<std::mutex> lock(shards_[shard_index].mu,
                                     std::try_to_lock);
   if (!lock.owns_lock()) {
-    stripe_contention_[stripe_index]->Increment();
+    shards_[shard_index].contention->Increment();
     lock.lock();
   }
   return lock;
@@ -91,6 +102,10 @@ std::unique_lock<std::mutex> ShapeService::LockStripe(
 Status ShapeService::Observe(int group_id, double normalized_runtime) {
   obs::ScopedLatencyTimer timer(observe_latency_);
   if (group_id < 0) {
+    // Reject at the boundary and count it: a tracker keyed by a negative
+    // id would export a snapshot RestoreState (ids >= 0) refuses to load,
+    // turning a legitimate checkpoint into a restore failure.
+    observe_rejected_->Increment();
     return Status::InvalidArgument(
         StrCat("group_id must be >= 0, got ", group_id));
   }
@@ -103,28 +118,30 @@ Status ShapeService::Observe(int group_id, double normalized_runtime) {
                normalized_runtime));
   }
   observe_total_->Increment();
-  const size_t stripe_index = StripeIndexFor(group_id);
-  Stripe& stripe = stripes_[stripe_index];
-  std::unique_lock<std::mutex> lock = LockStripe(stripe_index);
-  auto it = stripe.trackers.find(group_id);
-  if (it == stripe.trackers.end()) {
-    it = stripe.trackers
+  const size_t shard_index = ShardIndexFor(group_id);
+  Shard& shard = shards_[shard_index];
+  shard.observe_total->Increment();
+  std::unique_lock<std::mutex> lock = LockShard(shard_index);
+  auto it = shard.trackers.find(group_id);
+  if (it == shard.trackers.end()) {
+    it = shard.trackers
              .emplace(group_id,
                       *OnlineShapeTracker::Make(library_, options_.decay,
                                                 options_.pmf_floor))
              .first;
   }
   it->second.Observe(normalized_runtime);
+  ++shard.total_observations;
   return Status::OK();
 }
 
 std::vector<double> ShapeService::Posterior(int group_id) const {
   obs::ScopedLatencyTimer timer(query_latency_);
-  const size_t stripe_index = StripeIndexFor(group_id);
-  Stripe& stripe = stripes_[stripe_index];
-  std::unique_lock<std::mutex> lock = LockStripe(stripe_index);
-  const auto it = stripe.trackers.find(group_id);
-  if (it == stripe.trackers.end()) {
+  const size_t shard_index = ShardIndexFor(group_id);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lock = LockShard(shard_index);
+  const auto it = shard.trackers.find(group_id);
+  if (it == shard.trackers.end()) {
     const size_t k = static_cast<size_t>(library_->num_clusters());
     return std::vector<double>(k, 1.0 / static_cast<double>(k));
   }
@@ -132,55 +149,59 @@ std::vector<double> ShapeService::Posterior(int group_id) const {
 }
 
 int ShapeService::MostLikely(int group_id) const {
-  Stripe& stripe = StripeFor(group_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  const auto it = stripe.trackers.find(group_id);
-  return it == stripe.trackers.end() ? -1 : it->second.MostLikely();
+  const size_t shard_index = ShardIndexFor(group_id);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lock = LockShard(shard_index);
+  const auto it = shard.trackers.find(group_id);
+  return it == shard.trackers.end() ? -1 : it->second.MostLikely();
 }
 
 double ShapeService::ProbabilityOf(int group_id, int cluster) const {
   RVAR_CHECK(cluster >= 0 && cluster < library_->num_clusters());
-  Stripe& stripe = StripeFor(group_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  const auto it = stripe.trackers.find(group_id);
-  if (it == stripe.trackers.end()) {
+  const size_t shard_index = ShardIndexFor(group_id);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lock = LockShard(shard_index);
+  const auto it = shard.trackers.find(group_id);
+  if (it == shard.trackers.end()) {
     return 1.0 / static_cast<double>(library_->num_clusters());
   }
   return it->second.ProbabilityOf(cluster);
 }
 
 int64_t ShapeService::GroupCount(int group_id) const {
-  Stripe& stripe = StripeFor(group_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  const auto it = stripe.trackers.find(group_id);
-  return it == stripe.trackers.end() ? 0 : it->second.count();
+  const size_t shard_index = ShardIndexFor(group_id);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lock = LockShard(shard_index);
+  const auto it = shard.trackers.find(group_id);
+  return it == shard.trackers.end() ? 0 : it->second.count();
 }
 
 int64_t ShapeService::TotalObservations() const {
+  // Per-shard snapshot merged in shard-index order. Each shard maintains
+  // its running total under its own mutex, so this is O(shards), not
+  // O(groups) — and a maintenance read, so no contention counting.
   int64_t total = 0;
-  for (size_t s = 0; s < num_stripes_; ++s) {
-    std::lock_guard<std::mutex> lock(stripes_[s].mu);
-    for (const auto& [gid, tracker] : stripes_[s].trackers) {
-      total += tracker.count();
-    }
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].total_observations;
   }
   return total;
 }
 
 size_t ShapeService::NumGroups() const {
   size_t total = 0;
-  for (size_t s = 0; s < num_stripes_; ++s) {
-    std::lock_guard<std::mutex> lock(stripes_[s].mu);
-    total += stripes_[s].trackers.size();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    total += shards_[s].trackers.size();
   }
   return total;
 }
 
 std::vector<int> ShapeService::TrackedGroups() const {
   std::vector<int> groups;
-  for (size_t s = 0; s < num_stripes_; ++s) {
-    std::lock_guard<std::mutex> lock(stripes_[s].mu);
-    for (const auto& [gid, tracker] : stripes_[s].trackers) {
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    for (const auto& [gid, tracker] : shards_[s].trackers) {
       groups.push_back(gid);
     }
   }
@@ -189,40 +210,56 @@ std::vector<int> ShapeService::TrackedGroups() const {
 }
 
 bool ShapeService::Forget(int group_id) {
-  Stripe& stripe = StripeFor(group_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  return stripe.trackers.erase(group_id) > 0;
+  const size_t shard_index = ShardIndexFor(group_id);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lock = LockShard(shard_index);
+  const auto it = shard.trackers.find(group_id);
+  if (it == shard.trackers.end()) return false;
+  shard.total_observations -= it->second.count();
+  shard.trackers.erase(it);
+  return true;
 }
 
 void ShapeService::SwapModel(
     std::shared_ptr<const ml::GbdtClassifier> model) {
-  {
-    std::lock_guard<std::mutex> lock(model_mu_);
-    model_.swap(model);
+  // Global slot first, then every shard's replica in shard-index order —
+  // all plain atomic stores, no lock. Readers pinned to an old epoch keep
+  // it alive through their shared_ptr; shard replicas may briefly trail
+  // the global slot, but each shard-local batch still sees one epoch.
+  std::atomic_store(&model_, model);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    std::atomic_store(&shards_[s].model, model);
   }
-  // The displaced version is released outside the lock: if this thread
-  // holds the last reference, the destructor runs without stalling
-  // readers trying to snapshot.
   model_swaps_total_->Increment();
 }
 
 std::shared_ptr<const ml::GbdtClassifier> ShapeService::ModelSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(model_mu_);
-  return model_;
+  return std::atomic_load(&model_);
+}
+
+std::shared_ptr<const ml::GbdtClassifier> ShapeService::ModelSnapshotForShard(
+    size_t shard_index) const {
+  RVAR_CHECK(shard_index < num_shards_);
+  return std::atomic_load(&shards_[shard_index].model);
 }
 
 std::vector<ShapeService::GroupState> ShapeService::ExportState() const {
-  // Lock every stripe (in index order, the only order used) so the export
-  // is a point-in-time cut: no concurrent Observe lands halfway.
+  // Lock every shard (in index order, the only order used) so the export
+  // is a point-in-time cut: no concurrent Observe lands halfway. Plain
+  // locks — maintenance traffic must not pollute the contention counters
+  // that size the serving hot path.
   std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(num_stripes_);
-  for (size_t s = 0; s < num_stripes_; ++s) {
-    locks.push_back(LockStripe(s));
+  locks.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    locks.emplace_back(shards_[s].mu);
   }
+  // Per-shard snapshots merged in shard-index order, then sorted by group
+  // id: group ids are unique, so the result — and the serialized image
+  // built from it — is byte-identical at any shard count.
   std::vector<GroupState> states;
-  for (size_t s = 0; s < num_stripes_; ++s) {
-    for (const auto& [gid, tracker] : stripes_[s].trackers) {
+  for (size_t s = 0; s < num_shards_; ++s) {
+    for (const auto& [gid, tracker] : shards_[s].trackers) {
       GroupState state;
       state.group_id = gid;
       state.log_likelihood = tracker.log_likelihood();
@@ -239,7 +276,7 @@ std::vector<ShapeService::GroupState> ShapeService::ExportState() const {
 }
 
 Status ShapeService::RestoreState(const std::vector<GroupState>& states) {
-  // Validate and build every tracker before touching the live stripes, so
+  // Validate and build every tracker before touching the live shards, so
   // a corrupt entry leaves the service exactly as it was.
   std::vector<std::pair<int, OnlineShapeTracker>> restored;
   restored.reserve(states.size());
@@ -261,16 +298,21 @@ Status ShapeService::RestoreState(const std::vector<GroupState>& states) {
           "restored group states must be strictly ascending by group id");
     }
   }
+  // Plain locks in shard-index order: maintenance traffic stays out of
+  // the contention counters.
   std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(num_stripes_);
-  for (size_t s = 0; s < num_stripes_; ++s) {
-    locks.push_back(LockStripe(s));
+  locks.reserve(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    locks.emplace_back(shards_[s].mu);
   }
-  for (size_t s = 0; s < num_stripes_; ++s) {
-    stripes_[s].trackers.clear();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_[s].trackers.clear();
+    shards_[s].total_observations = 0;
   }
   for (auto& [gid, tracker] : restored) {
-    stripes_[StripeIndexFor(gid)].trackers.emplace(gid, std::move(tracker));
+    Shard& shard = shards_[ShardIndexFor(gid)];
+    shard.total_observations += tracker.count();
+    shard.trackers.emplace(gid, std::move(tracker));
   }
   return Status::OK();
 }

@@ -1,11 +1,21 @@
 // Copyright 2026 The rvar Authors.
 //
 // Thread-safe serving facade over per-group OnlineShapeTracker state
-// (DESIGN.md §8). The serving pipeline observes normalized runtimes for
-// many job groups from many client threads at once; trackers are sharded
-// across mutex stripes by group id, so observations for different groups
-// rarely contend and observations for one group serialize — preserving
+// (DESIGN.md §13). The serving pipeline observes normalized runtimes for
+// many job groups from many client threads at once. State is partitioned
+// into share-nothing shards by a multiplicative hash of the group id:
+// each shard owns its tracker map, its own observation totals, its own
+// obs counters, and its own replica of the published classifier epoch —
+// so the observe/query hot path never takes a lock shared with another
+// shard, and a model swap publishes shard-locally without a global lock.
+// Observations for one group serialize on that group's shard, preserving
 // the tracker's (deterministic) per-group observation order semantics.
+//
+// Snapshot semantics are shard-count independent: ExportState merges
+// per-shard snapshots deterministically (shard-index order, then a global
+// sort by group id), so the exported state — and therefore the
+// io/serialize.h kShapeServiceState image — is byte-identical whether the
+// service runs 1 shard or 64.
 
 #ifndef RVAR_CORE_SHAPE_SERVICE_H_
 #define RVAR_CORE_SHAPE_SERVICE_H_
@@ -36,13 +46,14 @@ class ShapeService {
     double decay = 1.0;
     /// Probability floor before taking logs.
     double pmf_floor = 1e-6;
-    /// Mutex stripes; more stripes = less cross-group contention. Must be
-    /// >= 1.
-    int num_stripes = 16;
+    /// Share-nothing shards; more shards = less cross-group contention.
+    /// Must be >= 1. Exported state and every query answer are identical
+    /// at any shard count.
+    int num_shards = 16;
   };
 
   /// \param library must outlive the service. Rejects decay outside
-  /// (0, 1], non-positive pmf_floor, and num_stripes < 1 up front, so
+  /// (0, 1], non-positive pmf_floor, and num_shards < 1 up front, so
   /// per-group tracker creation inside Observe can never fail.
   static Result<std::unique_ptr<ShapeService>> Make(const ShapeLibrary* library,
                                                     Options options);
@@ -52,16 +63,26 @@ class ShapeService {
   }
 
   /// Incorporates one normalized runtime for `group_id`, creating the
-  /// group's tracker on first contact. Never blocks on other stripes.
-  /// Non-finite runtimes are rejected with InvalidArgument (and counted in
-  /// shape_service_observe_rejected) rather than clamped or dropped.
+  /// group's tracker on first contact. Never blocks on other shards.
+  /// Negative group ids and non-finite runtimes are rejected with
+  /// InvalidArgument (and counted in shape_service_observe_rejected)
+  /// rather than clamped or dropped: a negative id would create a tracker
+  /// that RestoreState — which requires ids >= 0 — could never reload.
   Status Observe(int group_id, double normalized_runtime);
 
   /// Posterior over shapes for the group; uniform for unknown groups.
   std::vector<double> Posterior(int group_id) const;
 
   /// Most likely shape for the group; -1 for unknown / unobserved groups.
+  /// Callers serving this as data should substitute GlobalPriorShape()
+  /// for the -1 sentinel (see serve/frontend.cc).
   int MostLikely(int group_id) const;
+
+  /// Argmax of the library's global prior: the cluster holding the most
+  /// pooled reference samples (lowest index wins ties). Always a valid
+  /// cluster in [0, num_clusters) — the fallback answer for groups no
+  /// tracker has ever seen.
+  int GlobalPriorShape() const { return global_prior_shape_; }
 
   /// Drift score: posterior probability the group still follows `cluster`.
   /// 1/K for unknown groups (uniform prior).
@@ -70,7 +91,9 @@ class ShapeService {
   /// Observations incorporated for the group (0 if unknown).
   int64_t GroupCount(int group_id) const;
 
-  /// Total observations across all groups.
+  /// Total observations across all groups: per-shard counts merged in
+  /// shard-index order (each shard maintains its total, so this never
+  /// walks the tracker maps).
   int64_t TotalObservations() const;
 
   /// Number of groups with a tracker.
@@ -83,16 +106,32 @@ class ShapeService {
   /// Returns true if the group had a tracker.
   bool Forget(int group_id);
 
-  /// Atomically publishes `model` as the serving classifier (RCU via
-  /// shared_ptr: readers holding a snapshot keep the previous version
-  /// alive until they drop it, so a swap never blocks or invalidates an
-  /// in-flight prediction). Null clears the slot. Thread-safe.
+  /// Number of share-nothing shards.
+  int num_shards() const { return static_cast<int>(num_shards_); }
+
+  /// The shard that owns `group_id` — the routing hash serving front-ends
+  /// use to build per-shard queues that match the service's partitioning.
+  size_t ShardIndexFor(int group_id) const;
+
+  /// Atomically publishes `model` as the serving classifier: the global
+  /// slot first, then every shard's replica in shard-index order, all via
+  /// atomic shared_ptr stores (RCU: readers holding a snapshot keep the
+  /// previous version alive until they drop it, so a swap never blocks or
+  /// invalidates an in-flight prediction, and no global lock is taken).
+  /// Null clears the slot. Thread-safe.
   void SwapModel(std::shared_ptr<const ml::GbdtClassifier> model);
 
   /// The currently published model; null until the first SwapModel. The
   /// returned pointer is an immutable epoch — callers score a whole batch
-  /// against one snapshot for version consistency.
+  /// against one snapshot for version consistency. Lock-free.
   std::shared_ptr<const ml::GbdtClassifier> ModelSnapshot() const;
+
+  /// The shard-local replica of the published model. During a swap,
+  /// replicas update in shard-index order, so two shards may briefly
+  /// serve different epochs — each shard-local batch is still scored
+  /// against exactly one epoch. Lock-free.
+  std::shared_ptr<const ml::GbdtClassifier> ModelSnapshotForShard(
+      size_t shard_index) const;
 
   /// One tracker's checkpointable state (io/serialize.h codec).
   struct GroupState {
@@ -103,50 +142,59 @@ class ShapeService {
   };
 
   /// Point-in-time snapshot of every tracker, ascending by group id (all
-  /// stripes locked together, so concurrent Observes land entirely before
-  /// or entirely after the export).
+  /// shards locked together, so concurrent Observes land entirely before
+  /// or entirely after the export). Byte-identical at any shard count.
+  /// Maintenance path: does not touch the contention counters.
   std::vector<GroupState> ExportState() const;
 
   /// Replaces all tracker state with `states` (the restart path). Fully
   /// validated before anything is touched: on error the service is
-  /// unchanged.
+  /// unchanged. Maintenance path: does not touch the contention counters.
   Status RestoreState(const std::vector<GroupState>& states);
 
   const ShapeLibrary& library() const { return *library_; }
   const Options& options() const { return options_; }
 
  private:
-  struct Stripe {
+  /// One share-nothing partition: tracker map, observation total, obs
+  /// counters, and a replica of the published model epoch. Nothing in a
+  /// shard is ever touched under another shard's mutex.
+  struct Shard {
     mutable std::mutex mu;
     std::unordered_map<int, OnlineShapeTracker> trackers;
+    int64_t total_observations = 0;  ///< guarded by mu
+    /// Shard-local epoch replica; atomic shared_ptr access only.
+    std::shared_ptr<const ml::GbdtClassifier> model;
+    obs::Counter* observe_total = nullptr;  ///< this shard's observes
+    obs::Counter* contention = nullptr;     ///< contended hot-path locks
   };
 
   ShapeService(const ShapeLibrary* library, Options options);
 
-  size_t StripeIndexFor(int group_id) const;
-  Stripe& StripeFor(int group_id) const;
-  /// Locks the stripe, counting the acquisition in the stripe's contention
-  /// counter when another thread already holds it.
-  std::unique_lock<std::mutex> LockStripe(size_t stripe_index) const;
+  Shard& ShardFor(int group_id) const;
+  /// Locks the shard for the observe/query hot path, counting the
+  /// acquisition in the shard's contention counter when another thread
+  /// already holds it. Snapshot/maintenance paths lock directly instead,
+  /// so contention metrics only ever reflect serving traffic.
+  std::unique_lock<std::mutex> LockShard(size_t shard_index) const;
 
   const ShapeLibrary* library_;
   Options options_;
-  std::unique_ptr<Stripe[]> stripes_;
-  size_t num_stripes_;
+  std::unique_ptr<Shard[]> shards_;
+  size_t num_shards_;
+  int global_prior_shape_ = 0;
 
-  // The published classifier. The mutex guards only the pointer copy
-  // (nanoseconds); the pointee is immutable, so readers work lock-free
-  // after the snapshot.
-  mutable std::mutex model_mu_;
+  // The published classifier (global slot mirrored into every shard's
+  // replica). Atomic shared_ptr access only — no mutex anywhere on the
+  // model path.
   std::shared_ptr<const ml::GbdtClassifier> model_;
 
   // Metrics (obs/metrics.h): write-only, never consulted for results.
   obs::Histogram* observe_latency_;               ///< Observe() wall clock
   obs::Histogram* query_latency_;                 ///< Posterior() wall clock
   obs::Counter* observe_total_;
-  obs::Counter* observe_rejected_;  ///< non-finite samples refused
+  obs::Counter* observe_rejected_;  ///< negative ids / non-finite samples
   obs::Counter* model_swaps_total_;               ///< SwapModel() calls
-  std::vector<obs::Counter*> stripe_contention_;  ///< contended lock grabs
 };
 
 }  // namespace core

@@ -672,6 +672,12 @@ Result<sim::TelemetryStore> DecodeTelemetryImage(std::string bytes,
 //
 // record 0: number of group states
 // record 1..n: group id, observation count, clamp count, ll sums
+//
+// Records follow ExportState's order — ascending group id, after the
+// deterministic per-shard merge — so the encoded image is byte-identical
+// at any shard count and a snapshot written by an S-shard service
+// restores into any other shard count (the shard-determinism suite pins
+// this).
 
 std::string EncodeShapeServiceImage(const core::ShapeService& service) {
   const std::vector<core::ShapeService::GroupState> states =

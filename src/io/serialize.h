@@ -92,7 +92,10 @@ Result<sim::TelemetryStore> LoadTelemetryStore(const std::string& path);
 /// state survives restart alongside the model. Encode exports a
 /// point-in-time cut of the live service; Decode yields the group states
 /// in the form ShapeService::RestoreState takes, validated down to
-/// finiteness by the restore path.
+/// finiteness by the restore path. The image is shard-count independent:
+/// ExportState merges per-shard snapshots deterministically (ascending
+/// group id), so a service running S shards restores bit-identically into
+/// one running any other shard count.
 std::string EncodeShapeServiceState(const core::ShapeService& service);
 Status SaveShapeServiceState(const core::ShapeService& service,
                              const std::string& path);

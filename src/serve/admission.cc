@@ -84,6 +84,32 @@ double TokenBucket::AvailableAt(
   return tokens_;
 }
 
+AdmissionOptions AdmissionOptions::ShardSlice(int num_shards) const {
+  RVAR_CHECK(num_shards >= 1);
+  const size_t shards = static_cast<size_t>(num_shards);
+  auto split = [shards](size_t total) { return (total + shards - 1) / shards; };
+  AdmissionOptions slice = *this;
+  slice.queue_capacity = split(queue_capacity);
+  // Watermarks split the same way, then clamp into the sliced capacity so
+  // the slice always validates (a watermark of 0 stays 0: "shed always"
+  // survives slicing).
+  slice.best_effort_watermark =
+      std::min(split(best_effort_watermark), slice.queue_capacity);
+  slice.standard_watermark =
+      std::min(split(standard_watermark), slice.queue_capacity);
+  if (slice.best_effort_watermark > slice.standard_watermark) {
+    slice.best_effort_watermark = slice.standard_watermark;
+  }
+  // The buckets refill independently, so dividing the rate keeps the
+  // aggregate admission rate at the configured total. Burst never drops
+  // below one token or TryAcquire could not admit anything.
+  slice.bucket.rate_per_second =
+      bucket.rate_per_second / static_cast<double>(shards);
+  slice.bucket.burst =
+      std::max(1.0, bucket.burst / static_cast<double>(shards));
+  return slice;
+}
+
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(options), bucket_(options.bucket) {
   RVAR_CHECK(ValidateOptions(options_).ok());

@@ -58,6 +58,11 @@ class TokenBucket {
 };
 
 /// \brief Shed-by-tier policy: queue-depth watermarks plus the bucket.
+///
+/// The options describe the front-end's *total* admission budget. A
+/// sharded front-end (one bounded queue per ShapeService shard) divides
+/// the budget with ShardSlice so the aggregate capacity, watermarks, and
+/// token rate stay comparable at any shard count.
 struct AdmissionOptions {
   TokenBucketOptions bucket;
   /// Bounded queue capacity; every tier is shed at this depth.
@@ -66,6 +71,14 @@ struct AdmissionOptions {
   size_t best_effort_watermark = 256;
   /// kStandard is shed once the queue reaches this depth.
   size_t standard_watermark = 768;
+
+  /// This budget divided across `num_shards` share-nothing queues:
+  /// capacity and watermarks split evenly (rounded up, so capacity never
+  /// hits 0 and a 1-shard slice equals the original), and the token
+  /// bucket's rate and burst split so the aggregate refill rate is
+  /// unchanged. Requires num_shards >= 1. The result always satisfies
+  /// ValidateOptions when this does.
+  AdmissionOptions ShardSlice(int num_shards) const;
 };
 
 /// \brief Decides admit-or-shed for one request. Stateless apart from the

@@ -16,7 +16,6 @@ ServingFrontend::ServingFrontend(const core::ShapeService* service,
     : service_(service),
       predictor_(predictor),
       options_(std::move(options)),
-      admission_(options_.admission),
       breaker_(options_.breaker) {
   obs::Registry& registry = obs::Registry::Default();
   requests_total_ = registry.GetCounter("serve_requests_total");
@@ -35,11 +34,31 @@ ServingFrontend::ServingFrontend(const core::ShapeService* service,
   latency_ = registry.GetHistogram("serve_request_latency_seconds");
   queue_wait_ = registry.GetHistogram("serve_queue_wait_seconds");
   batch_size_ = registry.GetHistogram("serve_batch_size");
-  depth_gauge_ = registry.GetGauge("serve_queue_depth");
 
-  workers_.reserve(static_cast<size_t>(options_.num_workers));
-  for (int w = 0; w < options_.num_workers; ++w) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  // One bounded queue per service shard, each with its slice of the
+  // aggregate admission budget, each owned by exactly one worker.
+  const size_t num_shards = static_cast<size_t>(service_->num_shards());
+  const size_t num_workers =
+      std::min(static_cast<size_t>(options_.num_workers), num_shards);
+  const AdmissionOptions slice =
+      options_.admission.ShardSlice(static_cast<int>(num_shards));
+  shards_ = std::vector<ShardQueue>(num_shards);
+  shard_to_worker_.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_[s].admission = std::make_unique<AdmissionController>(slice);
+    shards_[s].depth_gauge =
+        registry.GetGauge("serve_queue_depth", "shard", StrCat(s));
+    shard_to_worker_[s] = s % num_workers;
+  }
+  workers_.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    workers_[shard_to_worker_[s]]->shards.push_back(s);
+  }
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers_[w]->thread = std::thread([this, w] { WorkerLoop(w); });
   }
 }
 
@@ -50,6 +69,11 @@ Result<std::unique_ptr<ServingFrontend>> ServingFrontend::Make(
     return Status::InvalidArgument("null shape service");
   }
   RVAR_RETURN_NOT_OK(AdmissionController::ValidateOptions(options.admission));
+  // The per-shard slice must validate too (it does whenever the aggregate
+  // does — checked here so a future slicing change cannot silently break
+  // the invariant).
+  RVAR_RETURN_NOT_OK(AdmissionController::ValidateOptions(
+      options.admission.ShardSlice(service->num_shards())));
   RVAR_RETURN_NOT_OK(CircuitBreaker::ValidateOptions(options.breaker));
   if (options.max_batch < 1) {
     return Status::InvalidArgument(
@@ -95,28 +119,35 @@ std::future<PredictResponse> ServingFrontend::Submit(PredictRequest request) {
   }
   pending.request = request;
 
+  // Route by the service's own group hash, so a request lands on the
+  // worker that owns the shard holding its tracker state and model
+  // replica.
+  const size_t shard_index = service_->ShardIndexFor(request.run->group_id);
+  ShardQueue& shard = shards_[shard_index];
+  Worker& worker = *workers_[shard_to_worker_[shard_index]];
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (stop_) {
+    std::unique_lock<std::mutex> lock(worker.mu);
+    if (stop_.load(std::memory_order_relaxed)) {
       lock.unlock();
       shed_total_[static_cast<size_t>(ShedReason::kShutdown)]->Increment();
       RespondShed(&pending, ShedReason::kShutdown);
       return future;
     }
-    // Admission under the queue lock: the depth the decision saw is the
-    // depth the enqueue extends, so watermarks are exact, not racy.
+    // Admission under the owning worker's lock: the depth the decision
+    // saw is the depth the enqueue extends, so watermarks are exact, not
+    // racy — and the decision only ever consults this shard's queue.
     const ShedReason verdict =
-        admission_.Admit(request.priority, queue_.size(), now);
+        shard.admission->Admit(request.priority, shard.queue.size(), now);
     if (verdict != ShedReason::kNone) {
       lock.unlock();
       // The admission controller already counted this shed.
       RespondShed(&pending, verdict);
       return future;
     }
-    queue_.push_back(std::move(pending));
-    depth_gauge_->Set(static_cast<double>(queue_.size()));
+    shard.queue.push_back(std::move(pending));
+    shard.depth_gauge->Set(static_cast<double>(shard.queue.size()));
   }
-  cv_.notify_one();
+  worker.cv.notify_one();
   return future;
 }
 
@@ -131,71 +162,120 @@ PredictResponse ServingFrontend::Predict(
 }
 
 void ServingFrontend::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) return;
-    stop_ = true;
+  if (stop_.exchange(true)) return;
+  // Lock each worker's mutex once so no submitter is mid-enqueue when the
+  // wakeup lands (the classic lost-notify guard), then join.
+  for (auto& worker : workers_) {
+    { std::lock_guard<std::mutex> lock(worker->mu); }
+    worker->cv.notify_all();
   }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
   // Anything still queued (workers shed on drain, but be exhaustive).
-  std::deque<Pending> leftover;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    leftover.swap(queue_);
-    depth_gauge_->Set(0.0);
-  }
-  for (Pending& pending : leftover) {
-    shed_total_[static_cast<size_t>(ShedReason::kShutdown)]->Increment();
-    RespondShed(&pending, ShedReason::kShutdown);
+  for (auto& worker : workers_) {
+    std::deque<Pending> leftover;
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      for (size_t s : worker->shards) {
+        for (Pending& pending : shards_[s].queue) {
+          leftover.push_back(std::move(pending));
+        }
+        shards_[s].queue.clear();
+        shards_[s].depth_gauge->Set(0.0);
+      }
+    }
+    for (Pending& pending : leftover) {
+      shed_total_[static_cast<size_t>(ShedReason::kShutdown)]->Increment();
+      RespondShed(&pending, ShedReason::kShutdown);
+    }
   }
 }
 
 size_t ServingFrontend::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  size_t total = 0;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    for (size_t s : worker->shards) total += shards_[s].queue.size();
+  }
+  return total;
+}
+
+size_t ServingFrontend::shard_queue_depth(size_t shard_index) const {
+  RVAR_CHECK(shard_index < shards_.size());
+  const Worker& worker = *workers_[shard_to_worker_[shard_index]];
+  std::lock_guard<std::mutex> lock(worker.mu);
+  return shards_[shard_index].queue.size();
 }
 
 BreakerState ServingFrontend::breaker_state() const {
   return breaker_.state();
 }
 
-void ServingFrontend::WorkerLoop() {
+void ServingFrontend::WorkerLoop(size_t worker_index) {
+  Worker& worker = *workers_[worker_index];
   std::vector<Pending> batch;
-  while (PopBatch(&batch)) {
-    ServeBatch(&batch);
+  size_t shard_index = 0;
+  while (PopBatch(&worker, &shard_index, &batch)) {
+    ServeBatch(shard_index, &batch);
     batch.clear();
   }
 }
 
-bool ServingFrontend::PopBatch(std::vector<Pending>* batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-  if (queue_.empty()) return false;  // stopping and drained
+bool ServingFrontend::PopBatch(Worker* worker, size_t* shard_index,
+                               std::vector<Pending>* batch) {
+  std::unique_lock<std::mutex> lock(worker->mu);
+  const auto any_work = [this, worker] {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    for (size_t s : worker->shards) {
+      if (!shards_[s].queue.empty()) return true;
+    }
+    return false;
+  };
+  worker->cv.wait(lock, any_work);
+
+  // Round-robin across owned shards so a hot shard cannot starve its
+  // siblings on a shared worker.
+  const size_t owned = worker->shards.size();
+  size_t picked = owned;
+  for (size_t i = 0; i < owned; ++i) {
+    const size_t candidate = worker->shards[(worker->cursor + i) % owned];
+    if (!shards_[candidate].queue.empty()) {
+      picked = (worker->cursor + i) % owned;
+      break;
+    }
+  }
+  if (picked == owned) return false;  // stopping and every queue drained
+  worker->cursor = (picked + 1) % owned;
+  const size_t s = worker->shards[picked];
+  ShardQueue& shard = shards_[s];
+
   const size_t max_batch = static_cast<size_t>(options_.max_batch);
-  if (!stop_ && options_.batch_linger.count() > 0 &&
-      queue_.size() < max_batch) {
+  if (!stop_.load(std::memory_order_relaxed) &&
+      options_.batch_linger.count() > 0 && shard.queue.size() < max_batch) {
     // Linger briefly so light traffic still amortizes inference; under
-    // overload the queue is already >= max_batch and this never waits.
+    // overload the shard queue is already >= max_batch and this never
+    // waits.
     const auto linger_until =
         std::chrono::steady_clock::now() + options_.batch_linger;
-    cv_.wait_until(lock, linger_until, [this, max_batch] {
-      return stop_ || queue_.size() >= max_batch;
+    worker->cv.wait_until(lock, linger_until, [this, &shard, max_batch] {
+      return stop_.load(std::memory_order_relaxed) ||
+             shard.queue.size() >= max_batch;
     });
   }
-  const size_t take = std::min(queue_.size(), max_batch);
+  const size_t take = std::min(shard.queue.size(), max_batch);
   batch->reserve(take);
   for (size_t i = 0; i < take; ++i) {
-    batch->push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    batch->push_back(std::move(shard.queue.front()));
+    shard.queue.pop_front();
   }
-  depth_gauge_->Set(static_cast<double>(queue_.size()));
-  if (stop_ && !queue_.empty()) cv_.notify_one();  // let peers drain too
+  shard.depth_gauge->Set(static_cast<double>(shard.queue.size()));
+  *shard_index = s;
   return true;
 }
 
-void ServingFrontend::ServeBatch(std::vector<Pending>* batch) {
+void ServingFrontend::ServeBatch(size_t shard_index,
+                                 std::vector<Pending>* batch) {
   obs::ScopedSpan span("serve/batch");
   batch_size_->Observe(static_cast<double>(batch->size()));
   const auto now = std::chrono::steady_clock::now();
@@ -204,11 +284,7 @@ void ServingFrontend::ServeBatch(std::vector<Pending>* batch) {
         std::chrono::duration<double>(now - pending.submitted).count());
   }
 
-  bool stopping;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping = stop_;
-  }
+  const bool stopping = stop_.load(std::memory_order_relaxed);
 
   // Deadline pass: expired (or shutdown-drained) requests are shed with a
   // labeled response — never served late, never silently dropped.
@@ -227,21 +303,30 @@ void ServingFrontend::ServeBatch(std::vector<Pending>* batch) {
   }
   if (live.empty()) return;
 
-  // Rung 1: the live model epoch published on the ShapeService (the slot
-  // the model lifecycle feeds). Unavailable or probe-failed epochs count
-  // as breaker failures so recovery goes through the half-open probe.
+  ShardQueue& shard = shards_[shard_index];
+
+  // Rung 1: this shard's replica of the live model epoch (the slot the
+  // model lifecycle feeds through ShapeService::SwapModel). Unavailable
+  // or probe-failed epochs count as breaker failures so recovery goes
+  // through the half-open probe.
   std::shared_ptr<const ml::GbdtClassifier> live_model =
-      service_->ModelSnapshot();
+      service_->ModelSnapshotForShard(shard_index);
   const bool healthy =
       predictor_ != nullptr && live_model != nullptr &&
       (options_.health_probe == nullptr || options_.health_probe());
+  std::vector<int> shapes;
+  std::vector<Status> run_status;
   if (healthy) {
     if (breaker_.AllowRequest(now)) {
-      if (TryServeWithModel(*live_model, &live,
-                            DegradationLevel::kFullModel)) {
+      if (PredictBatch(*live_model, live, &shapes, &run_status)) {
+        // Settle breaker state and the stale pin before resolving any
+        // promise: a client that sees its response must also see the
+        // breaker transition its request caused.
         breaker_.RecordSuccess();
-        std::lock_guard<std::mutex> lock(stale_mu_);
-        stale_ = std::move(live_model);
+        // Pin per shard; only this worker thread touches shard.stale.
+        shard.stale = std::move(live_model);
+        RespondModelBatch(&live, shapes, run_status,
+                          DegradationLevel::kFullModel);
         return;
       }
       breaker_.RecordFailure(now);
@@ -250,33 +335,34 @@ void ServingFrontend::ServeBatch(std::vector<Pending>* batch) {
     breaker_.RecordFailure(now);
   }
 
-  // Rung 2: the pinned last-known-good epoch.
-  std::shared_ptr<const ml::GbdtClassifier> stale;
-  {
-    std::lock_guard<std::mutex> lock(stale_mu_);
-    stale = stale_;
-  }
-  if (predictor_ != nullptr && stale != nullptr &&
-      TryServeWithModel(*stale, &live, DegradationLevel::kStaleModel)) {
+  // Rung 2: this shard's pinned last-known-good epoch.
+  if (predictor_ != nullptr && shard.stale != nullptr &&
+      PredictBatch(*shard.stale, live, &shapes, &run_status)) {
+    RespondModelBatch(&live, shapes, run_status,
+                      DegradationLevel::kStaleModel);
     return;
   }
 
-  // Rung 3: the tracker posterior (uniform prior for unknown groups).
+  // Rung 3: the tracker posterior (global-prior argmax for unknown groups).
   for (Pending& pending : live) RespondPrior(&pending);
 }
 
-bool ServingFrontend::TryServeWithModel(const ml::GbdtClassifier& model,
-                                        std::vector<Pending>* batch,
-                                        DegradationLevel level) {
+bool ServingFrontend::PredictBatch(const ml::GbdtClassifier& model,
+                                   const std::vector<Pending>& batch,
+                                   std::vector<int>* shapes,
+                                   std::vector<Status>* run_status) {
   std::vector<const sim::JobRun*> runs;
-  runs.reserve(batch->size());
-  for (const Pending& pending : *batch) runs.push_back(pending.request.run);
-  std::vector<int> shapes;
-  std::vector<Status> run_status;
-  if (!predictor_->PredictShapeBatchInto(model, runs, &shapes, &run_status)
-           .ok()) {
-    return false;  // batch-level incompatibility: next rung serves everyone
-  }
+  runs.reserve(batch.size());
+  for (const Pending& pending : batch) runs.push_back(pending.request.run);
+  // Batch-level incompatibility: false, the next rung serves everyone.
+  return predictor_->PredictShapeBatchInto(model, runs, shapes, run_status)
+      .ok();
+}
+
+void ServingFrontend::RespondModelBatch(std::vector<Pending>* batch,
+                                        const std::vector<int>& shapes,
+                                        const std::vector<Status>& run_status,
+                                        DegradationLevel level) {
   for (size_t i = 0; i < batch->size(); ++i) {
     Pending& pending = (*batch)[i];
     if (run_status[i].ok()) {
@@ -289,14 +375,17 @@ bool ServingFrontend::TryServeWithModel(const ml::GbdtClassifier& model,
       RespondPrior(&pending);
     }
   }
-  return true;
 }
 
 void ServingFrontend::RespondPrior(Pending* pending) {
   PredictResponse response;
-  // MostLikely is the posterior argmax; -1 for never-observed groups,
-  // where even the prior carries no information.
-  response.shape = service_->MostLikely(pending->request.run->group_id);
+  // MostLikely is the posterior argmax, but returns the -1 sentinel for
+  // never-observed groups. A sentinel must not flow out as if it were a
+  // shape: answer from the library's global-prior argmax instead, still
+  // labeled kPrior so the caller sees a degraded — but real — answer.
+  const int most_likely = service_->MostLikely(pending->request.run->group_id);
+  response.shape =
+      most_likely >= 0 ? most_likely : service_->GlobalPriorShape();
   response.level = DegradationLevel::kPrior;
   Respond(pending, response);
 }

@@ -32,9 +32,12 @@ const char* PriorityName(Priority priority);
 /// first. A sick or mid-swap model moves responses *down* the ladder;
 /// it never turns them into errors.
 enum class DegradationLevel : int {
-  kFullModel = 0,  ///< live classifier epoch (ShapeService model slot)
-  kStaleModel = 1, ///< pinned last-known-good epoch (breaker open)
-  kPrior = 2,      ///< tracker posterior / uniform prior, no model at all
+  kFullModel = 0,  ///< shard-local replica of the live classifier epoch
+  kStaleModel = 1, ///< shard's pinned last-known-good epoch (breaker open)
+  /// Tracker posterior, no model at all. Never-observed groups answer
+  /// with the library's global-prior argmax — the -1 sentinel MostLikely
+  /// returns for them is never emitted as data.
+  kPrior = 2,
 };
 inline constexpr int kNumDegradationLevels = 3;
 const char* DegradationLevelName(DegradationLevel level);
@@ -66,8 +69,9 @@ struct PredictRequest {
 struct PredictResponse {
   /// kNone when served; otherwise the request was shed and `shape` is -1.
   ShedReason shed = ShedReason::kNone;
-  /// Predicted (or degraded) shape; -1 when shed or when even the prior
-  /// has never seen the group.
+  /// Predicted (or degraded) shape. -1 only when shed: every served
+  /// response carries a real cluster index, falling back to the library's
+  /// global-prior argmax for groups nothing has ever observed.
   int shape = -1;
   /// Which ladder rung produced the answer; meaningful when served.
   DegradationLevel level = DegradationLevel::kFullModel;

@@ -2,7 +2,7 @@
 // concurrent with Observe/Posterior/MostLikely readers and writers. In a
 // plain build this asserts the service stays internally consistent (counts
 // never negative, posteriors always normalized, no crash); under
-// -DRVAR_SANITIZE=thread it is the data-race probe for the stripe locking
+// -DRVAR_SANITIZE=thread it is the data-race probe for the shard locking
 // on the mutating admin paths, which the original stress tests never
 // exercised concurrently.
 
@@ -65,7 +65,7 @@ TEST_F(ShapeServiceRaceTest, ForgetAndRestoreRaceObserveAndPosterior) {
   constexpr int kAdminRounds = 200;
 
   ShapeService::Options options;
-  options.num_stripes = 4;  // force cross-group stripe sharing
+  options.num_shards = 4;  // force cross-group shard sharing
   auto service = ShapeService::Make(library_, options);
   ASSERT_TRUE(service.ok());
 

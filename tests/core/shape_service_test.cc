@@ -3,7 +3,7 @@
 // equality against a serial tracker replay (per-group observation order
 // is deterministic when one thread owns the group); the contended-group
 // stress asserts observation accounting, and under -DRVAR_SANITIZE=thread
-// doubles as the data-race probe for the stripe locking.
+// doubles as the data-race probe for the shard locking.
 
 #include "core/shape_service.h"
 
@@ -24,6 +24,7 @@
 #include "core/shape_library.h"
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
+#include "obs/metrics.h"
 
 namespace rvar {
 namespace core {
@@ -113,12 +114,12 @@ TEST_F(ShapeServiceTest, MakeRejectsBadArguments) {
               std::string::npos)
         << service.status().ToString();
   }
-  for (int stripes : {0, -4}) {
+  for (int shards : {0, -4}) {
     ShapeService::Options bad;
-    bad.num_stripes = stripes;
+    bad.num_shards = shards;
     auto service = ShapeService::Make(library_, bad);
-    ASSERT_FALSE(service.ok()) << "num_stripes=" << stripes;
-    EXPECT_NE(service.status().message().find("options.num_stripes"),
+    ASSERT_FALSE(service.ok()) << "num_shards=" << shards;
+    EXPECT_NE(service.status().message().find("options.num_shards"),
               std::string::npos)
         << service.status().ToString();
   }
@@ -142,6 +143,55 @@ TEST_F(ShapeServiceTest, ObserveRejectsNonFiniteRuntimes) {
   // Rejected samples touch neither the counts nor the posterior.
   EXPECT_EQ((*service)->GroupCount(5), 1);
   EXPECT_EQ((*service)->TotalObservations(), 1);
+}
+
+// Regression (PR 8 satellite): a negative group id used to be able to
+// grow a tracker whose exported snapshot RestoreState (ids >= 0) then
+// refused to load — a legitimately exported checkpoint failing to
+// restore. Negative ids must be refused at Observe, counted in
+// shape_service_observe_rejected, and the export must round-trip.
+TEST_F(ShapeServiceTest, NegativeGroupIdsAreRejectedCountedAndRestorable) {
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  obs::Counter* rejected =
+      obs::Registry::Default().GetCounter("shape_service_observe_rejected");
+  const int64_t rejected_before = rejected->Value();
+
+  ASSERT_TRUE((*service)->Observe(11, 1.0).ok());
+  for (int bad_gid : {-1, -7, std::numeric_limits<int>::min()}) {
+    const Status status = (*service)->Observe(bad_gid, 1.0);
+    ASSERT_FALSE(status.ok()) << "group_id=" << bad_gid;
+    EXPECT_NE(status.message().find("group_id"), std::string::npos)
+        << status.ToString();
+  }
+  // Counted, and no tracker was created for any rejected id.
+  EXPECT_EQ(rejected->Value(), rejected_before + 3);
+  EXPECT_EQ((*service)->NumGroups(), 1u);
+  EXPECT_EQ((*service)->TotalObservations(), 1);
+
+  // The round trip the bug used to break: everything Observe accepted
+  // exports, and the export restores cleanly.
+  const std::vector<ShapeService::GroupState> states =
+      (*service)->ExportState();
+  ASSERT_EQ(states.size(), 1u);
+  auto restored = ShapeService::Make(library_);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->RestoreState(states).ok());
+  EXPECT_EQ((*restored)->GroupCount(11), 1);
+  EXPECT_EQ((*restored)->Posterior(11), (*service)->Posterior(11));
+}
+
+TEST_F(ShapeServiceTest, GlobalPriorShapeIsAValidCluster) {
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  const int prior = (*service)->GlobalPriorShape();
+  ASSERT_GE(prior, 0);
+  ASSERT_LT(prior, library_->num_clusters());
+  // The argmax of pooled reference mass: no cluster holds more samples.
+  for (int k = 0; k < library_->num_clusters(); ++k) {
+    EXPECT_LE(library_->stats(k).num_samples,
+              library_->stats(prior).num_samples);
+  }
 }
 
 TEST_F(ShapeServiceTest, UnknownGroupsAnswerFromUniformPrior) {
@@ -187,7 +237,7 @@ TEST_F(ShapeServiceTest, ConcurrentDisjointGroupsMatchSerialReplay) {
   constexpr int kObsPerGroup = 30;
   ShapeService::Options options;
   options.decay = 0.95;
-  options.num_stripes = 4;  // force stripe sharing across groups
+  options.num_shards = 4;  // force shard sharing across groups
   auto service = ShapeService::Make(library_, options);
   ASSERT_TRUE(service.ok());
 
@@ -239,7 +289,7 @@ TEST_F(ShapeServiceTest, ContendedGroupCountsEveryObservation) {
         const double x = rng.Bernoulli(0.4) ? rng.Normal(3.0, 0.1)
                                             : rng.Normal(1.0, 0.05);
         ASSERT_TRUE((*service)->Observe(kGroup, x).ok());
-        // Interleave reads with the writes to stress the stripe lock.
+        // Interleave reads with the writes to stress the shard lock.
         if (i % 100 == 0) (*service)->Posterior(kGroup);
       }
     });

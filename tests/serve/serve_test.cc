@@ -332,7 +332,11 @@ TEST_F(FrontendTest, DegradationLadderFallsInExactOrder) {
   EXPECT_EQ((*frontend)->breaker_state(), BreakerState::kClosed);
 }
 
-TEST_F(FrontendTest, PriorOnlyFrontendAnswersUnknownGroupsWithMinusOne) {
+// Regression (PR 8 satellite): the prior rung used to emit MostLikely's
+// -1 sentinel for never-observed groups as if it were a shape. A served
+// response must always carry a real cluster — the library's global-prior
+// argmax — and stay labeled kPrior (degraded), never -1-as-data.
+TEST_F(FrontendTest, PriorRungAnswersUnknownGroupsWithGlobalPrior) {
   auto service = MakeService(false);
   auto frontend =
       ServingFrontend::Make(service.get(), /*predictor=*/nullptr,
@@ -340,11 +344,95 @@ TEST_F(FrontendTest, PriorOnlyFrontendAnswersUnknownGroupsWithMinusOne) {
   ASSERT_TRUE(frontend.ok());
   sim::JobRun unknown = SomeRun();
   unknown.group_id = 999999;
+  ASSERT_EQ(service->MostLikely(unknown.group_id), -1);  // the sentinel
   const PredictResponse response = (*frontend)->Predict(
       unknown, Priority::kStandard, std::chrono::seconds(10));
   ASSERT_TRUE(response.served());
   EXPECT_EQ(response.level, DegradationLevel::kPrior);
-  EXPECT_EQ(response.shape, -1);
+  EXPECT_EQ(response.shape, service->GlobalPriorShape());
+  EXPECT_GE(response.shape, 0);
+  EXPECT_LT(response.shape, predictor_->shapes().num_clusters());
+}
+
+TEST(AdmissionTest, ShardSliceDividesTheBudgetAndStaysValid) {
+  AdmissionOptions options;
+  options.bucket.rate_per_second = 1000.0;
+  options.bucket.burst = 40.0;
+  options.queue_capacity = 100;
+  options.best_effort_watermark = 25;
+  options.standard_watermark = 75;
+
+  // One shard: the slice is the original budget.
+  AdmissionOptions whole = options.ShardSlice(1);
+  EXPECT_EQ(whole.queue_capacity, options.queue_capacity);
+  EXPECT_EQ(whole.standard_watermark, options.standard_watermark);
+  EXPECT_DOUBLE_EQ(whole.bucket.rate_per_second,
+                   options.bucket.rate_per_second);
+
+  AdmissionOptions quarter = options.ShardSlice(4);
+  EXPECT_TRUE(AdmissionController::ValidateOptions(quarter).ok());
+  EXPECT_EQ(quarter.queue_capacity, 25u);
+  EXPECT_EQ(quarter.best_effort_watermark, 7u);
+  EXPECT_EQ(quarter.standard_watermark, 19u);
+  EXPECT_DOUBLE_EQ(quarter.bucket.rate_per_second, 250.0);
+  EXPECT_DOUBLE_EQ(quarter.bucket.burst, 10.0);
+
+  // Degenerate budgets still slice into something valid: capacity never
+  // reaches 0, burst never drops below one token, a 0 watermark stays 0.
+  AdmissionOptions tiny;
+  tiny.queue_capacity = 1;
+  tiny.best_effort_watermark = 0;
+  tiny.standard_watermark = 1;
+  tiny.bucket.burst = 1.0;
+  AdmissionOptions sliced = tiny.ShardSlice(16);
+  EXPECT_TRUE(AdmissionController::ValidateOptions(sliced).ok());
+  EXPECT_EQ(sliced.queue_capacity, 1u);
+  EXPECT_EQ(sliced.best_effort_watermark, 0u);
+  EXPECT_DOUBLE_EQ(sliced.bucket.burst, 1.0);
+}
+
+// Per-shard routing: a multi-shard service behind a multi-worker
+// front-end must answer exactly what the predictor answers for runs
+// landing on every shard, and the depth surfaces must agree.
+TEST_F(FrontendTest, ShardRoutedQueuesServeEveryShardCorrectly) {
+  core::ShapeService::Options sopts;
+  sopts.num_shards = 8;
+  auto service = core::ShapeService::Make(&predictor_->shapes(), sopts);
+  ASSERT_TRUE(service.ok());
+  (*service)->SwapModel(predictor_->ModelSnapshot());
+
+  FrontendOptions fopts = FastOptions();
+  fopts.num_workers = 3;  // shards split unevenly across workers
+  auto frontend =
+      ServingFrontend::Make(service->get(), predictor_, fopts);
+  ASSERT_TRUE(frontend.ok());
+  EXPECT_EQ((*frontend)->num_shards(), 8u);
+
+  const auto& runs = suite_->d3.telemetry.runs();
+  std::vector<bool> shard_seen(8, false);
+  size_t served = 0;
+  for (size_t i = 0; i < runs.size() && served < 64; ++i) {
+    const sim::JobRun& run = runs[i];
+    shard_seen[(*service)->ShardIndexFor(run.group_id)] = true;
+    const PredictResponse response = (*frontend)->Predict(
+        run, Priority::kStandard, std::chrono::seconds(10));
+    ASSERT_TRUE(response.served()) << ShedReasonName(response.shed);
+    EXPECT_EQ(response.level, DegradationLevel::kFullModel);
+    auto direct = predictor_->PredictShape(run);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(response.shape, *direct) << "run " << i;
+    ++served;
+  }
+  // The traffic genuinely spread over multiple shards (the group hash
+  // would have to be pathological to pin 40 groups onto one shard).
+  int hit = 0;
+  for (bool seen : shard_seen) hit += seen ? 1 : 0;
+  EXPECT_GT(hit, 1);
+
+  EXPECT_EQ((*frontend)->queue_depth(), 0u);
+  for (size_t s = 0; s < (*frontend)->num_shards(); ++s) {
+    EXPECT_EQ((*frontend)->shard_queue_depth(s), 0u);
+  }
 }
 
 TEST_F(FrontendTest, ExpiredDeadlineIsShedNotServedLate) {
