@@ -16,6 +16,7 @@
 #include <string_view>
 
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "core/assigner.h"
 #include "core/model_lifecycle.h"
 #include "core/shape_library.h"
@@ -27,6 +28,7 @@
 #include "ml/gbdt.h"
 #include "ml/kmeans.h"
 #include "ml/shap.h"
+#include "ml/simd_kernels.h"
 #include "sim/scheduler.h"
 #include "stats/histogram.h"
 
@@ -583,18 +585,76 @@ void WriteBenchKernelsJson() {
 // Training is timed at 1 and 4 configured threads over the same workload
 // as the BENCH_parallel.json sweep, so the two reports stay comparable;
 // the batch-predict kernel reuses one scratch buffer across all rows the
-// way the serving paths (PredictShapeBatch, what-if) do.
+// way the serving paths (PredictShapeBatch, what-if) do. The SIMD-sensitive
+// kernels (histogram accumulate, single-thread training, flattened batch
+// traversal) are additionally timed with the dispatch pinned to the scalar
+// row: the *_scalar entries keep the reference path gated against
+// regression, and the simd/scalar pair makes the vectorization win visible
+// in the CI table (baseline.json pins the SIMD-sensitive baselines to
+// scalar timings, so the SIMD build reads as an improvement, never a
+// regression, on any runner generation).
 void WriteBenchGbdtJson() {
   const ml::Dataset train_data = MakeTabular(4000, 30, 3, 11);
   const ml::Dataset predict_data = MakeTabular(3000, 30, 3, 35);
   ml::GbdtClassifier predict_model({.num_rounds = 30});
   benchmark::DoNotOptimize(predict_model.Fit(predict_data).ok());
+  const SimdLevel active_level = ActiveSimdLevel();
+
+  // Histogram accumulate, straight off the dispatch table: dense-node
+  // regime (node rows >> bins), the exact call BuildHistogram makes. The
+  // node is sized like a real training node (a few thousand rows) so the
+  // gh pairs and the lane scratch stay cache-resident — a node streamed
+  // from DRAM would time the memory bus, not the kernel.
+  constexpr size_t kHistRows = 4096;
+  constexpr size_t kHistBins = 64;
+  Rng hist_rng(39);
+  std::vector<size_t> hist_idx(kHistRows);
+  std::iota(hist_idx.begin(), hist_idx.end(), size_t{0});
+  std::vector<uint8_t> hist_col(kHistRows);
+  for (uint8_t& b : hist_col) {
+    b = static_cast<uint8_t>(
+        hist_rng.UniformInt(0, static_cast<int64_t>(kHistBins) - 1));
+  }
+  std::vector<double> hist_gh(2 * kHistRows);
+  for (double& v : hist_gh) v = hist_rng.Normal(0.0, 1.0);
+  std::vector<double> hist_region(ml::kHistCellStride * kHistBins);
+  std::vector<double> hist_scratch(ml::HistScratchDoubles(kHistBins));
+  const auto time_hist = [&](const ml::SimdKernels& kern) {
+    return BestSecondsOf([&] {
+      for (int r = 0; r < 2000; ++r) {
+        kern.hist_accumulate(hist_idx.data(), kHistRows, hist_col.data(),
+                             hist_gh.data(), kHistBins, hist_region.data(),
+                             hist_scratch.data());
+        benchmark::DoNotOptimize(hist_region.data());
+      }
+    });
+  };
+  const double hist_simd = time_hist(ml::ActiveSimdKernels());
+  const double hist_scalar =
+      time_hist(ml::kSimdKernels[static_cast<int>(SimdLevel::kScalar)]);
 
   SetParallelThreads(1);
   const double train_1t = BestSecondsOf([&] {
     ml::GbdtClassifier model({.num_rounds = 10});
     benchmark::DoNotOptimize(model.Fit(train_data).ok());
   });
+  const auto time_forest = [&] {
+    return BestSecondsOf([&] {
+      std::vector<double> proba;
+      for (int r = 0; r < 8; ++r) {
+        predict_model.PredictProbaBatchInto(predict_data.x, &proba);
+        benchmark::DoNotOptimize(proba.data());
+      }
+    });
+  };
+  const double forest_1t = time_forest();
+  SetSimdLevel(SimdLevel::kScalar);
+  const double train_1t_scalar = BestSecondsOf([&] {
+    ml::GbdtClassifier model({.num_rounds = 10});
+    benchmark::DoNotOptimize(model.Fit(train_data).ok());
+  });
+  const double forest_1t_scalar = time_forest();
+  SetSimdLevel(active_level);
   SetParallelThreads(4);
   const double train_4t = BestSecondsOf([&] {
     ml::GbdtClassifier model({.num_rounds = 10});
@@ -617,12 +677,20 @@ void WriteBenchGbdtJson() {
   std::fprintf(out,
                "{\n"
                "  \"calibration_seconds\": %.6f,\n"
+               "  \"simd_level\": \"%s\",\n"
                "  \"kernels\": {\n"
                "    \"gbdt_train_1t\": %.6f,\n"
+               "    \"gbdt_train_1t_scalar\": %.6f,\n"
                "    \"gbdt_train_4t\": %.6f,\n"
-               "    \"gbdt_predict_batch\": %.6f\n"
+               "    \"gbdt_predict_batch\": %.6f,\n"
+               "    \"gbdt_hist_accumulate\": %.6f,\n"
+               "    \"gbdt_hist_accumulate_scalar\": %.6f,\n"
+               "    \"flatforest_predict_1t\": %.6f,\n"
+               "    \"flatforest_predict_1t_scalar\": %.6f\n"
                "  }\n}\n",
-               calibration, train_1t, train_4t, predict_batch);
+               calibration, SimdLevelName(active_level), train_1t,
+               train_1t_scalar, train_4t, predict_batch, hist_simd,
+               hist_scalar, forest_1t, forest_1t_scalar);
   std::fclose(out);
   std::printf("gbdt engine summary written to BENCH_gbdt.json\n");
 }

@@ -1,0 +1,62 @@
+// Trains a small GBDT on a fixed synthetic dataset and writes the
+// serialized model bytes to a file. CI's simd-equivalence job runs this
+// binary from builds with RVAR_SIMD on and off (and under forced
+// RVAR_SIMD_LEVEL values) and byte-compares the outputs: the dispatch
+// table's bit-identity contract (DESIGN.md §14) means every level must
+// produce the same trees, and therefore the same file.
+//
+// The run is fully deterministic: fixed RNG seed, single thread, and no
+// time- or environment-dependent inputs besides the SIMD level itself —
+// which is exactly the variable under test.
+//
+// Usage:  ./build/examples/model_fingerprint [output-path]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "io/serialize.h"
+#include "ml/gbdt.h"
+
+using namespace rvar;
+
+namespace {
+
+ml::Dataset MakeTabular(int rows, int features, int classes, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset d;
+  for (int i = 0; i < rows; ++i) {
+    std::vector<double> row(static_cast<size_t>(features));
+    for (double& v : row) v = rng.Normal(0.0, 1.0);
+    const double score = row[0] + 0.5 * row[1];
+    d.y.push_back(score > 0.5 ? 2 : (score > -0.5 ? 1 : 0) % classes);
+    d.x.push_back(std::move(row));
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = argc > 1 ? argv[1] : "model_fingerprint.bin";
+  SetParallelThreads(1);
+
+  const ml::Dataset train = MakeTabular(2000, 20, 3, 29);
+  ml::GbdtClassifier model({.num_rounds = 20});
+  if (const Status s = model.Fit(train); !s.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::string bytes = io::EncodeGbdtClassifier(model);
+  if (const Status s = io::SaveGbdtClassifier(model, path); !s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("simd_level=%s bytes=%zu path=%s\n",
+              SimdLevelName(ActiveSimdLevel()), bytes.size(), path);
+  return 0;
+}

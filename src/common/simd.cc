@@ -1,0 +1,90 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/strings.h"
+
+namespace rvar {
+namespace {
+
+SimdLevel Clamp(SimdLevel level) {
+  return level > MaxSupportedSimdLevel() ? MaxSupportedSimdLevel() : level;
+}
+
+// -1 = not yet resolved; otherwise a SimdLevel value. Plain int so the
+// atomic stays lock-free everywhere.
+std::atomic<int> g_active_level{-1};
+
+SimdLevel ResolveFromEnvironment() {
+  const char* env = std::getenv("RVAR_SIMD_LEVEL");
+  if (env == nullptr || *env == '\0') return MaxSupportedSimdLevel();
+  const Result<SimdLevel> parsed = ParseSimdLevel(env);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "rvar: ignoring RVAR_SIMD_LEVEL: %s\n",
+                 parsed.status().message().c_str());
+    return MaxSupportedSimdLevel();
+  }
+  return Clamp(*parsed);
+}
+
+}  // namespace
+
+SimdLevel MaxSupportedSimdLevel() {
+#if defined(RVAR_SIMD_X86)
+  static const SimdLevel max = [] {
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+    if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSse42;
+    return SimdLevel::kScalar;
+  }();
+  return max;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_active_level.load(std::memory_order_acquire);
+  if (level < 0) {
+    level = static_cast<int>(ResolveFromEnvironment());
+    // First resolver wins; a concurrent SetSimdLevel is kept instead.
+    int expected = -1;
+    if (!g_active_level.compare_exchange_strong(expected, level,
+                                                std::memory_order_acq_rel)) {
+      level = expected;
+    }
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+SimdLevel SetSimdLevel(SimdLevel level) {
+  const SimdLevel effective = Clamp(level);
+  g_active_level.store(static_cast<int>(effective),
+                       std::memory_order_release);
+  return effective;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse42";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+Result<SimdLevel> ParseSimdLevel(const std::string& name) {
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "sse42") return SimdLevel::kSse42;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  return Status::InvalidArgument(
+      StrCat("unknown SIMD level \"", name,
+             "\" (expected scalar, sse42 or avx2)"));
+}
+
+}  // namespace rvar

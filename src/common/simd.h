@@ -1,0 +1,56 @@
+// Copyright 2026 The rvar Authors.
+//
+// Runtime SIMD level selection (DESIGN.md §14). The build compiles every
+// vector kernel next to its reference scalar implementation and picks
+// between them through a dispatch table indexed by the level returned
+// here — the table is data, not preprocessor soup, so the scalar path is
+// always present, always tested, and is what sanitizer and non-x86 builds
+// run.
+//
+// The level is resolved once, lazily, from (in priority order) the
+// RVAR_SIMD_LEVEL environment variable ("scalar", "sse42" or "avx2",
+// clamped to what the CPU supports) and otherwise cpuid. Tests and
+// benchmarks may override it with SetSimdLevel; kernels dispatched at
+// different levels are required to produce bit-identical results, so the
+// override can never change any model or prediction — only the speed.
+
+#ifndef RVAR_COMMON_SIMD_H_
+#define RVAR_COMMON_SIMD_H_
+
+#include "common/result.h"
+
+namespace rvar {
+
+/// Instruction-set tiers the dispatch tables are indexed by. Values are
+/// ordered: a CPU supporting level L supports every level below it.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+};
+
+inline constexpr int kNumSimdLevels = 3;
+
+/// Highest level this binary can run on this machine: cpuid-probed when
+/// built with RVAR_SIMD on x86-64, kScalar otherwise. Never changes.
+SimdLevel MaxSupportedSimdLevel();
+
+/// The level dispatch tables use. Resolved once on first call: the
+/// RVAR_SIMD_LEVEL environment variable if set and valid (clamped to
+/// MaxSupportedSimdLevel), else MaxSupportedSimdLevel().
+SimdLevel ActiveSimdLevel();
+
+/// Overrides the active level (clamped to MaxSupportedSimdLevel) and
+/// returns the level actually in effect. For tests and benchmarks that
+/// compare dispatch paths; not thread-safe against concurrent kernels.
+SimdLevel SetSimdLevel(SimdLevel level);
+
+/// "scalar", "sse42" or "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a SimdLevelName string (the RVAR_SIMD_LEVEL syntax).
+Result<SimdLevel> ParseSimdLevel(const std::string& name);
+
+}  // namespace rvar
+
+#endif  // RVAR_COMMON_SIMD_H_

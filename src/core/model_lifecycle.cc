@@ -21,33 +21,38 @@ namespace {
 double MeanLogloss(const ml::GbdtClassifier& model, const ml::Dataset& d) {
   const size_t kc = static_cast<size_t>(model.num_classes());
   std::vector<double> proba;
+  model.PredictProbaBatchInto(d.x, &proba);
   double sum = 0.0;
   for (size_t i = 0; i < d.NumRows(); ++i) {
-    model.PredictProbaInto(d.x[i], &proba);
     const size_t label = static_cast<size_t>(d.y[i]);
-    const double p = label < kc ? std::max(proba[label], 1e-12) : 1e-12;
+    const double p =
+        label < kc ? std::max(proba[i * kc + label], 1e-12) : 1e-12;
     sum -= std::log(p);
   }
   return sum / static_cast<double>(d.NumRows());
 }
 
-int Argmax(const std::vector<double>& p) {
+int Argmax(const double* p, size_t kc) {
   int best = 0;
-  for (size_t k = 1; k < p.size(); ++k) {
+  for (size_t k = 1; k < kc; ++k) {
     if (p[k] > p[static_cast<size_t>(best)]) best = static_cast<int>(k);
   }
   return best;
 }
 
-/// Fraction of rows where both models pick the same shape.
+/// Fraction of rows where both models pick the same shape. The two
+/// models may disagree on class count (across generations), so each
+/// argmax runs over its own stride.
 double ShapeAgreement(const ml::GbdtClassifier& a, const ml::GbdtClassifier& b,
                       const ml::Dataset& d) {
+  const size_t ka = static_cast<size_t>(a.num_classes());
+  const size_t kb = static_cast<size_t>(b.num_classes());
   std::vector<double> pa, pb;
+  a.PredictProbaBatchInto(d.x, &pa);
+  b.PredictProbaBatchInto(d.x, &pb);
   size_t hits = 0;
   for (size_t i = 0; i < d.NumRows(); ++i) {
-    a.PredictProbaInto(d.x[i], &pa);
-    b.PredictProbaInto(d.x[i], &pb);
-    hits += (Argmax(pa) == Argmax(pb));
+    hits += (Argmax(pa.data() + i * ka, ka) == Argmax(pb.data() + i * kb, kb));
   }
   return static_cast<double>(hits) / static_cast<double>(d.NumRows());
 }

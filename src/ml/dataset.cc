@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "ml/simd_kernels.h"
 
 namespace rvar {
 namespace ml {
@@ -154,32 +155,40 @@ std::vector<std::vector<uint8_t>> FeatureBinner::BinColumns(
     const Dataset& d) const {
   RVAR_CHECK_EQ(d.NumFeatures(), edges_.size());
   const size_t rows = d.NumRows();
-  std::vector<std::vector<uint8_t>> cols(edges_.size());
-  for (size_t f = 0; f < edges_.size(); ++f) cols[f].resize(rows);
-  // Row-outer iteration visits each dataset row once while it is cache
-  // resident; the inner search is the same lower_bound index Bin(f, v)
-  // computes, written as a branch-free halving loop (each step is a
-  // conditional move, not an unpredictable branch). This is the training
-  // hot path: every row x feature is binned once per Fit.
-  for (size_t i = 0; i < rows; ++i) {
-    const std::vector<double>& x = d.x[i];
-    for (size_t f = 0; f < edges_.size(); ++f) {
+  const size_t nf = edges_.size();
+  std::vector<std::vector<uint8_t>> cols(nf);
+  for (size_t f = 0; f < nf; ++f) cols[f].resize(rows);
+  if (rows == 0 || nf == 0) return cols;
+  // Blocks of rows are transposed into one contiguous buffer per feature
+  // (each row is read once while cache resident), then each feature's
+  // values run through the dispatched lower_bound kernel — the same
+  // branch-free halving search Bin(f, v) resolves to, four values in
+  // flight on AVX2. Any dispatch row computes the exact lower_bound
+  // index (comparisons are exact predicates), so the SIMD level can
+  // never change a bin. This is the training hot path: every
+  // row x feature is binned once per Fit.
+  const ml::SimdKernels& kern = ml::ActiveSimdKernels();
+  constexpr size_t kRowBlock = 128;
+  std::vector<double> transposed(kRowBlock * nf);
+  for (size_t row0 = 0; row0 < rows; row0 += kRowBlock) {
+    const size_t bn = std::min(kRowBlock, rows - row0);
+    for (size_t i = 0; i < bn; ++i) {
+      const std::vector<double>& x = d.x[row0 + i];
+      for (size_t f = 0; f < nf; ++f) {
+        transposed[f * kRowBlock + i] = x[f];
+      }
+    }
+    for (size_t f = 0; f < nf; ++f) {
       const std::vector<double>& e = edges_[f];
-      const size_t ne = e.size();
-      if (ne == 0) {
-        cols[f][i] = 0;
+      if (e.empty()) {
+        std::fill(cols[f].begin() + static_cast<ptrdiff_t>(row0),
+                  cols[f].begin() + static_cast<ptrdiff_t>(row0 + bn),
+                  uint8_t{0});
         continue;
       }
-      const double v = x[f];
-      const double* base = e.data();
-      size_t len = ne;
-      while (len > 1) {
-        const size_t half = len / 2;
-        if (base[half - 1] < v) base += half;
-        len -= half;
-      }
-      cols[f][i] = static_cast<uint8_t>((base - e.data()) +
-                                        static_cast<size_t>(base[0] < v));
+      kern.lower_bound_u8(e.data(), e.size(),
+                          transposed.data() + f * kRowBlock, bn,
+                          cols[f].data() + row0);
     }
   }
   return cols;

@@ -12,6 +12,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "common/strings.h"
+#include "ml/simd_kernels.h"
 
 namespace rvar {
 namespace ml {
@@ -53,6 +54,23 @@ struct LeafCandidate {
 // of building both children. Which child is built directly depends only on
 // the partition sizes, and every row scan walks idx_ in index order, so
 // the result is bit-identical at any thread count.
+
+// Reusable cross-tree training workspace: the histogram pool (buffers,
+// occupancy masks, free list) and the interleaved (grad, hess) pairs.
+// One Fit trains num_rounds * K trees over the same binned layout, so the
+// multi-hundred-KB pool buffers allocated (and zeroed) for the first tree
+// are recycled by every later one instead of being reallocated per tree —
+// which would otherwise dominate single-thread training with page-fault
+// memsets. The pool invariant (cells outside a buffer's mask are exactly
+// zero) survives Release/Acquire across trees because a buffer keeps its
+// last occupant's mask until the next occupant clears through it.
+struct GbdtWorkspace {
+  std::vector<std::vector<double>> pool;
+  std::vector<std::vector<uint64_t>> pool_mask;
+  std::vector<size_t> free_list;
+  std::vector<double> gh;
+};
+
 class GbdtTreeBuilder {
  public:
   struct BuiltTree {
@@ -69,16 +87,19 @@ class GbdtTreeBuilder {
                   const std::vector<double>& grad,
                   const std::vector<double>& hess,
                   const std::vector<uint8_t>& feature_mask,
-                  std::vector<double>* importance)
+                  std::vector<double>* importance, GbdtWorkspace* ws)
       : data_(data),
         config_(config),
         grad_(grad),
         hess_(hess),
         feature_mask_(feature_mask),
-        importance_(importance) {
-    // Histogram layout: feature f's bins start at 3 * offset_[f], with the
-    // (grad, hess, count) triple of bin b interleaved at 3 * b — one cache
-    // line per sample update instead of three plane-strided ones.
+        importance_(importance),
+        ws_(*ws) {
+    // Histogram layout: feature f's bins start at kHistCellStride *
+    // offset_[f], with bin b's (grad, hess, count, pad) quad interleaved
+    // at kHistCellStride * b — one cache line per sample update, and a
+    // cell is exactly one 256-bit lane so the dispatched accumulation
+    // kernel updates it with a single vector add (simd_kernels.h).
     const size_t nf = data_.columns.size();
     offset_.resize(nf);
     size_t total = 0;
@@ -90,7 +111,16 @@ class GbdtTreeBuilder {
       max_bins = std::max(max_bins, nb);
     }
     total_bins_ = total;
+    max_bins_ = max_bins;
     mask_stride_ = (max_bins + 63) / 64;
+    // Interleaved (grad, hess) pairs: the accumulation kernels read one
+    // sample's pair as a single 128-bit load. Resize is a no-op after the
+    // workspace's first tree; every entry is overwritten.
+    ws_.gh.resize(2 * grad.size());
+    for (size_t r = 0; r < grad.size(); ++r) {
+      ws_.gh[2 * r] = grad[r];
+      ws_.gh[2 * r + 1] = hess[r];
+    }
   }
 
   BuiltTree Build(std::vector<size_t> sample_idx) {
@@ -191,6 +221,13 @@ class GbdtTreeBuilder {
       PushOrRelease(&heap, lc);
       PushOrRelease(&heap, rc);
     }
+    // Candidates still queued when growth stops (leaf cap, gain cutoff)
+    // hold pooled buffers; return them so the next tree's builder finds
+    // the whole pool on the shared workspace's free list.
+    while (!heap.empty()) {
+      ReleaseHist(heap.top().hist);
+      heap.pop();
+    }
     BuiltTree out;
     out.tree = std::move(tree_);
     out.split_bin = std::move(split_bin_);
@@ -249,20 +286,23 @@ class GbdtTreeBuilder {
   }
 
   size_t AcquireHist() {
-    if (!free_.empty()) {
-      const size_t h = free_.back();
-      free_.pop_back();
+    if (!ws_.free_list.empty()) {
+      const size_t h = ws_.free_list.back();
+      ws_.free_list.pop_back();
       return h;
     }
     // Fresh buffers are all-zero with an empty mask, which satisfies the
-    // occupancy invariant (cells outside the mask are exactly zero).
-    pool_.emplace_back(3 * total_bins_);
-    pool_mask_.emplace_back(data_.columns.size() * mask_stride_, 0);
-    return pool_.size() - 1;
+    // occupancy invariant (cells outside the mask are exactly zero). One
+    // spare cell block pads the row so the split scan's 4-bin vector
+    // loads may run up to three cells past the last feature's region;
+    // the pad is never written and its lanes are gated out before use.
+    ws_.pool.emplace_back(kHistCellStride * (total_bins_ + 4));
+    ws_.pool_mask.emplace_back(data_.columns.size() * mask_stride_, 0);
+    return ws_.pool.size() - 1;
   }
 
   void ReleaseHist(size_t h) {
-    if (h != kNoHist) free_.push_back(h);
+    if (h != kNoHist) ws_.free_list.push_back(h);
   }
 
   // Fan-out policy: a pool dispatch costs tens of microseconds, so a chunk
@@ -295,25 +335,64 @@ class GbdtTreeBuilder {
   // pool buffer h. Features are independent, so the build fans out over
   // deterministic feature chunks (each feature's region is written by
   // exactly one chunk, so any grouping yields identical contents); within
-  // a feature, rows are accumulated in index order, so the contents never
-  // depend on the thread count.
+  // a feature, the accumulation semantics are fixed per regime (below), so
+  // the contents never depend on the thread count or the SIMD level.
   //
   // Every pool buffer carries a per-feature occupancy bitmask upholding
-  // one invariant: cells outside the mask are exactly zero. Recycled
-  // buffers are therefore cleared by walking the previous occupant's set
-  // bits instead of zero-filling whole regions, and downstream work
-  // (subtraction, split scans) touches only occupied bins — the cost of a
-  // node scales with how many bins its rows actually hit, not with the
-  // full bin layout.
+  // one invariant: cells outside the mask are exactly zero (pad cells are
+  // zero everywhere). Recycled buffers are therefore cleared by walking
+  // the previous occupant's set bits instead of zero-filling whole
+  // regions, and downstream work (subtraction, split scans) touches only
+  // occupied bins — the cost of a node scales with how many bins its rows
+  // actually hit, not with the full bin layout.
+  //
+  // Two accumulation regimes, chosen purely by (node size, bin count):
+  //  - Dense (rows >= 8 * nb): the dispatched lane-partial kernel
+  //    (simd_kernels.h) overwrites the whole region — no clearing needed —
+  //    and the mask is set full-range (a valid superset, nearly exact for
+  //    dense nodes). The kernel's four-lane fixed-order reduction is the
+  //    *defined* semantics; the scalar dispatch row implements the same
+  //    lanes, so every level produces the same bits.
+  //  - Sparse: the dispatched masked kernel accumulates sequentially in
+  //    index order with exact per-sample mask bits — the same updates, in
+  //    the same order, at every level.
   void BuildHistogram(size_t begin, size_t end, size_t h) {
-    std::vector<double>& buf = pool_[h];
-    std::vector<uint64_t>& mask = pool_mask_[h];
+    std::vector<double>& buf = ws_.pool[h];
+    std::vector<uint64_t>& mask = ws_.pool_mask[h];
+    const SimdKernels& kern = ActiveSimdKernels();
     ParallelFor(data_.columns.size(), BuildGrain(end - begin),
                 [&](size_t fbegin, size_t fend) {
+      // Lane scratch for the dense kernel, per chunk (chunks may run on
+      // different threads); sized once for the widest feature.
+      std::vector<double> scratch;
       for (size_t f = fbegin; f < fend; ++f) {
         const size_t nb = static_cast<size_t>(data_.binner->NumBins(f));
-        double* region = buf.data() + 3 * offset_[f];
+        double* region = buf.data() + kHistCellStride * offset_[f];
         uint64_t* m = mask.data() + f * mask_stride_;
+        const bool active = feature_mask_[f] && nb >= 2;
+        // The lane kernel pays a full scratch clear plus a full-region
+        // reduce (8 * nb cells of traffic) regardless of node size, so it
+        // must be amortized over well more rows than bins; below that the
+        // masked sequential kernel touches only the cells the rows hit.
+        if (active && end - begin >= 8 * nb) {
+          // Dense node: nearly every bin gets hit, so a full-range mask
+          // is as good as an exact one, the per-sample bit updates can be
+          // skipped entirely, and the kernel's full-region overwrite
+          // subsumes clearing the previous occupant (the old mask bits
+          // for this feature all lie inside the overwritten range).
+          if (scratch.size() < HistScratchDoubles(nb)) {
+            scratch.resize(HistScratchDoubles(max_bins_));
+          }
+          kern.hist_accumulate(idx_.data() + begin, end - begin,
+                               data_.columns[f].data(), ws_.gh.data(), nb,
+                               region, scratch.data());
+          for (size_t w = 0; w * 64 < nb; ++w) {
+            const size_t bins_left = nb - w * 64;
+            m[w] = bins_left >= 64 ? ~uint64_t{0}
+                                   : (uint64_t{1} << bins_left) - 1;
+          }
+          continue;
+        }
         // Clear the previous occupant's cells: sparse mask words walk
         // their set bits, dense words blast the whole 64-bin range with a
         // contiguous fill (cells outside the mask are already zero, so
@@ -324,13 +403,14 @@ class GbdtTreeBuilder {
           if (std::popcount(bits) >= 16) {
             const size_t lo = w * 64;
             const size_t hi = std::min(nb, lo + 64);
-            std::fill(region + 3 * lo, region + 3 * hi, 0.0);
+            std::fill(region + kHistCellStride * lo,
+                      region + kHistCellStride * hi, 0.0);
           } else {
             while (bits != 0) {
               const size_t b =
                   w * 64 + static_cast<size_t>(std::countr_zero(bits));
               bits &= bits - 1;
-              double* cell = region + 3 * b;
+              double* cell = region + kHistCellStride * b;
               cell[0] = 0.0;
               cell[1] = 0.0;
               cell[2] = 0.0;
@@ -338,38 +418,13 @@ class GbdtTreeBuilder {
           }
           m[w] = 0;
         }
-        if (!feature_mask_[f] || nb < 2) continue;
+        if (!active) continue;
         // Column-outer accumulation keeps the working set L1-resident:
-        // one feature's ~2KB region plus the grad/hess arrays. Each
+        // one feature's ~4KB region plus the interleaved gh pairs. Each
         // sample's (g, h, n) update lands on one interleaved cache line.
-        const std::vector<uint8_t>& col = data_.columns[f];
-        if (end - begin >= 2 * nb) {
-          // Dense node: nearly every bin gets hit, so a full-range mask
-          // is as good as an exact one (it is a valid superset) and the
-          // per-sample bit updates can be skipped entirely.
-          for (size_t i = begin; i < end; ++i) {
-            const size_t row = idx_[i];
-            double* cell = region + 3 * static_cast<size_t>(col[row]);
-            cell[0] += grad_[row];
-            cell[1] += hess_[row];
-            cell[2] += 1.0;
-          }
-          for (size_t w = 0; w * 64 < nb; ++w) {
-            const size_t bins_left = nb - w * 64;
-            m[w] = bins_left >= 64 ? ~uint64_t{0}
-                                   : (uint64_t{1} << bins_left) - 1;
-          }
-        } else {
-          for (size_t i = begin; i < end; ++i) {
-            const size_t row = idx_[i];
-            const size_t b = col[row];
-            double* cell = region + 3 * b;
-            cell[0] += grad_[row];
-            cell[1] += hess_[row];
-            cell[2] += 1.0;
-            m[b >> 6] |= uint64_t{1} << (b & 63);
-          }
-        }
+        kern.hist_accumulate_masked(idx_.data() + begin, end - begin,
+                                    data_.columns[f].data(), ws_.gh.data(),
+                                    region, m);
       }
     });
   }
@@ -384,22 +439,34 @@ class GbdtTreeBuilder {
   // O(1e-12) relative cancellation noise, which is deterministic (fixed
   // operand order).
   void SubtractHistogram(size_t large, size_t small) {
-    std::vector<double>& l = pool_[large];
-    const std::vector<double>& s = pool_[small];
-    const std::vector<uint64_t>& sm = pool_mask_[small];
+    std::vector<double>& l = ws_.pool[large];
+    const std::vector<double>& s = ws_.pool[small];
+    const std::vector<uint64_t>& sm = ws_.pool_mask[small];
+    const SimdKernels& kern = ActiveSimdKernels();
     const size_t nf = data_.columns.size();
     for (size_t f = 0; f < nf; ++f) {
-      double* lregion = l.data() + 3 * offset_[f];
-      const double* sregion = s.data() + 3 * offset_[f];
+      double* lregion = l.data() + kHistCellStride * offset_[f];
+      const double* sregion = s.data() + kHistCellStride * offset_[f];
       const uint64_t* m = sm.data() + f * mask_stride_;
       for (size_t w = 0; w < mask_stride_; ++w) {
         uint64_t bits = m[w];
+        if (bits == ~uint64_t{0}) {
+          // 64 consecutive occupied bins (the common case under the dense
+          // build's full-range mask): one contiguous elementwise vector
+          // subtract over the whole word's cells. Subtraction is
+          // elementwise, so any lane width gives identical bits; pads
+          // stay zero (0 - 0).
+          kern.sub_span(lregion + kHistCellStride * w * 64,
+                        sregion + kHistCellStride * w * 64,
+                        kHistCellStride * 64);
+          continue;
+        }
         while (bits != 0) {
           const size_t b =
               w * 64 + static_cast<size_t>(std::countr_zero(bits));
           bits &= bits - 1;
-          double* lc = lregion + 3 * b;
-          const double* sc = sregion + 3 * b;
+          double* lc = lregion + kHistCellStride * b;
+          const double* sc = sregion + kHistCellStride * b;
           lc[0] -= sc[0];
           lc[1] -= sc[1];
           lc[2] -= sc[2];
@@ -436,7 +503,7 @@ class GbdtTreeBuilder {
     cand->feature = -1;
     cand->gain = -1.0;
     const size_t n = cand->end - cand->begin;
-    const std::vector<double>& buf = pool_[cand->hist];
+    const std::vector<double>& buf = ws_.pool[cand->hist];
     const double min_leaf = static_cast<double>(config_.min_samples_leaf);
     // The parent contribution to the gain is constant across the node; it
     // only enters the winner's final gain, never the per-bin comparison.
@@ -448,78 +515,41 @@ class GbdtTreeBuilder {
         data_.columns.size(), ScanGrain(), SplitChoice{},
         [&](size_t fbegin, size_t fend) {
           SplitChoice local;
-          const std::vector<uint64_t>& mask = pool_mask_[cand->hist];
+          const SimdKernels& kern = ActiveSimdKernels();
+          const std::vector<uint64_t>& mask = ws_.pool_mask[cand->hist];
           for (size_t f = fbegin; f < fend; ++f) {
             if (!feature_mask_[f]) continue;
             const int num_bins = data_.binner->NumBins(f);
             if (num_bins < 2) continue;
-            const double* hist = buf.data() + 3 * offset_[f];
+            const double* hist = buf.data() + kHistCellStride * offset_[f];
             const uint64_t* m = mask.data() + f * mask_stride_;
-            // The last bin is never a split point; set bits come out in
-            // ascending order, so stop the walk there.
-            const size_t last = static_cast<size_t>(num_bins) - 1;
-
-            double gl = 0.0, hl = 0.0;
-            double nl = 0.0;  // exact: integer counts in double
-            const double node_g = cand->node_g;
-            const double node_h = cand->node_h;
-            const double min_cw = config_.min_child_weight;
-            const double n_d = static_cast<double>(n);
-            const auto scan_bin = [&](size_t b) {
-              const double* cell = hist + 3 * b;
-              if (cell[2] == 0.0) return;
-              gl += cell[0];
-              hl += cell[1];
-              nl += cell[2];
-              const double nr = n_d - nl;
-              if (nl < min_leaf || nr < min_leaf) return;
-              const double hr = node_h - hl;
-              if (hl < min_cw || hr < min_cw) return;
-              const double gr = node_g - gl;
-              const double bl = hl + lambda;
-              const double br = hr + lambda;
-              const double num = (gl * gl) * br + (gr * gr) * bl;
-              const double den = bl * br;
-              if (num * local.den > local.num * den) {
-                local.num = num;
-                local.den = den;
-                local.feature = static_cast<int>(f);
-                local.bin = static_cast<int>(b);
-                local.left_g = gl;
-                local.left_h = hl;
-              }
-            };
-            // Only occupied bins move the prefix sums or can win (an empty
-            // bin's gain ties the previous candidate's, and the
-            // strictly-greater comparison never picks a tie), so the scan
-            // walks the mask's set bits instead of the full bin range. A
-            // derived (subtraction) histogram carries the parent's mask —
-            // a superset — so bins the subtraction emptied still show up;
+            // The per-feature scan is the dispatched split_scan kernel
+            // (simd_kernels.h): it walks only the mask's set bits — only
+            // occupied bins move the prefix sums or can win, since an
+            // empty bin's gain ties the previous candidate's and the
+            // strictly-greater comparison never picks a tie. A derived
+            // (subtraction) histogram carries the parent's mask — a
+            // superset — so bins the subtraction emptied still show up;
             // their exact-zero counts skip them, which also keeps ~1e-17
-            // grad/hess cancellation residue out of the prefix sums.
-            // Fully-set words (the common case for large nodes) walk their
-            // bins contiguously, avoiding the bit-scan dependency chain.
-            for (size_t w = 0; w < mask_stride_; ++w) {
-              const uint64_t bits = m[w];
-              if (bits == 0) continue;
-              const size_t base = w * 64;
-              if (base >= last) break;
-              if (bits == ~uint64_t{0}) {
-                const size_t hi = std::min(base + 64, last);
-                for (size_t b = base; b < hi; ++b) scan_bin(b);
-              } else {
-                uint64_t rest = bits;
-                while (rest != 0) {
-                  const size_t b =
-                      base + static_cast<size_t>(std::countr_zero(rest));
-                  rest &= rest - 1;
-                  if (b >= last) {
-                    w = mask_stride_ - 1;  // terminate the outer walk too
-                    break;
-                  }
-                  scan_bin(b);
-                }
-              }
+            // grad/hess cancellation residue out of the prefix sums. The
+            // last bin is never a split point (`last` bound).
+            SplitScanResult r;
+            kern.split_scan(hist, m, mask_stride_,
+                            static_cast<size_t>(num_bins) - 1,
+                            static_cast<double>(n), cand->node_g,
+                            cand->node_h, lambda, min_leaf,
+                            config_.min_child_weight, &r);
+            // Features fold left-to-right with the same strictly-greater
+            // replacement the kernel applies per bin, so the lowest
+            // feature (then lowest bin) wins ties and the fold runs the
+            // same comparisons at every SIMD level and chunk grouping.
+            if (r.bin >= 0 && r.num * local.den > local.num * r.den) {
+              local.num = r.num;
+              local.den = r.den;
+              local.feature = static_cast<int>(f);
+              local.bin = static_cast<int>(r.bin);
+              local.left_g = r.left_g;
+              local.left_h = r.left_h;
             }
           }
           return local;
@@ -551,18 +581,14 @@ class GbdtTreeBuilder {
   std::vector<size_t> idx_;
   Tree tree_;
   std::vector<uint8_t> split_bin_;  // aligned with tree_.nodes
-  // Histogram pool: buffers of 3*total_bins_ doubles holding interleaved
-  // (grad, hess, count) triples, recycled across nodes and trees via the
-  // free list. pool_mask_[h] is buffer h's per-feature occupancy bitmask
-  // (mask_stride_ words per feature); cells outside the mask are exactly
-  // zero, which lets clears, subtraction, and split scans walk only the
-  // occupied bins.
   std::vector<size_t> offset_;
   size_t total_bins_ = 0;
+  size_t max_bins_ = 0;
   size_t mask_stride_ = 0;
-  std::vector<std::vector<double>> pool_;
-  std::vector<std::vector<uint64_t>> pool_mask_;
-  std::vector<size_t> free_;
+  // Shared per-Fit scratch (gh pairs + histogram pool); see GbdtWorkspace.
+  // Build() returns every pooled buffer to the free list before exiting,
+  // so the next tree starts from a fully recycled pool.
+  GbdtWorkspace& ws_;
 };
 
 // Numerically stable in-place softmax over k contiguous scores.
@@ -577,22 +603,48 @@ void SoftmaxInPlace(double* p, size_t k) {
   for (size_t i = 0; i < k; ++i) p[i] /= sum;
 }
 
-// Leaf value reached by `row` when traversing by bin index over the binned
-// columns. Routes identically to Tree::FindLeaf on the raw doubles
-// (dataset.h: Bin(f, v) <= b iff v <= UpperEdge(f, b)) but compares a
-// uint8 per node instead of re-deriving the comparison from doubles.
-double PredictBinned(const Tree& tree, const std::vector<uint8_t>& split_bin,
-                     const std::vector<std::vector<uint8_t>>& columns,
-                     size_t row) {
-  const TreeNode* nodes = tree.nodes.data();
-  size_t i = 0;
-  while (nodes[i].feature >= 0) {
-    i = static_cast<size_t>(
-        columns[static_cast<size_t>(nodes[i].feature)][row] <= split_bin[i]
-            ? nodes[i].left
-            : nodes[i].right);
+// SoA flattening of one built tree for the training-time score updates.
+// Traversal by bin index routes identically to Tree::FindLeaf on the raw
+// doubles (dataset.h: Bin(f, v) <= b iff v <= UpperEdge(f, b)) but
+// compares a uint8 per node instead of re-deriving the comparison from
+// doubles — and the flat arrays replace the TreeNode +
+// std::vector<double> pointer chase with the dispatched traversal kernel
+// (simd_kernels.h), which walks several rows in flight.
+struct BinnedTreeArrays {
+  std::vector<int32_t> feature, left, right;
+  std::vector<uint8_t> split_bin;
+  std::vector<double> leaf_value;
+
+  explicit BinnedTreeArrays(const GbdtTreeBuilder::BuiltTree& built) {
+    const size_t n = built.tree.nodes.size();
+    feature.resize(n);
+    left.resize(n);
+    right.resize(n);
+    split_bin = built.split_bin;
+    leaf_value.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const TreeNode& node = built.tree.nodes[i];
+      feature[i] = node.feature;
+      left[i] = node.left;
+      right[i] = node.right;
+      leaf_value[i] = node.feature < 0 ? node.value[0] : 0.0;
+    }
   }
-  return nodes[i].value[0];
+
+  BinnedTreeView View() const {
+    return {feature.data(), split_bin.data(), left.data(), right.data(),
+            leaf_value.data()};
+  }
+};
+
+// Per-feature base pointers of a BinnedDataset's columns, the form the
+// traversal kernel consumes.
+std::vector<const uint8_t*> ColumnPointers(const BinnedDataset& binned) {
+  std::vector<const uint8_t*> ptrs(binned.columns.size());
+  for (size_t f = 0; f < binned.columns.size(); ++f) {
+    ptrs[f] = binned.columns[f].data();
+  }
+  return ptrs;
 }
 
 }  // namespace
@@ -672,6 +724,11 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid,
                         FeatureBinner::Fit(train, config_.max_bins));
   RVAR_ASSIGN_OR_RETURN(BinnedDataset binned,
                         BinnedDataset::Make(binner, train));
+  // The SIMD dispatch row is resolved once per fit; every row produces
+  // bit-identical results (simd_kernels.h), so the level — like the
+  // thread count — can never change the model.
+  const SimdKernels& kern = ActiveSimdKernels();
+  const std::vector<const uint8_t*> col_ptrs = ColumnPointers(binned);
 
   if (parent != nullptr) {
     // Continue the parent's additive expansion: its base scores and trees
@@ -732,9 +789,11 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid,
   const bool track_valid =
       valid != nullptr && config_.early_stopping_rounds > 0;
   BinnedDataset valid_binned;
+  std::vector<const uint8_t*> valid_col_ptrs;
   std::vector<double> valid_scores;
   if (track_valid) {
     RVAR_ASSIGN_OR_RETURN(valid_binned, BinnedDataset::Make(binner, *valid));
+    valid_col_ptrs = ColumnPointers(valid_binned);
     valid_scores.resize(valid->NumRows() * kc);
     if (parent != nullptr) {
       ParallelFor(valid->NumRows(), /*grain=*/512,
@@ -758,6 +817,9 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid,
   int best_round = 0;
   int rounds_without_improvement = 0;
 
+  // One workspace for the whole Fit: the histogram pool and gh pairs the
+  // first tree allocates are recycled by all num_rounds * K later trees.
+  GbdtWorkspace ws;
   for (int round = 0; round < config_.num_rounds; ++round) {
     // Per-tree row bagging (without replacement) and feature subsampling,
     // shared across the K class trees of this round.
@@ -806,23 +868,23 @@ Status GbdtClassifier::FitImpl(const Dataset& train, const Dataset* valid,
         }
       });
       GbdtTreeBuilder builder(binned, config_, grad, hess, feature_mask,
-                              &importance_);
+                              &importance_, &ws);
       GbdtTreeBuilder::BuiltTree built = builder.Build(sample_idx);
       // Update scores with the new tree (all rows, not just the bag) by
-      // bin-index traversal over the already-binned columns.
+      // bin-index traversal over the already-binned columns, through the
+      // dispatched blocked-traversal kernel. One add per row, so any
+      // blocking is bit-identical to a per-row walk.
+      const BinnedTreeArrays flat_tree(built);
+      const BinnedTreeView tree_view = flat_tree.View();
       ParallelFor(n, /*grain=*/2048, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          scores[i * kc + k] +=
-              PredictBinned(built.tree, built.split_bin, binned.columns, i);
-        }
+        kern.binned_accumulate(tree_view, col_ptrs.data(), begin, end,
+                               scores.data() + k, kc);
       });
       if (track_valid) {
         ParallelFor(valid->NumRows(), /*grain=*/512,
                     [&](size_t begin, size_t end) {
-          for (size_t i = begin; i < end; ++i) {
-            valid_scores[i * kc + k] += PredictBinned(
-                built.tree, built.split_bin, valid_binned.columns, i);
-          }
+          kern.binned_accumulate(tree_view, valid_col_ptrs.data(), begin,
+                                 end, valid_scores.data() + k, kc);
         });
       }
       trees_[k].push_back(std::move(built.tree));
@@ -903,6 +965,55 @@ void GbdtClassifier::PredictProbaInto(const std::vector<double>& row,
                                       std::vector<double>* out) const {
   PredictRawInto(row, out);
   SoftmaxInPlace(out->data(), out->size());
+}
+
+void GbdtClassifier::PredictRawBatchInto(
+    const std::vector<std::vector<double>>& rows,
+    std::vector<double>* out) const {
+  RVAR_CHECK(!trees_.empty()) << "PredictRawBatch before Fit";
+  const size_t n = rows.size();
+  const size_t kc = base_scores_.size();
+  out->resize(n * kc);
+  if (n == 0) return;
+  // Row blocks fan out over the deterministic pool; within a block, trees
+  // run outer and rows inner so one tree's SoA arrays stay cache resident
+  // for the whole block. Blocks write disjoint out slots and each (row,
+  // class) slot accumulates its trees in round order — exactly
+  // PredictRawInto's order — so blocking changes nothing but speed.
+  ParallelFor(n, /*grain=*/256, [&](size_t begin, size_t end) {
+    // Transpose the block to feature-major once; every tree of the
+    // ensemble then traverses it with unit-stride per-feature loads (and
+    // the vector kernel with per-row gathers).
+    const size_t bn = end - begin;
+    const size_t nf = flat_.num_features();
+    std::vector<double> block(nf * bn);
+    for (size_t i = begin; i < end; ++i) {
+      RVAR_CHECK_GE(rows[i].size(), nf);
+      const double* row = rows[i].data();
+      for (size_t f = 0; f < nf; ++f) block[f * bn + (i - begin)] = row[f];
+      std::copy(base_scores_.begin(), base_scores_.end(),
+                out->begin() + static_cast<ptrdiff_t>(i * kc));
+    }
+    size_t t = 0;
+    for (size_t k = 0; k < trees_.size(); ++k) {
+      for (size_t r = 0; r < trees_[k].size(); ++r, ++t) {
+        flat_.AccumulateBlock(t, block.data(), bn, bn,
+                              out->data() + begin * kc + k, kc);
+      }
+    }
+  });
+}
+
+void GbdtClassifier::PredictProbaBatchInto(
+    const std::vector<std::vector<double>>& rows,
+    std::vector<double>* out) const {
+  PredictRawBatchInto(rows, out);
+  const size_t kc = base_scores_.size();
+  ParallelFor(rows.size(), /*grain=*/2048, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      SoftmaxInPlace(out->data() + i * kc, kc);
+    }
+  });
 }
 
 std::vector<double> GbdtClassifier::PredictRaw(

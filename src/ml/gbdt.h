@@ -100,6 +100,19 @@ class GbdtClassifier : public Classifier {
   void PredictProbaInto(const std::vector<double>& row,
                         std::vector<double>* out) const;
 
+  /// Batch prediction over the compiled FlatForest: *out is resized to
+  /// rows.size() * num_classes with row i's scores at [i*K, (i+1)*K).
+  /// Rows are processed in blocks, tree-outer/row-inner, through the
+  /// dispatched blocked-traversal kernel — one tree's arrays stay cache
+  /// resident across the whole block instead of being re-streamed per
+  /// row. Per row, trees accumulate in the same order as PredictRawInto,
+  /// so results are bit-identical to the per-row calls at any SIMD level
+  /// and thread count.
+  void PredictRawBatchInto(const std::vector<std::vector<double>>& rows,
+                           std::vector<double>* out) const;
+  void PredictProbaBatchInto(const std::vector<std::vector<double>>& rows,
+                             std::vector<double>* out) const;
+
   /// Total split-gain importance per feature (normalized to sum to 1).
   const std::vector<double>& feature_importance() const {
     return importance_;

@@ -1,0 +1,83 @@
+// SSE4.2 rows of the kernel dispatch table. Compiled with -msse4.2 only;
+// nothing here may be called unless cpuid reported the level (see
+// common/simd.h), so the TU never leaks illegal instructions into the
+// baseline code paths.
+
+#include <nmmintrin.h>
+
+#include <algorithm>
+
+#include "ml/simd_kernels.h"
+
+#if !defined(RVAR_SIMD_X86)
+#error "simd_kernels_sse42.cc requires RVAR_SIMD"
+#endif
+
+namespace rvar {
+namespace ml {
+namespace detail {
+
+void HistAccumulateSse42(const size_t* idx, size_t n, const uint8_t* col,
+                         const double* gh, size_t nb, double* region,
+                         double* scratch) {
+  const size_t pw = kHistCellStride * nb;
+  std::fill(scratch, scratch + kHistLanes * pw, 0.0);
+  // The (grad, hess) pair of a cell updates with one 128-bit add; the
+  // count is a scalar add, exactly matching the reference elementwise.
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t l = 0; l < 4; ++l) {
+      const size_t row = idx[i + l];
+      double* cell = scratch + l * pw +
+                     kHistCellStride * static_cast<size_t>(col[row]);
+      _mm_storeu_pd(cell, _mm_add_pd(_mm_loadu_pd(cell),
+                                     _mm_loadu_pd(gh + 2 * row)));
+      cell[2] += 1.0;
+    }
+  }
+  for (; i < n; ++i) {
+    const size_t row = idx[i];
+    double* cell = scratch + (i & 3) * pw +
+                   kHistCellStride * static_cast<size_t>(col[row]);
+    cell[0] += gh[2 * row];
+    cell[1] += gh[2 * row + 1];
+    cell[2] += 1.0;
+  }
+  const double* l0 = scratch;
+  const double* l1 = scratch + pw;
+  const double* l2 = scratch + 2 * pw;
+  const double* l3 = scratch + 3 * pw;
+  for (size_t c = 0; c < pw; c += 2) {
+    const __m128d s01 = _mm_add_pd(_mm_loadu_pd(l0 + c), _mm_loadu_pd(l1 + c));
+    const __m128d s012 = _mm_add_pd(s01, _mm_loadu_pd(l2 + c));
+    _mm_storeu_pd(region + c, _mm_add_pd(s012, _mm_loadu_pd(l3 + c)));
+  }
+}
+
+void HistAccumulateMaskedSse42(const size_t* idx, size_t n,
+                               const uint8_t* col, const double* gh,
+                               double* region, uint64_t* mask) {
+  // Same sequential index order as the scalar reference; only the
+  // (grad, hess) pair add is widened, which is elementwise-exact.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t row = idx[i];
+    const size_t b = col[row];
+    double* cell = region + kHistCellStride * b;
+    _mm_storeu_pd(cell,
+                  _mm_add_pd(_mm_loadu_pd(cell), _mm_loadu_pd(gh + 2 * row)));
+    cell[2] += 1.0;
+    mask[b >> 6] |= uint64_t{1} << (b & 63);
+  }
+}
+
+void SubSpanSse42(double* a, const double* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(a + i, _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) a[i] -= b[i];
+}
+
+}  // namespace detail
+}  // namespace ml
+}  // namespace rvar

@@ -15,7 +15,12 @@ namespace {
 class WalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "rvar_wal_test")
+    // One directory per test: ctest runs each TEST_F as its own process,
+    // possibly concurrently, and a shared path would let one test's
+    // remove_all delete another's live WAL.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("rvar_wal_test_") + info->name()))
                .string();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
