@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <filesystem>
 #include <functional>
@@ -31,6 +32,7 @@
 #include "ml/simd_kernels.h"
 #include "sim/scheduler.h"
 #include "stats/histogram.h"
+#include "stats/kll_sketch.h"
 
 namespace {
 
@@ -184,6 +186,56 @@ void BM_SchedulerExecute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SchedulerExecute);
+
+
+// --- Quantile-sketch kernels (stats/kll_sketch.h) -------------------------
+
+void BM_SketchUpdate(benchmark::State& state) {
+  const auto xs = RandomValues(static_cast<size_t>(state.range(0)), 51);
+  const BinGrid grid = *BinGrid::Make(0.0, 10.0, 200);
+  for (auto _ : state) {
+    KllSketch sketch = *KllSketch::Make(200);
+    for (double x : xs) sketch.UpdateClamped(grid, x);
+    benchmark::DoNotOptimize(sketch.n());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SketchUpdate)->Arg(100000);
+
+void BM_SketchMerge(benchmark::State& state) {
+  // 64 shard-local sketches of 8192 observations each, folded in fixed
+  // operand order the way a shard-count-independent aggregate must be.
+  std::vector<KllSketch> parts;
+  for (int p = 0; p < 64; ++p) {
+    KllSketch s = *KllSketch::Make(200);
+    for (double x : RandomValues(8192, 100 + static_cast<uint64_t>(p))) {
+      s.Update(x);
+    }
+    parts.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    KllSketch acc = parts[0];
+    for (size_t p = 1; p < parts.size(); ++p) {
+      benchmark::DoNotOptimize(acc.Merge(parts[p]).ok());
+    }
+    benchmark::DoNotOptimize(acc.n());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(parts.size() - 1));
+}
+BENCHMARK(BM_SketchMerge);
+
+void BM_SketchReconstruct(benchmark::State& state) {
+  KllSketch sketch = *KllSketch::Make(200);
+  const BinGrid grid = *BinGrid::Make(0.0, 10.0, 200);
+  for (double x : RandomValues(100000, 52)) sketch.UpdateClamped(grid, x);
+  std::vector<double> counts;
+  for (auto _ : state) {
+    sketch.BinCountsInto(grid, &counts);
+    benchmark::DoNotOptimize(counts.data());
+  }
+}
+BENCHMARK(BM_SketchReconstruct);
 
 
 // --- Checkpoint/restore kernels (io/) ------------------------------------
@@ -580,6 +632,193 @@ void WriteBenchKernelsJson() {
   std::printf("kernel timing summary written to BENCH_kernels.json\n");
 }
 
+// Resident-set size of this process right now, from /proc/self/status.
+// Returns 0 where that interface does not exist; the sweep then reports
+// only the accounted (capacity-derived) bytes.
+size_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %zu", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+size_t EnvSizeOr(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || parsed == 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+// Quantile-sketch summary (DESIGN.md §15), written to BENCH_sketch.json.
+// Three CPU-bound kernels (update, fixed-order shard merge, 200-bin PMF
+// reconstruction) land in the gated `kernels` map; alongside them the
+// file records the steady-state sketch footprint per group at growing
+// support, and a large-cardinality dense-vs-sketch sweep: the per-group
+// state the sketch replaced — a dense 200-bin double PMF plus the raw
+// sample buffer a dense design needs to merge shards and answer
+// quantiles — materialized for every synthetic group next to the sketch
+// fleet, with both accounted bytes and measured RSS deltas. The group
+// count (default 1M) and per-group support are overridable via
+// RVAR_SKETCH_SWEEP_GROUPS / RVAR_SKETCH_SWEEP_OBS so memory-constrained
+// CI runners can run a proportionally smaller sweep; the per-group ratio
+// is independent of the group count.
+void WriteBenchSketchJson() {
+  constexpr int kSketchK = 200;
+  const BinGrid grid = *BinGrid::Make(0.0, 10.0, 200);
+
+  // Steady-state footprint per group as support grows (the README table).
+  const int64_t support[] = {100, 1000, 10000, 100000};
+  size_t footprint[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    KllSketch sketch = *KllSketch::Make(kSketchK);
+    for (double x :
+         RandomValues(static_cast<size_t>(support[i]), 61)) {
+      sketch.UpdateClamped(grid, x);
+    }
+    footprint[i] = sketch.MemoryBytes();
+  }
+
+  // Gated kernels. Fixtures outside the timed regions.
+  const auto update_values = RandomValues(2000000, 62);
+  const double update_s = BestSecondsOf([&] {
+    KllSketch sketch = *KllSketch::Make(kSketchK);
+    for (double x : update_values) sketch.UpdateClamped(grid, x);
+    benchmark::DoNotOptimize(sketch.n());
+  });
+
+  std::vector<KllSketch> parts;
+  for (int p = 0; p < 64; ++p) {
+    KllSketch s = *KllSketch::Make(kSketchK);
+    for (double x : RandomValues(8192, 200 + static_cast<uint64_t>(p))) {
+      s.Update(x);
+    }
+    parts.push_back(std::move(s));
+  }
+  constexpr int kMergeReps = 200;
+  const double merge_s = BestSecondsOf([&] {
+    for (int rep = 0; rep < kMergeReps; ++rep) {
+      KllSketch acc = parts[0];
+      for (size_t p = 1; p < parts.size(); ++p) {
+        benchmark::DoNotOptimize(acc.Merge(parts[p]).ok());
+      }
+      benchmark::DoNotOptimize(acc.n());
+    }
+  });
+  const double merges_per_rep = static_cast<double>(parts.size() - 1);
+
+  KllSketch reconstruct_sketch = *KllSketch::Make(kSketchK);
+  for (double x : RandomValues(100000, 63)) {
+    reconstruct_sketch.UpdateClamped(grid, x);
+  }
+  constexpr int kReconstructReps = 20000;
+  std::vector<double> counts;
+  const double reconstruct_s = BestSecondsOf([&] {
+    for (int rep = 0; rep < kReconstructReps; ++rep) {
+      reconstruct_sketch.BinCountsInto(grid, &counts);
+      benchmark::DoNotOptimize(counts.data());
+    }
+  });
+
+  // Dense-vs-sketch sweep. One prototype per representation, built from
+  // the same stream, then copied per group: copies have the same
+  // footprint, and building a million independent streams would time the
+  // RNG, not the memory. The sketch fleet is built first and kept live
+  // while the dense fleet allocates, so each RSS delta measures fresh
+  // pages rather than arena reuse.
+  struct DenseGroupState {
+    std::vector<double> pmf;      // dense 200-bin PMF
+    std::vector<double> samples;  // raw buffer for merges/quantiles
+  };
+  const size_t groups = EnvSizeOr("RVAR_SKETCH_SWEEP_GROUPS", 1000000);
+  const size_t obs_per_group = EnvSizeOr("RVAR_SKETCH_SWEEP_OBS", 4096);
+
+  const auto stream = RandomValues(obs_per_group, 64);
+  KllSketch sketch_proto = *KllSketch::Make(kSketchK);
+  for (double x : stream) sketch_proto.UpdateClamped(grid, x);
+  DenseGroupState dense_proto;
+  dense_proto.pmf = Histogram::FromValues(grid, stream).Probabilities();
+  dense_proto.samples = stream;
+
+  const size_t sketch_accounted = sketch_proto.MemoryBytes();
+  const size_t dense_accounted =
+      sizeof(DenseGroupState) + dense_proto.pmf.capacity() * sizeof(double) +
+      dense_proto.samples.capacity() * sizeof(double);
+
+  const size_t rss_start = CurrentRssBytes();
+  std::vector<KllSketch> sketch_fleet;
+  sketch_fleet.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) sketch_fleet.push_back(sketch_proto);
+  const size_t rss_after_sketch = CurrentRssBytes();
+  std::vector<DenseGroupState> dense_fleet;
+  dense_fleet.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) dense_fleet.push_back(dense_proto);
+  const size_t rss_after_dense = CurrentRssBytes();
+  benchmark::DoNotOptimize(sketch_fleet.data());
+  benchmark::DoNotOptimize(dense_fleet.data());
+
+  const double sketch_rss =
+      static_cast<double>(rss_after_sketch - rss_start);
+  const double dense_rss =
+      static_cast<double>(rss_after_dense - rss_after_sketch);
+  const double accounted_ratio = static_cast<double>(dense_accounted) /
+                                 static_cast<double>(sketch_accounted);
+  const double rss_ratio = sketch_rss > 0 ? dense_rss / sketch_rss : 0.0;
+  dense_fleet.clear();
+  dense_fleet.shrink_to_fit();
+  sketch_fleet.clear();
+  sketch_fleet.shrink_to_fit();
+
+  const double calibration = CalibrationSeconds();
+  std::FILE* out = std::fopen("BENCH_sketch.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"calibration_seconds\": %.6f,\n"
+      "  \"kernels\": {\n"
+      "    \"sketch_update\": %.6f,\n"
+      "    \"sketch_merge\": %.6f,\n"
+      "    \"sketch_reconstruct\": %.6f\n"
+      "  },\n"
+      "  \"sketch_k\": %d,\n"
+      "  \"update_m_items_per_s\": %.2f,\n"
+      "  \"merge_sketches_per_s\": %.0f,\n"
+      "  \"reconstruct_us\": %.2f,\n"
+      "  \"memory_bytes_per_group\": "
+      "{\"100\": %zu, \"1000\": %zu, \"10000\": %zu, \"100000\": %zu},\n"
+      "  \"sweep\": {\n"
+      "    \"groups\": %zu,\n"
+      "    \"obs_per_group\": %zu,\n"
+      "    \"dense_bytes_per_group\": %zu,\n"
+      "    \"sketch_bytes_per_group\": %zu,\n"
+      "    \"dense_rss_bytes\": %.0f,\n"
+      "    \"sketch_rss_bytes\": %.0f,\n"
+      "    \"accounted_reduction_ratio\": %.1f,\n"
+      "    \"rss_reduction_ratio\": %.1f\n"
+      "  }\n"
+      "}\n",
+      calibration, update_s, merge_s, reconstruct_s, kSketchK,
+      static_cast<double>(update_values.size()) / update_s / 1e6,
+      kMergeReps * merges_per_rep / merge_s,
+      reconstruct_s / kReconstructReps * 1e6, footprint[0], footprint[1],
+      footprint[2], footprint[3], groups, obs_per_group, dense_accounted,
+      sketch_accounted, dense_rss, sketch_rss, accounted_ratio, rss_ratio);
+  std::fclose(out);
+  std::printf(
+      "sketch summary written to BENCH_sketch.json "
+      "(%zu groups x %zu obs: dense %zu B/group vs sketch %zu B/group, "
+      "%.1fx accounted, %.1fx RSS)\n",
+      groups, obs_per_group, dense_accounted, sketch_accounted,
+      accounted_ratio, rss_ratio);
+}
+
 // GBDT engine kernels (histogram-cache training and flattened batch
 // inference), written to BENCH_gbdt.json for the CI regression gate.
 // Training is timed at 1 and 4 configured threads over the same workload
@@ -800,6 +1039,7 @@ int main(int argc, char** argv) {
   WriteBenchParallelJson();
   WriteBenchKernelsJson();
   WriteBenchGbdtJson();
+  WriteBenchSketchJson();
   WriteBenchLifecycleJson();
   return 0;
 }

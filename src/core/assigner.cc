@@ -8,61 +8,102 @@
 namespace rvar {
 namespace core {
 
-PosteriorAssigner::PosteriorAssigner(const ShapeLibrary* library,
-                                     double pmf_floor)
-    : library_(library) {
-  RVAR_CHECK(library != nullptr);
-  RVAR_CHECK_GT(pmf_floor, 0.0);
-  num_clusters_ = static_cast<size_t>(library->num_clusters());
-  num_bins_ = static_cast<size_t>(library->grid().num_bins());
-  log_pmf_.resize(num_clusters_ * num_bins_);
-  for (size_t c = 0; c < num_clusters_; ++c) {
-    std::vector<double> floored = library->shape(static_cast<int>(c));
+Result<ClusterLogPmf> ClusterLogPmf::Make(const ShapeLibrary& library,
+                                          double pmf_floor) {
+  if (pmf_floor <= 0.0) {
+    return Status::InvalidArgument(
+        StrCat("pmf_floor must be positive, got ", pmf_floor));
+  }
+  ClusterLogPmf table;
+  table.num_clusters_ = library.num_clusters();
+  table.num_bins_ = library.grid().num_bins();
+  table.pmf_floor_ = pmf_floor;
+  table.log_pmf_.resize(static_cast<size_t>(table.num_clusters_) *
+                        static_cast<size_t>(table.num_bins_));
+  for (int c = 0; c < table.num_clusters_; ++c) {
+    std::vector<double> floored = library.shape(c);
     double mass = 0.0;
     for (double& v : floored) {
       v = std::max(v, pmf_floor);
       mass += v;
     }
-    double* lp = log_pmf_.data() + c * num_bins_;
-    for (size_t h = 0; h < num_bins_; ++h) {
-      lp[h] = std::log(floored[h] / mass);
+    double* lp = table.log_pmf_.data() +
+                 static_cast<size_t>(c) * table.num_bins_;
+    for (int h = 0; h < table.num_bins_; ++h) {
+      lp[h] = std::log(floored[static_cast<size_t>(h)] / mass);
     }
   }
+  return table;
 }
 
-Result<std::vector<ClusterLikelihood>> PosteriorAssigner::LogLikelihoods(
-    const std::vector<double>& normalized_runtimes) const {
+Result<std::shared_ptr<const ClusterLogPmf>> ClusterLogPmf::MakeShared(
+    const ShapeLibrary& library, double pmf_floor) {
+  RVAR_ASSIGN_OR_RETURN(ClusterLogPmf table, Make(library, pmf_floor));
+  return std::shared_ptr<const ClusterLogPmf>(
+      std::make_shared<ClusterLogPmf>(std::move(table)));
+}
+
+PosteriorAssigner::PosteriorAssigner(const ShapeLibrary* library,
+                                     double pmf_floor)
+    : library_(library) {
+  RVAR_CHECK(library != nullptr);
+  Result<std::shared_ptr<const ClusterLogPmf>> table =
+      ClusterLogPmf::MakeShared(*library, pmf_floor);
+  RVAR_CHECK(table.ok());
+  log_pmf_ = std::move(*table);
+}
+
+PosteriorAssigner::PosteriorAssigner(
+    const ShapeLibrary* library, std::shared_ptr<const ClusterLogPmf> log_pmf)
+    : library_(library), log_pmf_(std::move(log_pmf)) {
+  RVAR_CHECK(library_ != nullptr);
+  RVAR_CHECK(log_pmf_ != nullptr);
+  RVAR_CHECK_EQ(log_pmf_->num_clusters(), library_->num_clusters());
+  RVAR_CHECK_EQ(log_pmf_->num_bins(), library_->grid().num_bins());
+}
+
+Status PosteriorAssigner::LogLikelihoodsInto(
+    const std::vector<double>& normalized_runtimes,
+    std::vector<ClusterLikelihood>* out,
+    std::vector<double>* pmf_scratch) const {
+  RVAR_CHECK(out != nullptr);
+  RVAR_CHECK(pmf_scratch != nullptr);
   if (normalized_runtimes.empty()) {
     return Status::InvalidArgument(
         "cannot compute likelihoods for zero observations");
   }
-  // Bin counts n_h of the observations (Equation 8). Non-finite values
-  // carry no shape information and are skipped; if nothing finite
+  // The observation PMF phi of Equation 8, unsmoothed (radius 0) so that
+  // N * phi_h is exactly the bin count n_h. NaN carries no shape
+  // information and is skipped by the PMF path; if nothing binnable
   // remains there is no likelihood to compute.
-  const BinGrid& grid = library_->grid();
-  std::vector<int64_t> counts(static_cast<size_t>(grid.num_bins()), 0);
-  int64_t num_finite = 0;
-  for (double x : normalized_runtimes) {
-    if (!std::isfinite(x)) continue;
-    counts[static_cast<size_t>(grid.BinIndex(x))]++;
-    ++num_finite;
-  }
-  if (num_finite == 0) {
+  const int64_t num_binned =
+      library_->ObservationPmfInto(normalized_runtimes, /*radius=*/0,
+                                   pmf_scratch);
+  if (num_binned == 0) {
     return Status::InvalidArgument(
-        "all observations are non-finite; cannot compute likelihoods");
+        "all observations are NaN; cannot compute likelihoods");
   }
-  std::vector<ClusterLikelihood> out;
-  out.reserve(num_clusters_);
-  for (size_t c = 0; c < num_clusters_; ++c) {
-    const double* lp = log_pmf_.data() + c * num_bins_;
-    double ll = 0.0;
-    for (size_t h = 0; h < counts.size(); ++h) {
-      if (counts[h] > 0) {
-        ll += static_cast<double>(counts[h]) * lp[h];
-      }
+  const double n = static_cast<double>(num_binned);
+  const size_t num_bins = pmf_scratch->size();
+  out->clear();
+  out->reserve(static_cast<size_t>(log_pmf_->num_clusters()));
+  const double* pmf = pmf_scratch->data();
+  for (int c = 0; c < log_pmf_->num_clusters(); ++c) {
+    const double* lp = log_pmf_->row(c);
+    double dot = 0.0;
+    for (size_t h = 0; h < num_bins; ++h) {
+      if (pmf[h] > 0.0) dot += pmf[h] * lp[h];
     }
-    out.push_back({static_cast<int>(c), ll});
+    out->push_back({c, n * dot});
   }
+  return Status::OK();
+}
+
+Result<std::vector<ClusterLikelihood>> PosteriorAssigner::LogLikelihoods(
+    const std::vector<double>& normalized_runtimes) const {
+  std::vector<ClusterLikelihood> out;
+  std::vector<double> scratch;
+  RVAR_RETURN_NOT_OK(LogLikelihoodsInto(normalized_runtimes, &out, &scratch));
   return out;
 }
 

@@ -7,10 +7,16 @@
 //   log p(z_i | x_1..x_N) ~ sum_h phi_h log(theta_h^i)
 // scaled by N when working with raw counts. The assigner labels a group
 // with the most likely shape — this is how training/test labels are made.
+//
+// The floored log theta table itself lives in ClusterLogPmf so one
+// immutable copy can be shared by every consumer (assigner, per-group
+// online trackers, the sharded serving service): at 200 bins x 8 clusters
+// the table is ~13 KB, which used to be duplicated per tracked group.
 
 #ifndef RVAR_CORE_ASSIGNER_H_
 #define RVAR_CORE_ASSIGNER_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -18,6 +24,40 @@
 
 namespace rvar {
 namespace core {
+
+/// \brief Immutable log of the floored, renormalized cluster PMFs.
+///
+/// Each row c holds log(theta_h^c) where theta was floored at `pmf_floor`
+/// and renormalized, flattened row-major as [cluster * num_bins + bin] so
+/// Equation 9's per-cluster score is one contiguous dot product.
+class ClusterLogPmf {
+ public:
+  /// Fails on a non-positive floor. `library` is only read during Make.
+  static Result<ClusterLogPmf> Make(const ShapeLibrary& library,
+                                    double pmf_floor = 1e-6);
+
+  /// Make, boxed for sharing across trackers/shards.
+  static Result<std::shared_ptr<const ClusterLogPmf>> MakeShared(
+      const ShapeLibrary& library, double pmf_floor = 1e-6);
+
+  int num_clusters() const { return num_clusters_; }
+  int num_bins() const { return num_bins_; }
+  double pmf_floor() const { return pmf_floor_; }
+
+  /// Row of cluster `c` (length num_bins()).
+  const double* row(int c) const {
+    RVAR_CHECK(c >= 0 && c < num_clusters_);
+    return log_pmf_.data() + static_cast<size_t>(c) * num_bins_;
+  }
+
+ private:
+  ClusterLogPmf() = default;
+
+  std::vector<double> log_pmf_;
+  int num_clusters_ = 0;
+  int num_bins_ = 0;
+  double pmf_floor_ = 0.0;
+};
 
 /// \brief One cluster's likelihood score.
 struct ClusterLikelihood {
@@ -35,10 +75,24 @@ class PosteriorAssigner {
   explicit PosteriorAssigner(const ShapeLibrary* library,
                              double pmf_floor = 1e-6);
 
+  /// Shares a prebuilt log table instead of building one; the table must
+  /// have been built from `library`.
+  PosteriorAssigner(const ShapeLibrary* library,
+                    std::shared_ptr<const ClusterLogPmf> log_pmf);
+
   /// Log-likelihood per cluster (Equation 3: sum_n log theta_{h(x_n)});
-  /// fails on empty observations.
+  /// fails on empty observations. Routed through the library's
+  /// observation-PMF path: NaN observations are skipped (and it is an
+  /// error if nothing else remains), +-inf clips into the outlier bins.
   Result<std::vector<ClusterLikelihood>> LogLikelihoods(
       const std::vector<double>& normalized_runtimes) const;
+
+  /// LogLikelihoods without the per-call allocations: `out` is overwritten
+  /// with one entry per cluster and `pmf_scratch` is reused as the
+  /// observation-PMF buffer. Both keep their capacity across calls.
+  Status LogLikelihoodsInto(const std::vector<double>& normalized_runtimes,
+                            std::vector<ClusterLikelihood>* out,
+                            std::vector<double>* pmf_scratch) const;
 
   /// Most likely cluster; ties break to the smaller id. If `best` is
   /// non-null, receives the winning entry.
@@ -47,12 +101,7 @@ class PosteriorAssigner {
 
  private:
   const ShapeLibrary* library_;
-  /// log of floored+renormalized cluster PMFs, flattened row-major as
-  /// [cluster * num_bins_ + bin] so Equation 9's per-cluster score is one
-  /// contiguous dot product over the counts.
-  std::vector<double> log_pmf_;
-  size_t num_clusters_ = 0;
-  size_t num_bins_ = 0;
+  std::shared_ptr<const ClusterLogPmf> log_pmf_;
 };
 
 }  // namespace core

@@ -9,27 +9,11 @@
 namespace rvar {
 namespace core {
 
-OnlineShapeTracker::OnlineShapeTracker(const ShapeLibrary* library,
-                                       double decay, double pmf_floor)
-    : library_(library), decay_(decay), pmf_floor_(pmf_floor) {
-  const int k = library->num_clusters();
-  const int bins = library->grid().num_bins();
-  log_pmf_.resize(static_cast<size_t>(k));
-  for (int c = 0; c < k; ++c) {
-    std::vector<double> floored = library->shape(c);
-    double mass = 0.0;
-    for (double& v : floored) {
-      v = std::max(v, pmf_floor);
-      mass += v;
-    }
-    auto& lp = log_pmf_[static_cast<size_t>(c)];
-    lp.resize(static_cast<size_t>(bins));
-    for (int h = 0; h < bins; ++h) {
-      lp[static_cast<size_t>(h)] =
-          std::log(floored[static_cast<size_t>(h)] / mass);
-    }
-  }
-  ll_.assign(static_cast<size_t>(k), 0.0);
+OnlineShapeTracker::OnlineShapeTracker(
+    const ShapeLibrary* library, std::shared_ptr<const ClusterLogPmf> log_pmf,
+    double decay)
+    : library_(library), decay_(decay), log_pmf_(std::move(log_pmf)) {
+  ll_.assign(static_cast<size_t>(log_pmf_->num_clusters()), 0.0);
 }
 
 Result<OnlineShapeTracker> OnlineShapeTracker::Make(
@@ -37,14 +21,33 @@ Result<OnlineShapeTracker> OnlineShapeTracker::Make(
   if (library == nullptr) {
     return Status::InvalidArgument("null shape library");
   }
+  RVAR_ASSIGN_OR_RETURN(std::shared_ptr<const ClusterLogPmf> table,
+                        ClusterLogPmf::MakeShared(*library, pmf_floor));
+  return Make(library, std::move(table), decay);
+}
+
+Result<OnlineShapeTracker> OnlineShapeTracker::Make(
+    const ShapeLibrary* library, std::shared_ptr<const ClusterLogPmf> log_pmf,
+    double decay) {
+  if (library == nullptr) {
+    return Status::InvalidArgument("null shape library");
+  }
+  if (log_pmf == nullptr) {
+    return Status::InvalidArgument("null cluster log-PMF table");
+  }
+  if (log_pmf->num_clusters() != library->num_clusters() ||
+      log_pmf->num_bins() != library->grid().num_bins()) {
+    return Status::InvalidArgument(
+        StrCat("log-PMF table shape (", log_pmf->num_clusters(), " x ",
+               log_pmf->num_bins(), ") does not match library (",
+               library->num_clusters(), " x ", library->grid().num_bins(),
+               ")"));
+  }
   if (decay <= 0.0 || decay > 1.0) {
     return Status::InvalidArgument(
         StrCat("decay must be in (0,1], got ", decay));
   }
-  if (pmf_floor <= 0.0) {
-    return Status::InvalidArgument("pmf_floor must be positive");
-  }
-  return OnlineShapeTracker(library, decay, pmf_floor);
+  return OnlineShapeTracker(library, std::move(log_pmf), decay);
 }
 
 void OnlineShapeTracker::Observe(double normalized_runtime) {
@@ -56,7 +59,7 @@ void OnlineShapeTracker::Observe(double normalized_runtime) {
   }
   const int bin = library_->grid().BinIndex(normalized_runtime);
   for (size_t c = 0; c < ll_.size(); ++c) {
-    ll_[c] = decay_ * ll_[c] + log_pmf_[c][static_cast<size_t>(bin)];
+    ll_[c] = decay_ * ll_[c] + log_pmf_->row(static_cast<int>(c))[bin];
   }
   ++count_;
 }

@@ -10,6 +10,7 @@
 #ifndef RVAR_CORE_ONLINE_H_
 #define RVAR_CORE_ONLINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -32,6 +33,13 @@ class OnlineShapeTracker {
   static Result<OnlineShapeTracker> Make(const ShapeLibrary* library,
                                          double decay = 1.0,
                                          double pmf_floor = 1e-6);
+
+  /// Make with a prebuilt, shared log table (one ~13 KB ClusterLogPmf can
+  /// serve millions of trackers; the per-tracker state is then just the k
+  /// running sums). The table must have been built from `library`.
+  static Result<OnlineShapeTracker> Make(
+      const ShapeLibrary* library,
+      std::shared_ptr<const ClusterLogPmf> log_pmf, double decay = 1.0);
 
   /// Incorporates one normalized runtime observation. Non-finite inputs
   /// degrade gracefully instead of poisoning the sums: NaN is ignored,
@@ -63,7 +71,7 @@ class OnlineShapeTracker {
   void Reset();
 
   double decay() const { return decay_; }
-  double pmf_floor() const { return pmf_floor_; }
+  double pmf_floor() const { return log_pmf_->pmf_floor(); }
 
   /// Reinstalls checkpointed sums (io/recovery.h): the discounted
   /// log-likelihoods plus the observation counters. Validates sizes and
@@ -72,13 +80,14 @@ class OnlineShapeTracker {
                       int64_t count, int64_t num_clamped);
 
  private:
-  OnlineShapeTracker(const ShapeLibrary* library, double decay,
-                     double pmf_floor);
+  OnlineShapeTracker(const ShapeLibrary* library,
+                     std::shared_ptr<const ClusterLogPmf> log_pmf,
+                     double decay);
 
   const ShapeLibrary* library_;
   double decay_;
-  double pmf_floor_ = 1e-6;
-  std::vector<std::vector<double>> log_pmf_;  ///< [cluster][bin]
+  /// Shared immutable log theta table — NOT per-tracker state.
+  std::shared_ptr<const ClusterLogPmf> log_pmf_;
   std::vector<double> ll_;
   int64_t count_ = 0;
   int64_t num_clamped_ = 0;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "stats/descriptive.h"
+#include "stats/kll_sketch.h"
 
 namespace rvar {
 namespace core {
@@ -26,6 +28,13 @@ Status ValidateConfig(const ShapeLibraryConfig& config) {
   if (config.smoothing_radius < 0) {
     return Status::InvalidArgument("smoothing_radius must be >= 0");
   }
+  if (config.use_sketches &&
+      (config.sketch_k < KllSketch::kMinK ||
+       config.sketch_k > KllSketch::kMaxK)) {
+    return Status::InvalidArgument(
+        StrCat("sketch_k must be in [", KllSketch::kMinK, ", ",
+               KllSketch::kMaxK, "], got ", config.sketch_k));
+  }
   return Status::OK();
 }
 
@@ -39,6 +48,7 @@ Result<ShapeLibrary> ShapeLibrary::Build(
   ShapeLibrary lib;
   lib.config_ = config;
   lib.grid_ = CanonicalGrid(config.normalization, config.num_bins);
+  const double outlier_at = OutlierThreshold(config.normalization);
 
   // One smoothed PMF per qualifying group. Degenerate groups — no usable
   // median, or too few finite observations once corrupt values are
@@ -52,7 +62,10 @@ Result<ShapeLibrary> ShapeLibrary::Build(
   struct BuiltGroup {
     bool usable = false;
     std::vector<double> pmf;
-    std::vector<double> finite;  // unclipped normalized runtimes
+    std::vector<double> finite;       // dense mode: raw normalized runtimes
+    std::optional<KllSketch> sketch;  // sketch mode: bounded summary
+    RunningStats moments;             // sketch mode: exact moment sums
+    int64_t outliers = 0;             // sketch mode: count >= threshold
   };
   std::vector<BuiltGroup> built(candidates.size());
   ParallelFor(candidates.size(), /*grain=*/1, [&](size_t begin, size_t end) {
@@ -61,22 +74,43 @@ Result<ShapeLibrary> ShapeLibrary::Build(
           reference, candidates[g], medians, config.normalization);
       if (!normalized.ok()) continue;
       BuiltGroup& out = built[g];
-      out.finite.reserve(normalized->size());
-      for (double x : *normalized) {
-        if (std::isfinite(x)) out.finite.push_back(x);
+      if (config.use_sketches) {
+        // Stream every finite observation into bounded state instead of
+        // retaining the raw vector: the sketch reconstructs the PMF and
+        // the Table 2 quantiles, the moment accumulator keeps the stddev
+        // exact, and the outlier tally is an exact counter.
+        KllSketch sketch = *KllSketch::Make(config.sketch_k);
+        for (double x : *normalized) {
+          if (!std::isfinite(x)) continue;
+          sketch.Update(x);
+          out.moments.Add(x);
+          out.outliers += (x >= outlier_at);
+        }
+        if (sketch.n() < config.min_support) continue;
+        sketch.BinCountsInto(lib.grid_, &out.pmf);
+        FinishObservationPmfInPlace(&out.pmf, config.smoothing_radius);
+        out.sketch.emplace(std::move(sketch));
+      } else {
+        out.finite.reserve(normalized->size());
+        for (double x : *normalized) {
+          if (std::isfinite(x)) out.finite.push_back(x);
+        }
+        if (static_cast<int>(out.finite.size()) < config.min_support) {
+          out.finite.clear();
+          continue;
+        }
+        out.pmf = lib.ObservationPmf(out.finite);
       }
-      if (static_cast<int>(out.finite.size()) < config.min_support) {
-        out.finite.clear();
-        continue;
-      }
-      out.pmf = lib.ObservationPmf(out.finite);
       out.usable = true;
     }
   });
 
   std::vector<int> groups;
   std::vector<std::vector<double>> pmfs;
-  std::vector<std::vector<double>> raw;
+  std::vector<std::vector<double>> raw;            // dense mode
+  std::vector<std::optional<KllSketch>> sketches;  // sketch mode
+  std::vector<RunningStats> moments;
+  std::vector<int64_t> outlier_counts;
   groups.reserve(candidates.size());
   pmfs.reserve(candidates.size());
   for (size_t g = 0; g < candidates.size(); ++g) {
@@ -86,7 +120,13 @@ Result<ShapeLibrary> ShapeLibrary::Build(
     }
     groups.push_back(candidates[g]);
     pmfs.push_back(std::move(built[g].pmf));
-    raw.push_back(std::move(built[g].finite));
+    if (config.use_sketches) {
+      sketches.push_back(std::move(built[g].sketch));
+      moments.push_back(built[g].moments);
+      outlier_counts.push_back(built[g].outliers);
+    } else {
+      raw.push_back(std::move(built[g].finite));
+    }
   }
   if (static_cast<int>(groups.size()) < config.num_clusters) {
     return Status::FailedPrecondition(
@@ -102,43 +142,80 @@ Result<ShapeLibrary> ShapeLibrary::Build(
   RVAR_ASSIGN_OR_RETURN(ml::KMeansModel model, ml::KMeans(pmfs, kconfig));
   lib.inertia_ = model.inertia;
 
-  // Pool raw samples per cluster; compute Table 2 stats.
+  // Pool member groups per cluster; compute Table 2 stats.
   const int k = config.num_clusters;
-  std::vector<std::vector<double>> pooled(static_cast<size_t>(k));
-  std::vector<int> group_count(static_cast<size_t>(k), 0);
-  for (size_t g = 0; g < groups.size(); ++g) {
-    const size_t c = static_cast<size_t>(model.assignments[g]);
-    pooled[c].insert(pooled[c].end(), raw[g].begin(), raw[g].end());
-    group_count[c]++;
-  }
-
   struct Entry {
     std::vector<double> pmf;
     ShapeStats stats;
   };
   std::vector<Entry> entries(static_cast<size_t>(k));
-  const double outlier_at = OutlierThreshold(config.normalization);
+  std::vector<int> group_count(static_cast<size_t>(k), 0);
   for (int c = 0; c < k; ++c) {
-    Entry& e = entries[static_cast<size_t>(c)];
     // Renormalize the centroid (k-means means of PMFs already ~sum to 1).
+    Entry& e = entries[static_cast<size_t>(c)];
     e.pmf = model.centroids[static_cast<size_t>(c)];
     double mass = std::accumulate(e.pmf.begin(), e.pmf.end(), 0.0);
     if (mass > 0.0) {
       for (double& v : e.pmf) v /= mass;
     }
-    std::vector<double>& samples = pooled[static_cast<size_t>(c)];
-    e.stats.num_samples = static_cast<int64_t>(samples.size());
-    e.stats.num_groups = group_count[static_cast<size_t>(c)];
-    if (!samples.empty()) {
-      int64_t outliers = 0;
-      for (double v : samples) outliers += (v >= outlier_at);
-      e.stats.outlier_probability =
-          static_cast<double>(outliers) / static_cast<double>(samples.size());
-      std::sort(samples.begin(), samples.end());
-      e.stats.iqr = QuantileSorted(samples, 0.75) -
-                    QuantileSorted(samples, 0.25);
-      e.stats.p95 = QuantileSorted(samples, 0.95);
-      e.stats.stddev = StdDev(samples);
+  }
+
+  if (config.use_sketches) {
+    // Per-cluster aggregates: member sketches merge in ascending group
+    // order, so the pooled quantiles are a deterministic function of the
+    // cluster membership alone. Quantiles carry the sketch's rank-error
+    // bound; sample count, outlier probability and stddev stay exact.
+    std::vector<std::optional<KllSketch>> pooled(static_cast<size_t>(k));
+    std::vector<RunningStats> pooled_moments(static_cast<size_t>(k));
+    std::vector<int64_t> pooled_outliers(static_cast<size_t>(k), 0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const size_t c = static_cast<size_t>(model.assignments[g]);
+      if (!pooled[c].has_value()) {
+        pooled[c].emplace(*KllSketch::Make(config.sketch_k));
+      }
+      RVAR_RETURN_NOT_OK(pooled[c]->Merge(*sketches[g]));
+      pooled_moments[c].Merge(moments[g]);
+      pooled_outliers[c] += outlier_counts[g];
+      group_count[c]++;
+    }
+    for (int c = 0; c < k; ++c) {
+      Entry& e = entries[static_cast<size_t>(c)];
+      e.stats.num_groups = group_count[static_cast<size_t>(c)];
+      const std::optional<KllSketch>& sk = pooled[static_cast<size_t>(c)];
+      if (sk.has_value() && !sk->empty()) {
+        e.stats.num_samples = sk->n();
+        e.stats.outlier_probability =
+            static_cast<double>(pooled_outliers[static_cast<size_t>(c)]) /
+            static_cast<double>(sk->n());
+        e.stats.iqr = sk->Quantile(0.75) - sk->Quantile(0.25);
+        e.stats.p95 = sk->Quantile(0.95);
+        e.stats.stddev = pooled_moments[static_cast<size_t>(c)].stddev();
+      }
+    }
+  } else {
+    std::vector<std::vector<double>> pooled(static_cast<size_t>(k));
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const size_t c = static_cast<size_t>(model.assignments[g]);
+      pooled[c].insert(pooled[c].end(), raw[g].begin(), raw[g].end());
+      group_count[c]++;
+    }
+    for (int c = 0; c < k; ++c) {
+      Entry& e = entries[static_cast<size_t>(c)];
+      std::vector<double>& samples = pooled[static_cast<size_t>(c)];
+      e.stats.num_samples = static_cast<int64_t>(samples.size());
+      e.stats.num_groups = group_count[static_cast<size_t>(c)];
+      if (!samples.empty()) {
+        int64_t outliers = 0;
+        for (double v : samples) outliers += (v >= outlier_at);
+        e.stats.outlier_probability =
+            static_cast<double>(outliers) /
+            static_cast<double>(samples.size());
+        std::sort(samples.begin(), samples.end());
+        e.stats.iqr = QuantileSorted(samples, 0.75) -
+                      QuantileSorted(samples, 0.25);
+        e.stats.p95 = QuantileSorted(samples, 0.95);
+        e.stats.stddev = StdDev(samples);
+      }
     }
   }
 
@@ -246,13 +323,38 @@ int ShapeLibrary::ReferenceAssignment(int group_id) const {
 
 std::vector<double> ShapeLibrary::ObservationPmf(
     const std::vector<double>& normalized_runtimes) const {
+  std::vector<double> pmf;
+  ObservationPmfInto(normalized_runtimes, config_.smoothing_radius, &pmf);
+  return pmf;
+}
+
+int64_t ShapeLibrary::ObservationPmfInto(
+    const std::vector<double>& normalized_runtimes, int radius,
+    std::vector<double>* pmf) const {
+  RVAR_CHECK(pmf != nullptr);
   // NaN carries no shape information and must not be counted as a
   // low-outlier observation; infinities clip to the outlier bins.
-  Histogram hist(grid_);
+  pmf->assign(static_cast<size_t>(grid_.num_bins()), 0.0);
+  int64_t binned = 0;
   for (double x : normalized_runtimes) {
-    if (!std::isnan(x)) hist.Add(x);
+    if (std::isnan(x)) continue;
+    (*pmf)[static_cast<size_t>(grid_.BinIndex(x))] += 1.0;
+    ++binned;
   }
-  return SmoothPmf(hist.Probabilities(), config_.smoothing_radius);
+  FinishObservationPmfInPlace(pmf, radius);
+  return binned;
+}
+
+void ShapeLibrary::FinishObservationPmfInPlace(std::vector<double>* counts,
+                                               int radius) {
+  RVAR_CHECK(counts != nullptr);
+  double total = 0.0;
+  for (double v : *counts) total += v;
+  if (total > 0.0) {
+    const double inv = 1.0 / total;
+    for (double& v : *counts) v *= inv;
+  }
+  SmoothPmfInPlace(counts, radius);
 }
 
 }  // namespace core

@@ -11,6 +11,7 @@
 #ifndef RVAR_CORE_SHAPE_LIBRARY_H_
 #define RVAR_CORE_SHAPE_LIBRARY_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +33,15 @@ struct ShapeLibraryConfig {
   int min_support = 20;
   int num_clusters = 8;
   ml::KMeansConfig kmeans;  ///< k is overridden by num_clusters
+  /// Summarize per-group observations with a mergeable KLL quantile sketch
+  /// instead of retaining every raw sample (DESIGN.md §15). Bounds Build's
+  /// per-group state at ~2 KB; Table 2 quantiles then carry the sketch's
+  /// rank-error bound instead of being exact. `false` restores the dense
+  /// raw-sample path.
+  bool use_sketches = true;
+  /// Sketch accuracy knob (top-level capacity); larger = more accurate and
+  /// more memory. Must lie in [KllSketch::kMinK, KllSketch::kMaxK].
+  int sketch_k = 200;
 };
 
 /// \brief One Table 2 row.
@@ -100,6 +110,23 @@ class ShapeLibrary {
   /// operate on.
   std::vector<double> ObservationPmf(
       const std::vector<double>& normalized_runtimes) const;
+
+  /// ObservationPmf without the per-call allocations: `pmf` is resized to
+  /// the grid and overwritten (capacity is reused across calls), and the
+  /// smoothing half-width is explicit instead of taken from the config.
+  /// Returns the number of observations binned (NaN skipped, ±inf clipped
+  /// into the outlier bins); the PMF is all-zero when that is 0. With
+  /// `radius == config().smoothing_radius` the result is bit-identical to
+  /// ObservationPmf.
+  int64_t ObservationPmfInto(const std::vector<double>& normalized_runtimes,
+                             int radius, std::vector<double>* pmf) const;
+
+  /// Turns per-bin observation *counts* (e.g. KllSketch::BinCountsInto
+  /// output) into the smoothed, normalized observation PMF, in place.
+  /// Applying this to a dense Histogram's counts reproduces
+  /// ObservationPmf bit-for-bit.
+  static void FinishObservationPmfInPlace(std::vector<double>* counts,
+                                          int radius);
 
  private:
   ShapeLibrary() : grid_(CanonicalGrid(Normalization::kRatio)) {}

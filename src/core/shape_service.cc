@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -9,9 +10,11 @@
 namespace rvar {
 namespace core {
 
-ShapeService::ShapeService(const ShapeLibrary* library, Options options)
+ShapeService::ShapeService(const ShapeLibrary* library, Options options,
+                           std::shared_ptr<const ClusterLogPmf> log_pmf)
     : library_(library),
       options_(options),
+      log_pmf_(std::move(log_pmf)),
       num_shards_(static_cast<size_t>(std::max(1, options.num_shards))) {
   options_.num_shards = static_cast<int>(num_shards_);
   shards_ = std::make_unique<Shard[]>(num_shards_);
@@ -23,6 +26,8 @@ ShapeService::ShapeService(const ShapeLibrary* library, Options options)
   observe_total_ = registry.GetCounter("shape_service_observe_total");
   observe_rejected_ = registry.GetCounter("shape_service_observe_rejected");
   model_swaps_total_ = registry.GetCounter("shape_service_model_swaps_total");
+  pmf_cache_hits_ = registry.GetCounter("shape_service_pmf_cache_hits");
+  pmf_cache_misses_ = registry.GetCounter("shape_service_pmf_cache_misses");
   for (size_t s = 0; s < num_shards_; ++s) {
     shards_[s].observe_total = registry.GetCounter(
         "shape_service_shard_observe_total", "shard", StrCat(s));
@@ -66,13 +71,27 @@ Result<std::unique_ptr<ShapeService>> ShapeService::Make(
         StrCat("ShapeService options.num_shards must be >= 1, got ",
                options.num_shards));
   }
-  // Validate the tracker parameters once, up front, so per-group tracker
-  // creation inside Observe can never fail.
+  if (options.sketch_k < KllSketch::kMinK ||
+      options.sketch_k > KllSketch::kMaxK) {
+    return Status::InvalidArgument(
+        StrCat("ShapeService options.sketch_k must be in [", KllSketch::kMinK,
+               ", ", KllSketch::kMaxK, "], got ", options.sketch_k));
+  }
+  if (options.pmf_cache_entries < 0) {
+    return Status::InvalidArgument(
+        StrCat("ShapeService options.pmf_cache_entries must be >= 0, got ",
+               options.pmf_cache_entries));
+  }
+  // Build the shared log theta table once; every per-group tracker (and
+  // the Eq. 9 prior scorer) reference it instead of holding a copy, so
+  // per-group creation inside Observe can never fail.
+  RVAR_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ClusterLogPmf> table,
+      ClusterLogPmf::MakeShared(*library, options.pmf_floor));
   RVAR_RETURN_NOT_OK(
-      OnlineShapeTracker::Make(library, options.decay, options.pmf_floor)
-          .status());
+      OnlineShapeTracker::Make(library, table, options.decay).status());
   return std::unique_ptr<ShapeService>(
-      new ShapeService(library, options));
+      new ShapeService(library, options, std::move(table)));
 }
 
 size_t ShapeService::ShardIndexFor(int group_id) const {
@@ -122,15 +141,19 @@ Status ShapeService::Observe(int group_id, double normalized_runtime) {
   Shard& shard = shards_[shard_index];
   shard.observe_total->Increment();
   std::unique_lock<std::mutex> lock = LockShard(shard_index);
-  auto it = shard.trackers.find(group_id);
-  if (it == shard.trackers.end()) {
-    it = shard.trackers
+  auto it = shard.groups.find(group_id);
+  if (it == shard.groups.end()) {
+    it = shard.groups
              .emplace(group_id,
-                      *OnlineShapeTracker::Make(library_, options_.decay,
-                                                options_.pmf_floor))
+                      GroupEntry(*OnlineShapeTracker::Make(
+                                     library_, log_pmf_, options_.decay),
+                                 *KllSketch::Make(options_.sketch_k)))
              .first;
   }
-  it->second.Observe(normalized_runtime);
+  GroupEntry& entry = it->second;
+  entry.tracker.Observe(normalized_runtime);
+  entry.sketch.UpdateClamped(library_->grid(), normalized_runtime);
+  ++entry.version;  // invalidates any cached reconstruction
   ++shard.total_observations;
   return Status::OK();
 }
@@ -140,20 +163,97 @@ std::vector<double> ShapeService::Posterior(int group_id) const {
   const size_t shard_index = ShardIndexFor(group_id);
   Shard& shard = shards_[shard_index];
   std::unique_lock<std::mutex> lock = LockShard(shard_index);
-  const auto it = shard.trackers.find(group_id);
-  if (it == shard.trackers.end()) {
+  const auto it = shard.groups.find(group_id);
+  if (it == shard.groups.end()) {
     const size_t k = static_cast<size_t>(library_->num_clusters());
     return std::vector<double>(k, 1.0 / static_cast<double>(k));
   }
-  return it->second.Posterior();
+  return it->second.tracker.Posterior();
 }
 
 int ShapeService::MostLikely(int group_id) const {
   const size_t shard_index = ShardIndexFor(group_id);
   Shard& shard = shards_[shard_index];
   std::unique_lock<std::mutex> lock = LockShard(shard_index);
-  const auto it = shard.trackers.find(group_id);
-  return it == shard.trackers.end() ? -1 : it->second.MostLikely();
+  const auto it = shard.groups.find(group_id);
+  return it == shard.groups.end() ? -1 : it->second.tracker.MostLikely();
+}
+
+const ShapeService::CacheEntry& ShapeService::ReconstructLocked(
+    Shard& shard, int group_id, const GroupEntry& entry) const {
+  if (options_.pmf_cache_entries > 0) {
+    const auto it = shard.pmf_cache.find(group_id);
+    if (it != shard.pmf_cache.end() && it->second.version == entry.version) {
+      pmf_cache_hits_->Increment();
+      return it->second;
+    }
+  }
+  pmf_cache_misses_->Increment();
+  CacheEntry* slot;
+  if (options_.pmf_cache_entries > 0) {
+    if (shard.pmf_cache.size() >=
+            static_cast<size_t>(options_.pmf_cache_entries) &&
+        shard.pmf_cache.find(group_id) == shard.pmf_cache.end()) {
+      // Overflow clears the whole shard cache: cheap, deterministic, and
+      // correctness never depends on what stays resident.
+      shard.pmf_cache.clear();
+    }
+    slot = &shard.pmf_cache[group_id];
+  } else {
+    slot = &shard.reconstruct_scratch;
+  }
+  slot->version = entry.version;
+  entry.sketch.BinCountsInto(library_->grid(), &slot->counts);
+  // Equation 9 over the reconstructed counts: argmax_c sum_h n_h log
+  // theta_h^c. With decay 1 and an exact-mode sketch this recovers the
+  // tracker's running-sum argmax — the counts are the same tallies the
+  // tracker accumulated one observation at a time.
+  int best = 0;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < log_pmf_->num_clusters(); ++c) {
+    const double* lp = log_pmf_->row(c);
+    double ll = 0.0;
+    for (size_t h = 0; h < slot->counts.size(); ++h) {
+      if (slot->counts[h] > 0.0) ll += slot->counts[h] * lp[h];
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = c;
+    }
+  }
+  slot->shape = best;
+  return *slot;
+}
+
+int ShapeService::PriorShape(int group_id) const {
+  obs::ScopedLatencyTimer timer(query_latency_);
+  const size_t shard_index = ShardIndexFor(group_id);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lock = LockShard(shard_index);
+  const auto it = shard.groups.find(group_id);
+  if (it == shard.groups.end() || it->second.sketch.empty()) {
+    return global_prior_shape_;
+  }
+  return ReconstructLocked(shard, group_id, it->second).shape;
+}
+
+bool ShapeService::ReconstructPmf(int group_id,
+                                  std::vector<double>* pmf) const {
+  RVAR_CHECK(pmf != nullptr);
+  const size_t shard_index = ShardIndexFor(group_id);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lock = LockShard(shard_index);
+  const auto it = shard.groups.find(group_id);
+  if (it == shard.groups.end()) {
+    pmf->clear();
+    return false;
+  }
+  *pmf = ReconstructLocked(shard, group_id, it->second).counts;
+  lock.unlock();
+  // Normalize + smooth outside the lock: the copy is ours now.
+  ShapeLibrary::FinishObservationPmfInPlace(
+      pmf, library_->config().smoothing_radius);
+  return true;
 }
 
 double ShapeService::ProbabilityOf(int group_id, int cluster) const {
@@ -161,19 +261,19 @@ double ShapeService::ProbabilityOf(int group_id, int cluster) const {
   const size_t shard_index = ShardIndexFor(group_id);
   Shard& shard = shards_[shard_index];
   std::unique_lock<std::mutex> lock = LockShard(shard_index);
-  const auto it = shard.trackers.find(group_id);
-  if (it == shard.trackers.end()) {
+  const auto it = shard.groups.find(group_id);
+  if (it == shard.groups.end()) {
     return 1.0 / static_cast<double>(library_->num_clusters());
   }
-  return it->second.ProbabilityOf(cluster);
+  return it->second.tracker.ProbabilityOf(cluster);
 }
 
 int64_t ShapeService::GroupCount(int group_id) const {
   const size_t shard_index = ShardIndexFor(group_id);
   Shard& shard = shards_[shard_index];
   std::unique_lock<std::mutex> lock = LockShard(shard_index);
-  const auto it = shard.trackers.find(group_id);
-  return it == shard.trackers.end() ? 0 : it->second.count();
+  const auto it = shard.groups.find(group_id);
+  return it == shard.groups.end() ? 0 : it->second.tracker.count();
 }
 
 int64_t ShapeService::TotalObservations() const {
@@ -192,7 +292,7 @@ size_t ShapeService::NumGroups() const {
   size_t total = 0;
   for (size_t s = 0; s < num_shards_; ++s) {
     std::lock_guard<std::mutex> lock(shards_[s].mu);
-    total += shards_[s].trackers.size();
+    total += shards_[s].groups.size();
   }
   return total;
 }
@@ -201,7 +301,7 @@ std::vector<int> ShapeService::TrackedGroups() const {
   std::vector<int> groups;
   for (size_t s = 0; s < num_shards_; ++s) {
     std::lock_guard<std::mutex> lock(shards_[s].mu);
-    for (const auto& [gid, tracker] : shards_[s].trackers) {
+    for (const auto& [gid, entry] : shards_[s].groups) {
       groups.push_back(gid);
     }
   }
@@ -213,10 +313,13 @@ bool ShapeService::Forget(int group_id) {
   const size_t shard_index = ShardIndexFor(group_id);
   Shard& shard = shards_[shard_index];
   std::unique_lock<std::mutex> lock = LockShard(shard_index);
-  const auto it = shard.trackers.find(group_id);
-  if (it == shard.trackers.end()) return false;
-  shard.total_observations -= it->second.count();
-  shard.trackers.erase(it);
+  const auto it = shard.groups.find(group_id);
+  if (it == shard.groups.end()) return false;
+  shard.total_observations -= it->second.tracker.count();
+  shard.groups.erase(it);
+  // A later group with the same id restarts its version stamp at 0, so
+  // the cached reconstruction must go with the state.
+  shard.pmf_cache.erase(group_id);
   return true;
 }
 
@@ -256,15 +359,18 @@ std::vector<ShapeService::GroupState> ShapeService::ExportState() const {
   }
   // Per-shard snapshots merged in shard-index order, then sorted by group
   // id: group ids are unique, so the result — and the serialized image
-  // built from it — is byte-identical at any shard count.
+  // built from it — is byte-identical at any shard count. The sketches
+  // themselves are shard-count independent too: each is a deterministic
+  // function of its group's observation sequence alone.
   std::vector<GroupState> states;
   for (size_t s = 0; s < num_shards_; ++s) {
-    for (const auto& [gid, tracker] : shards_[s].trackers) {
+    for (const auto& [gid, entry] : shards_[s].groups) {
       GroupState state;
       state.group_id = gid;
-      state.log_likelihood = tracker.log_likelihood();
-      state.count = tracker.count();
-      state.num_clamped = tracker.num_clamped();
+      state.log_likelihood = entry.tracker.log_likelihood();
+      state.count = entry.tracker.count();
+      state.num_clamped = entry.tracker.num_clamped();
+      state.sketch.emplace(entry.sketch);
       states.push_back(std::move(state));
     }
   }
@@ -276,21 +382,42 @@ std::vector<ShapeService::GroupState> ShapeService::ExportState() const {
 }
 
 Status ShapeService::RestoreState(const std::vector<GroupState>& states) {
-  // Validate and build every tracker before touching the live shards, so
-  // a corrupt entry leaves the service exactly as it was.
-  std::vector<std::pair<int, OnlineShapeTracker>> restored;
+  // Validate and build every group before touching the live shards, so a
+  // corrupt entry leaves the service exactly as it was.
+  std::vector<std::pair<int, GroupEntry>> restored;
   restored.reserve(states.size());
   for (const GroupState& state : states) {
     if (state.group_id < 0) {
       return Status::InvalidArgument(
           StrCat("restored group_id must be >= 0, got ", state.group_id));
     }
-    auto tracker =
-        OnlineShapeTracker::Make(library_, options_.decay, options_.pmf_floor);
+    if (!state.sketch.has_value()) {
+      return Status::InvalidArgument(
+          StrCat("restored group ", state.group_id,
+                 " carries no quantile sketch"));
+    }
+    if (state.sketch->k() != options_.sketch_k) {
+      return Status::InvalidArgument(
+          StrCat("restored group ", state.group_id, " sketch has k=",
+                 state.sketch->k(), ", service expects k=",
+                 options_.sketch_k));
+    }
+    if (state.sketch->n() != state.count) {
+      // Observe feeds every accepted sample to both the tracker and the
+      // sketch, so a divergent pair cannot have come from ExportState.
+      return Status::InvalidArgument(
+          StrCat("restored group ", state.group_id, " sketch holds ",
+                 state.sketch->n(), " observations but tracker count is ",
+                 state.count));
+    }
+    auto tracker = OnlineShapeTracker::Make(library_, log_pmf_,
+                                            options_.decay);
     RVAR_RETURN_NOT_OK(tracker.status());
     RVAR_RETURN_NOT_OK(tracker->RestoreState(state.log_likelihood,
                                              state.count, state.num_clamped));
-    restored.emplace_back(state.group_id, std::move(*tracker));
+    restored.emplace_back(
+        state.group_id,
+        GroupEntry(std::move(*tracker), KllSketch(*state.sketch)));
   }
   for (size_t i = 1; i < restored.size(); ++i) {
     if (restored[i].first <= restored[i - 1].first) {
@@ -306,13 +433,16 @@ Status ShapeService::RestoreState(const std::vector<GroupState>& states) {
     locks.emplace_back(shards_[s].mu);
   }
   for (size_t s = 0; s < num_shards_; ++s) {
-    shards_[s].trackers.clear();
+    shards_[s].groups.clear();
+    // Version stamps restart at 0 with the replaced state, so every
+    // cached reconstruction is stale by construction.
+    shards_[s].pmf_cache.clear();
     shards_[s].total_observations = 0;
   }
-  for (auto& [gid, tracker] : restored) {
+  for (auto& [gid, entry] : restored) {
     Shard& shard = shards_[ShardIndexFor(gid)];
-    shard.total_observations += tracker.count();
-    shard.trackers.emplace(gid, std::move(tracker));
+    shard.total_observations += entry.tracker.count();
+    shard.groups.emplace(gid, std::move(entry));
   }
   return Status::OK();
 }

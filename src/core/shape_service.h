@@ -22,6 +22,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "core/shape_library.h"
 #include "ml/gbdt.h"
 #include "obs/metrics.h"
+#include "stats/kll_sketch.h"
 
 namespace rvar {
 namespace core {
@@ -50,6 +52,18 @@ class ShapeService {
     /// Must be >= 1. Exported state and every query answer are identical
     /// at any shard count.
     int num_shards = 16;
+    /// Accuracy knob of the per-group quantile sketch (KllSketch top-level
+    /// capacity): larger = tighter rank error, more memory. Bounded state
+    /// per group is ~2 KB at the default. Must lie in [KllSketch::kMinK,
+    /// KllSketch::kMaxK]; snapshots restore only into a service with the
+    /// same value.
+    int sketch_k = 200;
+    /// Per-shard capacity of the reconstructed-PMF cache serving
+    /// PriorShape/ReconstructPmf (entries, not bytes; a 200-bin entry is
+    /// ~1.7 KB). 0 disables caching. The cache never changes an answer —
+    /// entries are invalidated by a per-group version stamp bumped on
+    /// every state change.
+    int pmf_cache_entries = 1024;
   };
 
   /// \param library must outlive the service. Rejects decay outside
@@ -83,6 +97,22 @@ class ShapeService {
   /// cluster in [0, num_clusters) — the fallback answer for groups no
   /// tracker has ever seen.
   int GlobalPriorShape() const { return global_prior_shape_; }
+
+  /// The serving prior rung's answer (serve/frontend.cc): the Eq. 9
+  /// posterior argmax over the group's *reconstructed* observation PMF —
+  /// per-bin counts rebuilt on demand from the group's quantile sketch
+  /// and scored against the shared log theta table — falling back to
+  /// GlobalPriorShape() for unknown (or empty) groups. Always a valid
+  /// cluster. Reconstructions are memoized in a per-shard cache keyed by
+  /// the group's version stamp, so repeated prior queries between
+  /// observations cost one map lookup.
+  int PriorShape(int group_id) const;
+
+  /// Reconstructs the group's smoothed, normalized observation PMF (the
+  /// ShapeLibrary::ObservationPmf representation) from its sketch into
+  /// `pmf`. Returns false (and clears `pmf`) for unknown groups. Shares
+  /// the PriorShape reconstruction cache.
+  bool ReconstructPmf(int group_id, std::vector<double>* pmf) const;
 
   /// Drift score: posterior probability the group still follows `cluster`.
   /// 1/K for unknown groups (uniform prior).
@@ -133,12 +163,16 @@ class ShapeService {
   std::shared_ptr<const ml::GbdtClassifier> ModelSnapshotForShard(
       size_t shard_index) const;
 
-  /// One tracker's checkpointable state (io/serialize.h codec).
+  /// One group's checkpointable state (io/serialize.h codec): the
+  /// tracker's discounted sums plus the bounded quantile sketch. The
+  /// sketch is mandatory on restore — RestoreState refuses states without
+  /// one (pre-sketch images fail at decode, not half-load).
   struct GroupState {
     int group_id = 0;
     std::vector<double> log_likelihood;  ///< per-cluster discounted sums
     int64_t count = 0;
     int64_t num_clamped = 0;
+    std::optional<KllSketch> sketch;  ///< bounded per-group summary
   };
 
   /// Point-in-time snapshot of every tracker, ascending by group id (all
@@ -156,12 +190,41 @@ class ShapeService {
   const Options& options() const { return options_; }
 
  private:
-  /// One share-nothing partition: tracker map, observation total, obs
-  /// counters, and a replica of the published model epoch. Nothing in a
-  /// shard is ever touched under another shard's mutex.
+  /// One tracked group: the running posterior, the bounded quantile
+  /// sketch, and a version stamp bumped on every mutation (the
+  /// reconstruction cache's invalidation key).
+  struct GroupEntry {
+    GroupEntry(OnlineShapeTracker tracker_in, KllSketch sketch_in)
+        : tracker(std::move(tracker_in)), sketch(std::move(sketch_in)) {}
+    OnlineShapeTracker tracker;
+    KllSketch sketch;
+    uint64_t version = 0;
+  };
+
+  /// One cached PMF reconstruction: valid while the group's version stamp
+  /// still matches. `counts` is the raw BinCountsInto output (unsmoothed,
+  /// unnormalized) so both the Eq. 9 scorer and ReconstructPmf can reuse
+  /// it.
+  struct CacheEntry {
+    uint64_t version = 0;
+    int shape = 0;
+    std::vector<double> counts;
+  };
+
+  /// One share-nothing partition: group map, observation total, obs
+  /// counters, reconstruction cache, and a replica of the published model
+  /// epoch. Nothing in a shard is ever touched under another shard's
+  /// mutex.
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<int, OnlineShapeTracker> trackers;
+    std::unordered_map<int, GroupEntry> groups;
+    /// PMF reconstruction memo; guarded by mu. Bounded at
+    /// options.pmf_cache_entries — overflow clears the whole map (cheap,
+    /// deterministic, and correctness never depends on residency).
+    mutable std::unordered_map<int, CacheEntry> pmf_cache;
+    /// Reconstruction target when caching is disabled (entries = 0);
+    /// guarded by mu like the cache it substitutes for.
+    mutable CacheEntry reconstruct_scratch;
     int64_t total_observations = 0;  ///< guarded by mu
     /// Shard-local epoch replica; atomic shared_ptr access only.
     std::shared_ptr<const ml::GbdtClassifier> model;
@@ -169,7 +232,8 @@ class ShapeService {
     obs::Counter* contention = nullptr;     ///< contended hot-path locks
   };
 
-  ShapeService(const ShapeLibrary* library, Options options);
+  ShapeService(const ShapeLibrary* library, Options options,
+               std::shared_ptr<const ClusterLogPmf> log_pmf);
 
   Shard& ShardFor(int group_id) const;
   /// Locks the shard for the observe/query hot path, counting the
@@ -178,8 +242,16 @@ class ShapeService {
   /// so contention metrics only ever reflect serving traffic.
   std::unique_lock<std::mutex> LockShard(size_t shard_index) const;
 
+  /// Looks up (or rebuilds) the group's cached reconstruction. Caller
+  /// holds the shard lock; returns the up-to-date entry for `entry`.
+  const CacheEntry& ReconstructLocked(Shard& shard, int group_id,
+                                      const GroupEntry& entry) const;
+
   const ShapeLibrary* library_;
   Options options_;
+  /// Shared log theta table (ClusterLogPmf): one copy serves every
+  /// tracker in every shard plus the Eq. 9 prior scorer.
+  std::shared_ptr<const ClusterLogPmf> log_pmf_;
   std::unique_ptr<Shard[]> shards_;
   size_t num_shards_;
   int global_prior_shape_ = 0;
@@ -195,6 +267,8 @@ class ShapeService {
   obs::Counter* observe_total_;
   obs::Counter* observe_rejected_;  ///< negative ids / non-finite samples
   obs::Counter* model_swaps_total_;               ///< SwapModel() calls
+  obs::Counter* pmf_cache_hits_;    ///< reconstruction served from cache
+  obs::Counter* pmf_cache_misses_;  ///< reconstruction recomputed
 };
 
 }  // namespace core

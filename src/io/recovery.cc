@@ -6,6 +6,7 @@
 #include <system_error>
 #include <utility>
 
+#include "common/check.h"
 #include "common/strings.h"
 #include "io/codec.h"
 #include "io/serialize.h"
@@ -126,7 +127,8 @@ struct DecodedState {
 //   record 0: watermark seq, next WAL segment id, tracker decay/floor,
 //             tracker count
 //   record 1: the full shape-library snapshot image, nested verbatim
-//   record 2..: one tracker per record (group id, counters, ll sums)
+//   record 2..: one tracker per record (group id, counters, ll sums,
+//               then the group's KLL sketch — serialize.h wire format)
 Result<DecodedState> DecodeServingState(std::string bytes) {
   RVAR_ASSIGN_OR_RETURN(
       SnapshotReader reader,
@@ -164,6 +166,11 @@ Result<DecodedState> DecodeServingState(std::string bytes) {
     decoded.state.library =
         std::make_unique<core::ShapeLibrary>(std::move(library));
   }
+  // One log theta table shared by every restored tracker (the same
+  // sharing ShapeService uses; per-tracker copies would cost ~13 KB each).
+  RVAR_ASSIGN_OR_RETURN(
+      std::shared_ptr<const core::ClusterLogPmf> log_pmf,
+      core::ClusterLogPmf::MakeShared(*decoded.state.library, pmf_floor));
   for (uint64_t i = 0; i < num_trackers; ++i) {
     RVAR_ASSIGN_OR_RETURN(std::string_view rec,
                           reader.Record(static_cast<size_t>(i) + 2));
@@ -176,19 +183,29 @@ Result<DecodedState> DecodeServingState(std::string bytes) {
     RVAR_ASSIGN_OR_RETURN(count, r.ReadI64());
     RVAR_ASSIGN_OR_RETURN(clamped, r.ReadI64());
     RVAR_ASSIGN_OR_RETURN(ll, r.ReadDoubleVector());
+    RVAR_ASSIGN_OR_RETURN(KllSketch sketch, DecodeKllSketchFrom(&r));
     if (!r.AtEnd()) {
       return Status::InvalidArgument(
           StrCat("tracker record for group ", gid, " has trailing bytes"));
     }
+    // A NaN observation bumps num_clamped but neither count nor the
+    // sketch, and everything else lands in both — so the two tallies
+    // agree in any state this process could have written.
+    if (sketch.n() != count) {
+      return Status::InvalidArgument(
+          StrCat("group ", gid, " sketch holds ", sketch.n(),
+                 " samples but the tracker counted ", count));
+    }
     RVAR_ASSIGN_OR_RETURN(
         core::OnlineShapeTracker tracker,
-        core::OnlineShapeTracker::Make(decoded.state.library.get(), decay,
-                                       pmf_floor));
+        core::OnlineShapeTracker::Make(decoded.state.library.get(), log_pmf,
+                                       decay));
     RVAR_RETURN_NOT_OK(tracker.RestoreState(ll, count, clamped));
     if (!decoded.state.trackers.emplace(gid, std::move(tracker)).second) {
       return Status::InvalidArgument(
           StrCat("group ", gid, " appears twice in the snapshot"));
     }
+    decoded.state.sketches.emplace(gid, std::move(sketch));
   }
   return decoded;
 }
@@ -245,6 +262,12 @@ Result<RecoveryManager> RecoveryManager::Open(const std::string& dir,
   if (!(options.decay > 0.0) || options.decay > 1.0) {
     return Status::InvalidArgument("decay must be in (0, 1]");
   }
+  if (options.sketch_k < KllSketch::kMinK ||
+      options.sketch_k > KllSketch::kMaxK) {
+    return Status::InvalidArgument(
+        StrCat("options.sketch_k must lie in [", KllSketch::kMinK, ", ",
+               KllSketch::kMaxK, "], got ", options.sketch_k));
+  }
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -298,6 +321,7 @@ Status RecoveryManager::Bootstrap(core::ShapeLibrary library) {
   }
   state_.library = std::make_unique<core::ShapeLibrary>(std::move(library));
   state_.trackers.clear();
+  state_.sketches.clear();
   last_seq_ = 0;
   live_ = true;
   const Status checkpoint = Checkpoint();
@@ -435,9 +459,15 @@ Status RecoveryManager::ApplyObservation(int group_id, double value) {
         core::OnlineShapeTracker tracker,
         core::OnlineShapeTracker::Make(state_.library.get(), options_.decay,
                                        options_.pmf_floor));
+    RVAR_ASSIGN_OR_RETURN(KllSketch sketch, KllSketch::Make(options_.sketch_k));
     it = state_.trackers.emplace(group_id, std::move(tracker)).first;
+    state_.sketches.emplace(group_id, std::move(sketch));
   }
   it->second.Observe(value);
+  // UpdateClamped mirrors the tracker's non-finite handling (NaN dropped,
+  // +/-inf clamped to the grid edge), keeping sketch.n() == count — the
+  // invariant DecodeServingState enforces.
+  state_.sketches.at(group_id).UpdateClamped(state_.library->grid(), value);
   return Status::OK();
 }
 
@@ -472,11 +502,14 @@ Status RecoveryManager::WriteSnapshot(int64_t generation,
   }
   snap.AddRecord(EncodeShapeLibrary(*state_.library));
   for (const auto& [gid, tracker] : state_.trackers) {
+    const auto sketch_it = state_.sketches.find(gid);
+    RVAR_CHECK(sketch_it != state_.sketches.end());
     BinaryWriter w;
     w.PutI32(gid);
     w.PutI64(tracker.count());
     w.PutI64(tracker.num_clamped());
     w.PutDoubleVector(tracker.log_likelihood());
+    EncodeKllSketchInto(sketch_it->second, &w);
     snap.AddRecord(w.bytes());
   }
   const std::string image = snap.Finish();

@@ -26,6 +26,7 @@
 #include "core/shape_library.h"
 #include "io/snapshot.h"
 #include "io/wal.h"
+#include "stats/kll_sketch.h"
 
 namespace rvar {
 namespace io {
@@ -71,6 +72,10 @@ struct ServingState {
   std::unique_ptr<core::ShapeLibrary> library;
   /// Ordered by group id (deterministic checkpoint images).
   std::map<int, core::OnlineShapeTracker> trackers;
+  /// One bounded quantile sketch per tracked group, same keys as
+  /// `trackers`: the per-group distribution summary that survives restarts
+  /// alongside the discounted log-likelihood sums.
+  std::map<int, KllSketch> sketches;
 };
 
 /// \brief Owns a state directory of snapshot generations and WAL segments.
@@ -86,6 +91,11 @@ class RecoveryManager {
     /// Tracker decay / floor used for groups first seen via Observe.
     double decay = 1.0;
     double pmf_floor = 1e-6;
+    /// KllSketch accuracy knob for per-group sketches created on first
+    /// sight. Snapshots embed each sketch's own k, so a directory written
+    /// with one value recovers intact under another; only new groups pick
+    /// up the changed setting.
+    int sketch_k = 200;
     /// Snapshot generations retained after a checkpoint (>= 1). Older
     /// generations and the WAL segments they would replay are pruned.
     int keep_snapshots = 2;

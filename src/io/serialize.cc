@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/strings.h"
 #include "io/codec.h"
 #include "ml/tree.h"
@@ -668,16 +670,58 @@ Result<sim::TelemetryStore> DecodeTelemetryImage(std::string bytes,
   return store;
 }
 
+// --- KllSketch (bit-cast helpers + standalone container) -----------------
+
+uint32_t FloatBits(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+float FloatFromBits(uint32_t bits) {
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// record 0: the embedded sketch encoding (EncodeKllSketchInto)
+std::string EncodeKllSketchImage(const KllSketch& sketch) {
+  SnapshotWriter snap(PayloadKind::kKllSketch);
+  BinaryWriter w;
+  EncodeKllSketchInto(sketch, &w);
+  snap.AddRecord(w.bytes());
+  return snap.Finish();
+}
+
+Result<KllSketch> DecodeKllSketchImage(std::string bytes,
+                                       SnapshotDefect* defect) {
+  RVAR_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      OpenSnapshot(std::move(bytes), PayloadKind::kKllSketch, 1, defect));
+  if (reader.num_records() != 1) {
+    return Status::InvalidArgument(
+        StrCat("kll-sketch snapshot holds ", reader.num_records(),
+               " records, layout has exactly 1"));
+  }
+  RVAR_ASSIGN_OR_RETURN(std::string_view rec, reader.Record(0));
+  BinaryReader r(rec);
+  RVAR_ASSIGN_OR_RETURN(KllSketch sketch, DecodeKllSketchFrom(&r));
+  RVAR_RETURN_NOT_OK(ExpectRecordEnd(r, "kll-sketch"));
+  return sketch;
+}
+
 // --- ShapeServiceState ---------------------------------------------------
 //
 // record 0: number of group states
-// record 1..n: group id, observation count, clamp count, ll sums
+// record 1..n: group id, observation count, clamp count, ll sums, and the
+//              group's quantile sketch (embedded KllSketch encoding)
 //
 // Records follow ExportState's order — ascending group id, after the
 // deterministic per-shard merge — so the encoded image is byte-identical
 // at any shard count and a snapshot written by an S-shard service
 // restores into any other shard count (the shard-determinism suite pins
-// this).
+// this). Pre-sketch images fail to decode (their records end before the
+// sketch fields), rather than half-loading without sketches.
 
 std::string EncodeShapeServiceImage(const core::ShapeService& service) {
   const std::vector<core::ShapeService::GroupState> states =
@@ -694,6 +738,8 @@ std::string EncodeShapeServiceImage(const core::ShapeService& service) {
     w.PutI64(state.count);
     w.PutI64(state.num_clamped);
     w.PutDoubleVector(state.log_likelihood);
+    RVAR_CHECK(state.sketch.has_value());  // ExportState always fills it
+    EncodeKllSketchInto(*state.sketch, &w);
     snap.AddRecord(w.bytes());
   }
   return snap.Finish();
@@ -728,7 +774,16 @@ Result<std::vector<core::ShapeService::GroupState>> DecodeShapeServiceImage(
     RVAR_ASSIGN_OR_RETURN(state.count, r.ReadI64());
     RVAR_ASSIGN_OR_RETURN(state.num_clamped, r.ReadI64());
     RVAR_ASSIGN_OR_RETURN(state.log_likelihood, r.ReadDoubleVector());
+    {
+      RVAR_ASSIGN_OR_RETURN(KllSketch sketch, DecodeKllSketchFrom(&r));
+      state.sketch.emplace(std::move(sketch));
+    }
     RVAR_RETURN_NOT_OK(ExpectRecordEnd(r, "group state"));
+    if (state.sketch->n() != state.count) {
+      return Status::InvalidArgument(
+          StrCat("group state ", i, " sketch holds ", state.sketch->n(),
+                 " observations but tracker count is ", state.count));
+    }
     if (state.group_id < 0) {
       return Status::InvalidArgument(
           StrCat("group state ", i, " holds negative group id ",
@@ -877,6 +932,75 @@ Result<std::vector<core::ShapeService::GroupState>> LoadShapeServiceState(
     const std::string& path) {
   RVAR_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
   return DecodeShapeServiceState(std::move(bytes));
+}
+
+void EncodeKllSketchInto(const KllSketch& sketch, BinaryWriter* w) {
+  w->PutU32(static_cast<uint32_t>(sketch.k()));
+  w->PutI64(sketch.n());
+  w->PutU32(FloatBits(sketch.min_value()));
+  w->PutU32(FloatBits(sketch.max_value()));
+  w->PutU64(sketch.compaction_parity());
+  const std::vector<uint32_t>& level_sizes = sketch.level_sizes();
+  w->PutU32(static_cast<uint32_t>(level_sizes.size()));
+  for (uint32_t size : level_sizes) w->PutU32(size);
+  for (float item : sketch.items()) w->PutU32(FloatBits(item));
+}
+
+Result<KllSketch> DecodeKllSketchFrom(BinaryReader* r) {
+  RVAR_ASSIGN_OR_RETURN(uint32_t k, r->ReadU32());
+  if (k > static_cast<uint32_t>(KllSketch::kMaxK)) {
+    // Range-check before handing k to Restore so a hostile prefix cannot
+    // drive capacity math with a wild value.
+    return Status::InvalidArgument(
+        StrCat("sketch k ", k, " exceeds the limit ", KllSketch::kMaxK));
+  }
+  RVAR_ASSIGN_OR_RETURN(int64_t n, r->ReadI64());
+  RVAR_ASSIGN_OR_RETURN(uint32_t min_bits, r->ReadU32());
+  RVAR_ASSIGN_OR_RETURN(uint32_t max_bits, r->ReadU32());
+  RVAR_ASSIGN_OR_RETURN(uint64_t parity, r->ReadU64());
+  RVAR_ASSIGN_OR_RETURN(uint32_t num_levels, r->ReadU32());
+  if (num_levels > static_cast<uint32_t>(KllSketch::kMaxLevels)) {
+    return Status::InvalidArgument(
+        StrCat("sketch holds ", num_levels, " levels, limit is ",
+               KllSketch::kMaxLevels));
+  }
+  std::vector<uint32_t> level_sizes;
+  level_sizes.reserve(num_levels);
+  uint64_t total_items = 0;
+  for (uint32_t h = 0; h < num_levels; ++h) {
+    RVAR_ASSIGN_OR_RETURN(uint32_t size, r->ReadU32());
+    level_sizes.push_back(size);
+    total_items += size;
+  }
+  if (total_items > r->remaining() / sizeof(uint32_t)) {
+    // Reject the count prefix before allocating (hostile-bytes guard).
+    return Status::InvalidArgument(
+        StrCat("sketch promises ", total_items, " retained items but only ",
+               r->remaining(), " bytes remain"));
+  }
+  std::vector<float> items;
+  items.reserve(static_cast<size_t>(total_items));
+  for (uint64_t i = 0; i < total_items; ++i) {
+    RVAR_ASSIGN_OR_RETURN(uint32_t bits, r->ReadU32());
+    items.push_back(FloatFromBits(bits));
+  }
+  return KllSketch::Restore(static_cast<int>(k), n, FloatFromBits(min_bits),
+                            FloatFromBits(max_bits), std::move(level_sizes),
+                            std::move(items), parity);
+}
+
+std::string EncodeKllSketch(const KllSketch& sketch) {
+  return EncodeKllSketchImage(sketch);
+}
+Status SaveKllSketch(const KllSketch& sketch, const std::string& path) {
+  return AtomicWriteFile(path, EncodeKllSketch(sketch));
+}
+Result<KllSketch> DecodeKllSketch(std::string bytes, SnapshotDefect* defect) {
+  return DecodeKllSketchImage(std::move(bytes), defect);
+}
+Result<KllSketch> LoadKllSketch(const std::string& path) {
+  RVAR_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return DecodeKllSketch(std::move(bytes));
 }
 
 }  // namespace io

@@ -19,10 +19,12 @@
 #include "core/featurizer.h"
 #include "core/shape_library.h"
 #include "core/shape_service.h"
+#include "io/codec.h"
 #include "io/snapshot.h"
 #include "ml/forest.h"
 #include "ml/gbdt.h"
 #include "sim/telemetry.h"
+#include "stats/kll_sketch.h"
 
 namespace rvar {
 namespace io {
@@ -87,9 +89,9 @@ Result<sim::TelemetryStore> DecodeTelemetryStore(
     std::string bytes, SnapshotDefect* defect = nullptr);
 Result<sim::TelemetryStore> LoadTelemetryStore(const std::string& path);
 
-/// The ShapeService's per-group OnlineShapeTracker state (discounted
-/// log-likelihood sums plus observation/clamp counters), so online serving
-/// state survives restart alongside the model. Encode exports a
+/// The ShapeService's per-group state (discounted log-likelihood sums,
+/// observation/clamp counters, and the group's KLL quantile sketch), so
+/// online serving state survives restart alongside the model. Encode exports a
 /// point-in-time cut of the live service; Decode yields the group states
 /// in the form ShapeService::RestoreState takes, validated down to
 /// finiteness by the restore path. The image is shard-count independent:
@@ -103,6 +105,25 @@ Result<std::vector<core::ShapeService::GroupState>> DecodeShapeServiceState(
     std::string bytes, SnapshotDefect* defect = nullptr);
 Result<std::vector<core::ShapeService::GroupState>> LoadShapeServiceState(
     const std::string& path);
+
+/// KLL sketch wire format (DESIGN.md §15), embedded inside a record that
+/// is already being written/read: fixed scalars (k, n, min/max as float
+/// bit patterns, compaction parity), then the per-level retained counts,
+/// then every retained item as a float bit pattern in storage order
+/// (highest level first). Decode funnels through KllSketch::Restore, so a
+/// corrupt or hostile encoding yields InvalidArgument, never a sketch
+/// that misbehaves later; bounds are checked before any allocation.
+void EncodeKllSketchInto(const KllSketch& sketch, BinaryWriter* w);
+Result<KllSketch> DecodeKllSketchFrom(BinaryReader* r);
+
+/// Standalone snapshot container (PayloadKind::kKllSketch) around one
+/// sketch — the unit the codec-robustness suite attacks with bit flips
+/// and truncation.
+std::string EncodeKllSketch(const KllSketch& sketch);
+Status SaveKllSketch(const KllSketch& sketch, const std::string& path);
+Result<KllSketch> DecodeKllSketch(std::string bytes,
+                                  SnapshotDefect* defect = nullptr);
+Result<KllSketch> LoadKllSketch(const std::string& path);
 
 }  // namespace io
 }  // namespace rvar

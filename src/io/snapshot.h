@@ -41,6 +41,7 @@ enum class PayloadKind : uint32_t {
   kModelManifest = 8,
   kActivePointer = 9,
   kShapeServiceState = 10,
+  kKllSketch = 11,
 };
 
 /// \brief The first defect a snapshot validator encountered; kNone for an

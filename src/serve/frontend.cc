@@ -343,7 +343,8 @@ void ServingFrontend::ServeBatch(size_t shard_index,
     return;
   }
 
-  // Rung 3: the tracker posterior (global-prior argmax for unknown groups).
+  // Rung 3: the sketch-reconstructed prior (global argmax for unknown
+  // groups).
   for (Pending& pending : live) RespondPrior(&pending);
 }
 
@@ -379,13 +380,12 @@ void ServingFrontend::RespondModelBatch(std::vector<Pending>* batch,
 
 void ServingFrontend::RespondPrior(Pending* pending) {
   PredictResponse response;
-  // MostLikely is the posterior argmax, but returns the -1 sentinel for
-  // never-observed groups. A sentinel must not flow out as if it were a
-  // shape: answer from the library's global-prior argmax instead, still
-  // labeled kPrior so the caller sees a degraded — but real — answer.
-  const int most_likely = service_->MostLikely(pending->request.run->group_id);
-  response.shape =
-      most_likely >= 0 ? most_likely : service_->GlobalPriorShape();
+  // PriorShape scores the group's reconstructed observation PMF (rebuilt
+  // from its quantile sketch) against the shared log theta table, and
+  // already substitutes the global-prior argmax for unknown groups — so
+  // the answer is always a valid shape, still labeled kPrior so the
+  // caller sees a degraded — but real — answer.
+  response.shape = service_->PriorShape(pending->request.run->group_id);
   response.level = DegradationLevel::kPrior;
   Respond(pending, response);
 }

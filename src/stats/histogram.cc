@@ -90,6 +90,44 @@ std::vector<double> SmoothPmf(const std::vector<double>& pmf, int radius) {
   return out;
 }
 
+void SmoothPmfInPlace(std::vector<double>* pmf, int radius) {
+  RVAR_CHECK(pmf != nullptr);
+  RVAR_CHECK_GE(radius, 0);
+  if (radius == 0 || pmf->empty()) return;
+  constexpr int kMaxInPlaceRadius = 64;
+  if (radius > kMaxInPlaceRadius) {
+    *pmf = SmoothPmf(*pmf, radius);
+    return;
+  }
+  std::vector<double>& p = *pmf;
+  const int n = static_cast<int>(p.size());
+  double in_sum = 0.0;
+  for (double v : p) in_sum += v;
+
+  // out[i] needs originals p[i-radius .. i+radius]; entries above i are
+  // untouched, entries below are kept in a ring of the last `radius`
+  // originals. The window is summed ascending exactly like SmoothPmf, so
+  // the result is bit-identical to the allocating version.
+  double ring[kMaxInPlaceRadius];
+  double out_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - radius);
+    const int hi = std::min(n - 1, i + radius);
+    double acc = 0.0;
+    for (int j = lo; j <= hi; ++j) {
+      acc += j < i ? ring[j % radius] : p[j];
+    }
+    const double smoothed = acc / static_cast<double>(hi - lo + 1);
+    ring[i % radius] = p[i];
+    p[i] = smoothed;
+    out_sum += smoothed;
+  }
+  if (out_sum > 0.0 && in_sum > 0.0) {
+    const double scale = in_sum / out_sum;
+    for (double& v : p) v *= scale;
+  }
+}
+
 std::vector<double> PmfToCdf(const std::vector<double>& pmf) {
   std::vector<double> cdf(pmf.size());
   double acc = 0.0;
@@ -117,6 +155,21 @@ double PmfQuantile(const BinGrid& grid, const std::vector<double>& pmf,
   std::vector<double> cdf = PmfToCdf(pmf);
   const double total = cdf.empty() ? 0.0 : cdf.back();
   if (total <= 0.0) return grid.lo();
+  if (q >= 1.0) {
+    // Mirror of the q=0 massless-leading-bin guard: the 100th percentile
+    // is the upper edge of the last *massful* bin. The CDF scan below can
+    // miss it when a tiny trailing mass is absorbed into the running sum
+    // (cdf[i] == cdf[i-1] despite pmf[i] > 0), which used to fall through
+    // to grid.hi() even with trailing empty bins.
+    for (int i = grid.num_bins() - 1; i >= 0; --i) {
+      if (pmf[static_cast<size_t>(i)] > 0.0) {
+        return i == grid.num_bins() - 1
+                   ? grid.hi()
+                   : grid.lo() + grid.bin_width() * (i + 1);
+      }
+    }
+    return grid.hi();
+  }
   const double target = q * total;
   for (int i = 0; i < grid.num_bins(); ++i) {
     const double prev = i > 0 ? cdf[i - 1] : 0.0;

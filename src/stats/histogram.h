@@ -88,6 +88,12 @@ class Histogram {
 /// still sums to the input's sum. radius == 0 returns the input unchanged.
 std::vector<double> SmoothPmf(const std::vector<double>& pmf, int radius);
 
+/// SmoothPmf without the output allocation: overwrites `pmf` with its
+/// smoothed self, buffering the trailing window originals in a small ring.
+/// Bit-identical to SmoothPmf (same summation order), so hot paths can
+/// switch to it without perturbing any downstream result.
+void SmoothPmfInPlace(std::vector<double>* pmf, int radius);
+
 /// Cumulative distribution of a PMF (same length; last element equals the
 /// PMF's sum).
 std::vector<double> PmfToCdf(const std::vector<double>& pmf);

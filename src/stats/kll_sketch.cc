@@ -1,0 +1,335 @@
+#include "stats/kll_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rvar {
+
+KllSketch::KllSketch(int k) : k_(k) {
+  level_sizes_.assign(1, 0);
+  total_capacity_ = ComputeTotalCapacity();
+}
+
+Result<KllSketch> KllSketch::Make(int k) {
+  if (k < kMinK || k > kMaxK) {
+    return Status::InvalidArgument(
+        StrCat("KllSketch k must be in [", kMinK, ", ", kMaxK, "], got ", k));
+  }
+  return KllSketch(k);
+}
+
+size_t KllSketch::LevelOffset(int level) const {
+  size_t off = 0;
+  for (size_t g = static_cast<size_t>(level) + 1; g < level_sizes_.size();
+       ++g) {
+    off += level_sizes_[g];
+  }
+  return off;
+}
+
+int KllSketch::LevelCapacity(int level, int num_levels) const {
+  int cap = k_;
+  for (int depth = num_levels - 1 - level; depth > 0; --depth) {
+    cap = (cap + 1) / 2;
+  }
+  return std::max(kMinLevelCapacity, cap);
+}
+
+size_t KllSketch::ComputeTotalCapacity() const {
+  const int num_levels = static_cast<int>(level_sizes_.size());
+  size_t total = 0;
+  for (int h = 0; h < num_levels; ++h) {
+    total += static_cast<size_t>(LevelCapacity(h, num_levels));
+  }
+  return total;
+}
+
+void KllSketch::Update(double x) {
+  if (std::isnan(x)) return;  // no rank information at all
+  const float v = static_cast<float>(x);
+  if (n_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  if (items_.size() == items_.capacity()) {
+    // Grow geometrically but never past the capacity bound, so a sketch
+    // over a small group stays proportionally small.
+    items_.reserve(std::max<size_t>(
+        8, std::min(total_capacity_, items_.capacity() * 2)));
+  }
+  items_.push_back(v);
+  ++level_sizes_[0];
+  ++n_;
+  while (items_.size() >= total_capacity_ && CompactOnce()) {
+  }
+}
+
+void KllSketch::UpdateClamped(const BinGrid& grid, double x) {
+  if (std::isnan(x)) return;
+  Update(std::clamp(x, grid.lo(), grid.hi()));
+}
+
+bool KllSketch::CompactOnce() {
+  int num_levels = static_cast<int>(level_sizes_.size());
+  // Lowest level at (or over) its capacity; by pigeonhole one exists
+  // whenever the total is at the bound. Fall back to the lowest level
+  // with enough items to pair, purely defensively.
+  int target = -1;
+  for (int h = 0; h < num_levels; ++h) {
+    if (level_sizes_[h] >=
+        static_cast<uint32_t>(LevelCapacity(h, num_levels))) {
+      target = h;
+      break;
+    }
+  }
+  if (target < 0 || level_sizes_[static_cast<size_t>(target)] < 2) {
+    target = -1;
+    for (int h = 0; h < num_levels; ++h) {
+      if (level_sizes_[static_cast<size_t>(h)] >= 2) {
+        target = h;
+        break;
+      }
+    }
+    if (target < 0) return false;
+  }
+  if (target == num_levels - 1) {
+    // Promoting out of the top level: open a new (empty) level above it.
+    // Levels are stored top-down so an empty top prepends no items, and
+    // the lower-level capacities shrink under the new height.
+    RVAR_CHECK(num_levels < kMaxLevels);
+    level_sizes_.push_back(0);
+    ++num_levels;
+    total_capacity_ = ComputeTotalCapacity();
+  }
+
+  const size_t off = LevelOffset(target);
+  const uint32_t s = level_sizes_[static_cast<size_t>(target)];
+  std::sort(items_.begin() + static_cast<ptrdiff_t>(off),
+            items_.begin() + static_cast<ptrdiff_t>(off + s));
+  const uint32_t pairs = s / 2;
+  const uint32_t keep = s % 2;  // odd leftover: the max stays at `target`
+  const float leftover = items_[off + s - 1];
+  const uint32_t pick =
+      static_cast<uint32_t>((parity_ >> target) & 1);
+  parity_ ^= (1ull << target);
+  // Select every other item of the paired (even-count) prefix. Promoted
+  // items land at [off, off + pairs), which is exactly where level
+  // target+1's region ends once the sizes are adjusted — adjacency is
+  // free in the top-down layout. Writes trail reads, so this is in-place.
+  for (uint32_t i = 0; i < pairs; ++i) {
+    items_[off + i] = items_[off + pick + 2 * i];
+  }
+  if (keep != 0) items_[off + pairs] = leftover;
+  items_.erase(
+      items_.begin() + static_cast<ptrdiff_t>(off + pairs + keep),
+      items_.begin() + static_cast<ptrdiff_t>(off + s));
+  level_sizes_[static_cast<size_t>(target)] = keep;
+  level_sizes_[static_cast<size_t>(target) + 1] += pairs;
+  return true;
+}
+
+void KllSketch::TightenCapacity() {
+  const size_t bound = std::max(items_.size(), total_capacity_);
+  if (items_.capacity() > bound) {
+    std::vector<float> tight;
+    tight.reserve(bound);
+    tight.assign(items_.begin(), items_.end());
+    items_ = std::move(tight);
+  }
+}
+
+Status KllSketch::Merge(const KllSketch& other) {
+  if (other.k_ != k_) {
+    return Status::InvalidArgument(
+        StrCat("cannot merge KllSketch with k=", other.k_, " into k=", k_));
+  }
+  if (other.n_ == 0) return Status::OK();
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  while (level_sizes_.size() < other.level_sizes_.size()) {
+    level_sizes_.push_back(0);
+  }
+  total_capacity_ = ComputeTotalCapacity();
+  // Rebuild the flat buffer with the operand's items appended after ours
+  // at each level (fixed operand order keeps the result deterministic).
+  std::vector<float> merged;
+  merged.reserve(items_.size() + other.items_.size());
+  for (int h = static_cast<int>(level_sizes_.size()) - 1; h >= 0; --h) {
+    const size_t mine = LevelOffset(h);
+    merged.insert(merged.end(),
+                  items_.begin() + static_cast<ptrdiff_t>(mine),
+                  items_.begin() + static_cast<ptrdiff_t>(
+                                       mine + level_sizes_[
+                                           static_cast<size_t>(h)]));
+    if (h < other.num_levels()) {
+      const size_t theirs = other.LevelOffset(h);
+      merged.insert(
+          merged.end(),
+          other.items_.begin() + static_cast<ptrdiff_t>(theirs),
+          other.items_.begin() +
+              static_cast<ptrdiff_t>(
+                  theirs + other.level_sizes_[static_cast<size_t>(h)]));
+    }
+  }
+  items_ = std::move(merged);
+  for (size_t h = 0; h < other.level_sizes_.size(); ++h) {
+    level_sizes_[h] += other.level_sizes_[h];
+  }
+  n_ += other.n_;
+  while (items_.size() >= total_capacity_ && CompactOnce()) {
+  }
+  TightenCapacity();
+  return Status::OK();
+}
+
+int64_t KllSketch::CountLess(double t) const {
+  int64_t count = 0;
+  for (int h = num_levels() - 1; h >= 0; --h) {
+    const size_t off = LevelOffset(h);
+    const int64_t weight = int64_t{1} << h;
+    const uint32_t s = level_sizes_[static_cast<size_t>(h)];
+    for (uint32_t i = 0; i < s; ++i) {
+      if (static_cast<double>(items_[off + i]) < t) count += weight;
+    }
+  }
+  return count;
+}
+
+double KllSketch::Quantile(double q) const {
+  RVAR_CHECK(q >= 0.0 && q <= 1.0);
+  if (n_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
+  std::vector<std::pair<float, int64_t>> weighted;
+  weighted.reserve(items_.size());
+  for (int h = num_levels() - 1; h >= 0; --h) {
+    const size_t off = LevelOffset(h);
+    const int64_t weight = int64_t{1} << h;
+    const uint32_t s = level_sizes_[static_cast<size_t>(h)];
+    for (uint32_t i = 0; i < s; ++i) {
+      weighted.emplace_back(items_[off + i], weight);
+    }
+  }
+  std::sort(weighted.begin(), weighted.end());
+  const double target = q * static_cast<double>(n_);
+  double cum = 0.0;
+  for (const auto& [value, weight] : weighted) {
+    cum += static_cast<double>(weight);
+    if (cum >= target) return static_cast<double>(value);
+  }
+  return static_cast<double>(max_);
+}
+
+void KllSketch::BinCountsInto(const BinGrid& grid,
+                              std::vector<double>* counts) const {
+  RVAR_CHECK(counts != nullptr);
+  counts->assign(static_cast<size_t>(grid.num_bins()), 0.0);
+  for (int h = num_levels() - 1; h >= 0; --h) {
+    const size_t off = LevelOffset(h);
+    const double weight = static_cast<double>(int64_t{1} << h);
+    const uint32_t s = level_sizes_[static_cast<size_t>(h)];
+    for (uint32_t i = 0; i < s; ++i) {
+      (*counts)[static_cast<size_t>(
+          grid.BinIndex(static_cast<double>(items_[off + i])))] += weight;
+    }
+  }
+}
+
+size_t KllSketch::MemoryBytes() const {
+  return sizeof(KllSketch) + items_.capacity() * sizeof(float) +
+         level_sizes_.capacity() * sizeof(uint32_t);
+}
+
+double KllSketch::NormalizedRankErrorBound(int k) {
+  RVAR_CHECK_GE(k, kMinK);
+  // The single-sketch KLL constant at 99% confidence (Apache DataSketches
+  // kll_sketch); the deterministic parity variant is property-tested to
+  // stay inside it on the reference workloads.
+  return 2.296 / std::pow(static_cast<double>(k), 0.9);
+}
+
+Result<KllSketch> KllSketch::Restore(int k, int64_t n, float min_value,
+                                     float max_value,
+                                     std::vector<uint32_t> level_sizes,
+                                     std::vector<float> items,
+                                     uint64_t parity) {
+  RVAR_ASSIGN_OR_RETURN(KllSketch sketch, Make(k));
+  if (n < 0) {
+    return Status::InvalidArgument(StrCat("sketch n must be >= 0, got ", n));
+  }
+  if (level_sizes.empty() ||
+      level_sizes.size() > static_cast<size_t>(kMaxLevels)) {
+    return Status::InvalidArgument(
+        StrCat("sketch holds ", level_sizes.size(), " levels, want 1..",
+               kMaxLevels));
+  }
+  // Canonical shape: a level above the base exists only because a
+  // compaction promoted into it, so the top level is never empty.
+  if (level_sizes.size() > 1 && level_sizes.back() == 0) {
+    return Status::InvalidArgument("sketch top level is empty");
+  }
+  if ((parity >> level_sizes.size()) != 0) {
+    return Status::InvalidArgument(
+        "sketch parity bits extend past the top level");
+  }
+  size_t total_items = 0;
+  uint64_t total_weight = 0;
+  for (size_t h = 0; h < level_sizes.size(); ++h) {
+    total_items += level_sizes[h];
+    total_weight += static_cast<uint64_t>(level_sizes[h]) << h;
+  }
+  if (total_items != items.size()) {
+    return Status::InvalidArgument(
+        StrCat("sketch level sizes sum to ", total_items, " items but ",
+               items.size(), " are present"));
+  }
+  if (total_weight != static_cast<uint64_t>(n)) {
+    // Weight is preserved exactly by every compaction and merge, so a
+    // mismatch means the bytes were tampered with or torn.
+    return Status::InvalidArgument(
+        StrCat("sketch level weights sum to ", total_weight,
+               " observations but n is ", n));
+  }
+  if (n == 0) {
+    if (!(min_value == std::numeric_limits<float>::infinity() &&
+          max_value == -std::numeric_limits<float>::infinity())) {
+      return Status::InvalidArgument(
+          "empty sketch must carry the sentinel min/max");
+    }
+  } else {
+    if (std::isnan(min_value) || std::isnan(max_value) ||
+        !(min_value <= max_value)) {
+      return Status::InvalidArgument("sketch min/max are corrupt");
+    }
+    for (float v : items) {
+      if (std::isnan(v) || v < min_value || v > max_value) {
+        return Status::InvalidArgument(
+            "sketch holds an item outside [min, max]");
+      }
+    }
+  }
+  sketch.n_ = n;
+  sketch.min_ = min_value;
+  sketch.max_ = max_value;
+  sketch.parity_ = parity;
+  sketch.level_sizes_ = std::move(level_sizes);
+  sketch.total_capacity_ = sketch.ComputeTotalCapacity();
+  sketch.items_.reserve(
+      std::max(items.size(), sketch.total_capacity_));
+  sketch.items_.assign(items.begin(), items.end());
+  sketch.TightenCapacity();
+  return sketch;
+}
+
+}  // namespace rvar

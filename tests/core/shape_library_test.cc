@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/assigner.h"
 #include "stats/distance.h"
+#include "stats/kll_sketch.h"
 
 namespace rvar {
 namespace core {
@@ -255,6 +256,116 @@ TEST(PosteriorAssignerTest, EmptyObservationsRejected) {
   ASSERT_TRUE(lib.ok());
   PosteriorAssigner assigner(&*lib);
   EXPECT_TRUE(assigner.Assign({}).status().IsInvalidArgument());
+}
+
+// The sketch-vs-dense equivalence property (ISSUE 10 acceptance): the same
+// reference store built with bounded per-group sketches and with dense
+// per-group buffers must produce the same reference assignments and
+// centroids/stats within the KLL rank-error tolerance. While groups stay
+// under k observations the sketch is exact, so the match is bit-level up
+// to double→float value rounding.
+TEST(ShapeLibraryTest, SketchBuildMatchesDenseBuildExactModeGroups) {
+  SyntheticReference ref = MakeReference(12, 60, 21);  // 60 < k: exact
+  ShapeLibraryConfig dense_config = SmallConfig();
+  dense_config.use_sketches = false;
+  ShapeLibraryConfig sketch_config = SmallConfig();
+  sketch_config.use_sketches = true;
+  auto dense = ShapeLibrary::Build(ref.store, ref.medians, dense_config);
+  auto sketch = ShapeLibrary::Build(ref.store, ref.medians, sketch_config);
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  ASSERT_EQ(dense->num_clusters(), sketch->num_clusters());
+  for (int gid : ref.store.GroupIds()) {
+    EXPECT_EQ(dense->ReferenceAssignment(gid),
+              sketch->ReferenceAssignment(gid))
+        << "group " << gid;
+  }
+  for (int c = 0; c < dense->num_clusters(); ++c) {
+    const auto& dp = dense->shape(c);
+    const auto& sp = sketch->shape(c);
+    ASSERT_EQ(dp.size(), sp.size());
+    double l1 = 0.0;
+    for (size_t h = 0; h < dp.size(); ++h) l1 += std::abs(dp[h] - sp[h]);
+    // Exact mode: the only divergence is double→float rounding of raw
+    // values near bin edges.
+    EXPECT_LT(l1, 1e-3) << "cluster " << c;
+    EXPECT_EQ(dense->stats(c).num_samples, sketch->stats(c).num_samples);
+    EXPECT_EQ(dense->stats(c).num_groups, sketch->stats(c).num_groups);
+    EXPECT_NEAR(dense->stats(c).iqr, sketch->stats(c).iqr, 0.05);
+    EXPECT_NEAR(dense->stats(c).p95, sketch->stats(c).p95, 0.05);
+    EXPECT_NEAR(dense->stats(c).outlier_probability,
+                sketch->stats(c).outlier_probability, 1e-9);
+  }
+}
+
+// Beyond k observations per group the sketch compacts; assignments and
+// Ratio metrics must stay within the KLL tolerance of the dense build.
+TEST(ShapeLibraryTest, SketchBuildMatchesDenseBuildBeyondExactMode) {
+  SyntheticReference ref = MakeReference(6, 1500, 22);  // 1500 >> k = 200
+  ShapeLibraryConfig dense_config = SmallConfig();
+  dense_config.use_sketches = false;
+  ShapeLibraryConfig sketch_config = SmallConfig();
+  sketch_config.use_sketches = true;
+  auto dense = ShapeLibrary::Build(ref.store, ref.medians, dense_config);
+  auto sketch = ShapeLibrary::Build(ref.store, ref.medians, sketch_config);
+  ASSERT_TRUE(dense.ok()) << dense.status().ToString();
+  ASSERT_TRUE(sketch.ok()) << sketch.status().ToString();
+  for (int gid : ref.store.GroupIds()) {
+    EXPECT_EQ(dense->ReferenceAssignment(gid),
+              sketch->ReferenceAssignment(gid))
+        << "group " << gid;
+  }
+  const double eps =
+      KllSketch::NormalizedRankErrorBound(sketch_config.sketch_k);
+  for (int c = 0; c < dense->num_clusters(); ++c) {
+    // A quantile off by ε in rank moves by at most ε·n worth of mass;
+    // on these distributions that is well under 4·ε in value.
+    EXPECT_NEAR(dense->stats(c).iqr, sketch->stats(c).iqr, 4.0 * eps * 4.0);
+    EXPECT_NEAR(dense->stats(c).p95, sketch->stats(c).p95, 4.0 * eps * 4.0);
+    EXPECT_EQ(dense->stats(c).num_samples, sketch->stats(c).num_samples);
+    // Outlier probability and moments are tracked exactly alongside the
+    // sketch, not reconstructed from it.
+    EXPECT_NEAR(dense->stats(c).outlier_probability,
+                sketch->stats(c).outlier_probability, 1e-12);
+    EXPECT_NEAR(dense->stats(c).stddev, sketch->stats(c).stddev, 1e-9);
+  }
+}
+
+TEST(ShapeLibraryTest, SketchConfigValidation) {
+  SyntheticReference ref = MakeReference(5, 30, 23);
+  ShapeLibraryConfig config = SmallConfig();
+  config.use_sketches = true;
+  config.sketch_k = KllSketch::kMinK - 1;
+  EXPECT_TRUE(ShapeLibrary::Build(ref.store, ref.medians, config)
+                  .status()
+                  .IsInvalidArgument());
+  config.sketch_k = KllSketch::kMaxK + 1;
+  EXPECT_TRUE(ShapeLibrary::Build(ref.store, ref.medians, config)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ObservationPmfInto is the allocation-free spine of ObservationPmf: same
+// bits, reusable buffer, and it reports how many observations were binned.
+TEST(ShapeLibraryTest, ObservationPmfIntoMatchesAllocatingPath) {
+  SyntheticReference ref = MakeReference(10, 50, 24);
+  auto lib = ShapeLibrary::Build(ref.store, ref.medians, SmallConfig());
+  ASSERT_TRUE(lib.ok());
+  const std::vector<double> obs = {0.9, 1.0, 1.0, 1.1, 2.5,
+                                   std::nan(""), 0.7};
+  const std::vector<double> expected = lib->ObservationPmf(obs);
+  std::vector<double> reused(7, 123.0);  // wrong size and dirty: both fixed
+  const int64_t binned = lib->ObservationPmfInto(
+      obs, lib->config().smoothing_radius, &reused);
+  EXPECT_EQ(binned, 6);  // NaN skipped
+  ASSERT_EQ(reused.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(reused[i], expected[i]) << "bin " << i;
+  }
+  // All-NaN input: zero binned, all-zero PMF.
+  std::vector<double> empty_pmf;
+  EXPECT_EQ(lib->ObservationPmfInto({std::nan("")}, 0, &empty_pmf), 0);
+  for (double v : empty_pmf) EXPECT_EQ(v, 0.0);
 }
 
 }  // namespace

@@ -350,6 +350,155 @@ TEST_F(ShapeServiceTest, StateRoundTripsThroughExportRestore) {
   EXPECT_EQ((*target)->GroupCount(2), 1);
 }
 
+// The serving prior rung (ISSUE 10): PriorShape answers from the group's
+// sketch-reconstructed PMF scored against the shared log theta table, and
+// falls back to the global prior for unknown or empty groups.
+TEST_F(ShapeServiceTest, PriorShapeScoresReconstructedPmf) {
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  // Unknown group: the global prior, always a valid cluster.
+  EXPECT_EQ((*service)->PriorShape(404), (*service)->GlobalPriorShape());
+  for (int gid : {0, 1, 6, 7}) {
+    for (double x : StreamFor(gid, 50)) {
+      ASSERT_TRUE((*service)->Observe(gid, x).ok());
+    }
+  }
+  // With decay 1 (no forgetting), the Eq. 9 argmax over the reconstructed
+  // counts agrees with the tracker's running argmax: same tallies, same
+  // table, different summation order.
+  for (int gid : {0, 1, 6, 7}) {
+    const int prior = (*service)->PriorShape(gid);
+    EXPECT_GE(prior, 0);
+    EXPECT_LT(prior, library_->num_clusters());
+    EXPECT_EQ(prior, (*service)->MostLikely(gid)) << "group " << gid;
+  }
+}
+
+TEST_F(ShapeServiceTest, ReconstructPmfMatchesObservationPmf) {
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  const std::vector<double> xs = StreamFor(3, 80);  // < k: sketch is exact
+  for (double x : xs) ASSERT_TRUE((*service)->Observe(3, x).ok());
+  std::vector<double> reconstructed;
+  ASSERT_TRUE((*service)->ReconstructPmf(3, &reconstructed));
+  // Exact-mode reconstruction equals the library's dense ObservationPmf of
+  // the same stream, up to double→float value rounding.
+  const std::vector<double> dense = library_->ObservationPmf(xs);
+  ASSERT_EQ(reconstructed.size(), dense.size());
+  double l1 = 0.0;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    l1 += std::abs(reconstructed[i] - dense[i]);
+  }
+  EXPECT_LT(l1, 1e-6);
+  // Unknown group: false, and the output is cleared.
+  std::vector<double> none = {1.0, 2.0};
+  EXPECT_FALSE((*service)->ReconstructPmf(999, &none));
+  EXPECT_TRUE(none.empty());
+}
+
+// The reconstruction cache is a pure memo: hits and misses answer
+// identically, entries invalidate on observe and on Forget, and
+// pmf_cache_entries = 0 disables residency without changing answers.
+TEST_F(ShapeServiceTest, PmfCacheNeverChangesAnswersAndCountsHits) {
+  ShapeService::Options cached;
+  cached.pmf_cache_entries = 64;
+  ShapeService::Options uncached;
+  uncached.pmf_cache_entries = 0;
+  auto a = ShapeService::Make(library_, cached);
+  auto b = ShapeService::Make(library_, uncached);
+  ASSERT_TRUE(a.ok() && b.ok());
+  obs::Counter* hits =
+      obs::Registry::Default().GetCounter("shape_service_pmf_cache_hits");
+  const int64_t hits_before = hits->Value();
+  for (int gid = 0; gid < 8; ++gid) {
+    for (double x : StreamFor(gid, 30)) {
+      ASSERT_TRUE((*a)->Observe(gid, x).ok());
+      ASSERT_TRUE((*b)->Observe(gid, x).ok());
+    }
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (int gid = 0; gid < 8; ++gid) {
+      EXPECT_EQ((*a)->PriorShape(gid), (*b)->PriorShape(gid))
+          << "group " << gid;
+      std::vector<double> pa, pb;
+      ASSERT_TRUE((*a)->ReconstructPmf(gid, &pa));
+      ASSERT_TRUE((*b)->ReconstructPmf(gid, &pb));
+      EXPECT_EQ(pa, pb) << "group " << gid;
+    }
+  }
+  // Rounds 2 and 3 (and the ReconstructPmf calls sharing round 1's
+  // entries) must have hit the cache.
+  EXPECT_GT(hits->Value(), hits_before);
+  // An observation invalidates: the next prior recomputes, still correct.
+  ASSERT_TRUE((*a)->Observe(0, 1.0).ok());
+  ASSERT_TRUE((*b)->Observe(0, 1.0).ok());
+  EXPECT_EQ((*a)->PriorShape(0), (*b)->PriorShape(0));
+  // Forget drops the cache entry along with the group.
+  EXPECT_TRUE((*a)->Forget(0));
+  EXPECT_EQ((*a)->PriorShape(0), (*a)->GlobalPriorShape());
+}
+
+// Restore requires the bounded sketch: states without one, with a
+// mismatched k, or with a sample count disagreeing with the tracker's are
+// refused whole.
+TEST_F(ShapeServiceTest, RestoreValidatesSketches) {
+  auto service = ShapeService::Make(library_);
+  ASSERT_TRUE(service.ok());
+  for (double x : StreamFor(5, 20)) {
+    ASSERT_TRUE((*service)->Observe(5, x).ok());
+  }
+  const std::vector<ShapeService::GroupState> states =
+      (*service)->ExportState();
+  ASSERT_EQ(states.size(), 1u);
+  ASSERT_TRUE(states[0].sketch.has_value());
+  EXPECT_EQ(states[0].sketch->n(), states[0].count);
+
+  auto target = ShapeService::Make(library_);
+  ASSERT_TRUE(target.ok());
+  {
+    std::vector<ShapeService::GroupState> bad = states;
+    bad[0].sketch.reset();
+    auto status = (*target)->RestoreState(bad);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("sketch"), std::string::npos);
+  }
+  {
+    std::vector<ShapeService::GroupState> bad = states;
+    auto small = KllSketch::Make(KllSketch::kMinK);
+    ASSERT_TRUE(small.ok());
+    for (int i = 0; i < 20; ++i) small->Update(1.0);
+    bad[0].sketch.emplace(*std::move(small));  // right n, wrong k
+    EXPECT_FALSE((*target)->RestoreState(bad).ok());
+  }
+  {
+    std::vector<ShapeService::GroupState> bad = states;
+    bad[0].count += 1;  // sketch.n() no longer matches
+    EXPECT_FALSE((*target)->RestoreState(bad).ok());
+  }
+  EXPECT_EQ((*target)->NumGroups(), 0u);  // every rejection left it empty
+  ASSERT_TRUE((*target)->RestoreState(states).ok());
+  EXPECT_EQ((*target)->PriorShape(5), (*service)->PriorShape(5));
+}
+
+TEST_F(ShapeServiceTest, MakeRejectsBadSketchOptions) {
+  for (int k : {0, KllSketch::kMinK - 1, KllSketch::kMaxK + 1}) {
+    ShapeService::Options bad;
+    bad.sketch_k = k;
+    auto service = ShapeService::Make(library_, bad);
+    ASSERT_FALSE(service.ok()) << "sketch_k=" << k;
+    EXPECT_NE(service.status().message().find("options.sketch_k"),
+              std::string::npos)
+        << service.status().ToString();
+  }
+  ShapeService::Options bad;
+  bad.pmf_cache_entries = -1;
+  auto service = ShapeService::Make(library_, bad);
+  ASSERT_FALSE(service.ok());
+  EXPECT_NE(service.status().message().find("options.pmf_cache_entries"),
+            std::string::npos)
+      << service.status().ToString();
+}
+
 // Satellite stress for the lifecycle hot swap: one writer flips the model
 // slot between two fitted GBDTs while readers snapshot + score and other
 // writers stream observations. Under -DRVAR_SANITIZE=thread this is the

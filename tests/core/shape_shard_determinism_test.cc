@@ -198,6 +198,46 @@ TEST_F(ShapeShardDeterminismTest, KillAndRestoreAcrossShardCounts) {
   std::filesystem::remove_all(dir, ec);
 }
 
+// Sketch-focused determinism (ISSUE 10): with enough observations per
+// group to force compactions, the per-group sketches — and every answer
+// reconstructed from them — must still be identical at any shard count.
+// A group lives on exactly one shard, so its sketch sees its full stream
+// in order regardless of the partitioning; seed-free parity compaction
+// does the rest.
+TEST_F(ShapeShardDeterminismTest, SketchesIdenticalAcrossShardCounts) {
+  constexpr int kGroups = 16;
+  constexpr int kObs = 600;  // 3x the default k: several compactions deep
+  constexpr int kThreads = 4;
+  auto one = BuildService(1, kGroups, kObs, kThreads);
+  auto sixteen = BuildService(16, kGroups, kObs, kThreads);
+
+  const std::vector<ShapeService::GroupState> a = one->ExportState();
+  const std::vector<ShapeService::GroupState> b = sixteen->ExportState();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].group_id, b[i].group_id);
+    ASSERT_TRUE(a[i].sketch.has_value());
+    ASSERT_TRUE(b[i].sketch.has_value());
+    EXPECT_EQ(a[i].sketch->items(), b[i].sketch->items())
+        << "group " << a[i].group_id;
+    EXPECT_EQ(a[i].sketch->level_sizes(), b[i].sketch->level_sizes());
+    EXPECT_EQ(a[i].sketch->compaction_parity(),
+              b[i].sketch->compaction_parity());
+    EXPECT_EQ(a[i].sketch->n(), b[i].sketch->n());
+    // Bounded state: the acceptance bound at the default k = 200.
+    EXPECT_LE(a[i].sketch->MemoryBytes(), 2048u);
+  }
+  for (int gid = 0; gid < kGroups + 2; ++gid) {
+    EXPECT_EQ(sixteen->PriorShape(gid), one->PriorShape(gid)) << gid;
+    std::vector<double> pmf_one, pmf_sixteen;
+    const bool known_one = one->ReconstructPmf(gid, &pmf_one);
+    ASSERT_EQ(sixteen->ReconstructPmf(gid, &pmf_sixteen), known_one) << gid;
+    EXPECT_EQ(pmf_sixteen, pmf_one) << gid;
+  }
+  EXPECT_EQ(io::EncodeShapeServiceState(*sixteen),
+            io::EncodeShapeServiceState(*one));
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace rvar

@@ -102,6 +102,16 @@ void ExpectStatesBitIdentical(const ServingState& reference,
         << "group " << gid;
     EXPECT_EQ(it->second.MostLikely(), tracker.MostLikely());
   }
+  // The per-group quantile sketches must survive the crash bit-for-bit
+  // too: identical wire encodings, not merely close quantiles.
+  ASSERT_EQ(recovered.sketches.size(), reference.sketches.size());
+  for (const auto& [gid, sketch] : reference.sketches) {
+    auto it = recovered.sketches.find(gid);
+    ASSERT_NE(it, recovered.sketches.end()) << "group " << gid;
+    EXPECT_EQ(EncodeKllSketch(it->second), EncodeKllSketch(sketch))
+        << "group " << gid << " sketch diverged across recovery";
+    EXPECT_EQ(it->second.n(), sketch.n()) << "group " << gid;
+  }
 }
 
 class RecoveryChaosTest : public ::testing::Test {

@@ -317,7 +317,7 @@ TEST_F(FrontendTest, DegradationLadderFallsInExactOrder) {
                               std::chrono::seconds(10));
   ASSERT_TRUE(response.served());
   EXPECT_EQ(response.level, DegradationLevel::kPrior);
-  EXPECT_EQ(response.shape, service->MostLikely(run.group_id));
+  EXPECT_EQ(response.shape, service->PriorShape(run.group_id));
   EXPECT_GE(response.shape, 0);
 
   // Restoring the model heals the first front-end back to rung 1 through

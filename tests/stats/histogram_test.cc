@@ -95,6 +95,29 @@ TEST(SmoothPmfTest, IncreasesAffinityOfShiftedSpikes) {
   EXPECT_GT(smooth_dot, raw_dot);
 }
 
+// SmoothPmfInPlace promises bit-identity with SmoothPmf (same summation
+// order), so the allocation-free hot paths cannot perturb any downstream
+// result. Exercise the ring-buffer path (radius <= 64), the heap
+// fallback, radius >= length, and tiny inputs, over random PMFs.
+TEST(SmoothPmfTest, InPlaceVariantIsBitIdenticalToAllocating) {
+  Rng rng(97);
+  for (int len : {1, 2, 3, 7, 64, 130, 200}) {
+    for (int radius : {0, 1, 2, 63, 64, 65, 199, 500}) {
+      std::vector<double> pmf(static_cast<size_t>(len));
+      for (double& v : pmf) v = rng.Uniform(0.0, 1.0);
+      const std::vector<double> expected = SmoothPmf(pmf, radius);
+      std::vector<double> in_place = pmf;
+      SmoothPmfInPlace(&in_place, radius);
+      ASSERT_EQ(in_place.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        // Exact double equality, not NEAR: same arithmetic, same bits.
+        EXPECT_EQ(in_place[i], expected[i])
+            << "len=" << len << " radius=" << radius << " bin=" << i;
+      }
+    }
+  }
+}
+
 TEST(PmfStatsTest, CdfQuantileMeanStd) {
   BinGrid g = MakeGrid(0.0, 10.0, 10);
   // All mass in bin 3 => values near its center 3.5.
@@ -146,6 +169,22 @@ TEST(PmfStatsTest, QuantileOneStopsAtLastMassyBin) {
   // The support ends at bin 5 => q=1 is its right edge, not grid.hi().
   EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 1.0), 6.0);
   EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 0.0), 2.0);
+}
+
+// All three canonical quantiles of a single-massful-bin PMF are the bin
+// itself: left edge at q=0, inside at q=0.5, right edge at q=1.
+TEST(PmfStatsTest, QuantileEdgesOnSingleMassfulBin) {
+  BinGrid g = MakeGrid(0.0, 10.0, 10);
+  std::vector<double> pmf(10, 0.0);
+  pmf[7] = 1.0;
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 1.0), 8.0);
+  // Mass in the last bin: q=1 is the grid's upper edge.
+  std::fill(pmf.begin(), pmf.end(), 0.0);
+  pmf[9] = 1.0;
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 0.0), 9.0);
+  EXPECT_DOUBLE_EQ(PmfQuantile(g, pmf, 1.0), 10.0);
 }
 
 TEST(PmfStatsTest, QuantileEdgesOnFullSupport) {

@@ -1,0 +1,429 @@
+// Property suite for the deterministic KLL quantile sketch (DESIGN.md
+// §15): exactness below k, rank error within NormalizedRankErrorBound
+// beyond it (across distributions and insertion orders), exact weight
+// preservation through compactions and merges, deterministic merge
+// results, the ~2 KB memory bound, and Restore() rejecting every class of
+// corrupt state. Labeled `sketch` in ctest so the sanitizer presets can
+// run exactly this suite.
+
+#include "stats/kll_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/histogram.h"
+
+namespace rvar {
+namespace {
+
+BinGrid MakeGrid() {
+  auto grid = BinGrid::Make(0.0, 4.0, 200);
+  EXPECT_TRUE(grid.ok());
+  return *grid;
+}
+
+KllSketch MakeSketch(int k) {
+  auto sketch = KllSketch::Make(k);
+  EXPECT_TRUE(sketch.ok()) << sketch.status().ToString();
+  return *std::move(sketch);
+}
+
+/// Exact number of stored (float-rounded) values strictly below t.
+int64_t TrueCountLess(const std::vector<float>& values, double t) {
+  int64_t count = 0;
+  for (float v : values) {
+    if (static_cast<double>(v) < t) ++count;
+  }
+  return count;
+}
+
+/// Total weight across levels must equal n after any operation sequence —
+/// the invariant Restore() uses to detect tampered bytes.
+void ExpectWeightInvariant(const KllSketch& sketch) {
+  uint64_t total_weight = 0;
+  size_t total_items = 0;
+  const std::vector<uint32_t>& sizes = sketch.level_sizes();
+  for (size_t h = 0; h < sizes.size(); ++h) {
+    total_weight += static_cast<uint64_t>(sizes[h]) << h;
+    total_items += sizes[h];
+  }
+  EXPECT_EQ(total_weight, static_cast<uint64_t>(sketch.n()));
+  EXPECT_EQ(total_items, sketch.num_retained());
+}
+
+TEST(KllSketchTest, MakeRejectsKOutsideRange) {
+  EXPECT_FALSE(KllSketch::Make(KllSketch::kMinK - 1).ok());
+  EXPECT_FALSE(KllSketch::Make(0).ok());
+  EXPECT_FALSE(KllSketch::Make(-5).ok());
+  EXPECT_FALSE(KllSketch::Make(KllSketch::kMaxK + 1).ok());
+  EXPECT_TRUE(KllSketch::Make(KllSketch::kMinK).ok());
+  EXPECT_TRUE(KllSketch::Make(KllSketch::kMaxK).ok());
+}
+
+TEST(KllSketchTest, EmptySketchAnswersNeutrally) {
+  KllSketch sketch = MakeSketch(200);
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.n(), 0);
+  EXPECT_TRUE(sketch.is_exact());
+  EXPECT_EQ(sketch.CountLess(1.0), 0);
+  EXPECT_EQ(sketch.Quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.min_value(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(sketch.max_value(), -std::numeric_limits<float>::infinity());
+  std::vector<double> counts;
+  sketch.BinCountsInto(MakeGrid(), &counts);
+  EXPECT_EQ(counts.size(), 200u);
+  for (double c : counts) EXPECT_EQ(c, 0.0);
+}
+
+TEST(KllSketchTest, ExactModeMatchesOrderStatistics) {
+  KllSketch sketch = MakeSketch(200);
+  Rng rng(11);
+  std::vector<float> values;
+  for (int i = 0; i < 150; ++i) {  // below k: no compaction can trigger
+    const double x = rng.Uniform(0.1, 3.9);
+    sketch.Update(x);
+    values.push_back(static_cast<float>(x));
+  }
+  ASSERT_TRUE(sketch.is_exact());
+  ASSERT_EQ(sketch.n(), 150);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(sketch.min_value(), values.front());
+  EXPECT_EQ(sketch.max_value(), values.back());
+  for (double t : {0.5, 1.0, 2.0, 3.5}) {
+    EXPECT_EQ(sketch.CountLess(t), TrueCountLess(values, t)) << "t=" << t;
+  }
+  // Rank-definition quantile over an exact multiset: the smallest value
+  // whose cumulative count reaches ceil(q*n).
+  for (double q : {0.25, 0.5, 0.75, 0.95}) {
+    const auto target =
+        static_cast<size_t>(std::ceil(q * static_cast<double>(values.size())));
+    EXPECT_EQ(sketch.Quantile(q), static_cast<double>(values[target - 1]))
+        << "q=" << q;
+  }
+  ExpectWeightInvariant(sketch);
+}
+
+TEST(KllSketchTest, ExactModeBinCountsEqualDenseHistogram) {
+  const BinGrid grid = MakeGrid();
+  KllSketch sketch = MakeSketch(256);
+  Histogram dense(grid);
+  Rng rng(29);
+  for (int i = 0; i < 200; ++i) {
+    // Include out-of-range values: both sides clip into the outlier bins.
+    const double x = rng.Uniform(-1.0, 6.0);
+    const float stored = static_cast<float>(x);
+    sketch.Update(x);
+    dense.Add(static_cast<double>(stored));
+  }
+  ASSERT_TRUE(sketch.is_exact());
+  std::vector<double> counts;
+  sketch.BinCountsInto(grid, &counts);
+  ASSERT_EQ(counts.size(), dense.counts().size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], static_cast<double>(dense.counts()[i])) << "bin " << i;
+  }
+}
+
+TEST(KllSketchTest, RankErrorStaysWithinBoundAcrossDistributionsAndOrders) {
+  constexpr int kK = 200;
+  constexpr int kN = 50000;
+  const double eps = KllSketch::NormalizedRankErrorBound(kK);
+  ASSERT_GT(eps, 0.0);
+  ASSERT_LT(eps, 0.05);
+  for (int dist = 0; dist < 4; ++dist) {
+    Rng rng(100 + static_cast<uint64_t>(dist));
+    std::vector<double> raw;
+    raw.reserve(kN);
+    for (int i = 0; i < kN; ++i) {
+      switch (dist) {
+        case 0:
+          raw.push_back(rng.Uniform(0.0, 4.0));
+          break;
+        case 1:
+          raw.push_back(std::abs(rng.Normal(1.0, 0.3)));
+          break;
+        case 2:
+          raw.push_back(rng.LogNormal(0.0, 0.5));
+          break;
+        default:  // bimodal: straggler-like second mode
+          raw.push_back(rng.Bernoulli(0.2) ? rng.Normal(3.0, 0.1)
+                                           : rng.Normal(1.0, 0.05));
+      }
+    }
+    for (int order = 0; order < 3; ++order) {
+      std::vector<double> stream = raw;
+      if (order == 1) std::sort(stream.begin(), stream.end());
+      if (order == 2) std::sort(stream.rbegin(), stream.rend());
+      KllSketch sketch = MakeSketch(kK);
+      std::vector<float> stored;
+      stored.reserve(stream.size());
+      for (double x : stream) {
+        sketch.Update(x);
+        stored.push_back(static_cast<float>(x));
+      }
+      ASSERT_EQ(sketch.n(), kN);
+      ExpectWeightInvariant(sketch);
+      std::sort(stored.begin(), stored.end());
+      int64_t worst = 0;
+      for (int i = 1; i < 40; ++i) {
+        const double t =
+            static_cast<double>(stored[stored.size() * i / 40]);
+        worst = std::max(
+            worst, std::abs(sketch.CountLess(t) - TrueCountLess(stored, t)));
+      }
+      EXPECT_LE(static_cast<double>(worst), eps * kN)
+          << "dist=" << dist << " order=" << order;
+    }
+  }
+}
+
+TEST(KllSketchTest, UpdateSequenceIsDeterministic) {
+  Rng rng(5);
+  std::vector<double> stream;
+  for (int i = 0; i < 20000; ++i) stream.push_back(rng.Uniform(0.0, 4.0));
+  KllSketch a = MakeSketch(128);
+  KllSketch b = MakeSketch(128);
+  for (double x : stream) a.Update(x);
+  for (double x : stream) b.Update(x);
+  EXPECT_EQ(a.items(), b.items());
+  EXPECT_EQ(a.level_sizes(), b.level_sizes());
+  EXPECT_EQ(a.compaction_parity(), b.compaction_parity());
+  EXPECT_EQ(a.n(), b.n());
+}
+
+TEST(KllSketchTest, MergePreservesWeightAndIsDeterministic) {
+  Rng rng(17);
+  std::vector<std::vector<double>> parts(4);
+  for (int i = 0; i < 40000; ++i) {
+    parts[static_cast<size_t>(i % 4)].push_back(rng.LogNormal(0.0, 0.4));
+  }
+  auto build_merged = [&]() {
+    KllSketch merged = MakeSketch(200);
+    for (const auto& part : parts) {
+      KllSketch shard = MakeSketch(200);
+      for (double x : part) shard.Update(x);
+      EXPECT_TRUE(merged.Merge(shard).ok());
+    }
+    return merged;
+  };
+  KllSketch merged = build_merged();
+  KllSketch again = build_merged();
+  EXPECT_EQ(merged.n(), 40000);
+  ExpectWeightInvariant(merged);
+  // Same operands in the same order: bit-identical internal state.
+  EXPECT_EQ(merged.items(), again.items());
+  EXPECT_EQ(merged.level_sizes(), again.level_sizes());
+  EXPECT_EQ(merged.compaction_parity(), again.compaction_parity());
+
+  // The merged estimate stays within the single-sketch bound on this
+  // (deterministic) workload.
+  std::vector<float> stored;
+  for (const auto& part : parts) {
+    for (double x : part) stored.push_back(static_cast<float>(x));
+  }
+  std::sort(stored.begin(), stored.end());
+  const double eps = KllSketch::NormalizedRankErrorBound(200);
+  for (int i = 1; i < 20; ++i) {
+    const double t = static_cast<double>(stored[stored.size() * i / 20]);
+    EXPECT_LE(std::abs(merged.CountLess(t) - TrueCountLess(stored, t)),
+              eps * 40000)
+        << "t=" << t;
+  }
+}
+
+TEST(KllSketchTest, MergeRejectsMismatchedK) {
+  KllSketch a = MakeSketch(128);
+  KllSketch b = MakeSketch(200);
+  b.Update(1.0);
+  EXPECT_FALSE(a.Merge(b).ok());
+  EXPECT_EQ(a.n(), 0);
+}
+
+TEST(KllSketchTest, MergeWithEmptyOperandsIsIdentity) {
+  KllSketch a = MakeSketch(64);
+  KllSketch empty = MakeSketch(64);
+  for (int i = 0; i < 1000; ++i) a.Update(0.001 * i);
+  const std::vector<float> before = a.items();
+  ASSERT_TRUE(a.Merge(empty).ok());
+  EXPECT_EQ(a.items(), before);
+  EXPECT_EQ(a.n(), 1000);
+  // Empty absorbing non-empty adopts its whole state.
+  ASSERT_TRUE(empty.Merge(a).ok());
+  EXPECT_EQ(empty.n(), 1000);
+  EXPECT_EQ(empty.min_value(), a.min_value());
+  EXPECT_EQ(empty.max_value(), a.max_value());
+  ExpectWeightInvariant(empty);
+}
+
+TEST(KllSketchTest, MemoryStaysBoundedAtAnyStreamLength) {
+  KllSketch sketch = MakeSketch(200);
+  Rng rng(3);
+  for (int i = 0; i < 1000000; ++i) sketch.Update(rng.Uniform(0.0, 4.0));
+  EXPECT_EQ(sketch.n(), 1000000);
+  // The ISSUE's bounded-state acceptance: ≤ 2 KB per group at k = 200.
+  EXPECT_LE(sketch.MemoryBytes(), 2048u);
+  ExpectWeightInvariant(sketch);
+}
+
+TEST(KllSketchTest, NanIgnoredInfinityAccepted) {
+  KllSketch sketch = MakeSketch(64);
+  sketch.Update(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(sketch.n(), 0);
+  sketch.Update(std::numeric_limits<double>::infinity());
+  sketch.Update(-std::numeric_limits<double>::infinity());
+  sketch.Update(1.0);
+  EXPECT_EQ(sketch.n(), 3);
+  EXPECT_EQ(sketch.min_value(), -std::numeric_limits<float>::infinity());
+  EXPECT_EQ(sketch.max_value(), std::numeric_limits<float>::infinity());
+  // ±inf clip into the outlier bins, like BinGrid::BinIndex.
+  std::vector<double> counts;
+  sketch.BinCountsInto(MakeGrid(), &counts);
+  EXPECT_EQ(counts.front(), 1.0);
+  EXPECT_EQ(counts.back(), 1.0);
+}
+
+TEST(KllSketchTest, UpdateClampedMirrorsTrackerSemantics) {
+  const BinGrid grid = MakeGrid();
+  KllSketch sketch = MakeSketch(64);
+  sketch.UpdateClamped(grid, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(sketch.n(), 0);  // NaN dropped, exactly like the tracker
+  sketch.UpdateClamped(grid, std::numeric_limits<double>::infinity());
+  sketch.UpdateClamped(grid, -7.0);
+  sketch.UpdateClamped(grid, 1.5);
+  EXPECT_EQ(sketch.n(), 3);
+  EXPECT_EQ(sketch.min_value(), static_cast<float>(grid.lo()));
+  EXPECT_EQ(sketch.max_value(), static_cast<float>(grid.hi()));
+}
+
+TEST(KllSketchTest, QuantileReturnsInsertedValues) {
+  KllSketch sketch = MakeSketch(64);
+  Rng rng(41);
+  std::vector<float> stored;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Uniform(0.0, 4.0);
+    sketch.Update(x);
+    stored.push_back(static_cast<float>(x));
+  }
+  std::sort(stored.begin(), stored.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    const double v = sketch.Quantile(q);
+    EXPECT_TRUE(std::binary_search(stored.begin(), stored.end(),
+                                   static_cast<float>(v)))
+        << "q=" << q << " returned " << v << ", never inserted";
+  }
+}
+
+TEST(KllSketchTest, RestoreRoundTripsExactState) {
+  KllSketch sketch = MakeSketch(100);
+  Rng rng(53);
+  for (int i = 0; i < 30000; ++i) sketch.Update(rng.Normal(1.0, 0.4));
+  auto restored = KllSketch::Restore(
+      sketch.k(), sketch.n(), sketch.min_value(), sketch.max_value(),
+      sketch.level_sizes(), sketch.items(), sketch.compaction_parity());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->items(), sketch.items());
+  EXPECT_EQ(restored->level_sizes(), sketch.level_sizes());
+  EXPECT_EQ(restored->compaction_parity(), sketch.compaction_parity());
+  EXPECT_EQ(restored->n(), sketch.n());
+  // A restored sketch keeps updating identically to the original.
+  KllSketch continued = *std::move(restored);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = 0.0001 * i;
+    continued.Update(x);
+    sketch.Update(x);
+  }
+  EXPECT_EQ(continued.items(), sketch.items());
+  EXPECT_EQ(continued.compaction_parity(), sketch.compaction_parity());
+}
+
+TEST(KllSketchTest, RestoreRejectsEveryCorruptionClass) {
+  KllSketch sketch = MakeSketch(64);
+  for (int i = 0; i < 2000; ++i) sketch.Update(0.002 * i);
+  const auto& sizes = sketch.level_sizes();
+  const auto& items = sketch.items();
+  const float lo = sketch.min_value();
+  const float hi = sketch.max_value();
+  const uint64_t parity = sketch.compaction_parity();
+
+  // k outside range.
+  EXPECT_FALSE(KllSketch::Restore(4, sketch.n(), lo, hi, sizes, items, parity)
+                   .ok());
+  // Negative n.
+  EXPECT_FALSE(KllSketch::Restore(64, -1, lo, hi, sizes, items, parity).ok());
+  // Weight sum vs n mismatch (dropped observation).
+  EXPECT_FALSE(
+      KllSketch::Restore(64, sketch.n() - 1, lo, hi, sizes, items, parity)
+          .ok());
+  // Level sizes vs item count mismatch (torn buffer).
+  {
+    std::vector<float> short_items = items;
+    short_items.pop_back();
+    EXPECT_FALSE(
+        KllSketch::Restore(64, sketch.n(), lo, hi, sizes, short_items, parity)
+            .ok());
+  }
+  // Item outside [min, max] (bit flip in the payload).
+  {
+    std::vector<float> bad = items;
+    bad.front() = hi + 1.0f;
+    EXPECT_FALSE(
+        KllSketch::Restore(64, sketch.n(), lo, hi, sizes, bad, parity).ok());
+  }
+  // NaN item.
+  {
+    std::vector<float> bad = items;
+    bad.back() = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_FALSE(
+        KllSketch::Restore(64, sketch.n(), lo, hi, sizes, bad, parity).ok());
+  }
+  // min > max.
+  EXPECT_FALSE(
+      KllSketch::Restore(64, sketch.n(), hi, lo, sizes, items, parity).ok());
+  // Empty top level (non-canonical shape).
+  {
+    std::vector<uint32_t> bad = sizes;
+    bad.push_back(0);
+    EXPECT_FALSE(
+        KllSketch::Restore(64, sketch.n(), lo, hi, bad, items, parity).ok());
+  }
+  // Parity bits past the top level.
+  EXPECT_FALSE(KllSketch::Restore(64, sketch.n(), lo, hi, sizes, items,
+                                  uint64_t{1} << 60)
+                   .ok());
+  // Empty sketch must carry the ±inf sentinels.
+  EXPECT_FALSE(KllSketch::Restore(64, 0, 0.0f, 0.0f, {0}, {}, 0).ok());
+  EXPECT_TRUE(KllSketch::Restore(64, 0,
+                                 std::numeric_limits<float>::infinity(),
+                                 -std::numeric_limits<float>::infinity(), {0},
+                                 {}, 0)
+                  .ok());
+}
+
+TEST(KllSketchTest, BinCountsSumToN) {
+  const BinGrid grid = MakeGrid();
+  KllSketch sketch = MakeSketch(100);
+  Rng rng(71);
+  for (int i = 0; i < 123457; ++i) {
+    sketch.Update(rng.LogNormal(0.0, 0.6));
+  }
+  std::vector<double> counts;
+  sketch.BinCountsInto(grid, &counts);
+  double sum = 0.0;
+  for (double c : counts) sum += c;
+  EXPECT_EQ(sum, static_cast<double>(sketch.n()));
+}
+
+TEST(KllSketchTest, RankErrorBoundTightensWithK) {
+  EXPECT_LT(KllSketch::NormalizedRankErrorBound(400),
+            KllSketch::NormalizedRankErrorBound(200));
+  EXPECT_LT(KllSketch::NormalizedRankErrorBound(200),
+            KllSketch::NormalizedRankErrorBound(50));
+}
+
+}  // namespace
+}  // namespace rvar
